@@ -1,0 +1,31 @@
+"""Shared benchmark configuration.
+
+Each benchmark file regenerates one figure of the paper at a reduced
+but shape-preserving scale (see DESIGN.md §4 for the scaling rules) and
+prints the same series the paper plots.  ``pytest benchmarks/
+--benchmark-only`` therefore both times the harness and emits the
+reproduction tables that EXPERIMENTS.md records.
+"""
+
+import pytest
+
+from repro.experiments import RunSpec
+
+
+def quick_spec(**overrides) -> RunSpec:
+    """Benchmark-scale run: ~600 procedures per point."""
+    base = dict(procedures_target=600, min_duration_s=0.03, max_duration_s=0.15)
+    base.update(overrides)
+    return RunSpec(**base)
+
+
+@pytest.fixture
+def print_series(capsys):
+    """Print a figure's series so it lands in the benchmark output."""
+
+    def emit(text: str) -> None:
+        with capsys.disabled():
+            print()
+            print(text)
+
+    return emit

@@ -1,0 +1,72 @@
+"""Extra ablations beyond the paper's factor analysis (DESIGN.md §7).
+
+* replication factor N (the paper leaves N as a parameter),
+* replica ring level — 2 (the paper) vs 3 (its footnote-14 future work),
+* the §4.2.4 ACK timeout.
+"""
+
+from repro.experiments import RunSpec
+from repro.experiments.ablations import (
+    ablate_ack_timeout,
+    ablate_georep_level,
+    ablate_n_backups,
+    ablate_serialization_bandwidth,
+)
+from repro.experiments.report import format_dict_rows
+
+
+def test_ablation_n_backups(benchmark, print_series):
+    spec = RunSpec(
+        procedure="attach",
+        regions=4,
+        procedures_target=500,
+        max_duration_s=0.15,
+        failure_cpf_index=0,
+        failure_at_frac=0.5,
+    )
+    rows = benchmark.pedantic(
+        lambda: ablate_n_backups(backups=(1, 2, 3), rate=40e3, spec=spec),
+        rounds=1,
+        iterations=1,
+    )
+    print_series(format_dict_rows(rows, "Ablation — replication factor N"))
+    assert all(r["violations"] == 0 for r in rows)
+    # failure masking never degrades as N grows
+    fracs = [r["masked_frac"] for r in rows]
+    assert fracs[-1] >= fracs[0] - 0.05
+
+
+def test_ablation_georep_level(benchmark, print_series):
+    rows = benchmark.pedantic(
+        lambda: ablate_georep_level(round_trips=8), rounds=1, iterations=1
+    )
+    print_series(format_dict_rows(rows, "Ablation — replica ring level (2 vs 3)"))
+    by_level = {r["georep_level"]: r for r in rows}
+    assert by_level[3]["fast_ho_p50_ms"] < by_level[2]["fast_ho_p50_ms"]
+
+
+def test_ablation_ack_timeout(benchmark, print_series):
+    rows = benchmark.pedantic(
+        lambda: ablate_ack_timeout(timeouts_s=(0.5, 5.0, 30.0)),
+        rounds=1,
+        iterations=1,
+    )
+    print_series(format_dict_rows(rows, "Ablation — §4.2.4 ACK timeout"))
+    assert all(r["violations"] == 0 for r in rows)
+
+
+def test_ablation_serialization_bandwidth(benchmark, print_series):
+    rows = benchmark.pedantic(
+        lambda: ablate_serialization_bandwidth(n_procedures=150),
+        rounds=1,
+        iterations=1,
+    )
+    print_series(format_dict_rows(rows, "Ablation — §7 serialization bandwidth trade-off"))
+    by = {r["codec"]: r for r in rows}
+    # FlatBuffers buys lower PCT with more bytes on the access side...
+    assert by["flatbuffers"]["inflation_vs_asn1"] > 1.5
+    assert by["flatbuffers"]["attach_p50_ms"] < by["asn1per"]["attach_p50_ms"]
+    # ...and the svtable optimization claws some of the bytes back.
+    assert (
+        by["flatbuffers_opt"]["access_bytes"] <= by["flatbuffers"]["access_bytes"]
+    )

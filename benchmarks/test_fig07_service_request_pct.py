@@ -1,0 +1,38 @@
+"""Fig. 7 — service request PCT: EPC vs DPCM vs SkyCore vs Neutrino.
+
+Paper: up to 120 KPPS Neutrino is 2.3x/1.3x/3.4x better than the EPC,
+DPCM, and SkyCore in median PCT; beyond 140 KPPS EPC and SkyCore
+saturate drastically; Neutrino saturates last.
+"""
+
+from repro.experiments import figures
+from repro.experiments.report import format_pct_table, median_ratio
+
+from conftest import quick_spec
+
+RATES = (100e3, 140e3, 180e3, 220e3)
+
+
+def run_fig07():
+    return figures.fig07_service_request(
+        rates=RATES, spec=quick_spec(procedure="service_request")
+    )
+
+
+def test_fig07_service_request(benchmark, print_series):
+    points = benchmark.pedantic(run_fig07, rounds=1, iterations=1)
+    print_series(format_pct_table(points, "Fig. 7 — service request PCT (median ms)"))
+
+    by = {(p.scheme, p.axis_rate): p for p in points}
+    # Ordering at every rate: Neutrino best, SkyCore worst.
+    for rate in RATES:
+        assert by[("neutrino", rate)].p50_ms <= by[("dpcm", rate)].p50_ms * 1.05
+        assert by[("dpcm", rate)].p50_ms < by[("existing_epc", rate)].p50_ms * 1.05
+        assert by[("existing_epc", rate)].p50_ms < by[("skycore", rate)].p50_ms * 1.05
+    # "up to Nx better" ratios in the paper's direction and magnitude.
+    assert median_ratio(points, "neutrino", "existing_epc") > 2.0
+    assert median_ratio(points, "neutrino", "skycore") > 3.0
+    assert median_ratio(points, "neutrino", "dpcm") > 1.2
+    # EPC/SkyCore saturate inside the sweep; Neutrino does not.
+    assert by[("existing_epc", 220e3)].p50_ms > 10 * by[("existing_epc", 100e3)].p50_ms
+    assert by[("neutrino", 220e3)].p50_ms < 5 * by[("neutrino", 100e3)].p50_ms

@@ -1,0 +1,48 @@
+"""Fig. 8 — attach PCT with uniform traffic: EPC vs Neutrino.
+
+Paper: Neutrino up to 2.3x better until 60 KPPS; the EPC enters its
+saturation region beyond ~60 KPPS while Neutrino's knee sits at about
+double that rate (~120 KPPS), where Neutrino is up to 3.4x better.
+"""
+
+from repro.experiments import figures
+from repro.experiments.report import format_pct_table, median_ratio
+
+from conftest import quick_spec
+
+RATES = (40e3, 60e3, 80e3, 100e3, 120e3, 140e3)
+
+
+def run_fig08():
+    return figures.fig08_attach_uniform(rates=RATES, spec=quick_spec(procedure="attach"))
+
+
+def find_knee(points, scheme):
+    """First rate where median PCT exceeds 3x the lowest-rate median."""
+    series = sorted(
+        (p for p in points if p.scheme == scheme), key=lambda p: p.axis_rate
+    )
+    floor = series[0].p50_ms
+    for point in series:
+        if point.p50_ms > 3 * floor:
+            return point.axis_rate
+    return float("inf")
+
+
+def test_fig08_attach_pct(benchmark, print_series):
+    points = benchmark.pedantic(run_fig08, rounds=1, iterations=1)
+    print_series(format_pct_table(points, "Fig. 8 — attach PCT (median ms)"))
+
+    epc_knee = find_knee(points, "existing_epc")
+    neutrino_knee = find_knee(points, "neutrino")
+    print_series(
+        "saturation knees: existing_epc=%.0f  neutrino=%.0f" % (epc_knee, neutrino_knee)
+    )
+    # The EPC saturates inside the sweep; Neutrino's knee is much later.
+    assert epc_knee <= 100e3
+    assert neutrino_knee >= 1.5 * epc_knee
+    # Median improvement in the paper's direction everywhere.
+    assert median_ratio(points, "neutrino", "existing_epc") > 2.0
+    by = {(p.scheme, p.axis_rate): p for p in points}
+    for rate in RATES:
+        assert by[("neutrino", rate)].p50_ms < by[("existing_epc", rate)].p50_ms

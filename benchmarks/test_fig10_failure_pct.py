@@ -1,0 +1,51 @@
+"""Fig. 10 — handover PCT under CPF failure.
+
+Paper: below 60 KPPS Neutrino improves median PCT under failure by up
+to 5.6x: instead of Re-Attaching, the CTA replays logged messages at a
+replica, saving multiple RTTs.  PCT excludes failure detection time in
+both systems.
+"""
+
+from repro.experiments import RunSpec, figures
+from repro.experiments.report import format_pct_table, median_ratio
+
+RATES = (40e3, 60e3, 100e3)
+
+
+def run_fig10():
+    spec = RunSpec(
+        procedure="handover",
+        cpfs_per_region=2,
+        failure_cpf_index=0,
+        failure_at_frac=0.5,
+        first_region_only=True,
+        procedures_target=600,
+        min_duration_s=0.03,
+        max_duration_s=0.15,
+    )
+    return figures.fig10_failure_handover(rates=RATES, spec=spec)
+
+
+def test_fig10_failure_pct(benchmark, print_series):
+    points = benchmark.pedantic(run_fig10, rounds=1, iterations=1)
+    print_series(
+        format_pct_table(points, "Fig. 10 — handover PCT under CPF failure (median ms)")
+    )
+    by = {(p.scheme, p.axis_rate): p for p in points}
+
+    for rate in RATES:
+        neutrino = by[("neutrino", rate)]
+        assert neutrino.recovered > 0
+        # Neutrino masks most failures instead of Re-Attaching.
+        assert neutrino.reattached < neutrino.recovered
+        assert neutrino.violations == 0
+    for rate in (40e3, 60e3):  # below EPC saturation its re-attaches finish
+        epc = by[("existing_epc", rate)]
+        assert epc.recovered > 0
+        # The EPC can only Re-Attach.
+        assert epc.reattached == epc.recovered
+
+    # Below the EPC knee the median gap matches the paper's up-to-5.6x.
+    ratio = median_ratio(points, "neutrino", "existing_epc", rate=40e3)
+    print_series("fig10 median ratio @40K: %.1fx (paper: up to 5.6x)" % ratio)
+    assert ratio > 3.0

@@ -1,0 +1,36 @@
+"""Fig. 11 — Fast Handover procedure completion times.
+
+Paper: Neutrino-Proactive (state proactively replicated in the target
+region, no migration before the handover) improves median PCT by up to
+7x over the existing EPC below 60 KPPS; Neutrino-Default still migrates
+state and lands in between.
+"""
+
+from repro.experiments import figures
+from repro.experiments.report import format_pct_table, median_ratio
+
+from conftest import quick_spec
+
+RATES = (40e3, 60e3, 100e3)
+
+
+def run_fig11():
+    return figures.fig11_fast_handover(rates=RATES, spec=quick_spec())
+
+
+def test_fig11_fast_handover(benchmark, print_series):
+    points = benchmark.pedantic(run_fig11, rounds=1, iterations=1)
+    print_series(format_pct_table(points, "Fig. 11 — fast handover PCT (median ms)"))
+    by = {(p.scheme, p.axis_rate): p for p in points}
+
+    for rate in RATES:
+        proactive = by[("neutrino_proactive", rate)]
+        default = by[("neutrino_default", rate)]
+        epc = by[("existing_epc", rate)]
+        # Proactive < Default < EPC at every rate.
+        assert proactive.p50_ms < default.p50_ms
+        assert default.p50_ms < epc.p50_ms * 1.05
+
+    ratio = median_ratio(points, "neutrino_proactive", "existing_epc")
+    print_series("fig11 best ratio proactive vs EPC: %.1fx (paper: up to 7x)" % ratio)
+    assert ratio > 4.0

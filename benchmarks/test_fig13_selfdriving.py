@@ -1,0 +1,47 @@
+"""Fig. 13 — effect of mobility on a self-driving car application.
+
+Paper: sensor packets (1 kHz uplink) miss their ~100 ms decision budget
+during handovers; under both single- and multiple-handover scenarios
+Neutrino performs up to 2.8x better than the existing EPC, with misses
+growing with the number of active (background) users.
+"""
+
+from repro.experiments import figures
+from repro.experiments.report import format_dict_rows
+
+USERS = (50e3, 200e3, 500e3)
+FAST = dict(drive_duration_s=2.5, radio_interruption_s=0.4)
+
+
+def run_fig13():
+    return figures.fig13_self_driving(users=USERS, handovers=(1, 3), **FAST)
+
+
+def test_fig13_selfdriving(benchmark, print_series):
+    rows = benchmark.pedantic(run_fig13, rounds=1, iterations=1)
+    print_series(format_dict_rows(rows, "Fig. 13 — self-driving missed deadlines"))
+    by = {(r["scheme"], r["scenario"], r["active_users"]): r for r in rows}
+
+    for scenario in ("single_ho", "multiple_ho"):
+        # At heavy load the EPC misses far more than Neutrino.
+        epc = by[("existing_epc", scenario, 500e3)]["missed"]
+        neutrino = by[("neutrino", scenario, 500e3)]["missed"]
+        assert neutrino > 0  # radio interruption alone costs packets
+        assert epc > neutrino
+        ratio = epc / neutrino
+        print_series("fig13 %s ratio @500K users: %.1fx (paper: up to 2.8x)" % (scenario, ratio))
+        assert ratio > 1.5
+        # multiple handovers miss more than a single one
+        assert (
+            by[("neutrino", "multiple_ho", 500e3)]["missed"]
+            > by[("neutrino", "single_ho", 500e3)]["missed"]
+        )
+    # EPC misses grow with active users; Neutrino stays flat.
+    assert (
+        by[("existing_epc", "single_ho", 500e3)]["missed"]
+        > by[("existing_epc", "single_ho", 50e3)]["missed"]
+    )
+    assert (
+        by[("neutrino", "single_ho", 500e3)]["missed"]
+        <= by[("neutrino", "single_ho", 50e3)]["missed"] * 1.5
+    )

@@ -1,0 +1,34 @@
+"""Fig. 14 — effect of mobility on a VR application.
+
+Paper: head-tracked VR needs <16 ms motion-to-photon latency; packets
+missing that budget are counted during single- and multiple-handover
+sessions.  Neutrino performs up to 2.5x better than the existing EPC.
+"""
+
+from repro.experiments import figures
+from repro.experiments.report import format_dict_rows
+
+USERS = (50e3, 500e3)
+FAST = dict(drive_duration_s=2.5, radio_interruption_s=0.4)
+
+
+def run_fig14():
+    return figures.fig14_vr(users=USERS, handovers=(1, 3), **FAST)
+
+
+def test_fig14_vr(benchmark, print_series):
+    rows = benchmark.pedantic(run_fig14, rounds=1, iterations=1)
+    print_series(format_dict_rows(rows, "Fig. 14 — VR missed deadlines"))
+    by = {(r["scheme"], r["scenario"], r["active_users"]): r for r in rows}
+
+    for scenario in ("single_ho", "multiple_ho"):
+        epc = by[("existing_epc", scenario, 500e3)]["missed"]
+        neutrino = by[("neutrino", scenario, 500e3)]["missed"]
+        assert epc > neutrino > 0
+        ratio = epc / neutrino
+        print_series("fig14 %s ratio @500K users: %.1fx (paper: up to 2.5x)" % (scenario, ratio))
+        assert ratio > 1.4
+    # At light load the radio interruption dominates and designs converge.
+    light_epc = by[("existing_epc", "single_ho", 50e3)]["missed"]
+    light_neutrino = by[("neutrino", "single_ho", 50e3)]["missed"]
+    assert light_epc <= light_neutrino * 1.5

@@ -1,0 +1,41 @@
+"""Fig. 15 — effect of state synchronization scheme on attach PCT.
+
+Paper: per-message replication has the highest median PCT (frequent
+state locking for checkpointing); per-procedure replication costs only
+slightly more than no replication — the consistency/overhead trade-off
+Neutrino picks (§4.2.2, §6.7.1).
+"""
+
+from repro.experiments import figures
+from repro.experiments.report import format_pct_table
+
+from conftest import quick_spec
+
+RATES = (20e3, 60e3, 100e3)
+
+
+def run_fig15():
+    return figures.fig15_sync_schemes(rates=RATES, spec=quick_spec(procedure="attach"))
+
+
+def test_fig15_sync_schemes(benchmark, print_series):
+    points = benchmark.pedantic(run_fig15, rounds=1, iterations=1)
+    print_series(
+        format_pct_table(points, "Fig. 15 — attach PCT by sync scheme (median ms)")
+    )
+    by = {(p.scheme, p.axis_rate): p for p in points}
+
+    for rate in RATES:
+        no_rep = by[("no_rep", rate)].p50_ms
+        per_msg = by[("per_msg_rep", rate)].p50_ms
+        per_proc = by[("per_proc_rep", rate)].p50_ms
+        # per-message is the most expensive scheme
+        assert per_msg > per_proc
+        # per-procedure adds only a small premium over no replication
+        assert per_proc < no_rep * 1.4 + 0.05
+
+    # At high rate per-message locking pushes the knee earlier: the gap
+    # widens with load.
+    gap_low = by[("per_msg_rep", RATES[0])].p50_ms - by[("per_proc_rep", RATES[0])].p50_ms
+    gap_high = by[("per_msg_rep", RATES[-1])].p50_ms - by[("per_proc_rep", RATES[-1])].p50_ms
+    assert gap_high > gap_low

@@ -1,0 +1,32 @@
+"""Fig. 16 — impact of CTA message logging on attach PCT.
+
+Paper: in-memory logging has negligible impact on PCT — the entire
+point of keeping the log at the CTA in volatile memory.
+"""
+
+from repro.experiments import figures
+from repro.experiments.report import format_pct_table
+
+from conftest import quick_spec
+
+RATES = (20e3, 60e3, 100e3)
+
+
+def run_fig16():
+    return figures.fig16_logging_overhead(
+        rates=RATES, spec=quick_spec(procedure="attach")
+    )
+
+
+def test_fig16_logging_overhead(benchmark, print_series):
+    points = benchmark.pedantic(run_fig16, rounds=1, iterations=1)
+    print_series(
+        format_pct_table(points, "Fig. 16 — attach PCT, logging on/off (median ms)")
+    )
+    by = {(p.scheme, p.axis_rate): p for p in points}
+
+    for rate in RATES:
+        logged = by[("logging", rate)].p50_ms
+        bare = by[("no_logging", rate)].p50_ms
+        # negligible: within 25% at every rate (paper: indistinguishable)
+        assert logged < bare * 1.25 + 0.05, (rate, logged, bare)

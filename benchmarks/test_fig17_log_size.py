@@ -1,0 +1,30 @@
+"""Fig. 17 — maximum CTA log size vs number of active users.
+
+Paper: with per-procedure synchronization the log grows with the number
+of active users but stays below 400 MB even at 200K users.  We simulate
+a 1/50 user slice and extrapolate linearly (log entries are per-UE
+independent).
+"""
+
+from repro.experiments import figures
+from repro.experiments.report import format_dict_rows
+
+USERS = (10e3, 50e3, 100e3, 200e3)
+
+
+def run_fig17():
+    return figures.fig17_log_size(users=USERS, procedures=("attach", "handover"))
+
+
+def test_fig17_log_size(benchmark, print_series):
+    rows = benchmark.pedantic(run_fig17, rounds=1, iterations=1)
+    print_series(format_dict_rows(rows, "Fig. 17 — max CTA log size"))
+    by = {(r["procedure"], r["active_users"]): r for r in rows}
+
+    for proc in ("attach", "handover"):
+        series = [by[(proc, u)]["max_log_mb_extrapolated"] for u in USERS]
+        # grows with active users
+        assert series == sorted(series)
+        assert series[-1] > series[0]
+        # stays under the paper's 400 MB bound at 200K users
+        assert by[(proc, 200e3)]["max_log_mb_extrapolated"] < 400.0

@@ -1,0 +1,54 @@
+"""Fig. 19 — encode+decode times on real S1 messages.
+
+Paper: FlatBuffers decreases encode+decode times by up to 5.9x over
+ASN.1 on real S1AP messages (InitialContextSetup, its response, E-RAB
+setup/modify, InitialUEMessage); Optimized FlatBuffers is slightly
+faster still.  The benchmark also times this repository's real codec
+implementations on the same messages.
+"""
+
+import pytest
+
+from repro.experiments import figures
+from repro.experiments.report import format_dict_rows
+from repro.messages import CATALOG
+
+
+def run_fig19():
+    return figures.fig19_real_message_times(measured_repeats=80)
+
+
+def test_fig19_real_message_times(benchmark, print_series):
+    rows = benchmark.pedantic(run_fig19, rounds=1, iterations=1)
+    print_series(
+        format_dict_rows(rows, "Fig. 19 — encode+decode on real S1 messages (µs)")
+    )
+
+    measured_totals = {"flatbuffers": 0.0, "asn1per": 0.0}
+    for msg in figures.FIG19_MESSAGES:
+        per_codec = {r["codec"]: r for r in rows if r["message"] == msg}
+        # modeled: optimized FB <= FB << ASN.1
+        assert per_codec["flatbuffers_opt"]["modeled_us"] <= per_codec["flatbuffers"]["modeled_us"]
+        assert per_codec["flatbuffers"]["modeled_us"] < per_codec["asn1per"]["modeled_us"]
+        for codec in measured_totals:
+            measured_totals[codec] += per_codec[codec]["measured_us"]
+    # measured: aggregated over the message set (single-message wall
+    # clock is too noisy for strict per-message ordering) the real FB
+    # implementation clearly beats the real PER one.
+    assert measured_totals["flatbuffers"] < measured_totals["asn1per"]
+
+
+def test_fig19_speedup_magnitude(benchmark):
+    def speedups():
+        rows = figures.fig19_real_message_times()
+        out = {}
+        for msg in figures.FIG19_MESSAGES:
+            per_codec = {r["codec"]: r["modeled_us"] for r in rows if r["message"] == msg}
+            out[msg] = per_codec["asn1per"] / per_codec["flatbuffers"]
+        return out
+
+    ratios = benchmark.pedantic(speedups, rounds=1, iterations=1)
+    # Paper reports up to 5.9x on these messages; our calibration gives
+    # the same direction with somewhat larger factors (8 - 20 elements).
+    assert all(r > 3.0 for r in ratios.values())
+    assert max(ratios.values()) < 30.0

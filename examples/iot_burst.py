@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Bursty IoT control traffic: Neutrino vs existing EPC (paper Fig. 9).
+
+Thousands of IoT devices wake on a shared trigger and attach within a
+20 ms window; queues build immediately at the CPFs and drain at the
+service rate, so the serializer on the critical path decides how long
+the burst takes to clear.
+
+Run:  python examples/iot_burst.py [n_devices]
+"""
+
+import sys
+
+from repro.core import ControlPlaneConfig, Deployment
+from repro.sim import RngRegistry, Simulator
+from repro.traffic import WorkloadDriver, bursty_arrivals
+
+
+def run_burst(config, n_devices: int):
+    sim = Simulator()
+    rng = RngRegistry(11)
+    dep = Deployment.build_grid(sim, config, rng=rng)
+    driver = WorkloadDriver(dep)
+    arrivals = bursty_arrivals(n_devices, 0.02, rng.stream("burst"))
+    driver.schedule_attaches(list(arrivals))
+    sim.run(until=60.0)
+    tally = dep.pct["attach"]
+    return {
+        "scheme": config.name,
+        "completed": driver.completed(),
+        "p50_ms": tally.percentile(50) * 1e3,
+        "p95_ms": tally.percentile(95) * 1e3,
+        "max_ms": tally.max * 1e3,
+        "drain_s": max(
+            o.started_at + o.pct for o in dep.outcomes if o.pct is not None
+        ),
+    }
+
+
+def main() -> None:
+    n_devices = int(sys.argv[1]) if len(sys.argv) > 1 else 4000
+    print("=== %d IoT devices attach within 20 ms ===\n" % n_devices)
+
+    results = [
+        run_burst(ControlPlaneConfig.existing_epc(), n_devices),
+        run_burst(ControlPlaneConfig.neutrino(), n_devices),
+    ]
+    print("%-14s %10s %10s %10s %10s %10s" % (
+        "scheme", "completed", "p50 ms", "p95 ms", "max ms", "drain s"))
+    for r in results:
+        print("%-14s %10d %10.1f %10.1f %10.1f %10.3f" % (
+            r["scheme"], r["completed"], r["p50_ms"], r["p95_ms"],
+            r["max_ms"], r["drain_s"]))
+
+    epc, neutrino = results
+    print(
+        "\nNeutrino clears the burst %.1fx faster in median PCT "
+        "(paper: up to 2x)." % (epc["p50_ms"] / neutrino["p50_ms"])
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,24 @@
+"""Neutrino: a low latency and consistent cellular control plane.
+
+A complete Python reproduction of Ahmad et al., SIGCOMM 2020 — the
+Neutrino control plane, its substrates (discrete-event simulated core,
+seven serialization engines, geo-replication), the paper's baselines
+(existing EPC, SkyCore, DPCM), and an experiment harness regenerating
+every evaluation figure.
+
+Quickstart::
+
+    from repro.sim import Simulator
+    from repro.core import ControlPlaneConfig, Deployment
+
+    sim = Simulator()
+    dep = Deployment.build_grid(sim, ControlPlaneConfig.neutrino())
+    ue = dep.new_ue("ue-1", "bs-20-0")
+    sim.process(ue.execute("attach"))
+    sim.run(until=1.0)
+    print(dep.pct["attach"].median)
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["sim", "codec", "messages", "geo", "core", "baselines", "traffic", "apps", "experiments"]

@@ -1,0 +1,28 @@
+"""Edge applications driven by the simulated control plane (§6.6):
+self-driving car, VR, DASH video startup, and web page loads."""
+
+from .datapath import StallInterval, count_missed_deadlines, stalls_from_outcomes
+from .mobility import MobilityAppSpec, MobilityResult, run_mobility_experiment
+from .selfdriving import run_self_driving, self_driving_spec
+from .video import VideoAppSpec, VideoResult, run_video_startup
+from .vr import run_vr, vr_spec
+from .web import WebAppSpec, WebResult, run_page_load
+
+__all__ = [
+    "StallInterval",
+    "stalls_from_outcomes",
+    "count_missed_deadlines",
+    "MobilityAppSpec",
+    "MobilityResult",
+    "run_mobility_experiment",
+    "run_self_driving",
+    "self_driving_spec",
+    "run_vr",
+    "vr_spec",
+    "VideoAppSpec",
+    "VideoResult",
+    "run_video_startup",
+    "WebAppSpec",
+    "WebResult",
+    "run_page_load",
+]

@@ -1,0 +1,106 @@
+"""Data-path stall model: when can a UE's packets actually flow?
+
+The application experiments (paper §6.6) measure how control-plane
+latency bleeds into the data plane: during a handover the user-plane
+path is interrupted from the moment the source BS commits to the
+handover until the target-side bearer switch completes, and an idle UE
+must complete a service request before any data moves.  This module
+converts completed :class:`~repro.core.ue.ProcedureOutcome` records into
+per-UE *stall intervals* and counts deadline misses for a periodic
+packet stream crossing them.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+__all__ = ["StallInterval", "stalls_from_outcomes", "count_missed_deadlines"]
+
+#: procedures that interrupt an established data path while they run.
+_STALLING = ("handover", "fast_handover", "intra_handover", "re_attach")
+
+
+@dataclass(frozen=True)
+class StallInterval:
+    """[start, end) window during which the UE's data path is down."""
+
+    start: float
+    end: float
+    cause: str
+
+    def __post_init__(self):
+        if self.end < self.start:
+            raise ValueError("stall interval ends before it starts")
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+def stalls_from_outcomes(outcomes: Iterable) -> List[StallInterval]:
+    """Stall intervals implied by a sequence of procedure outcomes.
+
+    A handover stalls the path for its whole PCT; a service request
+    stalls (strictly: delays the first packet) for its PCT when the UE
+    was idle; a Re-Attach (failure recovery) stalls for its PCT too.
+    """
+    stalls = []
+    for outcome in outcomes:
+        if outcome.pct is None:
+            continue
+        if outcome.name in _STALLING or outcome.name == "service_request":
+            stalls.append(
+                StallInterval(
+                    outcome.started_at, outcome.started_at + outcome.pct, outcome.name
+                )
+            )
+    stalls.sort(key=lambda s: s.start)
+    return stalls
+
+
+def count_missed_deadlines(
+    stalls: Sequence[StallInterval],
+    duration_s: float,
+    packet_rate_hz: float,
+    deadline_s: float,
+    base_latency_s: float = 0.0,
+    start_s: float = 0.0,
+) -> Tuple[int, int]:
+    """(missed, total) packets for a periodic stream crossing the stalls.
+
+    A packet sent at ``t`` inside a stall is delivered when the stall
+    ends; its latency is ``(stall.end - t) + base_latency_s``.  Packets
+    outside stalls see ``base_latency_s``.  A packet misses when its
+    latency exceeds ``deadline_s``.
+    """
+    if packet_rate_hz <= 0:
+        raise ValueError("packet rate must be positive")
+    if duration_s < 0:
+        raise ValueError("duration must be non-negative")
+    total = int(duration_s * packet_rate_hz)
+    if base_latency_s > deadline_s:
+        return total, total  # every packet is late even without stalls
+
+    period = 1.0 / packet_rate_hz
+    missed = 0
+    end_s = start_s + duration_s
+    for stall in stalls:
+        if stall.end <= start_s or stall.start >= end_s:
+            continue
+        # Packets in [lo, hi) are delayed; those whose residual stall
+        # time exceeds the deadline budget miss.
+        lo = max(stall.start, start_s)
+        hi = min(stall.end, end_s)
+        budget = deadline_s - base_latency_s
+        # A packet at time t misses iff stall.end - t > budget, i.e.
+        # t < stall.end - budget.
+        miss_hi = min(hi, stall.end - budget)
+        if miss_hi <= lo:
+            continue
+        first_idx = math.ceil((lo - start_s) / period)
+        last_idx = math.ceil((miss_hi - start_s) / period) - 1
+        if last_idx >= first_idx:
+            missed += last_idx - first_idx + 1
+    return min(missed, total), total

@@ -1,0 +1,44 @@
+"""Self-driving-car application (paper §6.6, Figs. 12-13).
+
+A CARLA-substitute: the car streams sensor data uplink at 1 kHz to an
+edge application that must act within a ~100 ms decision budget
+(Lin et al., ASPLOS'18, cited as [55]).  Packets stuck behind a
+control-plane stall miss that budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Optional
+
+from ..core.config import ControlPlaneConfig
+from .mobility import MobilityAppSpec, MobilityResult, run_mobility_experiment
+
+__all__ = ["self_driving_spec", "run_self_driving"]
+
+#: decision budget for an autonomous vehicle (order of 100 ms, §6.6).
+SELF_DRIVING_DEADLINE_S = 0.100
+
+
+def self_driving_spec(
+    handovers: int = 1, **overrides
+) -> MobilityAppSpec:
+    """The Fig. 13 configuration (LHS: handovers=1; RHS: several)."""
+    spec = MobilityAppSpec(
+        packet_rate_hz=1000.0,
+        deadline_s=SELF_DRIVING_DEADLINE_S,
+        handovers=handovers,
+    )
+    return replace(spec, **overrides) if overrides else spec
+
+
+def run_self_driving(
+    config: ControlPlaneConfig,
+    active_users: float,
+    handovers: int = 1,
+    spec: Optional[MobilityAppSpec] = None,
+) -> MobilityResult:
+    """Missed sensor deadlines for one drive under background load."""
+    return run_mobility_experiment(
+        config, active_users, spec or self_driving_spec(handovers)
+    )

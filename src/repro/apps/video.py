@@ -1,0 +1,61 @@
+"""Video startup delay model (paper §6.6 and Fig. 3).
+
+The paper's setup: a stationary idle UE starts a DASH player; locally
+replayed video removes network variation, so the startup delay is the
+*service request PCT* (to get a data channel) plus the player's own
+constant startup work (manifest fetch + initial buffer).  The model here
+keeps exactly that structure: only the control-plane term varies with
+the scheme and the load.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..core.config import ControlPlaneConfig
+from ..experiments.harness import RunSpec, run_pct_point
+
+__all__ = ["VideoAppSpec", "VideoResult", "run_video_startup"]
+
+
+@dataclass
+class VideoAppSpec:
+    """DASH-player constants (scheme-independent)."""
+
+    #: manifest fetch + initial segment buffering against a local server.
+    player_startup_s: float = 0.45
+    run: Optional[RunSpec] = None
+
+    def run_spec(self) -> RunSpec:
+        return self.run or RunSpec(
+            procedure="service_request", procedures_target=900, max_duration_s=0.4
+        )
+
+
+@dataclass
+class VideoResult:
+    scheme: str
+    axis_rate: float
+    sr_pct_p50_ms: float
+    startup_p50_s: float
+    startup_p95_s: float
+    utilization: float
+
+
+def run_video_startup(
+    config: ControlPlaneConfig,
+    axis_rate: float,
+    spec: Optional[VideoAppSpec] = None,
+) -> VideoResult:
+    """Median/95p video startup delay at one load point."""
+    spec = spec or VideoAppSpec()
+    point = run_pct_point(config, axis_rate, spec.run_spec())
+    return VideoResult(
+        scheme=config.name,
+        axis_rate=axis_rate,
+        sr_pct_p50_ms=point.p50_ms,
+        startup_p50_s=point.p50_ms / 1e3 + spec.player_startup_s,
+        startup_p95_s=point.p95_ms / 1e3 + spec.player_startup_s,
+        utilization=point.utilization,
+    )

@@ -1,0 +1,41 @@
+"""Virtual-reality application (paper §6.6, Fig. 14).
+
+Head-tracked VR needs sub-16 ms motion-to-photon latency for perceptual
+stability (§2.3: 60-90 Hz displays give 11.1-16.7 ms budgets); the
+headset offloads pose/graphics traffic to the wireless edge.  Any
+control-plane stall longer than the residual budget costs frames.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Optional
+
+from ..core.config import ControlPlaneConfig
+from .mobility import MobilityAppSpec, MobilityResult, run_mobility_experiment
+
+__all__ = ["vr_spec", "run_vr"]
+
+#: motion-to-photon budget for head-tracked VR (§6.6).
+VR_DEADLINE_S = 0.016
+
+
+def vr_spec(handovers: int = 1, **overrides) -> MobilityAppSpec:
+    """The Fig. 14 configuration."""
+    spec = MobilityAppSpec(
+        packet_rate_hz=1000.0,
+        deadline_s=VR_DEADLINE_S,
+        base_latency_s=0.004,
+        handovers=handovers,
+    )
+    return replace(spec, **overrides) if overrides else spec
+
+
+def run_vr(
+    config: ControlPlaneConfig,
+    active_users: float,
+    handovers: int = 1,
+    spec: Optional[MobilityAppSpec] = None,
+) -> MobilityResult:
+    """Missed VR frame deadlines for one session under background load."""
+    return run_mobility_experiment(config, active_users, spec or vr_spec(handovers))

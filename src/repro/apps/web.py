@@ -1,0 +1,59 @@
+"""Page-load-time model (paper §6.6 and Fig. 3).
+
+Per the paper: "Page load time is equal to (i) service request PCT plus
+(ii) average page load time of the top 10 Alexa pages", with an MITM
+proxy replaying pages locally to remove network variation.  Only the
+control-plane term differs between schemes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..core.config import ControlPlaneConfig
+from ..experiments.harness import RunSpec, run_pct_point
+
+__all__ = ["WebAppSpec", "WebResult", "run_page_load"]
+
+
+@dataclass
+class WebAppSpec:
+    """Browser-side constants (scheme-independent)."""
+
+    #: average locally-replayed load time of the top-10 Alexa pages.
+    page_fetch_s: float = 1.9
+    run: Optional[RunSpec] = None
+
+    def run_spec(self) -> RunSpec:
+        return self.run or RunSpec(
+            procedure="service_request", procedures_target=900, max_duration_s=0.4
+        )
+
+
+@dataclass
+class WebResult:
+    scheme: str
+    axis_rate: float
+    sr_pct_p50_ms: float
+    plt_p50_s: float
+    plt_p95_s: float
+    utilization: float
+
+
+def run_page_load(
+    config: ControlPlaneConfig,
+    axis_rate: float,
+    spec: Optional[WebAppSpec] = None,
+) -> WebResult:
+    """Median/95p page load time at one load point."""
+    spec = spec or WebAppSpec()
+    point = run_pct_point(config, axis_rate, spec.run_spec())
+    return WebResult(
+        scheme=config.name,
+        axis_rate=axis_rate,
+        sr_pct_p50_ms=point.p50_ms,
+        plt_p50_s=point.p50_ms / 1e3 + spec.page_fetch_s,
+        plt_p95_s=point.p95_ms / 1e3 + spec.page_fetch_s,
+        utilization=point.utilization,
+    )

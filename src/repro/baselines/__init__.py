@@ -1,0 +1,6 @@
+"""Baseline designs the paper evaluates against (§6.2):
+existing EPC, SkyCore, DPCM — as presets over the shared substrate."""
+
+from .policies import DPCM_PROCEDURES, baseline_configs
+
+__all__ = ["DPCM_PROCEDURES", "baseline_configs"]

@@ -1,0 +1,76 @@
+"""Baseline control-plane designs (paper §6.2).
+
+Three of the four baselines are pure configuration presets over the
+shared substrate (see :meth:`ControlPlaneConfig.existing_epc`,
+``skycore``, ``dpcm``).  DPCM [Li et al., MobiCom'17] additionally
+changes the *procedure flows*: the device carries its own state, so the
+network can skip the state-retrieval round trips and run user-plane
+programming in parallel.  Those modified flows live here.
+
+* DPCM attach: authentication/security piggyback on the first exchange
+  (device-side signatures replace the separate auth round trip).
+* DPCM service request: the bearer is restored from the device-side
+  context while the UPF is programmed in parallel (the ``dpcm_mode``
+  flag in :class:`~repro.core.ue.UE` launches non-final ``cpf_upf``
+  steps concurrently).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..core.config import ControlPlaneConfig
+from ..messages.procedures import ProcedureSpec, Step
+
+__all__ = ["DPCM_PROCEDURES", "baseline_configs"]
+
+_DPCM_ATTACH_STEPS = (
+    # AttachRequest carries the device-side auth material; the network
+    # answers directly with the security command (one RTT saved).
+    Step(
+        "ue_exchange",
+        "InitialUEMessage",
+        "DownlinkNASTransport",
+        request_nas="AttachRequest",
+        response_nas="SecurityModeCommand",
+    ),
+    Step("ue_message", "UplinkNASTransport", request_nas="SecurityModeComplete"),
+    Step("cpf_upf", "CreateSessionRequest", "CreateSessionResponse"),
+    Step(
+        "cpf_bs",
+        "InitialContextSetup",
+        "InitialContextSetupResponse",
+        request_nas="AttachAccept",
+        ends_pct=True,
+    ),
+    Step("ue_message", "UplinkNASTransport", request_nas="AttachComplete"),
+)
+
+_DPCM_SERVICE_REQUEST_STEPS = (
+    Step("ue_message", "InitialUEMessage", request_nas="NASServiceRequest"),
+    # UPF programming overlaps the radio-side context setup (device-side
+    # state lets both proceed from the same request).
+    Step("cpf_upf", "ModifyBearerRequest", "ModifyBearerResponse"),
+    Step(
+        "cpf_bs",
+        "InitialContextSetup",
+        "InitialContextSetupResponse",
+        ends_pct=True,
+    ),
+)
+
+DPCM_PROCEDURES: Dict[str, ProcedureSpec] = {
+    "attach": ProcedureSpec("attach", _DPCM_ATTACH_STEPS),
+    "re_attach": ProcedureSpec("re_attach", _DPCM_ATTACH_STEPS),
+    "service_request": ProcedureSpec("service_request", _DPCM_SERVICE_REQUEST_STEPS),
+}
+
+
+def baseline_configs() -> Dict[str, ControlPlaneConfig]:
+    """All four evaluated designs, ready to hand to a Deployment."""
+    return {
+        "existing_epc": ControlPlaneConfig.existing_epc(),
+        "neutrino": ControlPlaneConfig.neutrino(),
+        "skycore": ControlPlaneConfig.skycore(),
+        "dpcm": ControlPlaneConfig.dpcm(),
+    }

@@ -1,0 +1,190 @@
+"""Command-line interface: regenerate the paper's figures and ablations.
+
+Usage::
+
+    python -m repro list
+    python -m repro figure fig08            # default (benchmark) scale
+    python -m repro figure fig18 --full     # paper-scale sweep
+    python -m repro ablation georep_level
+    python -m repro trace --devices 200 --duration 30 out.jsonl
+
+Figure ids follow the paper's numbering (fig03, fig07-fig11, fig13-fig20).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List
+
+from .experiments import RunSpec, figures
+from .experiments.ablations import (
+    ablate_ack_timeout,
+    ablate_georep_level,
+    ablate_n_backups,
+    ablate_serialization_bandwidth,
+)
+from .experiments.harness import PCTPoint
+from .experiments.report import format_dict_rows, format_pct_table
+
+__all__ = ["main"]
+
+
+def _quick_spec(**overrides) -> RunSpec:
+    base = dict(procedures_target=600, min_duration_s=0.03, max_duration_s=0.15)
+    base.update(overrides)
+    return RunSpec(**base)
+
+
+def _emit(result, title: str) -> None:
+    if result and isinstance(result[0], PCTPoint):
+        print(format_pct_table(result, title))
+    else:
+        print(format_dict_rows(result, title))
+
+
+_QUICK_RATES = {
+    "fig03": (180e3, 240e3, 300e3),
+    "fig07": (100e3, 140e3, 180e3, 220e3),
+    "fig08": (40e3, 60e3, 80e3, 100e3, 120e3, 140e3),
+    "fig10": (40e3, 60e3, 100e3),
+    "fig11": (40e3, 60e3, 100e3),
+    "fig15": (20e3, 60e3, 100e3),
+    "fig16": (20e3, 60e3, 100e3),
+}
+
+
+def _run_figure(fig: str, full: bool) -> None:
+    quick = not full
+
+    def rates(default):
+        return _QUICK_RATES.get(fig, default) if quick else default
+
+    if fig == "fig03":
+        _emit(figures.fig03_plt_and_video(rates=rates((180e3, 200e3, 220e3, 240e3, 260e3, 280e3, 300e3))), "Fig. 3")
+    elif fig == "fig07":
+        _emit(
+            figures.fig07_service_request(
+                rates=rates(figures.DEFAULT_FIG07_RATES),
+                spec=_quick_spec(procedure="service_request") if quick else None,
+            ),
+            "Fig. 7 — service request PCT (median ms)",
+        )
+    elif fig == "fig08":
+        _emit(
+            figures.fig08_attach_uniform(
+                rates=rates(figures.DEFAULT_FIG08_RATES),
+                spec=_quick_spec(procedure="attach") if quick else None,
+            ),
+            "Fig. 8 — attach PCT (median ms)",
+        )
+    elif fig == "fig09":
+        users = (10e3, 100e3, 500e3, 2e6) if quick else figures.DEFAULT_FIG09_USERS
+        _emit(figures.fig09_attach_bursty(users=users), "Fig. 9 — bursty attach PCT")
+    elif fig == "fig10":
+        _emit(figures.fig10_failure_handover(rates=rates((40e3, 60e3, 80e3, 100e3, 120e3, 140e3, 160e3))), "Fig. 10 — handover PCT under failure")
+    elif fig == "fig11":
+        _emit(figures.fig11_fast_handover(rates=rates((40e3, 60e3, 80e3, 100e3, 120e3, 140e3, 160e3))), "Fig. 11 — fast handover PCT")
+    elif fig == "fig13":
+        _emit(figures.fig13_self_driving(), "Fig. 13 — self-driving missed deadlines")
+    elif fig == "fig14":
+        _emit(figures.fig14_vr(), "Fig. 14 — VR missed deadlines")
+    elif fig == "fig15":
+        _emit(
+            figures.fig15_sync_schemes(
+                rates=rates((20e3, 40e3, 60e3, 80e3, 100e3)),
+                spec=_quick_spec(procedure="attach") if quick else None,
+            ),
+            "Fig. 15 — sync schemes",
+        )
+    elif fig == "fig16":
+        _emit(
+            figures.fig16_logging_overhead(
+                rates=rates((20e3, 40e3, 60e3, 80e3, 100e3, 120e3, 140e3)),
+                spec=_quick_spec(procedure="attach") if quick else None,
+            ),
+            "Fig. 16 — logging overhead",
+        )
+    elif fig == "fig17":
+        _emit(figures.fig17_log_size(), "Fig. 17 — max CTA log size")
+    elif fig == "fig18":
+        _emit(
+            figures.fig18_codec_speedup(measured_repeats=0 if quick else 200),
+            "Fig. 18 — codec speedup vs ASN.1",
+        )
+    elif fig == "fig19":
+        _emit(
+            figures.fig19_real_message_times(measured_repeats=0 if quick else 200),
+            "Fig. 19 — real message times (µs)",
+        )
+    elif fig == "fig20":
+        _emit(figures.fig20_encoded_sizes(), "Fig. 20 — encoded sizes (bytes)")
+    else:
+        raise SystemExit("unknown figure %r (try: python -m repro list)" % fig)
+
+
+_ABLATIONS: Dict[str, Callable[[], list]] = {
+    "n_backups": ablate_n_backups,
+    "georep_level": ablate_georep_level,
+    "ack_timeout": ablate_ack_timeout,
+    "serialization_bandwidth": ablate_serialization_bandwidth,
+}
+
+_FIGURES = [
+    "fig03", "fig07", "fig08", "fig09", "fig10", "fig11",
+    "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "fig20",
+]
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Neutrino reproduction: regenerate the paper's figures.",
+    )
+    sub = parser.add_subparsers(dest="command")
+
+    sub.add_parser("list", help="list available figures and ablations")
+
+    fig_parser = sub.add_parser("figure", help="regenerate one figure")
+    fig_parser.add_argument("id", choices=_FIGURES)
+    fig_parser.add_argument(
+        "--full", action="store_true", help="paper-scale sweep (slower)"
+    )
+
+    abl_parser = sub.add_parser("ablation", help="run one extra ablation")
+    abl_parser.add_argument("id", choices=sorted(_ABLATIONS))
+
+    trace_parser = sub.add_parser("trace", help="generate a synthetic trace")
+    trace_parser.add_argument("output")
+    trace_parser.add_argument("--devices", type=int, default=100)
+    trace_parser.add_argument("--duration", type=float, default=60.0)
+    trace_parser.add_argument("--seed", type=int, default=0)
+
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        print("figures  :", " ".join(_FIGURES))
+        print("ablations:", " ".join(sorted(_ABLATIONS)))
+        return 0
+    if args.command == "figure":
+        _run_figure(args.id, args.full)
+        return 0
+    if args.command == "ablation":
+        _emit(_ABLATIONS[args.id](), "Ablation — %s" % args.id)
+        return 0
+    if args.command == "trace":
+        from .traffic import TraceConfig, generate_trace, save_trace
+
+        config = TraceConfig(
+            n_devices=args.devices, duration_s=args.duration, seed=args.seed
+        )
+        records = generate_trace(config)
+        with open(args.output, "w") as fp:
+            count = save_trace(records, fp)
+        print("wrote %d records to %s" % (count, args.output))
+        return 0
+    parser.print_help()
+    return 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

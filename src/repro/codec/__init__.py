@@ -1,0 +1,92 @@
+"""Serialization engines for cellular control messages (§4.4 substrate).
+
+Seven codecs over one schema model:
+
+* ``asn1per`` — ASN.1 unaligned PER (the incumbent; sequential decode).
+* ``flatbuffers`` — real FlatBuffers wire format (vtables, random access).
+* ``flatbuffers_opt`` — the paper's svtable-optimized FlatBuffers.
+* ``protobuf`` — proto3 wire format (varints, tags).
+* ``cdr`` — Fast-CDR-style aligned CDR.
+* ``lcm`` — LCM-style; rejects unions/unsigned (the paper's point).
+* ``flexbuffers`` — schema-less self-describing encoding.
+
+Plus the :class:`CostModel` that prices codec work as simulated CPU time.
+"""
+
+from . import asn1per, cdr, flatbuf, flexbuf, lcm, protobuf  # noqa: F401  (register)
+from .base import Codec, UnsupportedSchema, codec_names, get_codec, register_codec
+from .bitio import BitReader, BitWriter, ByteReader, ByteWriter, CodecError
+from .costs import DEFAULT_COSTS, CostModel, LinearCost, fit_linear, measure
+from .flatbuf import FlatBuffersCodec, FlatTable
+from .schema import (
+    BOOL,
+    F32,
+    F64,
+    I32,
+    I64,
+    U8,
+    U16,
+    U24,
+    U32,
+    U64,
+    ArrayType,
+    BitStringType,
+    BoolType,
+    BytesType,
+    EnumType,
+    Field,
+    FloatType,
+    IntType,
+    SchemaError,
+    StringType,
+    TableType,
+    Type,
+    UnionType,
+    count_elements,
+    validate,
+)
+
+__all__ = [
+    "Codec",
+    "UnsupportedSchema",
+    "CodecError",
+    "get_codec",
+    "register_codec",
+    "codec_names",
+    "CostModel",
+    "LinearCost",
+    "DEFAULT_COSTS",
+    "measure",
+    "fit_linear",
+    "FlatBuffersCodec",
+    "FlatTable",
+    "SchemaError",
+    "Type",
+    "IntType",
+    "BoolType",
+    "FloatType",
+    "EnumType",
+    "BytesType",
+    "StringType",
+    "BitStringType",
+    "ArrayType",
+    "Field",
+    "TableType",
+    "UnionType",
+    "validate",
+    "count_elements",
+    "U8",
+    "U16",
+    "U24",
+    "U32",
+    "U64",
+    "I32",
+    "I64",
+    "BOOL",
+    "F32",
+    "F64",
+    "BitReader",
+    "BitWriter",
+    "ByteReader",
+    "ByteWriter",
+]

@@ -1,0 +1,190 @@
+"""ASN.1 Packed Encoding Rules (unaligned PER), from scratch.
+
+This implements the subset of unaligned PER that S1AP/NAS-style control
+messages exercise: constrained whole numbers, optional-field preambles,
+CHOICE indices, general length determinants, octet/bit/character
+strings, SEQUENCE and SEQUENCE OF.  The paper used PER for its ASN.1
+experiments (§3.2 footnote 9).
+
+Two structural properties of PER that the paper blames for slowness are
+faithfully reproduced:
+
+* **Sequential decode** — a field's position in the bit stream depends on
+  every preceding field's encoded width, so accessing field *k* requires
+  decoding fields ``1..k-1``.  There is no random access.
+* **Per-decode allocation** — every decoded composite materializes fresh
+  Python containers.
+
+What PER buys in exchange is size: constrained integers use
+``ceil(log2(range))`` bits and optional fields cost one preamble bit.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .base import Codec, register_codec
+from .bitio import BitReader, BitWriter, CodecError
+from .schema import Type, validate
+
+__all__ = ["Asn1PerCodec"]
+
+# Length determinants above this need fragmentation, which control
+# messages never hit; we reject rather than silently mis-encode.
+_MAX_LENGTH = 16383
+
+
+def _bits_for_range(range_size: int) -> int:
+    """Bits needed for a constrained whole number with ``range_size`` values."""
+    if range_size <= 1:
+        return 0
+    return (range_size - 1).bit_length()
+
+
+def _write_length(writer: BitWriter, n: int) -> None:
+    """General length determinant (X.691 §10.9, unfragmented forms)."""
+    if n < 0:
+        raise CodecError("negative length")
+    if n <= 127:
+        writer.write_bit(0)
+        writer.write_bits(n, 7)
+    elif n <= _MAX_LENGTH:
+        writer.write_bit(1)
+        writer.write_bit(0)
+        writer.write_bits(n, 14)
+    else:
+        raise CodecError("length %d exceeds unfragmented PER limit" % n)
+
+
+def _read_length(reader: BitReader) -> int:
+    if reader.read_bit() == 0:
+        return reader.read_bits(7)
+    if reader.read_bit() == 0:
+        return reader.read_bits(14)
+    raise CodecError("fragmented PER lengths are not supported")
+
+
+def _write_unconstrained_int(writer: BitWriter, value: int) -> None:
+    """2's-complement minimal-octets integer with a length determinant."""
+    nbytes = max(1, (value.bit_length() + 8) // 8)
+    _write_length(writer, nbytes)
+    writer.write_bytes(value.to_bytes(nbytes, "big", signed=True))
+
+
+def _read_unconstrained_int(reader: BitReader) -> int:
+    nbytes = _read_length(reader)
+    return int.from_bytes(reader.read_bytes(nbytes), "big", signed=True)
+
+
+class Asn1PerCodec(Codec):
+    """Unaligned-PER encoder/decoder over the shared schema model."""
+
+    name = "asn1per"
+
+    def encode(self, type_: Type, value: Any) -> bytes:
+        validate(value, type_)
+        writer = BitWriter()
+        self._encode(writer, type_, value)
+        writer.align()
+        return writer.getvalue()
+
+    def decode(self, type_: Type, data: bytes) -> Any:
+        reader = BitReader(data)
+        return self._decode(reader, type_)
+
+    # -- encoding ----------------------------------------------------------
+
+    def _encode(self, w: BitWriter, t: Type, v: Any) -> None:
+        kind = t.kind
+        if kind == "int":
+            if t.range_size <= (1 << 62):  # constrained whole number
+                w.write_bits(v - t.lo, _bits_for_range(t.range_size))
+            else:
+                _write_unconstrained_int(w, v)
+        elif kind == "bool":
+            w.write_bit(1 if v else 0)
+        elif kind == "float":
+            import struct
+
+            raw = struct.pack(">d" if t.bits == 64 else ">f", v)
+            _write_length(w, len(raw))
+            w.write_bytes(raw)
+        elif kind == "enum":
+            w.write_bits(t.index[v], _bits_for_range(len(t.names)))
+        elif kind == "bytes":
+            _write_length(w, len(v))
+            w.write_bytes(bytes(v))
+        elif kind == "string":
+            raw = v.encode("utf-8")
+            _write_length(w, len(raw))
+            w.write_bytes(raw)
+        elif kind == "bitstring":
+            intval, nbits = v
+            w.write_bits(intval, nbits)
+        elif kind == "array":
+            _write_length(w, len(v))
+            for item in v:
+                self._encode(w, t.element, item)
+        elif kind == "table":
+            for field in t.fields:  # preamble: one bit per OPTIONAL field
+                if field.optional:
+                    w.write_bit(1 if field.name in v else 0)
+            for field in t.fields:
+                if field.name in v:
+                    self._encode(w, field.type, v[field.name])
+        elif kind == "union":
+            alt_name, inner = v
+            w.write_bits(t.index[alt_name], _bits_for_range(len(t.alts)))
+            self._encode(w, t.alt_type(alt_name), inner)
+        else:
+            raise CodecError("unsupported kind %r" % kind)
+
+    # -- decoding ----------------------------------------------------------
+
+    def _decode(self, r: BitReader, t: Type) -> Any:
+        kind = t.kind
+        if kind == "int":
+            if t.range_size <= (1 << 62):
+                return t.lo + r.read_bits(_bits_for_range(t.range_size))
+            return _read_unconstrained_int(r)
+        if kind == "bool":
+            return bool(r.read_bit())
+        if kind == "float":
+            import struct
+
+            nbytes = _read_length(r)
+            raw = r.read_bytes(nbytes)
+            return struct.unpack(">d" if nbytes == 8 else ">f", raw)[0]
+        if kind == "enum":
+            idx = r.read_bits(_bits_for_range(len(t.names)))
+            if idx >= len(t.names):
+                raise CodecError("enum index %d out of range" % idx)
+            return t.names[idx]
+        if kind == "bytes":
+            return r.read_bytes(_read_length(r))
+        if kind == "string":
+            return r.read_bytes(_read_length(r)).decode("utf-8")
+        if kind == "bitstring":
+            return (r.read_bits(t.nbits), t.nbits)
+        if kind == "array":
+            n = _read_length(r)
+            return [self._decode(r, t.element) for _ in range(n)]
+        if kind == "table":
+            present = {}
+            for field in t.fields:
+                present[field.name] = (not field.optional) or bool(r.read_bit())
+            out = {}
+            for field in t.fields:
+                if present[field.name]:
+                    out[field.name] = self._decode(r, field.type)
+            return out
+        if kind == "union":
+            idx = r.read_bits(_bits_for_range(len(t.alts)))
+            if idx >= len(t.alts):
+                raise CodecError("union index %d out of range" % idx)
+            alt_name, alt_type = t.alts[idx]
+            return (alt_name, self._decode(r, alt_type))
+        raise CodecError("unsupported kind %r" % kind)
+
+
+register_codec("asn1per", Asn1PerCodec)

@@ -1,0 +1,76 @@
+"""Codec interface and registry.
+
+Every serialization engine implements :class:`Codec`: schema-driven
+``encode``/``decode`` between plain-Python values (see
+:mod:`repro.codec.schema`) and bytes.  The registry lets experiments
+select engines by name (``"asn1per"``, ``"flatbuffers"``,
+``"flatbuffers_opt"``, ``"protobuf"``, ``"cdr"``, ``"lcm"``,
+``"flexbuffers"``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List
+
+from .schema import Type
+
+__all__ = ["Codec", "UnsupportedSchema", "register_codec", "get_codec", "codec_names"]
+
+
+class UnsupportedSchema(Exception):
+    """The codec cannot express this schema (e.g. LCM with unions)."""
+
+
+class Codec:
+    """Abstract serialization engine."""
+
+    #: registry key; subclasses must override.
+    name = "abstract"
+
+    def encode(self, type_: Type, value: Any) -> bytes:
+        raise NotImplementedError
+
+    def decode(self, type_: Type, data: bytes) -> Any:
+        raise NotImplementedError
+
+    def check_schema(self, type_: Type) -> None:
+        """Raise :class:`UnsupportedSchema` if ``type_`` is inexpressible.
+
+        Default: everything is supported.
+        """
+
+    def roundtrip(self, type_: Type, value: Any) -> Any:
+        return self.decode(type_, self.encode(type_, value))
+
+    def encoded_size(self, type_: Type, value: Any) -> int:
+        return len(self.encode(type_, value))
+
+    def __repr__(self) -> str:
+        return "<Codec %s>" % self.name
+
+
+_REGISTRY: Dict[str, Callable[[], Codec]] = {}
+_INSTANCES: Dict[str, Codec] = {}
+
+
+def register_codec(name: str, factory: Callable[[], Codec]) -> None:
+    if name in _REGISTRY:
+        raise ValueError("codec %r already registered" % name)
+    _REGISTRY[name] = factory
+
+
+def get_codec(name: str) -> Codec:
+    """Return the (shared, stateless) codec instance for ``name``."""
+    if name not in _INSTANCES:
+        try:
+            factory = _REGISTRY[name]
+        except KeyError:
+            raise KeyError(
+                "unknown codec %r (known: %s)" % (name, ", ".join(sorted(_REGISTRY)))
+            )
+        _INSTANCES[name] = factory()
+    return _INSTANCES[name]
+
+
+def codec_names() -> List[str]:
+    return sorted(_REGISTRY)

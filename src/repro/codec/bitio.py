@@ -1,0 +1,192 @@
+"""Bit- and byte-level buffer primitives shared by the codecs.
+
+``BitWriter``/``BitReader`` are MSB-first, as required by ASN.1 PER
+(unaligned).  ``ByteWriter``/``ByteReader`` serve the byte-aligned
+codecs (FlatBuffers, protobuf, CDR, LCM) with explicit endianness and
+alignment support.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = ["BitWriter", "BitReader", "ByteWriter", "ByteReader", "CodecError"]
+
+
+class CodecError(Exception):
+    """Malformed input to an encoder or decoder."""
+
+
+class BitWriter:
+    """Append-only MSB-first bit buffer."""
+
+    def __init__(self):
+        self._buf = bytearray()
+        self._bitpos = 0  # bits used in the last byte (0..7)
+
+    def __len__(self) -> int:
+        """Total number of bits written."""
+        if self._bitpos == 0:
+            return len(self._buf) * 8
+        return (len(self._buf) - 1) * 8 + self._bitpos
+
+    def write_bit(self, bit: int) -> None:
+        if self._bitpos == 0:
+            self._buf.append(0)
+        if bit:
+            self._buf[-1] |= 0x80 >> self._bitpos
+        self._bitpos = (self._bitpos + 1) % 8
+
+    def write_bits(self, value: int, nbits: int) -> None:
+        """Write the low ``nbits`` bits of ``value``, MSB first."""
+        if nbits < 0:
+            raise CodecError("negative bit count")
+        if value < 0:
+            raise CodecError("write_bits takes non-negative values")
+        if nbits and value >> nbits:
+            raise CodecError("value %d does not fit in %d bits" % (value, nbits))
+        for shift in range(nbits - 1, -1, -1):
+            self.write_bit((value >> shift) & 1)
+
+    def write_bytes(self, data: bytes) -> None:
+        if self._bitpos == 0:  # fast path: byte aligned
+            self._buf.extend(data)
+        else:
+            for byte in data:
+                self.write_bits(byte, 8)
+
+    def align(self) -> None:
+        """Pad with zero bits to the next byte boundary."""
+        if self._bitpos:
+            self._buf[-1] |= 0  # last byte already zero-padded
+            self._bitpos = 0
+
+    def getvalue(self) -> bytes:
+        return bytes(self._buf)
+
+
+class BitReader:
+    """MSB-first bit reader over an immutable byte string."""
+
+    def __init__(self, data: bytes):
+        self._data = data
+        self._pos = 0  # absolute bit position
+
+    @property
+    def bits_remaining(self) -> int:
+        return len(self._data) * 8 - self._pos
+
+    def read_bit(self) -> int:
+        if self._pos >= len(self._data) * 8:
+            raise CodecError("bit buffer exhausted")
+        byte = self._data[self._pos >> 3]
+        bit = (byte >> (7 - (self._pos & 7))) & 1
+        self._pos += 1
+        return bit
+
+    def read_bits(self, nbits: int) -> int:
+        if nbits < 0:
+            raise CodecError("negative bit count")
+        value = 0
+        for _ in range(nbits):
+            value = (value << 1) | self.read_bit()
+        return value
+
+    def read_bytes(self, nbytes: int) -> bytes:
+        if self._pos % 8 == 0:  # fast path: aligned
+            start = self._pos >> 3
+            end = start + nbytes
+            if end > len(self._data):
+                raise CodecError("byte buffer exhausted")
+            self._pos = end * 8
+            return self._data[start:end]
+        return bytes(self.read_bits(8) for _ in range(nbytes))
+
+    def align(self) -> None:
+        rem = self._pos % 8
+        if rem:
+            self._pos += 8 - rem
+
+
+class ByteWriter:
+    """Growable byte buffer with endianness-aware integer writes."""
+
+    def __init__(self, endian: str = "little"):
+        if endian not in ("little", "big"):
+            raise CodecError("endian must be 'little' or 'big'")
+        self.endian = endian
+        self._buf = bytearray()
+
+    def __len__(self) -> int:
+        return len(self._buf)
+
+    def tell(self) -> int:
+        return len(self._buf)
+
+    def write(self, data: bytes) -> None:
+        self._buf.extend(data)
+
+    def write_uint(self, value: int, nbytes: int) -> None:
+        if value < 0:
+            raise CodecError("write_uint takes non-negative values")
+        self._buf.extend(value.to_bytes(nbytes, self.endian))
+
+    def write_int(self, value: int, nbytes: int) -> None:
+        self._buf.extend(value.to_bytes(nbytes, self.endian, signed=True))
+
+    def pad_to(self, alignment: int) -> None:
+        """Zero-pad so the next write lands on an ``alignment`` boundary."""
+        rem = len(self._buf) % alignment
+        if rem:
+            self._buf.extend(b"\x00" * (alignment - rem))
+
+    def patch_uint(self, offset: int, value: int, nbytes: int) -> None:
+        self._buf[offset : offset + nbytes] = value.to_bytes(nbytes, self.endian)
+
+    def getvalue(self) -> bytes:
+        return bytes(self._buf)
+
+
+class ByteReader:
+    """Sequential byte reader with endianness-aware integer reads."""
+
+    def __init__(self, data: bytes, endian: str = "little"):
+        if endian not in ("little", "big"):
+            raise CodecError("endian must be 'little' or 'big'")
+        self.data = data
+        self.endian = endian
+        self.pos = 0
+
+    @property
+    def remaining(self) -> int:
+        return len(self.data) - self.pos
+
+    def read(self, nbytes: int) -> bytes:
+        end = self.pos + nbytes
+        if end > len(self.data):
+            raise CodecError("buffer exhausted (want %d bytes)" % nbytes)
+        chunk = self.data[self.pos : end]
+        self.pos = end
+        return chunk
+
+    def read_uint(self, nbytes: int) -> int:
+        return int.from_bytes(self.read(nbytes), self.endian)
+
+    def read_int(self, nbytes: int) -> int:
+        return int.from_bytes(self.read(nbytes), self.endian, signed=True)
+
+    def align(self, alignment: int) -> None:
+        rem = self.pos % alignment
+        if rem:
+            self.read(alignment - rem)
+
+    def uint_at(self, offset: int, nbytes: int) -> int:
+        """Random-access unsigned read (FlatBuffers-style field access)."""
+        if offset < 0 or offset + nbytes > len(self.data):
+            raise CodecError("random access out of range")
+        return int.from_bytes(self.data[offset : offset + nbytes], self.endian)
+
+    def int_at(self, offset: int, nbytes: int) -> int:
+        if offset < 0 or offset + nbytes > len(self.data):
+            raise CodecError("random access out of range")
+        return int.from_bytes(self.data[offset : offset + nbytes], self.endian, signed=True)

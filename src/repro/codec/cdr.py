@@ -1,0 +1,150 @@
+"""Fast-CDR-style Common Data Representation codec.
+
+OMG CDR (the format behind eProsima Fast-CDR) lays values out in schema
+order with natural alignment and no per-field metadata: fixed-width
+little-endian primitives, ``u32 length``-prefixed strings and sequences,
+a ``u32`` discriminator for unions, and a presence octet for optionals.
+No tags, no vtables — which makes it both compact and very fast for
+small flat messages, but sequential like PER for nested access.  This is
+why Fast-CDR wins below ~7 information elements in the paper's Fig. 18
+and loses to FlatBuffers beyond that.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any
+
+from .base import Codec, register_codec
+from .bitio import ByteReader, ByteWriter, CodecError
+from .schema import Type, validate
+
+__all__ = ["CdrCodec"]
+
+
+class CdrCodec(Codec):
+    """Aligned CDR encoder/decoder over the shared schema model."""
+
+    name = "cdr"
+
+    def encode(self, type_: Type, value: Any) -> bytes:
+        validate(value, type_)
+        w = ByteWriter("little")
+        self._encode(w, type_, value)
+        return w.getvalue()
+
+    def decode(self, type_: Type, data: bytes) -> Any:
+        r = ByteReader(data, "little")
+        return self._decode(r, type_)
+
+    # -- encoding ----------------------------------------------------------
+
+    def _encode(self, w: ByteWriter, t: Type, v: Any) -> None:
+        kind = t.kind
+        if kind == "int":
+            width = t.storage_bytes
+            w.pad_to(width)
+            if t.signed:
+                w.write_int(v, width)
+            else:
+                w.write_uint(v, width)
+        elif kind == "bool":
+            w.write_uint(1 if v else 0, 1)
+        elif kind == "float":
+            width = t.bits // 8
+            w.pad_to(width)
+            w.write(struct.pack("<d" if t.bits == 64 else "<f", v))
+        elif kind == "enum":
+            w.pad_to(4)
+            w.write_uint(t.index[v], 4)
+        elif kind == "bytes":
+            w.pad_to(4)
+            w.write_uint(len(v), 4)
+            w.write(bytes(v))
+        elif kind == "string":
+            raw = v.encode("utf-8")
+            w.pad_to(4)
+            w.write_uint(len(raw) + 1, 4)  # CDR strings count the NUL
+            w.write(raw)
+            w.write(b"\x00")
+        elif kind == "bitstring":
+            intval, nbits = v
+            nbytes = (nbits + 7) // 8
+            w.pad_to(4)
+            w.write_uint(nbytes, 4)
+            w.write(intval.to_bytes(nbytes, "big"))
+        elif kind == "array":
+            w.pad_to(4)
+            w.write_uint(len(v), 4)
+            for item in v:
+                self._encode(w, t.element, item)
+        elif kind == "table":
+            for field in t.fields:
+                if field.optional:
+                    w.write_uint(1 if field.name in v else 0, 1)
+                if field.name in v:
+                    self._encode(w, field.type, v[field.name])
+        elif kind == "union":
+            alt_name, inner = v
+            w.pad_to(4)
+            w.write_uint(t.index[alt_name], 4)
+            self._encode(w, t.alt_type(alt_name), inner)
+        else:
+            raise CodecError("unsupported kind %r" % kind)
+
+    # -- decoding ----------------------------------------------------------
+
+    def _decode(self, r: ByteReader, t: Type) -> Any:
+        kind = t.kind
+        if kind == "int":
+            width = t.storage_bytes
+            r.align(width)
+            return r.read_int(width) if t.signed else r.read_uint(width)
+        if kind == "bool":
+            return bool(r.read_uint(1))
+        if kind == "float":
+            width = t.bits // 8
+            r.align(width)
+            return struct.unpack("<d" if t.bits == 64 else "<f", r.read(width))[0]
+        if kind == "enum":
+            r.align(4)
+            idx = r.read_uint(4)
+            if idx >= len(t.names):
+                raise CodecError("enum index out of range")
+            return t.names[idx]
+        if kind == "bytes":
+            r.align(4)
+            return r.read(r.read_uint(4))
+        if kind == "string":
+            r.align(4)
+            n = r.read_uint(4)
+            raw = r.read(n)
+            return raw[:-1].decode("utf-8")  # strip NUL
+        if kind == "bitstring":
+            r.align(4)
+            raw = r.read(r.read_uint(4))
+            return (int.from_bytes(raw, "big"), t.nbits)
+        if kind == "array":
+            r.align(4)
+            n = r.read_uint(4)
+            return [self._decode(r, t.element) for _ in range(n)]
+        if kind == "table":
+            out = {}
+            for field in t.fields:
+                present = True
+                if field.optional:
+                    present = bool(r.read_uint(1))
+                if present:
+                    out[field.name] = self._decode(r, field.type)
+            return out
+        if kind == "union":
+            r.align(4)
+            idx = r.read_uint(4)
+            if idx >= len(t.alts):
+                raise CodecError("union discriminator out of range")
+            alt_name, alt_type = t.alts[idx]
+            return (alt_name, self._decode(r, alt_type))
+        raise CodecError("unsupported kind %r" % kind)
+
+
+register_codec("cdr", CdrCodec)

@@ -1,0 +1,182 @@
+"""FlexBuffers-style schema-less self-describing codec.
+
+FlexBuffers (FlatBuffers' schema-less sibling) stores type information
+alongside every value, so no schema is needed to decode — at the cost of
+per-value type bytes and, in our rendering, dictionary keys inline with
+map values.  The self-description overhead is what keeps FlexBuffers
+behind schema-driven FlatBuffers in the paper's Fig. 18 while remaining
+well ahead of ASN.1 (no bit-level work, byte-aligned access).
+
+The wire format here is a simplified but fully self-describing TLV tree:
+a type byte, then the payload.  Tables encode as maps (key strings are
+written inline), unions as a 2-entry map ``{"!": alt_name, "v": value}``.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any
+
+from .base import Codec, register_codec
+from .bitio import ByteReader, ByteWriter, CodecError
+from .schema import Type, validate
+
+__all__ = ["FlexBuffersCodec"]
+
+_T_NULL = 0
+_T_INT = 1
+_T_UINT = 2
+_T_FLOAT = 3
+_T_BOOL = 4
+_T_STRING = 5
+_T_BYTES = 6
+_T_VECTOR = 7
+_T_MAP = 8
+
+
+def _write_len(w: ByteWriter, n: int) -> None:
+    # Variable-width length: FlexBuffers uses bit-width prefixes; we use a
+    # 1-or-4 byte form which has the same asymptotics.
+    if n < 255:
+        w.write_uint(n, 1)
+    else:
+        w.write_uint(255, 1)
+        w.write_uint(n, 4)
+
+
+def _read_len(r: ByteReader) -> int:
+    n = r.read_uint(1)
+    if n == 255:
+        return r.read_uint(4)
+    return n
+
+
+class FlexBuffersCodec(Codec):
+    """Schema-less encoder; schema used only to re-type decoded values."""
+
+    name = "flexbuffers"
+
+    def encode(self, type_: Type, value: Any) -> bytes:
+        validate(value, type_)
+        w = ByteWriter("little")
+        self._encode(w, type_, value)
+        return w.getvalue()
+
+    def decode(self, type_: Type, data: bytes) -> Any:
+        r = ByteReader(data, "little")
+        value = self._decode(r, type_)
+        validate(value, type_)
+        return value
+
+    def _encode(self, w: ByteWriter, t: Type, v: Any) -> None:
+        kind = t.kind
+        if kind == "int":
+            w.write_uint(_T_UINT if not t.signed else _T_INT, 1)
+            w.write_int(v, 8) if t.signed else w.write_uint(v, 8)
+        elif kind == "bool":
+            w.write_uint(_T_BOOL, 1)
+            w.write_uint(1 if v else 0, 1)
+        elif kind == "float":
+            w.write_uint(_T_FLOAT, 1)
+            w.write(struct.pack("<d", float(v)))
+        elif kind == "enum":
+            self._write_str(w, v)
+        elif kind == "string":
+            self._write_str(w, v)
+        elif kind == "bytes":
+            w.write_uint(_T_BYTES, 1)
+            _write_len(w, len(v))
+            w.write(bytes(v))
+        elif kind == "bitstring":
+            intval, nbits = v
+            raw = intval.to_bytes((nbits + 7) // 8, "big")
+            w.write_uint(_T_BYTES, 1)
+            _write_len(w, len(raw))
+            w.write(raw)
+        elif kind == "array":
+            w.write_uint(_T_VECTOR, 1)
+            _write_len(w, len(v))
+            for item in v:
+                self._encode(w, t.element, item)
+        elif kind == "table":
+            present = [f for f in t.fields if f.name in v]
+            w.write_uint(_T_MAP, 1)
+            _write_len(w, len(present))
+            for field in present:
+                self._write_key(w, field.name)
+                self._encode(w, field.type, v[field.name])
+        elif kind == "union":
+            alt_name, inner = v
+            w.write_uint(_T_MAP, 1)
+            _write_len(w, 2)
+            self._write_key(w, "!")
+            self._write_str(w, alt_name)
+            self._write_key(w, "v")
+            self._encode(w, t.alt_type(alt_name), inner)
+        else:
+            raise CodecError("unsupported kind %r" % kind)
+
+    def _write_key(self, w: ByteWriter, key: str) -> None:
+        raw = key.encode("utf-8")
+        _write_len(w, len(raw))
+        w.write(raw)
+
+    def _write_str(self, w: ByteWriter, s: str) -> None:
+        raw = s.encode("utf-8")
+        w.write_uint(_T_STRING, 1)
+        _write_len(w, len(raw))
+        w.write(raw)
+
+    def _decode(self, r: ByteReader, t: Type) -> Any:
+        tag = r.read_uint(1)
+        kind = t.kind
+        if tag == _T_UINT or tag == _T_INT:
+            value = r.read_int(8) if tag == _T_INT else r.read_uint(8)
+            if kind != "int":
+                raise CodecError("decoded int where %s expected" % kind)
+            return value
+        if tag == _T_BOOL:
+            return bool(r.read_uint(1))
+        if tag == _T_FLOAT:
+            return struct.unpack("<d", r.read(8))[0]
+        if tag == _T_STRING:
+            s = r.read(_read_len(r)).decode("utf-8")
+            return s  # enums and strings both arrive as str
+        if tag == _T_BYTES:
+            raw = r.read(_read_len(r))
+            if kind == "bitstring":
+                return (int.from_bytes(raw, "big"), t.nbits)
+            return raw
+        if tag == _T_VECTOR:
+            n = _read_len(r)
+            return [self._decode(r, t.element) for _ in range(n)]
+        if tag == _T_MAP:
+            n = _read_len(r)
+            if kind == "union":
+                entries = {}
+                for _ in range(n):
+                    key = r.read(_read_len(r)).decode("utf-8")
+                    if key == "!":
+                        entries["!"] = self._decode_str(r)
+                    else:
+                        alt_type = t.alt_type(entries["!"])
+                        entries["v"] = self._decode(r, alt_type)
+                return (entries["!"], entries["v"])
+            if kind != "table":
+                raise CodecError("decoded map where %s expected" % kind)
+            out = {}
+            for _ in range(n):
+                key = r.read(_read_len(r)).decode("utf-8")
+                field = t.field(key)
+                out[key] = self._decode(r, field.type)
+            return out
+        raise CodecError("unknown FlexBuffers tag %d" % tag)
+
+    def _decode_str(self, r: ByteReader) -> str:
+        tag = r.read_uint(1)
+        if tag != _T_STRING:
+            raise CodecError("expected string tag")
+        return r.read(_read_len(r)).decode("utf-8")
+
+
+register_codec("flexbuffers", FlexBuffersCodec)

@@ -1,0 +1,156 @@
+"""LCM (Lightweight Communications and Marshalling) style codec.
+
+LCM encodes big-endian fixed-width fields in schema order behind an
+8-byte type fingerprint.  Crucially for the paper (§4.1, §4.4): **LCM
+has no union type and no unsigned integer types**, so cellular control
+schemas — which use both pervasively — cannot be expressed.  This codec
+reproduces that limitation: ``check_schema`` (and therefore ``encode``)
+raises :class:`UnsupportedSchema` for schemas containing unions or
+unsigned ints, and the Fig. 18 comparison only runs LCM on the custom
+messages that avoid them.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from typing import Any
+
+from .base import Codec, UnsupportedSchema, register_codec
+from .bitio import ByteReader, ByteWriter, CodecError
+from .schema import Type, validate
+
+__all__ = ["LcmCodec"]
+
+
+def _fingerprint(t: Type) -> bytes:
+    """Stable 8-byte type hash standing in for LCM's fingerprint."""
+
+    def describe(t: Type) -> str:
+        kind = t.kind
+        if kind == "int":
+            return "i%d" % t.bits
+        if kind == "table":
+            return "{%s}" % ",".join(
+                "%s:%s%s" % (f.name, describe(f.type), "?" if f.optional else "")
+                for f in t.fields
+            )
+        if kind == "array":
+            return "[%s]" % describe(t.element)
+        if kind == "enum":
+            return "e%d" % len(t.names)
+        return kind
+
+    return hashlib.blake2b(describe(t).encode(), digest_size=8).digest()
+
+
+class LcmCodec(Codec):
+    """Big-endian fixed-layout codec with LCM's type-system limits."""
+
+    name = "lcm"
+
+    def check_schema(self, type_: Type) -> None:
+        kind = type_.kind
+        if kind == "union":
+            raise UnsupportedSchema(
+                "LCM has no union type (cellular CHOICEs are inexpressible)"
+            )
+        if kind == "int" and not type_.signed:
+            raise UnsupportedSchema(
+                "LCM has no unsigned integer types (u%d used)" % type_.bits
+            )
+        if kind == "table":
+            for field in type_.fields:
+                self.check_schema(field.type)
+        elif kind == "array":
+            self.check_schema(type_.element)
+
+    def encode(self, type_: Type, value: Any) -> bytes:
+        self.check_schema(type_)
+        validate(value, type_)
+        w = ByteWriter("big")
+        w.write(_fingerprint(type_))
+        self._encode(w, type_, value)
+        return w.getvalue()
+
+    def decode(self, type_: Type, data: bytes) -> Any:
+        self.check_schema(type_)
+        r = ByteReader(data, "big")
+        if r.read(8) != _fingerprint(type_):
+            raise CodecError("LCM fingerprint mismatch")
+        return self._decode(r, type_)
+
+    def _encode(self, w: ByteWriter, t: Type, v: Any) -> None:
+        kind = t.kind
+        if kind == "int":
+            w.write_int(v, t.storage_bytes)
+        elif kind == "bool":
+            w.write_uint(1 if v else 0, 1)
+        elif kind == "float":
+            w.write(struct.pack(">d" if t.bits == 64 else ">f", v))
+        elif kind == "enum":
+            w.write_int(t.index[v], 4)
+        elif kind == "bytes":
+            w.write_uint(len(v), 4)
+            w.write(bytes(v))
+        elif kind == "string":
+            raw = v.encode("utf-8")
+            w.write_uint(len(raw) + 1, 4)
+            w.write(raw)
+            w.write(b"\x00")
+        elif kind == "bitstring":
+            intval, nbits = v
+            nbytes = (nbits + 7) // 8
+            w.write_uint(nbytes, 4)
+            w.write(intval.to_bytes(nbytes, "big"))
+        elif kind == "array":
+            w.write_uint(len(v), 4)
+            for item in v:
+                self._encode(w, t.element, item)
+        elif kind == "table":
+            for field in t.fields:
+                if field.optional:
+                    w.write_uint(1 if field.name in v else 0, 1)
+                if field.name in v:
+                    self._encode(w, field.type, v[field.name])
+        else:
+            raise CodecError("kind %r should have been rejected" % kind)
+
+    def _decode(self, r: ByteReader, t: Type) -> Any:
+        kind = t.kind
+        if kind == "int":
+            return r.read_int(t.storage_bytes)
+        if kind == "bool":
+            return bool(r.read_uint(1))
+        if kind == "float":
+            width = t.bits // 8
+            return struct.unpack(">d" if t.bits == 64 else ">f", r.read(width))[0]
+        if kind == "enum":
+            idx = r.read_int(4)
+            if not 0 <= idx < len(t.names):
+                raise CodecError("enum index out of range")
+            return t.names[idx]
+        if kind == "bytes":
+            return r.read(r.read_uint(4))
+        if kind == "string":
+            raw = r.read(r.read_uint(4))
+            return raw[:-1].decode("utf-8")
+        if kind == "bitstring":
+            raw = r.read(r.read_uint(4))
+            return (int.from_bytes(raw, "big"), t.nbits)
+        if kind == "array":
+            n = r.read_uint(4)
+            return [self._decode(r, t.element) for _ in range(n)]
+        if kind == "table":
+            out = {}
+            for field in t.fields:
+                present = True
+                if field.optional:
+                    present = bool(r.read_uint(1))
+                if present:
+                    out[field.name] = self._decode(r, field.type)
+            return out
+        raise CodecError("kind %r should have been rejected" % kind)
+
+
+register_codec("lcm", LcmCodec)

@@ -1,0 +1,353 @@
+"""Typed message schemas shared by every serialization engine.
+
+Cellular control messages (S1AP / NGAP / NAS) are deeply structured:
+sequences of information elements, optional fields, CHOICEs (unions),
+unsigned integers with range constraints, bit strings, and nesting.  The
+paper's serialization analysis (§3.2, §4.4) hinges on exactly these
+structures — unions and unsigned types are what LCM cannot express, and
+constrained integers are what makes ASN.1 PER compact.  This module is
+the single source of truth those codecs encode from.
+
+Values are plain Python data:
+
+* table  -> ``dict`` (field name -> value; optional fields may be absent)
+* union  -> ``(alternative_name, value)`` tuple
+* array  -> ``list``
+* enum   -> ``str`` (one of the declared names)
+* bitstr -> ``(int_value, bit_length)`` tuple
+* bytes/str/int/bool/float -> themselves
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "SchemaError",
+    "Type",
+    "IntType",
+    "BoolType",
+    "FloatType",
+    "EnumType",
+    "BytesType",
+    "StringType",
+    "BitStringType",
+    "ArrayType",
+    "Field",
+    "TableType",
+    "UnionType",
+    "U8",
+    "U16",
+    "U24",
+    "U32",
+    "U64",
+    "I32",
+    "I64",
+    "BOOL",
+    "F32",
+    "F64",
+    "validate",
+    "count_elements",
+]
+
+
+class SchemaError(Exception):
+    """A value does not conform to its schema."""
+
+
+class Type:
+    """Base class for schema types."""
+
+    kind = "abstract"
+
+    def __repr__(self) -> str:
+        return "<%s>" % self.__class__.__name__
+
+
+class IntType(Type):
+    """Integer, optionally range-constrained (ASN.1-style).
+
+    ``bits``/``signed`` describe the natural machine representation used
+    by the fixed-width codecs (CDR, LCM, FlatBuffers); ``lo``/``hi`` are
+    the PER constraint.  Unsigned-ness matters: the paper notes LCM has
+    no unsigned types, so LCM rejects schemas that use them.
+    """
+
+    kind = "int"
+
+    def __init__(
+        self,
+        bits: int = 32,
+        signed: bool = False,
+        lo: Optional[int] = None,
+        hi: Optional[int] = None,
+    ):
+        if bits not in (8, 16, 24, 32, 64):
+            raise SchemaError("unsupported integer width: %d" % bits)
+        self.bits = bits
+        self.signed = signed
+        if lo is None:
+            lo = -(1 << (bits - 1)) if signed else 0
+        if hi is None:
+            hi = (1 << (bits - 1)) - 1 if signed else (1 << bits) - 1
+        if lo > hi:
+            raise SchemaError("empty integer range [%d, %d]" % (lo, hi))
+        self.lo = lo
+        self.hi = hi
+
+    @property
+    def range_size(self) -> int:
+        return self.hi - self.lo + 1
+
+    @property
+    def storage_bytes(self) -> int:
+        return (self.bits + 7) // 8 if self.bits != 24 else 4
+
+
+class BoolType(Type):
+    kind = "bool"
+
+
+class FloatType(Type):
+    kind = "float"
+
+    def __init__(self, bits: int = 64):
+        if bits not in (32, 64):
+            raise SchemaError("float width must be 32 or 64")
+        self.bits = bits
+
+
+class EnumType(Type):
+    """Named enumeration; encoded as a small constrained integer."""
+
+    kind = "enum"
+
+    def __init__(self, name: str, names: Sequence[str]):
+        if not names:
+            raise SchemaError("enum %r needs at least one member" % name)
+        if len(set(names)) != len(names):
+            raise SchemaError("enum %r has duplicate members" % name)
+        self.name = name
+        self.names = list(names)
+        self.index = {n: i for i, n in enumerate(self.names)}
+
+
+class BytesType(Type):
+    """Octet string, optionally length-bounded."""
+
+    kind = "bytes"
+
+    def __init__(self, max_len: Optional[int] = None):
+        if max_len is not None and max_len < 0:
+            raise SchemaError("negative max_len")
+        self.max_len = max_len
+
+
+class StringType(Type):
+    """UTF-8 character string."""
+
+    kind = "string"
+
+    def __init__(self, max_len: Optional[int] = None):
+        self.max_len = max_len
+
+
+class BitStringType(Type):
+    """ASN.1 BIT STRING; values are ``(int_value, bit_length)``.
+
+    FlatBuffers has no native bit string (one of the gaps the paper
+    mentions), so byte-aligned codecs round it up to whole octets.
+    """
+
+    kind = "bitstring"
+
+    def __init__(self, nbits: int):
+        if nbits <= 0:
+            raise SchemaError("bit string needs a positive width")
+        self.nbits = nbits
+
+
+class ArrayType(Type):
+    """SEQUENCE OF — homogeneous list, optionally bounded."""
+
+    kind = "array"
+
+    def __init__(self, element: Type, max_len: Optional[int] = None):
+        self.element = element
+        self.max_len = max_len
+
+
+class Field:
+    """One named member of a table."""
+
+    __slots__ = ("name", "type", "optional")
+
+    def __init__(self, name: str, type_: Type, optional: bool = False):
+        self.name = name
+        self.type = type_
+        self.optional = optional
+
+    def __repr__(self) -> str:
+        return "Field(%r, %s%s)" % (
+            self.name,
+            self.type.kind,
+            ", optional" if self.optional else "",
+        )
+
+
+class TableType(Type):
+    """SEQUENCE — an ordered set of named, possibly optional fields."""
+
+    kind = "table"
+
+    def __init__(self, name: str, fields: Sequence[Field]):
+        names = [f.name for f in fields]
+        if len(set(names)) != len(names):
+            raise SchemaError("table %r has duplicate field names" % name)
+        self.name = name
+        self.fields = list(fields)
+        self.field_map = {f.name: f for f in self.fields}
+
+    def field(self, name: str) -> Field:
+        try:
+            return self.field_map[name]
+        except KeyError:
+            raise SchemaError("table %r has no field %r" % (self.name, name))
+
+
+class UnionType(Type):
+    """CHOICE — exactly one of several named alternatives.
+
+    Alternatives may be full tables or bare scalars; the paper's svtable
+    optimization targets the (very common) single-scalar alternatives.
+    """
+
+    kind = "union"
+
+    def __init__(self, name: str, alts: Sequence[Tuple[str, Type]]):
+        if not alts:
+            raise SchemaError("union %r needs at least one alternative" % name)
+        alt_names = [n for n, _ in alts]
+        if len(set(alt_names)) != len(alt_names):
+            raise SchemaError("union %r has duplicate alternatives" % name)
+        self.name = name
+        self.alts = list(alts)
+        self.index = {n: i for i, (n, _) in enumerate(self.alts)}
+
+    def alt_type(self, alt_name: str) -> Type:
+        try:
+            return self.alts[self.index[alt_name]][1]
+        except KeyError:
+            raise SchemaError("union %r has no alternative %r" % (self.name, alt_name))
+
+
+# Convenience singletons for common widths.
+U8 = IntType(8)
+U16 = IntType(16)
+U24 = IntType(24)
+U32 = IntType(32)
+U64 = IntType(64)
+I32 = IntType(32, signed=True)
+I64 = IntType(64, signed=True)
+BOOL = BoolType()
+F32 = FloatType(32)
+F64 = FloatType(64)
+
+
+def validate(value: Any, type_: Type, path: str = "$") -> None:
+    """Raise :class:`SchemaError` unless ``value`` conforms to ``type_``."""
+    kind = type_.kind
+    if kind == "int":
+        if not isinstance(value, int) or isinstance(value, bool):
+            raise SchemaError("%s: expected int, got %r" % (path, value))
+        if not type_.lo <= value <= type_.hi:
+            raise SchemaError(
+                "%s: %d outside [%d, %d]" % (path, value, type_.lo, type_.hi)
+            )
+    elif kind == "bool":
+        if not isinstance(value, bool):
+            raise SchemaError("%s: expected bool, got %r" % (path, value))
+    elif kind == "float":
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            raise SchemaError("%s: expected float, got %r" % (path, value))
+    elif kind == "enum":
+        if value not in type_.index:
+            raise SchemaError("%s: %r not in enum %s" % (path, value, type_.name))
+    elif kind == "bytes":
+        if not isinstance(value, (bytes, bytearray)):
+            raise SchemaError("%s: expected bytes, got %r" % (path, value))
+        if type_.max_len is not None and len(value) > type_.max_len:
+            raise SchemaError("%s: byte string longer than %d" % (path, type_.max_len))
+    elif kind == "string":
+        if not isinstance(value, str):
+            raise SchemaError("%s: expected str, got %r" % (path, value))
+        if type_.max_len is not None and len(value) > type_.max_len:
+            raise SchemaError("%s: string longer than %d" % (path, type_.max_len))
+    elif kind == "bitstring":
+        if (
+            not isinstance(value, tuple)
+            or len(value) != 2
+            or not isinstance(value[0], int)
+            or not isinstance(value[1], int)
+        ):
+            raise SchemaError("%s: bit string must be (int, nbits)" % path)
+        intval, nbits = value
+        if nbits != type_.nbits:
+            raise SchemaError(
+                "%s: bit string width %d != declared %d" % (path, nbits, type_.nbits)
+            )
+        if intval < 0 or intval >> nbits:
+            raise SchemaError("%s: bit string value out of range" % path)
+    elif kind == "array":
+        if not isinstance(value, list):
+            raise SchemaError("%s: expected list, got %r" % (path, value))
+        if type_.max_len is not None and len(value) > type_.max_len:
+            raise SchemaError("%s: array longer than %d" % (path, type_.max_len))
+        for i, item in enumerate(value):
+            validate(item, type_.element, "%s[%d]" % (path, i))
+    elif kind == "table":
+        if not isinstance(value, dict):
+            raise SchemaError("%s: expected dict for table %s" % (path, type_.name))
+        known = set(type_.field_map)
+        extra = set(value) - known
+        if extra:
+            raise SchemaError(
+                "%s: unknown fields %s for table %s" % (path, sorted(extra), type_.name)
+            )
+        for field in type_.fields:
+            if field.name not in value:
+                if not field.optional:
+                    raise SchemaError(
+                        "%s: missing required field %r of %s"
+                        % (path, field.name, type_.name)
+                    )
+                continue
+            validate(value[field.name], field.type, "%s.%s" % (path, field.name))
+    elif kind == "union":
+        if not isinstance(value, tuple) or len(value) != 2:
+            raise SchemaError("%s: union value must be (alt_name, value)" % path)
+        alt_name, inner = value
+        inner_type = type_.alt_type(alt_name)
+        validate(inner, inner_type, "%s<%s>" % (path, alt_name))
+    else:
+        raise SchemaError("unknown schema kind %r" % kind)
+
+
+def count_elements(value: Any, type_: Type) -> int:
+    """Number of leaf information elements actually present in a value.
+
+    Used to place real messages on the x-axis of Fig. 18 (speedup vs
+    number of information elements).
+    """
+    kind = type_.kind
+    if kind == "table":
+        total = 0
+        for field in type_.fields:
+            if field.name in value:
+                total += count_elements(value[field.name], field.type)
+        return total
+    if kind == "union":
+        return count_elements(value[1], type_.alt_type(value[0]))
+    if kind == "array":
+        return sum(count_elements(item, type_.element) for item in value) or 1
+    return 1

@@ -1,0 +1,182 @@
+"""Control-plane configuration: every design knob in one place.
+
+A :class:`ControlPlaneConfig` selects the serialization engine, the
+replication/sync scheme, the failure-recovery strategy, and the
+geo-replication policy.  The paper's systems are presets over these
+knobs (§6.2):
+
+* ``existing_epc()`` — ASN.1, no replication, Re-Attach on failure.
+* ``neutrino()`` — optimized FlatBuffers, per-procedure async
+  checkpointing + CTA message log, two-level recovery, proactive
+  geo-replication.
+* ``skycore()`` — per-message state synchronization (broadcast-style).
+* ``dpcm()`` — device-side state: shortened procedure flows, otherwise
+  like the existing EPC.
+
+The factor-analysis figures (15/16) are produced by toggling single
+knobs off a preset, which is exactly how the paper runs them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from ..codec.costs import CostModel
+from ..sim.network import LatencyModel
+
+__all__ = ["ControlPlaneConfig"]
+
+_SYNC_MODES = ("none", "per_message", "per_procedure", "on_idle")
+_RECOVERY_MODES = ("reattach", "replay")
+
+
+@dataclass
+class ControlPlaneConfig:
+    """All policy knobs of a simulated control plane."""
+
+    name: str = "custom"
+
+    #: serialization engine used by BS, CTA, and CPFs.
+    codec: str = "flatbuffers_opt"
+
+    #: replica state synchronization: "none", "per_message",
+    #: "per_procedure" (Neutrino, §4.2.2), or "on_idle" (SCALE-style:
+    #: only when the UE goes idle — no consistency guarantee).
+    sync_mode: str = "per_procedure"
+
+    #: number of backup CPFs (N in §4.2.2).
+    n_backups: int = 1
+
+    #: keep the CTA in-memory message log (§4.2.3).
+    message_logging: bool = True
+
+    #: failure recovery: "replay" (two-level, §4.2.5) or "reattach" (EPC).
+    recovery: str = "replay"
+
+    #: proactive geo-replication on the level-2 ring -> Fast Handover (§4.3).
+    proactive_georep: bool = True
+
+    #: ring level replicas are placed on: 2 = the paper's level-2 ring;
+    #: 3+ = wider rings (the paper's footnote-14 future work).
+    georep_level: int = 2
+
+    #: DPCM-style device-side state (shortened flows, parallel legs).
+    dpcm_mode: bool = False
+
+    #: SkyCore-style broadcast: replicate to every other CPF, not just N.
+    broadcast_replication: bool = False
+
+    #: CTA scan timeout after which missing ACKs mark replicas outdated
+    #: (§4.2.4; paper uses 30 s).
+    ack_timeout_s: float = 30.0
+
+    #: CTA heartbeat interval for proactive CPF failure detection (§4.1
+    #: makes the CTA responsible for "CPF failure detection and
+    #: recovery").  0 disables the heartbeat: failures are then detected
+    #: reactively, when a forwarded message bounces.  The paper's PCT
+    #: accounting excludes detection time either way (§6.4).
+    heartbeat_interval_s: float = 0.0
+
+    #: consecutive missed heartbeats before a CPF is declared failed.
+    heartbeat_misses: int = 2
+
+    #: period of the CTA's log scan / prune pass.
+    log_scan_interval_s: float = 1.0
+
+    #: CPU cost of the primary's state lock + snapshot per checkpoint,
+    #: charged to the processing core (the sync core does the shipping —
+    #: the paper dedicates a second core per CPF to synchronization, §5).
+    checkpoint_lock_s: float = 0.9e-6
+
+    #: extra per-message locking cost when sync_mode == "per_message"
+    #: ("frequent state locking for check-pointing", §6.7.1).
+    per_message_lock_s: float = 2.5e-6
+
+    #: CPU cost for a replica to apply a received state snapshot.
+    replica_apply_s: float = 1.0e-6
+
+    #: CTA per-message forwarding cost (DPDK-style load balancer).
+    cta_forward_s: float = 0.7e-6
+
+    #: CTA extra cost to stamp + append a message to the in-memory log.
+    log_append_s: float = 0.25e-6
+
+    #: UPF session programming cost per S11 message.
+    upf_service_s: float = 1.5e-6
+
+    #: per-CPF processing cores (the paper uses one processing core).
+    cpf_cores: int = 1
+
+    cost_model: CostModel = field(default_factory=CostModel)
+    latency: LatencyModel = field(default_factory=LatencyModel)
+
+    def __post_init__(self):
+        if self.sync_mode not in _SYNC_MODES:
+            raise ValueError("sync_mode must be one of %s" % (_SYNC_MODES,))
+        if self.recovery not in _RECOVERY_MODES:
+            raise ValueError("recovery must be one of %s" % (_RECOVERY_MODES,))
+        if self.n_backups < 0:
+            raise ValueError("n_backups must be non-negative")
+        if self.georep_level < 2:
+            raise ValueError("georep_level must be >= 2")
+        if self.sync_mode != "none" and self.n_backups == 0:
+            raise ValueError("replication enabled but n_backups == 0")
+        if self.recovery == "replay" and not self.message_logging:
+            raise ValueError("replay recovery requires the CTA message log")
+
+    # -- presets (§6.2) ------------------------------------------------------
+
+    @classmethod
+    def neutrino(cls, **overrides) -> "ControlPlaneConfig":
+        defaults = dict(name="neutrino")
+        defaults.update(overrides)
+        return cls(**defaults)
+
+    @classmethod
+    def existing_epc(cls, **overrides) -> "ControlPlaneConfig":
+        defaults = dict(
+            name="existing_epc",
+            codec="asn1per",
+            sync_mode="none",
+            n_backups=0,
+            message_logging=False,
+            recovery="reattach",
+            proactive_georep=False,
+        )
+        defaults.update(overrides)
+        return cls(**defaults)
+
+    @classmethod
+    def skycore(cls, **overrides) -> "ControlPlaneConfig":
+        defaults = dict(
+            name="skycore",
+            codec="asn1per",
+            sync_mode="per_message",
+            n_backups=1,
+            broadcast_replication=True,
+            message_logging=False,
+            recovery="reattach",
+            proactive_georep=False,
+        )
+        defaults.update(overrides)
+        return cls(**defaults)
+
+    @classmethod
+    def dpcm(cls, **overrides) -> "ControlPlaneConfig":
+        defaults = dict(
+            name="dpcm",
+            codec="asn1per",
+            sync_mode="none",
+            n_backups=0,
+            message_logging=False,
+            recovery="reattach",
+            proactive_georep=False,
+            dpcm_mode=True,
+        )
+        defaults.update(overrides)
+        return cls(**defaults)
+
+    def variant(self, name: str, **overrides) -> "ControlPlaneConfig":
+        """A copy with knobs changed (factor-analysis helper)."""
+        return replace(self, name=name, **overrides)

@@ -1,0 +1,65 @@
+"""Read-your-Writes auditor.
+
+Records every (reader_version, served_version) pair a CPF serves so the
+tests — and the experiment harness — can verify the paper's central
+guarantee (§4.2.1): *a UE's request is never processed against state
+older than the UE's own last completed write*.  Designs without the
+consistency protocol (SCALE-style ``on_idle`` sync) produce violations
+here; Neutrino must produce none, under any failure schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+__all__ = ["ConsistencyAuditor", "Violation"]
+
+
+@dataclass(frozen=True)
+class Violation:
+    """A request was served against stale state."""
+
+    time: float
+    ue_id: str
+    cpf_name: str
+    reader_version: int
+    served_version: int
+
+
+@dataclass
+class ConsistencyAuditor:
+    """Counts serves, violations, forced re-attaches, masked failovers."""
+
+    sim_now: object = None  # zero-arg callable; set by the deployment
+    serves: int = 0
+    violations: List[Violation] = field(default_factory=list)
+    reattaches_forced: int = 0
+    failovers_masked: int = 0
+    messages_replayed: int = 0
+
+    def record_serve(
+        self, ue_id: str, reader_version: int, served_version: int, cpf_name: str
+    ) -> None:
+        self.serves += 1
+        if served_version < reader_version:
+            self.violations.append(
+                Violation(
+                    self.sim_now() if self.sim_now else 0.0,
+                    ue_id,
+                    cpf_name,
+                    reader_version,
+                    served_version,
+                )
+            )
+
+    def record_reattach_forced(self, ue_id: str, cpf_name: str) -> None:
+        self.reattaches_forced += 1
+
+    def record_failover_masked(self, ue_id: str, replayed: int) -> None:
+        self.failovers_masked += 1
+        self.messages_replayed += replayed
+
+    @property
+    def read_your_writes_held(self) -> bool:
+        return not self.violations

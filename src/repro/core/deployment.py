@@ -1,0 +1,567 @@
+"""Deployment: wires regions, CTAs, CPFs, UPFs, BSs and UEs together.
+
+This is the composition root for every experiment.  It owns:
+
+* the node instances per region (one CTA + a CPF pool + one UPF + BSs,
+  Fig. 6 of the paper),
+* the per-hop-class links with byte accounting,
+* the *placement registry* — which CPF is primary and which are backups
+  for every UE (primary by level-1 consistent hash, backups by level-2
+  ring excluding the level-1 members, §4.3),
+* per-UE logical clocks (monotone per UE across CTA changes),
+* the consistency auditor and the PCT tallies.
+
+``Deployment.build_grid`` constructs the canonical evaluation topology:
+four level-1 regions forming one level-2 region, with ``cpfs_per_region``
+CPFs each — the smallest deployment exercising inter-region replication,
+Fast Handover, and multi-CTA behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..geo.regions import Region, RegionMap
+from ..messages.procedures import PROCEDURES, ProcedureSpec
+from ..messages.registry import CATALOG
+from ..sim.core import Event, Simulator
+from ..sim.monitor import Tally
+from ..sim.network import Link
+from ..sim.rng import RngRegistry
+from .bs import BaseStation
+from .config import ControlPlaneConfig
+from .consistency import ConsistencyAuditor
+from .cpf import CPF
+from .cta import CTA
+from .ue import UE, ProcedureOutcome
+from .upf import UPF
+
+__all__ = ["Placement", "Deployment"]
+
+
+@dataclass
+class Placement:
+    """Where one UE's state lives."""
+
+    region: str
+    primary: str
+    backups: List[str] = field(default_factory=list)
+
+
+class Deployment:
+    """A fully wired simulated cellular core."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: ControlPlaneConfig,
+        region_map: RegionMap,
+        rng: Optional[RngRegistry] = None,
+    ):
+        self.sim = sim
+        self.config = config
+        self.region_map = region_map
+        self.rng = rng or RngRegistry(0)
+        self.auditor = ConsistencyAuditor(sim_now=lambda: sim.now)
+
+        self.cpfs: Dict[str, CPF] = {}
+        self.ctas: Dict[str, CTA] = {}
+        self.upfs: Dict[str, UPF] = {}
+        self.bss: Dict[str, BaseStation] = {}
+        self._region_cta: Dict[str, str] = {}
+
+        for region in region_map.regions.values():
+            cta = CTA(self, region.cta, region.geohash)
+            self.ctas[region.cta] = cta
+            self._region_cta[region.geohash] = region.cta
+            for cpf_name in region.cpfs:
+                self.cpfs[cpf_name] = CPF(self, cpf_name, region.geohash)
+            upf = UPF(
+                sim, "upf-" + region.geohash, region.geohash, config.upf_service_s
+            )
+            self.upfs[region.geohash] = upf
+            for bs_name in region.bss:
+                self.bss[bs_name] = BaseStation(self, bs_name, region.geohash)
+
+        jitter_rng = self.rng.stream("link-jitter")
+        self.links: Dict[str, Link] = {
+            hop: config.latency.link(sim, hop, rng=jitter_rng, name=hop)
+            for hop in (
+                "ue_bs",
+                "bs_cta",
+                "cta_cpf",
+                "cpf_cpf_intra",
+                "cpf_cpf_inter",
+                "cpf_cpf_far",
+                "cpf_upf",
+            )
+        }
+
+        self._placements: Dict[str, Placement] = {}
+        self._clocks: Dict[str, int] = {}
+        self._ues: Dict[str, UE] = {}
+        self.pct: Dict[str, Tally] = {}
+        self.outcomes: List[ProcedureOutcome] = []
+
+    # -- canonical topology -----------------------------------------------------
+
+    @classmethod
+    def build_grid(
+        cls,
+        sim: Simulator,
+        config: ControlPlaneConfig,
+        cpfs_per_region: int = 1,
+        bss_per_region: int = 2,
+        regions: int = 4,
+        rng: Optional[RngRegistry] = None,
+    ) -> "Deployment":
+        """Four sibling level-1 regions under one level-2 region."""
+        if not 1 <= regions <= 4:
+            raise ValueError("grid supports 1-4 sibling regions")
+        region_objs = []
+        for i, suffix in enumerate("0123"[:regions]):
+            gh = "2" + suffix  # shared parent "2"
+            region_objs.append(
+                Region(
+                    geohash=gh,
+                    cta="cta-" + gh,
+                    cpfs=["cpf-%s-%d" % (gh, k) for k in range(cpfs_per_region)],
+                    bss=["bs-%s-%d" % (gh, k) for k in range(bss_per_region)],
+                )
+            )
+        return cls(sim, config, RegionMap(region_objs), rng)
+
+    @classmethod
+    def build_tree(
+        cls,
+        sim: Simulator,
+        config: ControlPlaneConfig,
+        depth: int = 3,
+        cpfs_per_region: int = 1,
+        bss_per_region: int = 1,
+        rng: Optional[RngRegistry] = None,
+    ) -> "Deployment":
+        """A 4-ary geo-hash tree of level-1 regions, ``depth`` levels deep.
+
+        ``depth=2`` matches :meth:`build_grid` (four siblings under one
+        level-2 region); ``depth=3`` creates 16 level-1 regions in four
+        level-2 regions under one level-3 region — the topology needed
+        to exercise replication on rings beyond level 2 (the paper's
+        footnote-14 future work, ``config.georep_level=3``).
+        """
+        if depth < 2 or depth > 4:
+            raise ValueError("depth must be between 2 and 4")
+        suffixes = [""]
+        for _ in range(depth - 1):
+            suffixes = [s + c for s in suffixes for c in "0123"]
+        region_objs = []
+        for suffix in suffixes:
+            gh = "2" + suffix
+            region_objs.append(
+                Region(
+                    geohash=gh,
+                    cta="cta-" + gh,
+                    cpfs=["cpf-%s-%d" % (gh, k) for k in range(cpfs_per_region)],
+                    bss=["bs-%s-%d" % (gh, k) for k in range(bss_per_region)],
+                )
+            )
+        return cls(sim, config, RegionMap(region_objs), rng)
+
+    # -- links --------------------------------------------------------------------
+
+    def hop(self, hop_class: str, nbytes: int) -> Event:
+        """One directed link traversal as a waitable event."""
+        link = self.links[hop_class]
+        link.messages_sent += 1
+        link.bytes_sent += nbytes
+        return self.sim.timeout(link.delay(nbytes))
+
+    def cpf_hop(self, a: str, b: str) -> str:
+        ra = self.region_map.region_of_cpf(a).geohash
+        rb = self.region_map.region_of_cpf(b).geohash
+        if ra == rb:
+            return "cpf_cpf_intra"
+        if self.region_map.shares_level2(ra, rb):
+            return "cpf_cpf_inter"
+        return "cpf_cpf_far"
+
+    def cpf_hop_from_cta(self, cta_region: str, cpf_name: str) -> str:
+        rb = self.region_map.region_of_cpf(cpf_name).geohash
+        return "cta_cpf" if rb == cta_region else "cpf_cpf_inter"
+
+    # -- logical clocks (per UE, monotone across CTA changes) -----------------------
+
+    def next_clock(self, ue_id: str) -> int:
+        value = self._clocks.get(ue_id, 0) + 1
+        self._clocks[ue_id] = value
+        return value
+
+    def m_tmsi_of(self, ue_id: str) -> int:
+        return (hash(ue_id) & 0xFFFFFFFF) or 1
+
+    # -- placement registry ----------------------------------------------------------
+
+    def placement_of(self, ue_id: str) -> Optional[Placement]:
+        return self._placements.get(ue_id)
+
+    def placements_items(self):
+        """(ue_id, Placement) pairs — used by proactive failure detection."""
+        return self._placements.items()
+
+    def ensure_placement(self, ue_id: str, region: str) -> Placement:
+        placement = self._placements.get(ue_id)
+        if placement is None:
+            primary = self._alive_primary(ue_id, region)
+            placement = Placement(
+                region,
+                primary,
+                self.region_map.replicas_for(
+                    ue_id, region, self.config.n_backups, self.config.georep_level
+                ),
+            )
+            self._placements[ue_id] = placement
+        return placement
+
+    def _alive_primary(self, ue_id: str, region: str) -> str:
+        ring = self.region_map.level1_ring(region)
+        dead = [c for c in ring.members if not self.cpfs[c].up]
+        alive = ring.successors(ue_id, 1, exclude=dead)
+        if alive:
+            return alive[0]
+        # whole region down: any alive CPF in the level-2 region
+        ring2 = self.region_map.level2_ring(region)
+        dead2 = [c for c in ring2.members if not self.cpfs[c].up]
+        alive2 = ring2.successors(ue_id, 1, exclude=dead2)
+        if not alive2:
+            raise LookupError("no CPF alive anywhere near region %s" % region)
+        return alive2[0]
+
+    def primary_of(self, ue_id: str) -> Optional[str]:
+        placement = self._placements.get(ue_id)
+        return placement.primary if placement else None
+
+    def replicas_of(self, ue_id: str) -> List[str]:
+        placement = self._placements.get(ue_id)
+        return list(placement.backups) if placement else []
+
+    def pick_fresh_primary(self, ue_id: str) -> str:
+        placement = self._placements.get(ue_id)
+        region = placement.region if placement else next(iter(self.region_map.regions))
+        return self._alive_primary(ue_id, region)
+
+    def reset_placement(self, ue_id: str, new_primary: str) -> None:
+        """Post-failure fresh placement (Re-Attach path)."""
+        placement = self._placements.get(ue_id)
+        region = (
+            placement.region
+            if placement
+            else self.region_map.region_of_cpf(new_primary).geohash
+        )
+        self._placements[ue_id] = Placement(
+            region,
+            new_primary,
+            self.region_map.replicas_for(
+                ue_id, region, self.config.n_backups, self.config.georep_level
+            ),
+        )
+
+    def promote(self, ue_id: str, backup_name: str) -> None:
+        """Scenario 1/2: a backup becomes the primary (§4.2.5)."""
+        placement = self._placements.get(ue_id)
+        if placement is None:
+            self.reset_placement(ue_id, backup_name)
+            return
+        if backup_name in placement.backups:
+            placement.backups.remove(backup_name)
+        placement.primary = backup_name
+
+    def switch_region(
+        self, ue_id: str, new_primary: Optional[str], target_bs: str
+    ) -> None:
+        """Handover completion: move the UE's placement to the target region."""
+        new_region = self.bss[target_bs].region
+        old_cta = self.cta_of(ue_id)
+        if new_primary is None:
+            new_primary = self._alive_primary(ue_id, new_region)
+        old_placement = self._placements.get(ue_id)
+        new_backups = self.region_map.replicas_for(
+            ue_id, new_region, self.config.n_backups, self.config.georep_level
+        )
+        # Every copy except the new primary's is now from an old epoch:
+        # mark them outdated until the post-handover checkpoint (or a
+        # repair fetch) refreshes them.  This is what prevents a Fast
+        # Handover from adopting a stale pre-handover replica.
+        stale_holders = set(new_backups)
+        if old_placement is not None:
+            stale_holders |= {old_placement.primary, *old_placement.backups}
+        stale_holders.discard(new_primary)
+        for name in stale_holders:
+            cpf = self.cpfs.get(name)
+            if cpf is not None:
+                cpf.store.mark_outdated(ue_id)
+        self._placements[ue_id] = Placement(new_region, new_primary, new_backups)
+        # The old CTA's log for this UE is obsolete once the target-side
+        # checkpoint lands; drop it to keep the log bounded.
+        if old_cta is not None:
+            old_cta.log.drop_procedure(ue_id, self._clocks.get(ue_id, 0))
+
+    def fast_target(
+        self, ue_id: str, target_region: str, min_version: int = 0
+    ) -> Tuple[str, Optional[str]]:
+        """Serving CPF for a Fast Handover into ``target_region``.
+
+        Prefer a backup already in the target region holding up-to-date
+        state at least as new as ``min_version`` — the version the UE
+        knows it has written (the §4.3 case); otherwise the region's
+        hash primary plus the name of an up-to-date CPF to fetch from
+        (intra-level-2 hop).
+        """
+        region_cpfs = set(self.region_map.region(target_region).cpfs)
+        for backup_name in self.replicas_of(ue_id):
+            if backup_name in region_cpfs:
+                cpf = self.cpfs[backup_name]
+                if cpf.up:
+                    entry = cpf.store.get(ue_id)
+                    if (
+                        entry is not None
+                        and entry.up_to_date
+                        and entry.state.version >= min_version
+                    ):
+                        return backup_name, None
+        source = None
+        primary = self.primary_of(ue_id)
+        if primary and self.cpfs[primary].up:
+            source = primary
+        else:
+            for backup_name in self.replicas_of(ue_id):
+                if self.cpfs[backup_name].up:
+                    source = backup_name
+                    break
+        return self._alive_primary(ue_id, target_region), source
+
+    # -- CTA mapping ---------------------------------------------------------------------
+
+    def cta_for_region(self, region: str) -> Optional[CTA]:
+        name = self._region_cta.get(region)
+        return self.ctas.get(name) if name else None
+
+    def cta_of(self, ue_id: str) -> Optional[CTA]:
+        placement = self._placements.get(ue_id)
+        if placement is None:
+            return None
+        return self.cta_for_region(placement.region)
+
+    def fallback_cta(self, region: str) -> Optional[CTA]:
+        """An alive CTA in a sibling region (scenario 4 takeover)."""
+        for cta in self.ctas.values():
+            if cta.up:
+                return cta
+        return None
+
+    def adopt_region_cta(self, region: str, cta_name: str) -> None:
+        self._region_cta[region] = cta_name
+
+    def upf_for_region(self, region: str) -> UPF:
+        upf = self.upfs.get(region)
+        if upf is None:  # pragma: no cover - regions always get a UPF
+            raise KeyError("no UPF in region %r" % region)
+        return upf
+
+    def cpf_names(self) -> List[str]:
+        return sorted(self.cpfs)
+
+    # -- procedure specs (DPCM overrides) ---------------------------------------------------
+
+    def spec(self, proc_name: str) -> ProcedureSpec:
+        if self.config.dpcm_mode:
+            from ..baselines.policies import DPCM_PROCEDURES
+
+            override = DPCM_PROCEDURES.get(proc_name)
+            if override is not None:
+                return override
+        try:
+            return PROCEDURES[proc_name]
+        except KeyError:
+            raise KeyError("unknown procedure %r" % proc_name)
+
+    # -- UEs & bootstrap ------------------------------------------------------------------------
+
+    def new_ue(self, ue_id: str, bs_name: str) -> UE:
+        if ue_id in self._ues:
+            raise ValueError("UE %r already exists" % ue_id)
+        if bs_name not in self.bss:
+            raise KeyError("unknown BS %r" % bs_name)
+        ue = UE(self, ue_id, bs_name)
+        self._ues[ue_id] = ue
+        return ue
+
+    def ue(self, ue_id: str) -> UE:
+        return self._ues[ue_id]
+
+    def ues(self) -> List[UE]:
+        return list(self._ues.values())
+
+    def bootstrap_ue(self, ue_id: str, bs_name: str) -> UE:
+        """Create a UE already attached, with state replicated (no events).
+
+        Used to build warm pools for service-request/handover sweeps
+        without simulating hundreds of thousands of attaches first.
+        """
+        ue = self.new_ue(ue_id, bs_name)
+        region = self.bss[bs_name].region
+        placement = self.ensure_placement(ue_id, region)
+        clock = self.next_clock(ue_id)
+        primary = self.cpfs[placement.primary]
+        entry = primary.store.create(ue_id, self.m_tmsi_of(ue_id), is_primary=True)
+        entry.state.complete_procedure("attach")
+        entry.synced_clock = clock
+        for backup_name in placement.backups:
+            self.cpfs[backup_name].store.install_snapshot(
+                ue_id, entry.state, clock
+            )
+        ue.attached = True
+        ue.completed_version = entry.state.version
+        return ue
+
+    # -- downlink delivery (§3.1's motivating scenario) ---------------------------------------------
+
+    def deliver_downlink(self, ue_id: str):
+        """Process: downlink data/voice arrives from the internet for a UE.
+
+        The core must hold up-to-date control state to page the UE and
+        deliver (§3.1: after a CPF failure with no synced replica, "the
+        core network will not be able to send it to the UE" until the UE
+        Re-Attaches).  Returns ``(delivered, served_by)``.
+        """
+        placement = self._placements.get(ue_id)
+        candidates = []
+        if placement is not None:
+            candidates.append(placement.primary)
+            candidates.extend(placement.backups)
+        serving = None
+        for name in candidates:
+            cpf = self.cpfs.get(name)
+            if cpf is None or not cpf.up:
+                continue
+            entry = cpf.store.get(ue_id)
+            if entry is not None and entry.up_to_date and entry.state.attached:
+                serving = cpf
+                break
+        if serving is None:
+            return False, None  # data access disrupted (§3.1 step 4)
+
+        # Page through every BS in the UE's tracking area (its region).
+        paging_size = CATALOG.wire_size("Paging", self.config.codec)
+        yield serving.handle_peer(
+            self.config.cost_model.serialize_cost(
+                self.config.codec, CATALOG.element_count("Paging")
+            )
+        )
+        yield self.hop("cta_cpf", paging_size)
+        yield self.hop("bs_cta", paging_size)
+        yield self.hop("ue_bs", paging_size)
+        ue = self._ues.get(ue_id)
+        if ue is None or not ue.attached:
+            return False, serving.name  # UE-side state disagrees
+        return True, serving.name
+
+    def deliver_downlink_paged(self, ue_id: str):
+        """Process: the full downlink path including idle-mode paging.
+
+        A connected UE receives data directly; an idle UE (after an S1
+        Release) is paged and must complete a service request before the
+        data flows — the wake-up latency web/video startup experiments
+        measure (§6.6).  Returns ``(delivered, latency_s)``.
+        """
+        start = self.sim.now
+        delivered, served_by = yield from self.deliver_downlink(ue_id)
+        if not delivered:
+            return False, self.sim.now - start
+        entry = self.cpfs[served_by].store.get(ue_id)
+        if entry is not None and not entry.state.active:
+            ue = self._ues[ue_id]
+            yield from ue.execute("service_request")
+        return True, self.sim.now - start
+
+    # -- measurement --------------------------------------------------------------------------------
+
+    def record_pct(self, outcome: ProcedureOutcome) -> None:
+        tally = self.pct.get(outcome.name)
+        if tally is None:
+            tally = Tally(outcome.name)
+            self.pct[outcome.name] = tally
+        tally.observe(outcome.pct)
+        self.outcomes.append(outcome)
+
+    def max_log_bytes(self) -> float:
+        return max((cta.log.max_size_bytes for cta in self.ctas.values()), default=0.0)
+
+    def summary(self) -> Dict[str, Any]:
+        """Structured snapshot of the whole deployment's health/metrics.
+
+        What an operator dashboard would show: per-CPF utilization and
+        queue peaks, CTA log/failover counters, link byte totals,
+        per-procedure PCT summaries, and the consistency audit.
+        """
+        return {
+            "time_s": self.sim.now,
+            "config": self.config.name,
+            "cpfs": {
+                name: {
+                    "up": cpf.up,
+                    "utilization": cpf.server.utilization(self.sim.now),
+                    "queue_peak": cpf.server.queue_depth.max_value,
+                    "messages_handled": cpf.messages_handled,
+                    "checkpoints_sent": cpf.checkpoints_sent,
+                    "snapshots_applied": cpf.snapshots_applied,
+                    "replays_applied": cpf.replays_applied,
+                    "ues_stored": len(cpf.store),
+                }
+                for name, cpf in sorted(self.cpfs.items())
+            },
+            "ctas": {
+                name: {
+                    "up": cta.up,
+                    "log_entries": cta.log.entry_count(),
+                    "log_bytes_max": cta.log.max_size_bytes,
+                    "messages_logged": cta.log.appended,
+                    "failovers": cta.failovers,
+                    "reattaches_ordered": cta.reattaches_ordered,
+                    "outdated_marked": cta.outdated_marked,
+                    "failures_detected": cta.failures_detected,
+                }
+                for name, cta in sorted(self.ctas.items())
+            },
+            "links": {
+                name: {"messages": link.messages_sent, "bytes": link.bytes_sent}
+                for name, link in sorted(self.links.items())
+            },
+            "pct_ms": {
+                name: {
+                    "count": tally.count,
+                    "p50": tally.percentile(50) * 1e3 if tally.count else None,
+                    "p95": tally.percentile(95) * 1e3 if tally.count else None,
+                }
+                for name, tally in sorted(self.pct.items())
+            },
+            "consistency": {
+                "serves": self.auditor.serves,
+                "violations": len(self.auditor.violations),
+                "read_your_writes_held": self.auditor.read_your_writes_held,
+                "failovers_masked": self.auditor.failovers_masked,
+                "reattaches_forced": self.auditor.reattaches_forced,
+            },
+            "ues": len(self._ues),
+        }
+
+    # -- failure injection helpers ---------------------------------------------------------------------
+
+    def fail_cpf(self, name: str) -> None:
+        self.cpfs[name].fail()
+
+    def recover_cpf(self, name: str) -> None:
+        self.cpfs[name].recover()
+
+    def fail_cta(self, name: str) -> None:
+        self.ctas[name].fail()

@@ -1,0 +1,183 @@
+"""The CTA's logical clock and in-memory message log (§4.2.3).
+
+Every uplink control message is stamped with a monotone logical clock
+and appended here before being forwarded to the primary CPF.  On
+procedure completion the primary checkpoints state to the backups along
+with the last message's clock; backups ACK to the CTA; once all backups
+have ACKed a procedure its messages are pruned.  The byte accounting
+(entry payload = the message's real encoded size under the active codec,
+plus fixed bookkeeping overhead) feeds Fig. 17 (max log size vs active
+users).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from ..sim.monitor import TimeWeighted
+
+__all__ = ["LogicalClock", "LogEntry", "ProcedureRecord", "MessageLog"]
+
+#: fixed per-entry bookkeeping: clock, UE key, timestamps, map overhead.
+_ENTRY_OVERHEAD_BYTES = 64
+
+
+class LogicalClock:
+    """Monotone per-CTA counter used to order and identify messages."""
+
+    def __init__(self, start: int = 0):
+        self._value = start
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def tick(self) -> int:
+        self._value += 1
+        return self._value
+
+
+@dataclass
+class LogEntry:
+    """One logged control message."""
+
+    clock: int
+    ue_id: str
+    msg_name: str
+    size_bytes: int
+    logged_at: float
+
+    @property
+    def footprint(self) -> int:
+        return self.size_bytes + _ENTRY_OVERHEAD_BYTES
+
+
+@dataclass
+class ProcedureRecord:
+    """ACK bookkeeping for one completed procedure of one UE (§4.2.3 #4)."""
+
+    ue_id: str
+    last_clock: int
+    replicas: Tuple[str, ...]
+    completed_at: float
+    acked: Set[str] = field(default_factory=set)
+
+    @property
+    def fully_acked(self) -> bool:
+        return set(self.replicas) <= self.acked
+
+    def missing(self) -> List[str]:
+        return sorted(set(self.replicas) - self.acked)
+
+
+class MessageLog:
+    """Per-UE ordered message log + per-procedure ACK tracking."""
+
+    def __init__(self, sim_now, enabled: bool = True):
+        self._now = sim_now
+        self.enabled = enabled
+        self._entries: Dict[str, List[LogEntry]] = {}
+        self._procedures: "OrderedDict[Tuple[str, int], ProcedureRecord]" = OrderedDict()
+        self.size_probe = TimeWeighted(sim_now)
+        self._size_bytes = 0
+        self.appended = 0
+        self.pruned = 0
+
+    # -- appending ----------------------------------------------------------
+
+    def append(self, clock: int, ue_id: str, msg_name: str, size_bytes: int) -> None:
+        if not self.enabled:
+            return
+        entry = LogEntry(clock, ue_id, msg_name, size_bytes, self._now())
+        self._entries.setdefault(ue_id, []).append(entry)
+        self._size_bytes += entry.footprint
+        self.size_probe.set(self._size_bytes)
+        self.appended += 1
+
+    # -- procedure boundaries -------------------------------------------------
+
+    def procedure_completed(
+        self, ue_id: str, last_clock: int, replicas: Iterable[str]
+    ) -> None:
+        """Record a checkpoint boundary and the replicas expected to ACK."""
+        if not self.enabled:
+            return
+        replicas = tuple(replicas)
+        record = ProcedureRecord(ue_id, last_clock, replicas, self._now())
+        self._procedures[(ue_id, last_clock)] = record
+        if not replicas:  # nothing to wait for; prune immediately
+            self._prune_through(ue_id, last_clock)
+            self._procedures.pop((ue_id, last_clock), None)
+
+    def ack(self, ue_id: str, last_clock: int, replica: str) -> None:
+        """A replica confirmed it holds state through ``last_clock``."""
+        record = self._procedures.get((ue_id, last_clock))
+        if record is None:
+            return  # already pruned (late duplicate ACK)
+        record.acked.add(replica)
+        if record.fully_acked:
+            self._prune_through(ue_id, last_clock)
+            del self._procedures[(ue_id, last_clock)]
+
+    # -- queries ----------------------------------------------------------------
+
+    def entries_after(self, ue_id: str, clock: int) -> List[LogEntry]:
+        """Messages for ``ue_id`` newer than ``clock`` (the replay set)."""
+        return [e for e in self._entries.get(ue_id, ()) if e.clock > clock]
+
+    def pending_records(self) -> List[ProcedureRecord]:
+        return list(self._procedures.values())
+
+    def stale_records(self, older_than: float) -> List[ProcedureRecord]:
+        """Procedures whose ACKs are missing past the timeout (§4.2.4)."""
+        return [
+            r
+            for r in self._procedures.values()
+            if not r.fully_acked and r.completed_at <= older_than
+        ]
+
+    def unacked_for(self, ue_id: str) -> List[ProcedureRecord]:
+        return [
+            r
+            for (uid, _clock), r in self._procedures.items()
+            if uid == ue_id and not r.fully_acked
+        ]
+
+    @property
+    def size_bytes(self) -> int:
+        return self._size_bytes
+
+    @property
+    def max_size_bytes(self) -> float:
+        return self.size_probe.max_value
+
+    def entry_count(self) -> int:
+        return sum(len(v) for v in self._entries.values())
+
+    # -- pruning -----------------------------------------------------------------
+
+    def _prune_through(self, ue_id: str, clock: int) -> None:
+        entries = self._entries.get(ue_id)
+        if not entries:
+            return
+        kept, dropped = [], 0
+        for entry in entries:
+            if entry.clock <= clock:
+                self._size_bytes -= entry.footprint
+                dropped += 1
+            else:
+                kept.append(entry)
+        if kept:
+            self._entries[ue_id] = kept
+        else:
+            self._entries.pop(ue_id, None)
+        if dropped:
+            self.pruned += dropped
+            self.size_probe.set(self._size_bytes)
+
+    def drop_procedure(self, ue_id: str, last_clock: int) -> None:
+        """§4.2.4(1d): after marking replicas outdated, delete the messages."""
+        self._prune_through(ue_id, last_clock)
+        self._procedures.pop((ue_id, last_clock), None)

@@ -1,0 +1,150 @@
+"""UE control state and the per-CPF state store.
+
+The UE state a CPF keeps (paper §4.2: "BS ID, data plane endpoint
+identifiers, and user tracking area") is modeled by :class:`UEState`,
+versioned by completed procedure.  Each CPF holds a :class:`StateStore`
+of :class:`StateEntry` records that additionally track replication
+metadata: the logical clock the entry is synced through and whether the
+entry is known up-to-date (§4.2.4's *outdated* marking).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["UEState", "StateEntry", "StateStore", "StaleStateError"]
+
+
+class StaleStateError(Exception):
+    """A CPF was asked to serve a UE whose state it holds only as outdated.
+
+    Per §4.2.4 rule (3) the CPF must refuse and force the UE to
+    Re-Attach rather than operate on stale state.
+    """
+
+    def __init__(self, ue_id: str, cpf_name: str):
+        super().__init__("CPF %s has no up-to-date state for %s" % (cpf_name, ue_id))
+        self.ue_id = ue_id
+        self.cpf_name = cpf_name
+
+
+@dataclass
+class UEState:
+    """Control state for one UE as held by its serving CPF."""
+
+    ue_id: str
+    m_tmsi: int
+    attached: bool = False
+    #: number of completed control procedures — the write version the
+    #: Read-your-Writes property is stated over.
+    version: int = 0
+    #: messages applied since the last completed procedure (mid-procedure
+    #: progress; replayed from the CTA log after a failure).
+    ops_in_procedure: int = 0
+    bs_id: str = ""
+    region: str = ""
+    tracking_area: int = 0
+    bearer_teid: int = 0
+    active: bool = False  # ECM-CONNECTED vs idle
+
+    def copy(self) -> "UEState":
+        return replace(self)
+
+    def apply_message(self) -> None:
+        """One control message's worth of state mutation."""
+        self.ops_in_procedure += 1
+
+    def complete_procedure(self, proc_name: str) -> None:
+        """Commit the procedure's effect and bump the write version."""
+        self.version += 1
+        self.ops_in_procedure = 0
+        if proc_name in ("attach", "re_attach"):
+            self.attached = True
+            self.active = True
+        elif proc_name == "service_request":
+            self.active = True
+        elif proc_name == "s1_release":
+            self.active = False
+        elif proc_name == "detach":
+            self.attached = False
+            self.active = False
+
+
+@dataclass
+class StateEntry:
+    """A CPF's copy of one UE's state plus replication metadata."""
+
+    state: UEState
+    #: logical clock of the last CTA message folded into this copy.
+    synced_clock: int = 0
+    #: False once the CTA has marked this replica outdated (§4.2.4).
+    up_to_date: bool = True
+    #: True on the CPF currently serving the UE.
+    is_primary: bool = False
+
+    @property
+    def version(self) -> int:
+        return self.state.version
+
+
+class StateStore:
+    """Per-CPF map of UE id -> :class:`StateEntry`."""
+
+    def __init__(self, cpf_name: str):
+        self.cpf_name = cpf_name
+        self._entries: Dict[str, StateEntry] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, ue_id: str) -> bool:
+        return ue_id in self._entries
+
+    def get(self, ue_id: str) -> Optional[StateEntry]:
+        return self._entries.get(ue_id)
+
+    def require_current(self, ue_id: str) -> StateEntry:
+        """The entry, if present and up-to-date; else :class:`StaleStateError`."""
+        entry = self._entries.get(ue_id)
+        if entry is None or not entry.up_to_date:
+            raise StaleStateError(ue_id, self.cpf_name)
+        return entry
+
+    def create(self, ue_id: str, m_tmsi: int, is_primary: bool) -> StateEntry:
+        entry = StateEntry(UEState(ue_id, m_tmsi), is_primary=is_primary)
+        self._entries[ue_id] = entry
+        return entry
+
+    def install_snapshot(
+        self, ue_id: str, snapshot: UEState, synced_clock: int
+    ) -> StateEntry:
+        """Apply a replicated snapshot (checkpoint or fetched repair).
+
+        A snapshot older than what we already hold is ignored —
+        §4.2.4(1a) hands replicas the boundary clock precisely so they
+        can "ignore the reception of outdated state".
+        """
+        existing = self._entries.get(ue_id)
+        if existing is not None and existing.synced_clock > synced_clock:
+            return existing
+        entry = StateEntry(
+            snapshot.copy(), synced_clock=synced_clock, up_to_date=True
+        )
+        self._entries[ue_id] = entry
+        return entry
+
+    def mark_outdated(self, ue_id: str) -> None:
+        entry = self._entries.get(ue_id)
+        if entry is not None:
+            entry.up_to_date = False
+
+    def drop(self, ue_id: str) -> None:
+        self._entries.pop(ue_id, None)
+
+    def clear(self) -> None:
+        """Lose everything (node crash)."""
+        self._entries.clear()
+
+    def ue_ids(self) -> List[str]:
+        return sorted(self._entries)

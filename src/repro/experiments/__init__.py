@@ -1,0 +1,6 @@
+"""Experiment harness and per-figure reproduction definitions."""
+
+from .harness import PCTPoint, RunSpec, run_pct_point, sweep
+from . import figures, report
+
+__all__ = ["PCTPoint", "RunSpec", "run_pct_point", "sweep", "figures", "report"]

@@ -1,0 +1,102 @@
+"""Plain-text reporting of figure results.
+
+Prints the same series the paper plots, as aligned tables, plus the
+headline ratios ("who wins, by what factor") that EXPERIMENTS.md tracks.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+from .harness import PCTPoint
+
+__all__ = [
+    "format_pct_table",
+    "format_dict_rows",
+    "median_ratio",
+    "best_ratio",
+    "print_pct_table",
+]
+
+
+def format_pct_table(points: Sequence[PCTPoint], title: str = "") -> str:
+    """Scheme-by-rate grid of median PCTs, like the paper's box plots."""
+    by_scheme: Dict[str, Dict[float, PCTPoint]] = defaultdict(dict)
+    rates: List[float] = []
+    for point in points:
+        by_scheme[point.scheme][point.axis_rate] = point
+        if point.axis_rate not in rates:
+            rates.append(point.axis_rate)
+    rates.sort()
+    lines = []
+    if title:
+        lines.append(title)
+    header = "%-20s" % "scheme \\ rate" + "".join("%12.0f" % r for r in rates)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for scheme in sorted(by_scheme):
+        cells = []
+        for rate in rates:
+            point = by_scheme[scheme].get(rate)
+            cells.append("%12.3f" % point.p50_ms if point else "%12s" % "-")
+        lines.append("%-20s" % scheme + "".join(cells))
+    lines.append("(cells: median PCT in ms)")
+    return "\n".join(lines)
+
+
+def print_pct_table(points: Sequence[PCTPoint], title: str = "") -> None:
+    print(format_pct_table(points, title))
+
+
+def format_dict_rows(rows: Sequence[Dict[str, Any]], title: str = "") -> str:
+    """Aligned table for list-of-dicts figure results."""
+    if not rows:
+        return title + "\n(no rows)"
+    keys = list(rows[0].keys())
+    widths = {
+        k: max(len(k), *(len(_fmt(row.get(k))) for row in rows)) for k in keys
+    }
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(k.ljust(widths[k]) for k in keys))
+    for row in rows:
+        lines.append("  ".join(_fmt(row.get(k)).ljust(widths[k]) for k in keys))
+    return "\n".join(lines)
+
+
+def _fmt(value: Any) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return "%.0f" % value
+        return "%.3f" % value
+    return str(value)
+
+
+def median_ratio(
+    points: Sequence[PCTPoint], better: str, worse: str, rate: Optional[float] = None
+) -> float:
+    """p50(worse)/p50(better) at one rate (or the max over shared rates)."""
+    by_key: Dict[tuple, PCTPoint] = {(p.scheme, p.axis_rate): p for p in points}
+    rates = sorted({p.axis_rate for p in points})
+    if rate is not None:
+        rates = [rate]
+    ratios = []
+    for r in rates:
+        a = by_key.get((better, r))
+        b = by_key.get((worse, r))
+        if a and b and a.p50_ms > 0:
+            ratios.append(b.p50_ms / a.p50_ms)
+    if not ratios:
+        raise ValueError("no shared rates between %r and %r" % (better, worse))
+    return max(ratios)
+
+
+def best_ratio(points: Sequence[PCTPoint], better: str, worse: str) -> float:
+    """Alias for the paper's "up to Nx better" phrasing."""
+    return median_ratio(points, better, worse)

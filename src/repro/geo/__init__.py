@@ -1,0 +1,9 @@
+"""Geographic substrate: 2-bit geo-hashing, consistent hash rings,
+and the level-1/level-2 region model of the paper's §4.3.
+"""
+
+from . import geohash
+from .regions import Region, RegionMap
+from .ring import HashRing
+
+__all__ = ["geohash", "HashRing", "Region", "RegionMap"]

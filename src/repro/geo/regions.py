@@ -1,0 +1,187 @@
+"""Deployment regions: level-1 / level-2 structure over geo-hashes.
+
+Mirrors Fig. 6 of the paper: the deployment area is carved into level-1
+regions (one CTA + a CPF pool + several BSs each, named by a geo-hash of
+fixed precision); dropping the last geo-hash character yields the
+level-2 region grouping four level-1 siblings.  Each region's CTA owns
+two consistent hash rings:
+
+* level-1 ring — the region's own CPFs; hashes a UE id to its primary.
+* level-2 ring — every CPF in the level-2 region; replica placement
+  picks N successors *excluding the level-1 members*, so backups always
+  land outside the primary's region (different failure domains, and the
+  state a Fast Handover needs is already in the neighbor region).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from . import geohash
+from .ring import HashRing
+
+__all__ = ["Region", "RegionMap"]
+
+
+@dataclass
+class Region:
+    """One level-1 region: a geo-hash cell with its nodes' names."""
+
+    geohash: str
+    cta: str
+    cpfs: List[str]
+    bss: List[str] = field(default_factory=list)
+
+    def __post_init__(self):
+        if not self.cpfs:
+            raise ValueError("region %s has no CPFs" % self.geohash)
+
+    @property
+    def level2(self) -> str:
+        return geohash.parent(self.geohash)
+
+
+class RegionMap:
+    """The deployment: regions, their rings, and replica placement."""
+
+    def __init__(self, regions: Iterable[Region], vnodes: int = 64):
+        self.regions: Dict[str, Region] = {}
+        for region in regions:
+            if region.geohash in self.regions:
+                raise ValueError("duplicate region %s" % region.geohash)
+            if len(region.geohash) < 2:
+                raise ValueError(
+                    "region geo-hash %r too short for a level-2 parent" % region.geohash
+                )
+            self.regions[region.geohash] = region
+        if not self.regions:
+            raise ValueError("deployment needs at least one region")
+        self.vnodes = vnodes
+        self._level1_rings: Dict[str, HashRing] = {}
+        self._level2_rings: Dict[str, HashRing] = {}
+        self._bs_region: Dict[str, str] = {}
+        for region in self.regions.values():
+            self._level1_rings[region.geohash] = HashRing(region.cpfs, vnodes)
+            for bs in region.bss:
+                if bs in self._bs_region:
+                    raise ValueError("BS %s in two regions" % bs)
+                self._bs_region[bs] = region.geohash
+        for parent_hash in {r.level2 for r in self.regions.values()}:
+            members = [
+                cpf
+                for r in self.regions.values()
+                if r.level2 == parent_hash
+                for cpf in r.cpfs
+            ]
+            self._level2_rings[parent_hash] = HashRing(members, vnodes)
+
+    # -- lookups -----------------------------------------------------------
+
+    def region(self, region_hash: str) -> Region:
+        try:
+            return self.regions[region_hash]
+        except KeyError:
+            raise KeyError("unknown region %r" % region_hash)
+
+    def region_of_bs(self, bs: str) -> Region:
+        try:
+            return self.regions[self._bs_region[bs]]
+        except KeyError:
+            raise KeyError("BS %r not in any region" % bs)
+
+    def region_of_cpf(self, cpf: str) -> Region:
+        for region in self.regions.values():
+            if cpf in region.cpfs:
+                return region
+        raise KeyError("CPF %r not in any region" % cpf)
+
+    def level1_ring(self, region_hash: str) -> HashRing:
+        return self._level1_rings[self.region(region_hash).geohash]
+
+    def level2_ring(self, region_hash: str) -> HashRing:
+        return self._level2_rings[self.region(region_hash).level2]
+
+    def all_cpfs(self) -> List[str]:
+        return sorted(cpf for r in self.regions.values() for cpf in r.cpfs)
+
+    def all_ctas(self) -> List[str]:
+        return sorted(r.cta for r in self.regions.values())
+
+    # -- generalized multi-level rings (paper footnote 14) ---------------------
+
+    def level_ring(self, region_hash: str, level: int) -> HashRing:
+        """The consistent hash ring over all CPFs within the level-``k``
+        region enclosing ``region_hash``.
+
+        ``level=1`` is the region's own ring; ``level=2`` the paper's
+        level-2 ring; higher levels strip further geo-hash characters
+        (the paper leaves >2 rings as future work; implemented here).
+        Rings are cached after first construction.
+        """
+        region = self.region(region_hash)
+        if level < 1:
+            raise ValueError("level must be >= 1")
+        if level == 1:
+            return self._level1_rings[region.geohash]
+        prefix = region.geohash[: -(level - 1)]
+        if not prefix:
+            prefix = ""  # whole deployment
+        cache = getattr(self, "_prefix_rings", None)
+        if cache is None:
+            cache = {}
+            self._prefix_rings = cache
+        ring = cache.get(prefix)
+        if ring is None:
+            members = [
+                cpf
+                for r in self.regions.values()
+                if r.geohash.startswith(prefix)
+                for cpf in r.cpfs
+            ]
+            ring = HashRing(members, self.vnodes)
+            cache[prefix] = ring
+        return ring
+
+    def shares_level(self, region_a: str, region_b: str, level: int) -> bool:
+        """Whether two regions fall under one level-``k`` region."""
+        if level < 1:
+            raise ValueError("level must be >= 1")
+        if level == 1:
+            return region_a == region_b
+        a = self.region(region_a).geohash[: -(level - 1)]
+        b = self.region(region_b).geohash[: -(level - 1)]
+        return a == b
+
+    # -- placement (§4.3) ---------------------------------------------------
+
+    def primary_for(self, ue_key: str, region_hash: str) -> str:
+        """Primary CPF: hash of the UE id on the region's level-1 ring."""
+        return self.level1_ring(region_hash).lookup(ue_key)
+
+    def replicas_for(
+        self, ue_key: str, region_hash: str, n: int, level: int = 2
+    ) -> List[str]:
+        """N backup CPFs on the level-``k`` ring, outside the level-1 ring.
+
+        ``level=2`` is the paper's placement; higher levels spread the
+        replicas over a wider geography (more handovers become Fast
+        Handovers at the cost of longer checkpoint paths).  If the ring
+        has no CPFs outside this region (single-region deployments),
+        fall back to level-1 members other than the primary so
+        replication still works, mirroring a degenerate deployment.
+        """
+        region = self.region(region_hash)
+        ring2 = self.level_ring(region_hash, max(level, 2))
+        replicas = ring2.successors(ue_key, n, exclude=region.cpfs)
+        if len(replicas) < n:
+            primary = self.primary_for(ue_key, region_hash)
+            extra = self.level1_ring(region_hash).successors(
+                ue_key, n - len(replicas), exclude=[primary] + replicas
+            )
+            replicas.extend(extra)
+        return replicas
+
+    def shares_level2(self, region_a: str, region_b: str) -> bool:
+        """Whether a handover between these regions can be a Fast Handover."""
+        return self.region(region_a).level2 == self.region(region_b).level2

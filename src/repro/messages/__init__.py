@@ -1,0 +1,22 @@
+"""Cellular control messages: IEs, S1AP/NAS/S11 schemas, procedures.
+
+* :mod:`repro.messages.ies` — shared information elements.
+* :mod:`repro.messages.s1ap` — S1AP-style messages + sample builders.
+* :mod:`repro.messages.nas` — NAS-style messages carried in NAS PDUs.
+* :mod:`repro.messages.s11` — CPF->UPF session management messages.
+* :mod:`repro.messages.procedures` — control procedures as message flows.
+* :data:`CATALOG` — the message catalog with per-codec wire caching.
+"""
+
+from .procedures import PROCEDURES, ProcedureSpec, Step, get_procedure, procedure_names
+from .registry import CATALOG, MessageCatalog
+
+__all__ = [
+    "CATALOG",
+    "MessageCatalog",
+    "PROCEDURES",
+    "ProcedureSpec",
+    "Step",
+    "get_procedure",
+    "procedure_names",
+]

@@ -1,0 +1,328 @@
+"""Information elements (IEs) shared across S1AP/NAS-style messages.
+
+These mirror the structures of 3GPP TS 36.413 (S1AP) and TS 24.301 (NAS)
+closely enough to exercise everything the paper's serialization analysis
+cares about: range-constrained unsigned integers, nested sequences, BIT
+STRINGs, OCTET STRINGs, and — pervasively — CHOICEs (unions), often
+wrapping a single value (the svtable target).
+"""
+
+from __future__ import annotations
+
+from ..codec.schema import (
+    ArrayType,
+    BitStringType,
+    BytesType,
+    EnumType,
+    Field,
+    IntType,
+    StringType,
+    TableType,
+    UnionType,
+)
+
+__all__ = [
+    "ENB_UE_S1AP_ID",
+    "MME_UE_S1AP_ID",
+    "M_TMSI",
+    "ERAB_ID",
+    "TEID",
+    "PLMN_IDENTITY",
+    "TAC",
+    "TAI",
+    "EUTRAN_CGI",
+    "GUTI",
+    "EPS_MOBILE_IDENTITY",
+    "CAUSE",
+    "UE_S1AP_IDS",
+    "SECURITY_KEY",
+    "UE_SECURITY_CAPABILITIES",
+    "ERAB_LEVEL_QOS",
+    "GBR_QOS_INFO",
+    "TRANSPORT_LAYER_ADDRESS",
+    "ERAB_TO_BE_SETUP_ITEM",
+    "ERAB_SETUP_ITEM",
+    "ERAB_FAILED_ITEM",
+    "ERAB_TO_BE_MODIFIED_ITEM",
+    "ERAB_MODIFY_ITEM",
+    "TAI_LIST",
+    "NAS_PDU",
+    "HANDOVER_TYPE",
+    "TARGET_ID",
+    "RRC_ESTABLISHMENT_CAUSE",
+    "UE_AGGREGATE_MAX_BITRATE",
+    "SOURCE_TO_TARGET_CONTAINER",
+]
+
+# -- identifiers ------------------------------------------------------------
+
+#: eNB-assigned UE id on the S1 interface (TS 36.413: 0..2^24-1).
+ENB_UE_S1AP_ID = IntType(32, lo=0, hi=(1 << 24) - 1)
+
+#: MME-assigned UE id on the S1 interface (0..2^32-1).
+MME_UE_S1AP_ID = IntType(32)
+
+#: MME Temporary Mobile Subscriber Identity; the CTA keys its per-UE
+#: routing and message log on this value (paper §4.3, footnote 15).
+M_TMSI = IntType(32)
+
+#: E-RAB (bearer) identifier, 0..15.
+ERAB_ID = IntType(8, lo=0, hi=15)
+
+#: GTP tunnel endpoint id.
+TEID = BytesType(max_len=4)
+
+#: PLMN = MCC+MNC packed into 3 octets.
+PLMN_IDENTITY = BytesType(max_len=3)
+
+#: Tracking area code.
+TAC = IntType(16)
+
+TAI = TableType(
+    "TAI",
+    [
+        Field("plmn_identity", PLMN_IDENTITY),
+        Field("tac", TAC),
+    ],
+)
+
+#: Cell global id: PLMN + 28-bit cell identity (BIT STRING).
+EUTRAN_CGI = TableType(
+    "EUTRAN-CGI",
+    [
+        Field("plmn_identity", PLMN_IDENTITY),
+        Field("cell_id", BitStringType(28)),
+    ],
+)
+
+GUTI = TableType(
+    "GUTI",
+    [
+        Field("plmn_identity", PLMN_IDENTITY),
+        Field("mme_group_id", IntType(16)),
+        Field("mme_code", IntType(8)),
+        Field("m_tmsi", M_TMSI),
+    ],
+)
+
+#: NAS EPS mobile identity: IMSI digits or a GUTI (TS 24.301 §9.9.3.12).
+EPS_MOBILE_IDENTITY = UnionType(
+    "EPS-Mobile-Identity",
+    [
+        ("imsi", BytesType(max_len=8)),  # BCD-packed digits
+        ("guti", GUTI),
+    ],
+)
+
+# -- cause: the canonical single-value CHOICE -------------------------------
+
+_CAUSE_RADIO = EnumType(
+    "CauseRadioNetwork",
+    [
+        "unspecified",
+        "handover_triggered",
+        "tx2relocoverall_expiry",
+        "successful_handover",
+        "release_due_to_eutran_generated_reason",
+        "user_inactivity",
+        "radio_connection_with_ue_lost",
+    ],
+)
+_CAUSE_TRANSPORT = EnumType(
+    "CauseTransport", ["transport_resource_unavailable", "unspecified"]
+)
+_CAUSE_NAS = EnumType(
+    "CauseNas", ["normal_release", "authentication_failure", "detach", "unspecified"]
+)
+_CAUSE_PROTOCOL = EnumType(
+    "CauseProtocol",
+    [
+        "transfer_syntax_error",
+        "abstract_syntax_error_reject",
+        "message_not_compatible",
+        "semantic_error",
+        "unspecified",
+    ],
+)
+_CAUSE_MISC = EnumType(
+    "CauseMisc",
+    [
+        "control_processing_overload",
+        "not_enough_user_plane_resources",
+        "hardware_failure",
+        "om_intervention",
+        "unspecified",
+    ],
+)
+
+#: S1AP Cause: a CHOICE whose every alternative is a single enum — the
+#: paper's motivating case for svtable.
+CAUSE = UnionType(
+    "Cause",
+    [
+        ("radio_network", _CAUSE_RADIO),
+        ("transport", _CAUSE_TRANSPORT),
+        ("nas", _CAUSE_NAS),
+        ("protocol", _CAUSE_PROTOCOL),
+        ("misc", _CAUSE_MISC),
+    ],
+)
+
+#: UE-S1AP-IDs: another CHOICE with a single-scalar alternative.
+UE_S1AP_IDS = UnionType(
+    "UE-S1AP-IDs",
+    [
+        (
+            "id_pair",
+            TableType(
+                "UE-S1AP-ID-pair",
+                [
+                    Field("mme_ue_s1ap_id", MME_UE_S1AP_ID),
+                    Field("enb_ue_s1ap_id", ENB_UE_S1AP_ID),
+                ],
+            ),
+        ),
+        ("mme_ue_s1ap_id", MME_UE_S1AP_ID),
+    ],
+)
+
+# -- security ----------------------------------------------------------------
+
+#: KeNB / NH: 256-bit key as a BIT STRING.
+SECURITY_KEY = BitStringType(256)
+
+UE_SECURITY_CAPABILITIES = TableType(
+    "UESecurityCapabilities",
+    [
+        Field("encryption_algorithms", BitStringType(16)),
+        Field("integrity_protection_algorithms", BitStringType(16)),
+    ],
+)
+
+# -- bearers & QoS ------------------------------------------------------------
+
+GBR_QOS_INFO = TableType(
+    "GBR-QosInformation",
+    [
+        Field("erab_maximum_bitrate_dl", IntType(64, lo=0, hi=10_000_000_000)),
+        Field("erab_maximum_bitrate_ul", IntType(64, lo=0, hi=10_000_000_000)),
+        Field("erab_guaranteed_bitrate_dl", IntType(64, lo=0, hi=10_000_000_000)),
+        Field("erab_guaranteed_bitrate_ul", IntType(64, lo=0, hi=10_000_000_000)),
+    ],
+)
+
+ERAB_LEVEL_QOS = TableType(
+    "E-RABLevelQoSParameters",
+    [
+        Field("qci", IntType(8, lo=0, hi=255)),
+        Field("priority_level", IntType(8, lo=0, hi=15)),
+        Field("preemption_capability", EnumType("PreemptCap", ["may", "shall_not"])),
+        Field("preemption_vulnerability", EnumType("PreemptVul", ["yes", "no"])),
+        Field("gbr_qos_information", GBR_QOS_INFO, optional=True),
+    ],
+)
+
+#: IPv4/IPv6 address as a BIT STRING (we use the IPv4 width).
+TRANSPORT_LAYER_ADDRESS = BitStringType(32)
+
+ERAB_TO_BE_SETUP_ITEM = TableType(
+    "E-RABToBeSetupItem",
+    [
+        Field("erab_id", ERAB_ID),
+        Field("erab_level_qos", ERAB_LEVEL_QOS),
+        Field("transport_layer_address", TRANSPORT_LAYER_ADDRESS),
+        Field("gtp_teid", TEID),
+        Field("nas_pdu", BytesType(), optional=True),
+    ],
+)
+
+ERAB_SETUP_ITEM = TableType(
+    "E-RABSetupItem",
+    [
+        Field("erab_id", ERAB_ID),
+        Field("transport_layer_address", TRANSPORT_LAYER_ADDRESS),
+        Field("gtp_teid", TEID),
+    ],
+)
+
+#: (E-RAB-ID, Cause) pair reported for bearers that failed to set up —
+#: each carries a Cause CHOICE (TS 36.413 E-RAB-Item), one of the
+#: union-heavy structures the svtable optimization targets.
+ERAB_FAILED_ITEM = TableType(
+    "E-RABFailedItem",
+    [
+        Field("erab_id", ERAB_ID),
+        Field("cause", CAUSE),
+    ],
+)
+
+ERAB_TO_BE_MODIFIED_ITEM = TableType(
+    "E-RABToBeModifiedItem",
+    [
+        Field("erab_id", ERAB_ID),
+        Field("erab_level_qos", ERAB_LEVEL_QOS),
+        Field("nas_pdu", BytesType()),
+    ],
+)
+
+ERAB_MODIFY_ITEM = TableType(
+    "E-RABModifyItem",
+    [
+        Field("erab_id", ERAB_ID),
+    ],
+)
+
+#: Tracking area identity list handed to the UE at attach; UE and core
+#: must agree on it or paging breaks (§4.2.1's consistency example).
+TAI_LIST = ArrayType(TAI, max_len=16)
+
+#: Opaque NAS payload carried inside S1AP.
+NAS_PDU = BytesType()
+
+HANDOVER_TYPE = EnumType(
+    "HandoverType",
+    ["intralte", "ltetoutran", "ltetogeran", "utrantolte", "gerantolte"],
+)
+
+#: Handover target: CHOICE of target eNB / RNC / cell — union with
+#: table and scalar-ish alternatives.
+TARGET_ID = UnionType(
+    "TargetID",
+    [
+        (
+            "targeteNB_ID",
+            TableType(
+                "TargeteNB-ID",
+                [
+                    Field("global_enb_id", BitStringType(20)),
+                    Field("selected_tai", TAI),
+                ],
+            ),
+        ),
+        ("targetRNC_ID", IntType(16)),
+        ("cGI", EUTRAN_CGI),
+    ],
+)
+
+RRC_ESTABLISHMENT_CAUSE = EnumType(
+    "RRC-Establishment-Cause",
+    [
+        "emergency",
+        "high_priority_access",
+        "mt_access",
+        "mo_signalling",
+        "mo_data",
+        "delay_tolerant_access",
+    ],
+)
+
+UE_AGGREGATE_MAX_BITRATE = TableType(
+    "UEAggregateMaximumBitrate",
+    [
+        Field("ue_ambr_dl", IntType(64, lo=0, hi=10_000_000_000)),
+        Field("ue_ambr_ul", IntType(64, lo=0, hi=10_000_000_000)),
+    ],
+)
+
+#: Transparent RRC container moved source->target during handover.
+SOURCE_TO_TARGET_CONTAINER = BytesType()

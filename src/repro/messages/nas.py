@@ -1,0 +1,237 @@
+"""NAS-style messages (TS 24.301 shapes) carried inside S1AP NAS PDUs.
+
+NAS messages run end-to-end between the UE and the CPF; the base station
+relays them opaquely.  We define their schemas so that the simulated UE
+and CPF exchange *real encoded bytes* for both layers, and so the NAS
+share of per-message serialization work is represented in message sizes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from ..codec.schema import (
+    ArrayType,
+    BitStringType,
+    BytesType,
+    EnumType,
+    Field,
+    IntType,
+    TableType,
+)
+from . import ies
+
+__all__ = [
+    "ATTACH_REQUEST",
+    "ATTACH_ACCEPT",
+    "ATTACH_COMPLETE",
+    "AUTHENTICATION_REQUEST",
+    "AUTHENTICATION_RESPONSE",
+    "SECURITY_MODE_COMMAND",
+    "SECURITY_MODE_COMPLETE",
+    "SERVICE_REQUEST",
+    "TRACKING_AREA_UPDATE_REQUEST",
+    "TRACKING_AREA_UPDATE_ACCEPT",
+    "DETACH_REQUEST",
+    "sample_value",
+]
+
+_EPS_ATTACH_TYPE = EnumType("EPSAttachType", ["eps_attach", "combined", "emergency"])
+_EPS_ATTACH_RESULT = EnumType("EPSAttachResult", ["eps_only", "combined"])
+
+ATTACH_REQUEST = TableType(
+    "AttachRequest",
+    [
+        Field("eps_attach_type", _EPS_ATTACH_TYPE),
+        Field("nas_key_set_identifier", IntType(8, lo=0, hi=7)),
+        Field("eps_mobile_identity", ies.EPS_MOBILE_IDENTITY),
+        Field("ue_network_capability", BytesType(max_len=13)),
+        Field("esm_message_container", BytesType()),
+        Field("last_visited_tai", ies.TAI, optional=True),
+        Field("drx_parameter", BytesType(max_len=2), optional=True),
+        Field("ms_network_capability", BytesType(max_len=10), optional=True),
+        Field("old_guti_type", EnumType("GUTIType", ["native", "mapped"]), optional=True),
+    ],
+)
+
+ATTACH_ACCEPT = TableType(
+    "AttachAccept",
+    [
+        Field("eps_attach_result", _EPS_ATTACH_RESULT),
+        Field("t3412_value", IntType(8)),
+        Field("tai_list", ies.TAI_LIST),
+        Field("esm_message_container", BytesType()),
+        Field("guti", ies.GUTI, optional=True),
+        Field("emm_cause", IntType(8), optional=True),
+        Field("t3402_value", IntType(8), optional=True),
+        Field("eps_network_feature_support", BitStringType(8), optional=True),
+    ],
+)
+
+ATTACH_COMPLETE = TableType(
+    "AttachComplete",
+    [
+        Field("esm_message_container", BytesType()),
+    ],
+)
+
+AUTHENTICATION_REQUEST = TableType(
+    "AuthenticationRequest",
+    [
+        Field("nas_key_set_identifier", IntType(8, lo=0, hi=7)),
+        Field("rand", BytesType(max_len=16)),
+        Field("autn", BytesType(max_len=16)),
+    ],
+)
+
+AUTHENTICATION_RESPONSE = TableType(
+    "AuthenticationResponse",
+    [
+        Field("res", BytesType(max_len=16)),
+    ],
+)
+
+SECURITY_MODE_COMMAND = TableType(
+    "SecurityModeCommand",
+    [
+        Field("selected_nas_security_algorithms", BitStringType(8)),
+        Field("nas_key_set_identifier", IntType(8, lo=0, hi=7)),
+        Field("replayed_ue_security_capabilities", ies.UE_SECURITY_CAPABILITIES),
+        Field("imeisv_request", EnumType("IMEISVRequest", ["requested", "not_requested"]), optional=True),
+        Field("replayed_nonce_ue", IntType(32), optional=True),
+        Field("nonce_mme", IntType(32), optional=True),
+    ],
+)
+
+SECURITY_MODE_COMPLETE = TableType(
+    "SecurityModeComplete",
+    [
+        Field("imeisv", BytesType(max_len=9), optional=True),
+    ],
+)
+
+SERVICE_REQUEST = TableType(
+    "NASServiceRequest",
+    [
+        Field("ksi_and_sequence_number", IntType(8)),
+        Field("short_mac", BytesType(max_len=2)),
+        Field("m_tmsi", ies.M_TMSI),
+        Field("eps_bearer_context_status", BitStringType(16), optional=True),
+        Field("device_properties", EnumType("DeviceProps", ["normal", "low_priority"]), optional=True),
+    ],
+)
+
+TRACKING_AREA_UPDATE_REQUEST = TableType(
+    "TrackingAreaUpdateRequest",
+    [
+        Field("eps_update_type", EnumType("EPSUpdateType", ["ta", "combined", "periodic"])),
+        Field("nas_key_set_identifier", IntType(8, lo=0, hi=7)),
+        Field("old_guti", ies.GUTI),
+        Field("ue_network_capability", BytesType(max_len=13), optional=True),
+        Field("last_visited_tai", ies.TAI, optional=True),
+        Field("eps_bearer_context_status", BitStringType(16), optional=True),
+    ],
+)
+
+TRACKING_AREA_UPDATE_ACCEPT = TableType(
+    "TrackingAreaUpdateAccept",
+    [
+        Field("eps_update_result", EnumType("EPSUpdateResult", ["ta", "combined"])),
+        Field("t3412_value", IntType(8), optional=True),
+        Field("guti", ies.GUTI, optional=True),
+        Field("tai_list", ies.TAI_LIST, optional=True),
+        Field("eps_bearer_context_status", BitStringType(16), optional=True),
+    ],
+)
+
+DETACH_REQUEST = TableType(
+    "DetachRequest",
+    [
+        Field("detach_type", EnumType("DetachType", ["eps", "imsi", "combined"])),
+        Field("nas_key_set_identifier", IntType(8, lo=0, hi=7)),
+        Field("eps_mobile_identity", ies.EPS_MOBILE_IDENTITY),
+    ],
+)
+
+_PLMN = b"\x21\xf3\x54"
+
+
+def _guti(ue: int) -> Dict[str, Any]:
+    return {
+        "plmn_identity": _PLMN,
+        "mme_group_id": 0x8001,
+        "mme_code": 1,
+        "m_tmsi": ue & 0xFFFFFFFF,
+    }
+
+
+_SAMPLES = {
+    "AttachRequest": lambda ue: {
+        "eps_attach_type": "eps_attach",
+        "nas_key_set_identifier": 1,
+        "eps_mobile_identity": ("guti", _guti(ue)),
+        "ue_network_capability": b"\xe0\xe0\x00\x08",
+        "esm_message_container": b"\x02\x01\xd0\x11" * 4,
+        "last_visited_tai": {"plmn_identity": _PLMN, "tac": 0x1234},
+    },
+    "AttachAccept": lambda ue: {
+        "eps_attach_result": "eps_only",
+        "t3412_value": 54,
+        "tai_list": [
+            {"plmn_identity": _PLMN, "tac": 0x1234},
+            {"plmn_identity": _PLMN, "tac": 0x1235},
+        ],
+        "esm_message_container": b"\x02\x01\xc1\x05" * 6,
+        "guti": _guti(ue),
+        "eps_network_feature_support": (0x01, 8),
+    },
+    "AttachComplete": lambda ue: {"esm_message_container": b"\x02\x01\xc2"},
+    "AuthenticationRequest": lambda ue: {
+        "nas_key_set_identifier": 1,
+        "rand": bytes(range(16)),
+        "autn": bytes(range(16, 32)),
+    },
+    "AuthenticationResponse": lambda ue: {"res": bytes(range(8))},
+    "SecurityModeCommand": lambda ue: {
+        "selected_nas_security_algorithms": (0x11, 8),
+        "nas_key_set_identifier": 1,
+        "replayed_ue_security_capabilities": {
+            "encryption_algorithms": (0xE000, 16),
+            "integrity_protection_algorithms": (0xE000, 16),
+        },
+        "imeisv_request": "requested",
+    },
+    "SecurityModeComplete": lambda ue: {"imeisv": b"\x53\x08\x04\x02\x07\x74\x10\x95\xf1"},
+    "NASServiceRequest": lambda ue: {
+        "ksi_and_sequence_number": 0x21,
+        "short_mac": b"\xab\xcd",
+        "m_tmsi": ue & 0xFFFFFFFF,
+        "eps_bearer_context_status": (0x2000, 16),
+    },
+    "TrackingAreaUpdateRequest": lambda ue: {
+        "eps_update_type": "ta",
+        "nas_key_set_identifier": 1,
+        "old_guti": _guti(ue),
+        "last_visited_tai": {"plmn_identity": _PLMN, "tac": 0x1234},
+    },
+    "TrackingAreaUpdateAccept": lambda ue: {
+        "eps_update_result": "ta",
+        "t3412_value": 54,
+        "guti": _guti(ue),
+        "tai_list": [{"plmn_identity": _PLMN, "tac": 0x1235}],
+    },
+    "DetachRequest": lambda ue: {
+        "detach_type": "eps",
+        "nas_key_set_identifier": 1,
+        "eps_mobile_identity": ("guti", _guti(ue)),
+    },
+}
+
+
+def sample_value(schema: TableType, ue_id: int = 0x0100_0001) -> Dict[str, Any]:
+    """A realistic sample value for one of the NAS schemas above."""
+    try:
+        factory = _SAMPLES[schema.name]
+    except KeyError:
+        raise KeyError("no sample builder for NAS message %r" % schema.name)
+    return factory(ue_id)

@@ -1,0 +1,129 @@
+"""Message catalog: every control message, its schema, sample, and
+per-codec cached wire properties.
+
+The simulator prices each simulated message from real encodings: the
+catalog encodes the sample value of every message with every codec once
+and caches ``(encoded_size, element_count)``.  That makes "FlatBuffers
+messages are bigger but cheaper to process" an emergent property of the
+actual codec implementations rather than a hard-coded table.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from ..codec.base import UnsupportedSchema, get_codec
+from ..codec.schema import TableType, count_elements
+from . import nas, s1ap, s11
+
+__all__ = ["MessageCatalog", "CATALOG"]
+
+
+def _collect() -> Dict[str, Tuple[TableType, Any]]:
+    """All message schemas with their sample values, keyed by name."""
+    out: Dict[str, Tuple[TableType, Any]] = {}
+    for module, sampler in ((s1ap, s1ap.sample_value), (s11, s11.sample_value)):
+        for attr in module.__all__:
+            schema = getattr(module, attr)
+            if isinstance(schema, TableType):
+                out[schema.name] = (schema, sampler(schema))
+    for attr in nas.__all__:
+        schema = getattr(nas, attr)
+        if isinstance(schema, TableType):
+            out[schema.name] = (schema, nas.sample_value(schema))
+    return out
+
+
+class MessageCatalog:
+    """Schema + sample lookup with per-codec wire-size caching."""
+
+    def __init__(self):
+        self._messages = _collect()
+        self._wire_cache: Dict[Tuple[str, str], int] = {}
+        self._element_cache: Dict[str, int] = {}
+
+    def names(self) -> List[str]:
+        return sorted(self._messages)
+
+    def schema(self, name: str) -> TableType:
+        return self._entry(name)[0]
+
+    def sample(self, name: str) -> Any:
+        return self._entry(name)[1]
+
+    def _entry(self, name: str) -> Tuple[TableType, Any]:
+        try:
+            return self._messages[name]
+        except KeyError:
+            raise KeyError("unknown control message %r" % name)
+
+    def element_count(self, name: str) -> int:
+        """Number of leaf IEs in the sample value (Fig. 18 x-axis)."""
+        cached = self._element_cache.get(name)
+        if cached is None:
+            schema, sample = self._entry(name)
+            cached = count_elements(sample, schema)
+            self._element_cache[name] = cached
+        return cached
+
+    def wire_size(self, name: str, codec_name: str) -> int:
+        """Encoded size of the sample value under ``codec_name`` (bytes)."""
+        key = (name, codec_name)
+        cached = self._wire_cache.get(key)
+        if cached is None:
+            schema, sample = self._entry(name)
+            codec = get_codec(codec_name)
+            cached = len(codec.encode(schema, sample))
+            self._wire_cache[key] = cached
+        return cached
+
+    def composed_wire_size(
+        self, s1ap_name: str, nas_name: Optional[str], codec_name: str
+    ) -> int:
+        """S1AP size with the *real* encoded NAS message as its payload.
+
+        NAS messages ride inside the S1AP ``nas_pdu`` octet string; the
+        bytes on the wire therefore depend on both layers' encodings.
+        Falls back to :meth:`wire_size` when the step carries no NAS
+        message or the S1AP schema has no ``nas_pdu`` field.
+        """
+        if nas_name is None:
+            return self.wire_size(s1ap_name, codec_name)
+        key = (s1ap_name, nas_name, codec_name)
+        cached = self._wire_cache.get(key)
+        if cached is not None:
+            return cached
+        schema, sample = self._entry(s1ap_name)
+        if "nas_pdu" not in schema.field_map:
+            size = self.wire_size(s1ap_name, codec_name)
+        else:
+            nas_bytes = self.encode(nas_name, codec_name)
+            composed = dict(sample)
+            composed["nas_pdu"] = nas_bytes
+            size = len(get_codec(codec_name).encode(schema, composed))
+        self._wire_cache[key] = size
+        return size
+
+    def encode(self, name: str, codec_name: str, value: Any = None) -> bytes:
+        """Real encoding (sample value unless one is given)."""
+        schema, sample = self._entry(name)
+        return get_codec(codec_name).encode(schema, value if value is not None else sample)
+
+    def decode(self, name: str, codec_name: str, data: bytes) -> Any:
+        return get_codec(codec_name).decode(self.schema(name), data)
+
+    def supported_by(self, codec_name: str) -> List[str]:
+        """Messages this codec can express (LCM rejects most of them)."""
+        codec = get_codec(codec_name)
+        names = []
+        for name, (schema, _sample) in sorted(self._messages.items()):
+            try:
+                codec.check_schema(schema)
+                names.append(name)
+            except UnsupportedSchema:
+                continue
+        return names
+
+
+#: Shared singleton; the catalog is immutable after construction.
+CATALOG = MessageCatalog()

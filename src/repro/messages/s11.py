@@ -1,0 +1,163 @@
+"""S11-style (GTP-C-like) session management messages, CPF -> UPF.
+
+The paper interfaces its CPF with Intel's 5G UPF over the S11 interface
+(§6.6): create session, modify bearer, delete session.  These messages
+ride the CPF-UPF hop in the simulator and never cross the CTA, so they
+are not logged; they do consume CPF and UPF service time.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from ..codec.schema import (
+    ArrayType,
+    BytesType,
+    EnumType,
+    Field,
+    IntType,
+    TableType,
+)
+from . import ies
+
+__all__ = [
+    "CREATE_SESSION_REQUEST",
+    "CREATE_SESSION_RESPONSE",
+    "MODIFY_BEARER_REQUEST",
+    "MODIFY_BEARER_RESPONSE",
+    "RELEASE_ACCESS_BEARERS_REQUEST",
+    "RELEASE_ACCESS_BEARERS_RESPONSE",
+    "DELETE_SESSION_REQUEST",
+    "DELETE_SESSION_RESPONSE",
+    "sample_value",
+]
+
+_BEARER_CONTEXT = TableType(
+    "BearerContext",
+    [
+        Field("eps_bearer_id", ies.ERAB_ID),
+        Field("s1u_enb_teid", ies.TEID, optional=True),
+        Field("s1u_sgw_teid", ies.TEID, optional=True),
+        Field("qci", IntType(8, lo=0, hi=255)),
+    ],
+)
+
+CREATE_SESSION_REQUEST = TableType(
+    "CreateSessionRequest",
+    [
+        Field("imsi", BytesType(max_len=8)),
+        Field("msisdn", BytesType(max_len=8), optional=True),
+        Field("serving_network", ies.PLMN_IDENTITY),
+        Field("rat_type", EnumType("RATType", ["eutran", "nr", "wlan"])),
+        Field("sender_teid", ies.TEID),
+        Field("apn", BytesType(max_len=32)),
+        Field("pdn_type", EnumType("PDNType", ["ipv4", "ipv6", "ipv4v6"])),
+        Field("bearer_contexts", ArrayType(_BEARER_CONTEXT, max_len=8)),
+    ],
+)
+
+CREATE_SESSION_RESPONSE = TableType(
+    "CreateSessionResponse",
+    [
+        Field("cause", IntType(8)),
+        Field("sender_teid", ies.TEID),
+        Field("paa", BytesType(max_len=16)),
+        Field("bearer_contexts", ArrayType(_BEARER_CONTEXT, max_len=8)),
+    ],
+)
+
+MODIFY_BEARER_REQUEST = TableType(
+    "ModifyBearerRequest",
+    [
+        Field("sender_teid", ies.TEID),
+        Field("bearer_contexts", ArrayType(_BEARER_CONTEXT, max_len=8)),
+        Field("indication_flags", BytesType(max_len=4), optional=True),
+    ],
+)
+
+MODIFY_BEARER_RESPONSE = TableType(
+    "ModifyBearerResponse",
+    [
+        Field("cause", IntType(8)),
+        Field("bearer_contexts", ArrayType(_BEARER_CONTEXT, max_len=8)),
+    ],
+)
+
+RELEASE_ACCESS_BEARERS_REQUEST = TableType(
+    "ReleaseAccessBearersRequest",
+    [
+        Field("sender_teid", ies.TEID),
+        Field("node_type", EnumType("NodeType", ["mme", "sgsn"]), optional=True),
+    ],
+)
+
+RELEASE_ACCESS_BEARERS_RESPONSE = TableType(
+    "ReleaseAccessBearersResponse",
+    [
+        Field("cause", IntType(8)),
+    ],
+)
+
+DELETE_SESSION_REQUEST = TableType(
+    "DeleteSessionRequest",
+    [
+        Field("sender_teid", ies.TEID),
+        Field("linked_eps_bearer_id", ies.ERAB_ID),
+    ],
+)
+
+DELETE_SESSION_RESPONSE = TableType(
+    "DeleteSessionResponse",
+    [
+        Field("cause", IntType(8)),
+    ],
+)
+
+
+def _bearer(teid: bytes = b"\x00\x00\x10\x01") -> Dict[str, Any]:
+    return {"eps_bearer_id": 5, "s1u_sgw_teid": teid, "qci": 9}
+
+
+_SAMPLES = {
+    "CreateSessionRequest": lambda ue: {
+        "imsi": b"\x21\x43\x65\x87\x09\x21\x43\xf5",
+        "serving_network": b"\x21\xf3\x54",
+        "rat_type": "eutran",
+        "sender_teid": (ue & 0xFFFFFFFF).to_bytes(4, "big"),
+        "apn": b"internet.mnc345.mcc123.gprs",
+        "pdn_type": "ipv4",
+        "bearer_contexts": [_bearer()],
+    },
+    "CreateSessionResponse": lambda ue: {
+        "cause": 16,  # accepted
+        "sender_teid": (ue & 0xFFFFFFFF).to_bytes(4, "big"),
+        "paa": b"\x0a\x00\x00\x02",
+        "bearer_contexts": [_bearer(b"\x00\x00\x20\x01")],
+    },
+    "ModifyBearerRequest": lambda ue: {
+        "sender_teid": (ue & 0xFFFFFFFF).to_bytes(4, "big"),
+        "bearer_contexts": [_bearer(b"\x00\x00\x30\x01")],
+    },
+    "ModifyBearerResponse": lambda ue: {
+        "cause": 16,
+        "bearer_contexts": [_bearer(b"\x00\x00\x30\x01")],
+    },
+    "ReleaseAccessBearersRequest": lambda ue: {
+        "sender_teid": (ue & 0xFFFFFFFF).to_bytes(4, "big"),
+    },
+    "ReleaseAccessBearersResponse": lambda ue: {"cause": 16},
+    "DeleteSessionRequest": lambda ue: {
+        "sender_teid": (ue & 0xFFFFFFFF).to_bytes(4, "big"),
+        "linked_eps_bearer_id": 5,
+    },
+    "DeleteSessionResponse": lambda ue: {"cause": 16},
+}
+
+
+def sample_value(schema: TableType, ue_id: int = 0x0100_0001) -> Dict[str, Any]:
+    """A realistic sample value for one of the S11 schemas above."""
+    try:
+        factory = _SAMPLES[schema.name]
+    except KeyError:
+        raise KeyError("no sample builder for S11 message %r" % schema.name)
+    return factory(ue_id)

@@ -1,0 +1,40 @@
+"""Discrete-event simulation substrate (testbed substitute).
+
+Public surface:
+
+* :class:`Simulator`, :class:`Event`, :class:`Process`, :class:`Interrupt`
+  — the event loop and coroutine model.
+* :class:`Server`, :class:`Store`, :class:`NodeFailed` — queued
+  processing nodes with failure injection.
+* :class:`Link`, :class:`LatencyModel` — network hops.
+* :class:`Tally`, :class:`Counter`, :class:`TimeWeighted` — probes.
+* :class:`RngRegistry` — deterministic named random streams.
+"""
+
+from .core import AllOf, AnyOf, Event, Interrupt, Process, Simulator, Timeout
+from .monitor import Counter, Tally, TimeWeighted, percentile, summarize
+from .network import LatencyModel, Link
+from .node import NodeFailed, Server, Store
+from .rng import RngRegistry, stream_seed
+
+__all__ = [
+    "Simulator",
+    "Event",
+    "Timeout",
+    "Process",
+    "Interrupt",
+    "AllOf",
+    "AnyOf",
+    "Server",
+    "Store",
+    "NodeFailed",
+    "Link",
+    "LatencyModel",
+    "Tally",
+    "Counter",
+    "TimeWeighted",
+    "percentile",
+    "summarize",
+    "RngRegistry",
+    "stream_seed",
+]

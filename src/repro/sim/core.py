@@ -1,0 +1,354 @@
+"""Discrete-event simulation kernel.
+
+This module provides the event loop used by every simulated component in
+the reproduction: a binary-heap scheduler with a floating-point clock (in
+seconds), condition-variable style :class:`Event` objects, and
+generator-based :class:`Process` coroutines in the style of SimPy.
+
+The kernel replaces the paper's DPDK testbed.  All protocol logic (CTA,
+CPF, UE, base station) runs as processes on top of this loop, so latency
+and queueing behaviour emerge from explicit service times and link delays
+rather than being asserted.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
+
+__all__ = [
+    "Simulator",
+    "Event",
+    "Timeout",
+    "Process",
+    "Interrupt",
+    "AllOf",
+    "AnyOf",
+]
+
+
+class Interrupt(Exception):
+    """Raised inside a process generator when it is interrupted.
+
+    Used for failure injection: killing a CPF interrupts its worker loops.
+    The ``cause`` attribute carries an arbitrary payload describing why.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot event that processes can wait on.
+
+    An event starts *pending*; it can be made to ``succeed(value)`` or
+    ``fail(exception)`` exactly once.  Processes that yield a pending event
+    are resumed when it fires.  Yielding an already-fired event resumes the
+    process on the next scheduler step (never synchronously), keeping
+    process semantics uniform.
+    """
+
+    __slots__ = ("sim", "_value", "_exc", "_fired", "_waiters", "_cancelled", "name")
+
+    def __init__(self, sim: "Simulator", name: str = ""):
+        self.sim = sim
+        self.name = name
+        self._value: Any = None
+        self._exc: Optional[BaseException] = None
+        self._fired = False
+        self._cancelled = False
+        self._waiters: List[Callable[["Event"], None]] = []
+
+    @property
+    def fired(self) -> bool:
+        return self._fired
+
+    @property
+    def cancelled(self) -> bool:
+        """True once the waiter abandoned this event (e.g. interrupted).
+
+        Producers holding a reference (queues, stores) must skip
+        cancelled events instead of delivering into the void.
+        """
+        return self._cancelled
+
+    def cancel(self) -> None:
+        """Mark a still-pending event as abandoned."""
+        if not self._fired:
+            self._cancelled = True
+
+    @property
+    def ok(self) -> bool:
+        """True once the event fired successfully."""
+        return self._fired and self._exc is None
+
+    @property
+    def value(self) -> Any:
+        if not self._fired:
+            raise RuntimeError("event %r has not fired yet" % (self.name,))
+        if self._exc is not None:
+            raise self._exc
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        if self._fired:
+            raise RuntimeError("event %r already fired" % (self.name,))
+        self._fired = True
+        self._value = value
+        self._dispatch()
+        return self
+
+    def fail(self, exc: BaseException) -> "Event":
+        if self._fired:
+            raise RuntimeError("event %r already fired" % (self.name,))
+        self._fired = True
+        self._exc = exc
+        self._dispatch()
+        return self
+
+    def add_callback(self, cb: Callable[["Event"], None]) -> None:
+        """Run ``cb(self)`` when the event fires (immediately if fired)."""
+        if self._fired:
+            self.sim.schedule(0.0, cb, self)
+        else:
+            self._waiters.append(cb)
+
+    def _dispatch(self) -> None:
+        waiters, self._waiters = self._waiters, []
+        for cb in waiters:
+            self.sim.schedule(0.0, cb, self)
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` seconds after creation."""
+
+    __slots__ = ()
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError("negative timeout delay: %r" % (delay,))
+        super().__init__(sim, name="timeout(%g)" % delay)
+        sim.schedule(delay, self._fire, value)
+
+    def _fire(self, value: Any) -> None:
+        if not self._fired:  # may have been cancelled via succeed/fail
+            self.succeed(value)
+
+
+class AllOf(Event):
+    """Fires when every child event has fired successfully.
+
+    The value is the list of child values in the order given.
+    """
+
+    __slots__ = ("_children", "_remaining")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim, name="all_of")
+        self._children = list(events)
+        self._remaining = len(self._children)
+        if self._remaining == 0:
+            sim.schedule(0.0, self._finish)
+        else:
+            for ev in self._children:
+                ev.add_callback(self._on_child)
+
+    def _on_child(self, ev: Event) -> None:
+        if self._fired:
+            return
+        if not ev.ok:
+            self.fail(ev._exc or RuntimeError("child event failed"))
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self._finish()
+
+    def _finish(self) -> None:
+        if not self._fired:
+            self.succeed([ev.value for ev in self._children])
+
+
+class AnyOf(Event):
+    """Fires when the first child event fires; value is ``(index, value)``."""
+
+    __slots__ = ("_children",)
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim, name="any_of")
+        self._children = list(events)
+        if not self._children:
+            raise ValueError("AnyOf requires at least one event")
+        for i, ev in enumerate(self._children):
+            ev.add_callback(self._make_cb(i))
+
+    def _make_cb(self, index: int) -> Callable[[Event], None]:
+        def cb(ev: Event) -> None:
+            if self._fired:
+                return
+            if ev.ok:
+                self.succeed((index, ev.value))
+            else:
+                self.fail(ev._exc or RuntimeError("child event failed"))
+
+        return cb
+
+
+ProcessGen = Generator[Event, Any, Any]
+
+
+class Process(Event):
+    """A coroutine driven by the simulator.
+
+    The generator yields :class:`Event` objects; it is resumed with the
+    event's value once the event fires.  The process itself is an event
+    that succeeds with the generator's return value, so processes can be
+    joined by yielding them.
+    """
+
+    __slots__ = ("_gen", "_waiting_on", "_interrupts")
+
+    def __init__(self, sim: "Simulator", gen: ProcessGen, name: str = ""):
+        super().__init__(sim, name=name or getattr(gen, "__name__", "proc"))
+        self._gen = gen
+        self._waiting_on: Optional[Event] = None
+        self._interrupts: List[Interrupt] = []
+        sim.schedule(0.0, self._resume, None, None)
+
+    @property
+    def alive(self) -> bool:
+        return not self._fired
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at its current wait.
+
+        Interrupting a finished process is a no-op (the usual race when a
+        failure is injected just as a procedure completes).
+        """
+        if self._fired:
+            return
+        self._interrupts.append(Interrupt(cause))
+        self.sim.schedule(0.0, self._deliver_interrupt)
+
+    def _deliver_interrupt(self) -> None:
+        if self._fired or not self._interrupts:
+            return
+        exc = self._interrupts.pop(0)
+        waiting, self._waiting_on = self._waiting_on, None
+        if waiting is not None:
+            waiting.cancel()  # producers must not deliver into the void
+        self._step(None, exc)
+
+    def _resume(self, value: Any, exc: Optional[BaseException]) -> None:
+        self._step(value, exc)
+
+    def _on_event(self, ev: Event) -> None:
+        if self._fired or self._waiting_on is not ev:
+            return  # stale wakeup (e.g. after an interrupt re-targeted us)
+        self._waiting_on = None
+        if ev.ok:
+            self._step(ev.value, None)
+        else:
+            self._step(None, ev._exc)
+
+    def _step(self, value: Any, exc: Optional[BaseException]) -> None:
+        if self._fired:
+            return
+        try:
+            if exc is not None:
+                target = self._gen.throw(exc)
+            else:
+                target = self._gen.send(value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except Interrupt as unhandled:
+            self.fail(unhandled)
+            return
+        except Exception as err:  # propagate to joiners
+            self.fail(err)
+            return
+        if not isinstance(target, Event):
+            self._gen.close()
+            self.fail(TypeError("process yielded %r, expected an Event" % (target,)))
+            return
+        self._waiting_on = target
+        target.add_callback(self._on_event)
+
+
+class Simulator:
+    """Event loop with a monotonically advancing simulated clock."""
+
+    def __init__(self):
+        self._now = 0.0
+        self._seq = 0
+        self._heap: List[Tuple[float, int, Callable, tuple]] = []
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    # -- scheduling primitives -------------------------------------------
+
+    def schedule(self, delay: float, fn: Callable, *args: Any) -> None:
+        """Run ``fn(*args)`` after ``delay`` simulated seconds."""
+        if delay < 0:
+            raise ValueError("cannot schedule into the past (delay=%r)" % delay)
+        self._seq += 1
+        heapq.heappush(self._heap, (self._now + delay, self._seq, fn, args))
+
+    def event(self, name: str = "") -> Event:
+        return Event(self, name)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, gen: ProcessGen, name: str = "") -> Process:
+        """Start a generator as a simulated process."""
+        return Process(self, gen, name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    # -- execution --------------------------------------------------------
+
+    def step(self) -> bool:
+        """Execute the next scheduled callback.  Returns False when empty."""
+        if not self._heap:
+            return False
+        t, _seq, fn, args = heapq.heappop(self._heap)
+        self._now = t
+        fn(*args)
+        return True
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run until the heap drains or the clock passes ``until``.
+
+        With ``until`` set the clock is left exactly at ``until`` even if
+        the next event lies beyond it, so back-to-back ``run`` calls
+        compose predictably.
+        """
+        if until is None:
+            while self.step():
+                pass
+            return self._now
+        if until < self._now:
+            raise ValueError(
+                "until=%r is before current time %r" % (until, self._now)
+            )
+        while self._heap and self._heap[0][0] <= until:
+            self.step()
+        self._now = until
+        return self._now
+
+    def run_process(self, gen: ProcessGen, until: Optional[float] = None) -> Any:
+        """Convenience: start ``gen``, run the loop, return its result."""
+        proc = self.process(gen)
+        self.run(until)
+        if not proc.fired:
+            raise RuntimeError("process did not finish by t=%r" % (self._now,))
+        return proc.value

@@ -1,0 +1,149 @@
+"""Measurement probes: tallies, counters, time-weighted series.
+
+The experiment harness attaches these to the simulated network to collect
+procedure completion times (PCTs), queue depths, and log sizes, and to
+summarize them as the percentiles the paper plots.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = ["Tally", "Counter", "TimeWeighted", "percentile", "summarize"]
+
+
+def percentile(sorted_values: Sequence[float], q: float) -> float:
+    """Linear-interpolation percentile of a pre-sorted sequence.
+
+    ``q`` is in [0, 100].  Matches numpy's default method so results are
+    comparable with any external analysis.
+    """
+    if not sorted_values:
+        raise ValueError("percentile of empty sequence")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError("q must be in [0, 100], got %r" % (q,))
+    if len(sorted_values) == 1:
+        return float(sorted_values[0])
+    rank = (q / 100.0) * (len(sorted_values) - 1)
+    lo = int(math.floor(rank))
+    hi = int(math.ceil(rank))
+    if lo == hi:
+        return float(sorted_values[lo])
+    frac = rank - lo
+    return float(sorted_values[lo]) * (1 - frac) + float(sorted_values[hi]) * frac
+
+
+class Tally:
+    """Accumulates individual observations (e.g. one PCT per procedure)."""
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.values: List[float] = []
+
+    def observe(self, value: float) -> None:
+        self.values.append(value)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    @property
+    def count(self) -> int:
+        return len(self.values)
+
+    @property
+    def mean(self) -> float:
+        if not self.values:
+            raise ValueError("tally %r is empty" % (self.name,))
+        return sum(self.values) / len(self.values)
+
+    @property
+    def min(self) -> float:
+        return min(self.values)
+
+    @property
+    def max(self) -> float:
+        return max(self.values)
+
+    def percentile(self, q: float) -> float:
+        return percentile(sorted(self.values), q)
+
+    @property
+    def median(self) -> float:
+        return self.percentile(50.0)
+
+    def summary(self, qs: Iterable[float] = (5, 25, 50, 75, 95, 99)) -> Dict[str, float]:
+        ordered = sorted(self.values)
+        out = {"count": float(len(ordered))}
+        if ordered:
+            out["mean"] = self.mean
+            out["min"] = ordered[0]
+            out["max"] = ordered[-1]
+            for q in qs:
+                out["p%g" % q] = percentile(ordered, q)
+        return out
+
+
+class Counter:
+    """Named monotone counters (messages sent, deadlines missed, ...)."""
+
+    def __init__(self):
+        self._counts: Dict[str, int] = {}
+
+    def incr(self, key: str, by: int = 1) -> None:
+        self._counts[key] = self._counts.get(key, 0) + by
+
+    def __getitem__(self, key: str) -> int:
+        return self._counts.get(key, 0)
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(self._counts)
+
+
+class TimeWeighted:
+    """Tracks a piecewise-constant quantity over time (queue/log size).
+
+    Records (time, value) breakpoints; exposes the time-average and the
+    maximum, which is what Fig. 17 (max CTA log size) needs.
+    """
+
+    def __init__(self, sim_now, initial: float = 0.0):
+        # sim_now is a zero-arg callable returning the current sim time, so
+        # the probe stays decoupled from the Simulator class.
+        self._now = sim_now
+        self._last_t = sim_now()
+        self._value = initial
+        self._area = 0.0
+        self._start = self._last_t
+        self.max_value = initial
+        self.max_time = self._last_t
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def set(self, value: float) -> None:
+        t = self._now()
+        self._area += self._value * (t - self._last_t)
+        self._last_t = t
+        self._value = value
+        if value > self.max_value:
+            self.max_value = value
+            self.max_time = t
+
+    def add(self, delta: float) -> None:
+        self.set(self._value + delta)
+
+    def time_average(self) -> float:
+        t = self._now()
+        elapsed = t - self._start
+        if elapsed <= 0:
+            return self._value
+        return (self._area + self._value * (t - self._last_t)) / elapsed
+
+
+def summarize(
+    tallies: Dict[str, Tally], qs: Iterable[float] = (50, 95, 99)
+) -> Dict[str, Dict[str, float]]:
+    """Summaries for a dict of tallies; empty tallies yield count=0 rows."""
+    return {name: tally.summary(qs) for name, tally in tallies.items()}

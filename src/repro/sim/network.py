@@ -1,0 +1,139 @@
+"""Links and latency models connecting simulated network functions.
+
+The deployment model of the paper (§4.3) places CTAs and CPFs at the
+edge: radio + backhaul to the CTA is a few milliseconds, CTA to a
+co-located CPF is sub-millisecond, and CPF-to-CPF replication crosses
+region boundaries.  :class:`Link` captures one directed hop; a
+:class:`LatencyModel` centralizes the defaults so experiments can tweak
+the geometry in one place.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+from .core import Simulator
+
+__all__ = ["Link", "LatencyModel"]
+
+
+class Link:
+    """A directed hop with propagation delay, optional bandwidth + jitter.
+
+    ``send`` schedules ``deliver(*args)`` after the per-message delay;
+    messages never reorder on a link (FIFO is enforced by tracking the
+    last scheduled arrival), which matches a TCP/SCTP control channel —
+    S1AP runs over SCTP in real deployments.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        latency_s: float,
+        bandwidth_bps: Optional[float] = None,
+        jitter_frac: float = 0.0,
+        rng: Optional[random.Random] = None,
+        name: str = "link",
+    ):
+        if latency_s < 0:
+            raise ValueError("negative link latency")
+        if jitter_frac < 0:
+            raise ValueError("negative jitter fraction")
+        if jitter_frac > 0 and rng is None:
+            raise ValueError("jitter requires an rng stream")
+        self.sim = sim
+        self.latency_s = latency_s
+        self.bandwidth_bps = bandwidth_bps
+        self.jitter_frac = jitter_frac
+        self.rng = rng
+        self.name = name
+        self.messages_sent = 0
+        self.bytes_sent = 0
+        self._last_arrival = 0.0
+        self.up = True
+
+    def delay(self, nbytes: int = 0) -> float:
+        d = self.latency_s
+        if self.bandwidth_bps and nbytes:
+            d += (nbytes * 8.0) / self.bandwidth_bps
+        if self.jitter_frac and self.rng is not None:
+            d += self.latency_s * self.jitter_frac * self.rng.random()
+        return d
+
+    def send(self, nbytes: int, deliver: Callable[..., None], *args: Any) -> bool:
+        """Schedule delivery; returns False (message lost) if link is down."""
+        if not self.up:
+            return False
+        self.messages_sent += 1
+        self.bytes_sent += nbytes
+        arrival = self.sim.now + self.delay(nbytes)
+        if arrival < self._last_arrival:  # preserve FIFO under jitter
+            arrival = self._last_arrival
+        self._last_arrival = arrival
+        self.sim.schedule(arrival - self.sim.now, deliver, *args)
+        return True
+
+
+@dataclass
+class LatencyModel:
+    """One-way latencies (seconds) for each hop class in the deployment.
+
+    Defaults mirror the paper's *testbed* geometry (§6.1): the DPDK
+    traffic generator emulating UEs/BSs sits on the same switch as the
+    core servers, so the radio leg is a short emulated hop, intra-edge
+    hops are tens of microseconds, and only the inter-region leg (the
+    level-2 replication / migration path) is a real metro-distance hop.
+    Use :meth:`edge_wan` for a geographically spread edge deployment.
+    """
+
+    ue_bs: float = 25e-6           # emulated radio leg (generator hop)
+    bs_cta: float = 10e-6          # BS to nearest edge site
+    cta_cpf: float = 5e-6          # CTA co-located with CPF pool (§4.3)
+    cpf_cpf_intra: float = 10e-6   # CPFs within one level-1 region
+    cpf_cpf_inter: float = 250e-6  # across level-1 regions (level-2 ring)
+    cpf_cpf_far: float = 1.5e-3    # across level-2 regions (level-3 ring)
+    cpf_upf: float = 10e-6         # S11-like session programming
+    remote_core: float = 20.0e-3   # legacy centralized core, for contrast
+    jitter_frac: float = 0.0
+
+    @classmethod
+    def edge_wan(cls) -> "LatencyModel":
+        """A geographically spread edge deployment (cell towers/COs)."""
+        return cls(
+            ue_bs=2.0e-3,
+            bs_cta=0.5e-3,
+            cta_cpf=0.05e-3,
+            cpf_cpf_intra=0.1e-3,
+            cpf_cpf_inter=2.0e-3,
+            cpf_cpf_far=8.0e-3,
+            cpf_upf=0.2e-3,
+        )
+
+    def validate(self) -> None:
+        for field_name, value in self.__dict__.items():
+            if field_name == "jitter_frac":
+                continue
+            if value < 0:
+                raise ValueError("%s must be non-negative" % field_name)
+
+    def link(
+        self,
+        sim: Simulator,
+        hop: str,
+        rng: Optional[random.Random] = None,
+        name: str = "",
+    ) -> Link:
+        """Build a Link for a named hop class (e.g. ``'ue_bs'``)."""
+        try:
+            latency = getattr(self, hop)
+        except AttributeError:
+            raise KeyError("unknown hop class %r" % (hop,))
+        return Link(
+            sim,
+            latency,
+            jitter_frac=self.jitter_frac,
+            rng=rng if self.jitter_frac else None,
+            name=name or hop,
+        )

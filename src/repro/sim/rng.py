@@ -1,0 +1,45 @@
+"""Deterministic named random streams.
+
+Every stochastic component (arrival process, link jitter, failure
+injector, trace generator) draws from its own named stream so that
+changing one component's consumption pattern never perturbs another —
+a standard variance-reduction discipline for simulation studies.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Dict
+
+__all__ = ["RngRegistry", "stream_seed"]
+
+
+def stream_seed(root_seed: int, name: str) -> int:
+    """Derive a stable 64-bit seed for ``name`` from ``root_seed``."""
+    digest = hashlib.blake2b(
+        name.encode("utf-8"), digest_size=8, key=root_seed.to_bytes(8, "little", signed=False)
+    ).digest()
+    return int.from_bytes(digest, "little")
+
+
+class RngRegistry:
+    """Factory of independent, reproducible ``random.Random`` streams."""
+
+    def __init__(self, seed: int = 0):
+        if seed < 0:
+            raise ValueError("seed must be non-negative")
+        self.seed = seed
+        self._streams: Dict[str, random.Random] = {}
+
+    def stream(self, name: str) -> random.Random:
+        """Return the stream for ``name``, creating it on first use."""
+        rng = self._streams.get(name)
+        if rng is None:
+            rng = random.Random(stream_seed(self.seed, name))
+            self._streams[name] = rng
+        return rng
+
+    def fork(self, salt: str) -> "RngRegistry":
+        """A registry whose streams are independent of this one's."""
+        return RngRegistry(stream_seed(self.seed, "fork:" + salt))

@@ -1,0 +1,18 @@
+"""Traffic substrate: arrival processes, synthetic ng4T-style traces,
+and the workload driver that plays them onto a deployment."""
+
+from .arrivals import bursty_arrivals, poisson_arrivals, uniform_arrivals
+from .traces import TraceConfig, TraceRecord, generate_trace, load_trace, save_trace
+from .workload import WorkloadDriver
+
+__all__ = [
+    "uniform_arrivals",
+    "poisson_arrivals",
+    "bursty_arrivals",
+    "TraceConfig",
+    "TraceRecord",
+    "generate_trace",
+    "save_trace",
+    "load_trace",
+    "WorkloadDriver",
+]

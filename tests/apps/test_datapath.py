@@ -1,0 +1,97 @@
+"""Tests for the data-path stall model and deadline accounting."""
+
+import pytest
+
+from repro.apps import StallInterval, count_missed_deadlines, stalls_from_outcomes
+from repro.core.ue import ProcedureOutcome
+
+
+def outcome(name, start, pct):
+    out = ProcedureOutcome(name, start)
+    out.pct = pct
+    out.completed = True
+    return out
+
+
+class TestStallExtraction:
+    def test_handover_stalls_whole_pct(self):
+        stalls = stalls_from_outcomes([outcome("handover", 1.0, 0.05)])
+        assert len(stalls) == 1
+        assert stalls[0].start == 1.0
+        assert stalls[0].duration == pytest.approx(0.05)
+
+    def test_attach_not_a_stall(self):
+        # attach establishes a path; it does not interrupt an existing one
+        assert stalls_from_outcomes([outcome("attach", 0.0, 0.01)]) == []
+
+    def test_incomplete_outcomes_skipped(self):
+        out = ProcedureOutcome("handover", 0.0)  # pct is None
+        assert stalls_from_outcomes([out]) == []
+
+    def test_sorted_by_start(self):
+        stalls = stalls_from_outcomes(
+            [outcome("handover", 2.0, 0.01), outcome("re_attach", 1.0, 0.01)]
+        )
+        assert [s.start for s in stalls] == [1.0, 2.0]
+
+    def test_interval_validation(self):
+        with pytest.raises(ValueError):
+            StallInterval(2.0, 1.0, "x")
+
+
+class TestDeadlineCounting:
+    def test_no_stalls_no_misses(self):
+        missed, total = count_missed_deadlines([], 1.0, 1000.0, 0.1)
+        assert missed == 0
+        assert total == 1000
+
+    def test_base_latency_above_deadline_misses_everything(self):
+        missed, total = count_missed_deadlines([], 1.0, 100.0, 0.01, base_latency_s=0.02)
+        assert missed == total == 100
+
+    def test_long_stall_misses_contained_packets(self):
+        # 0.5 s stall, 100 ms budget: packets in the first 0.4 s of the
+        # stall have residual > 100 ms and miss.
+        stalls = [StallInterval(0.2, 0.7, "handover")]
+        missed, total = count_missed_deadlines(stalls, 1.0, 1000.0, 0.1)
+        assert missed == pytest.approx(400, abs=2)
+
+    def test_short_stall_within_budget_misses_nothing(self):
+        stalls = [StallInterval(0.2, 0.25, "handover")]  # 50 ms < 100 ms
+        missed, _ = count_missed_deadlines(stalls, 1.0, 1000.0, 0.1)
+        assert missed == 0
+
+    def test_tight_deadline_misses_most_of_stall(self):
+        stalls = [StallInterval(0.2, 0.25, "handover")]  # 50 ms stall
+        missed, _ = count_missed_deadlines(stalls, 1.0, 1000.0, 0.016)
+        assert missed == pytest.approx(34, abs=2)  # 50-16 ms worth
+
+    def test_stall_outside_window_ignored(self):
+        stalls = [StallInterval(5.0, 6.0, "handover")]
+        missed, _ = count_missed_deadlines(stalls, 1.0, 1000.0, 0.01)
+        assert missed == 0
+
+    def test_stall_overlapping_window_end_clipped(self):
+        stalls = [StallInterval(0.9, 2.0, "handover")]
+        missed, total = count_missed_deadlines(stalls, 1.0, 1000.0, 0.01)
+        assert 0 < missed <= 100
+
+    def test_missed_never_exceeds_total(self):
+        stalls = [StallInterval(0.0, 10.0, "handover")]
+        missed, total = count_missed_deadlines(stalls, 1.0, 1000.0, 0.001)
+        assert missed <= total
+
+    def test_multiple_stalls_accumulate(self):
+        stalls = [
+            StallInterval(0.1, 0.4, "handover"),
+            StallInterval(0.6, 0.9, "handover"),
+        ]
+        single = count_missed_deadlines(stalls[:1], 1.0, 1000.0, 0.1)[0]
+        both = count_missed_deadlines(stalls, 1.0, 1000.0, 0.1)[0]
+        assert both == pytest.approx(2 * single, abs=3)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            count_missed_deadlines([], 1.0, 0.0, 0.1)
+        with pytest.raises(ValueError):
+            count_missed_deadlines([], -1.0, 10.0, 0.1)

@@ -1,0 +1,131 @@
+"""Tests for the mobility/VR/video/web application experiments."""
+
+import pytest
+
+from repro.apps import (
+    MobilityAppSpec,
+    VideoAppSpec,
+    WebAppSpec,
+    run_mobility_experiment,
+    run_page_load,
+    run_self_driving,
+    run_video_startup,
+    run_vr,
+    self_driving_spec,
+    vr_spec,
+)
+from repro.core import ControlPlaneConfig
+from repro.experiments import RunSpec
+
+FAST = dict(drive_duration_s=1.0, radio_interruption_s=0.2)
+
+
+class TestSpecs:
+    def test_self_driving_deadline(self):
+        assert self_driving_spec().deadline_s == pytest.approx(0.1)
+
+    def test_vr_deadline(self):
+        assert vr_spec().deadline_s == pytest.approx(0.016)
+
+    def test_overrides_apply(self):
+        spec = self_driving_spec(handovers=3, drive_duration_s=2.0)
+        assert spec.handovers == 3
+        assert spec.drive_duration_s == 2.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MobilityAppSpec(packet_rate_hz=0).validate()
+        with pytest.raises(ValueError):
+            MobilityAppSpec(handovers=-1).validate()
+        with pytest.raises(ValueError):
+            MobilityAppSpec(drive_duration_s=0).validate()
+
+
+class TestMobilityExperiment:
+    def test_zero_handovers_zero_misses(self):
+        spec = MobilityAppSpec(handovers=0, **{k: v for k, v in FAST.items() if k != "radio_interruption_s"})
+        result = run_mobility_experiment(
+            ControlPlaneConfig.neutrino(), 10e3, spec
+        )
+        assert result.missed == 0
+        assert result.handovers_executed == 0
+
+    def test_handover_executed_and_counted(self):
+        result = run_self_driving(
+            ControlPlaneConfig.neutrino(), 10e3,
+            spec=self_driving_spec(handovers=1, **FAST),
+        )
+        assert result.handovers_executed == 1
+        assert result.total == 1000
+
+    def test_radio_interruption_causes_baseline_misses(self):
+        # 200 ms interruption with 100 ms budget: ~100 ms of misses/HO.
+        result = run_self_driving(
+            ControlPlaneConfig.neutrino(), 10e3,
+            spec=self_driving_spec(handovers=1, **FAST),
+        )
+        assert 50 <= result.missed <= 250
+
+    def test_vr_misses_more_than_car(self):
+        car = run_self_driving(
+            ControlPlaneConfig.neutrino(), 10e3,
+            spec=self_driving_spec(handovers=1, **FAST),
+        )
+        vr = run_vr(
+            ControlPlaneConfig.neutrino(), 10e3,
+            spec=vr_spec(handovers=1, **FAST),
+        )
+        assert vr.missed > car.missed  # tighter budget
+
+    def test_epc_worse_under_heavy_load(self):
+        users = 500e3
+        epc = run_self_driving(
+            ControlPlaneConfig.existing_epc(), users,
+            spec=self_driving_spec(handovers=1, **FAST),
+        )
+        neutrino = run_self_driving(
+            ControlPlaneConfig.neutrino(), users,
+            spec=self_driving_spec(handovers=1, **FAST),
+        )
+        assert epc.missed > neutrino.missed
+
+    def test_multiple_handovers_scale_misses(self):
+        single = run_self_driving(
+            ControlPlaneConfig.neutrino(), 10e3,
+            spec=self_driving_spec(handovers=1, **FAST),
+        )
+        multiple = run_self_driving(
+            ControlPlaneConfig.neutrino(), 10e3,
+            spec=self_driving_spec(handovers=3, **FAST),
+        )
+        assert multiple.missed > 2 * single.missed
+
+    def test_miss_fraction_property(self):
+        result = run_self_driving(
+            ControlPlaneConfig.neutrino(), 10e3,
+            spec=self_driving_spec(handovers=1, **FAST),
+        )
+        assert 0 <= result.miss_fraction <= 1
+
+
+SMALL_RUN = RunSpec(procedure="service_request", procedures_target=150, max_duration_s=0.1)
+
+
+class TestVideoAndWeb:
+    def test_video_startup_includes_player_constant(self):
+        spec = VideoAppSpec(player_startup_s=0.45, run=SMALL_RUN)
+        result = run_video_startup(ControlPlaneConfig.neutrino(), 60e3, spec)
+        assert result.startup_p50_s > 0.45
+        assert result.startup_p95_s >= result.startup_p50_s
+
+    def test_plt_includes_page_constant(self):
+        spec = WebAppSpec(page_fetch_s=1.9, run=SMALL_RUN)
+        result = run_page_load(ControlPlaneConfig.neutrino(), 60e3, spec)
+        assert result.plt_p50_s > 1.9
+
+    def test_epc_startup_worse_when_saturated(self):
+        video_spec = VideoAppSpec(run=SMALL_RUN)
+        epc = run_video_startup(ControlPlaneConfig.existing_epc(), 260e3, video_spec)
+        neutrino = run_video_startup(ControlPlaneConfig.neutrino(), 260e3, video_spec)
+        assert epc.startup_p50_s > neutrino.startup_p50_s
+        assert epc.sr_pct_p50_ms > 5 * neutrino.sr_pct_p50_ms

@@ -1,0 +1,141 @@
+"""Tests for the ASN.1 unaligned-PER codec, including bit-exact checks."""
+
+import pytest
+
+from repro.codec import (
+    BOOL,
+    ArrayType,
+    BitStringType,
+    BytesType,
+    EnumType,
+    Field,
+    IntType,
+    StringType,
+    TableType,
+    UnionType,
+    get_codec,
+)
+from repro.codec.bitio import CodecError
+
+codec = get_codec("asn1per")
+
+
+class TestConstrainedIntegers:
+    def test_zero_range_needs_zero_bits(self):
+        t = TableType("t", [Field("x", IntType(8, lo=7, hi=7))])
+        # nothing to encode: fixed value
+        assert codec.encode(t, {"x": 7}) == b""
+        assert codec.decode(t, b"") == {"x": 7}
+
+    def test_small_range_bit_width(self):
+        # range 0..3 -> 2 bits; two fields pack into one byte
+        t = TableType("t", [Field("a", IntType(8, lo=0, hi=3)), Field("b", IntType(8, lo=0, hi=3))])
+        encoded = codec.encode(t, {"a": 2, "b": 1})
+        assert encoded == bytes([0b10010000])
+
+    def test_offset_encoding_from_lower_bound(self):
+        t = IntType(16, lo=1000, hi=1003)
+        table = TableType("t", [Field("x", t)])
+        assert codec.encode(table, {"x": 1002}) == bytes([0b10000000])
+
+    def test_full_u32_roundtrip(self):
+        table = TableType("t", [Field("x", IntType(32))])
+        for v in (0, 1, 0xFFFFFFFF):
+            assert codec.decode(table, codec.encode(table, {"x": v})) == {"x": v}
+
+    def test_unconstrained_int64_roundtrip(self):
+        table = TableType("t", [Field("x", IntType(64, signed=True))])
+        for v in (-(1 << 62), -1, 0, (1 << 62)):
+            assert codec.decode(table, codec.encode(table, {"x": v})) == {"x": v}
+
+
+class TestPreamble:
+    def test_optional_present_bit(self):
+        t = TableType("t", [Field("o", BOOL, optional=True)])
+        # present: preamble 1, value 1 -> 0b11
+        assert codec.encode(t, {"o": True}) == bytes([0b11000000])
+        # absent: preamble 0
+        assert codec.encode(t, {}) == bytes([0b00000000])
+
+    def test_decode_respects_preamble(self):
+        t = TableType("t", [Field("o", IntType(8), optional=True), Field("m", BOOL)])
+        assert codec.decode(t, codec.encode(t, {"m": True})) == {"m": True}
+        assert codec.decode(t, codec.encode(t, {"o": 5, "m": False})) == {
+            "o": 5,
+            "m": False,
+        }
+
+
+class TestLengthDeterminant:
+    def test_short_form_byte_string(self):
+        t = TableType("t", [Field("b", BytesType())])
+        encoded = codec.encode(t, {"b": b"\xaa"})
+        # length 1 (0x01) then 0xAA
+        assert encoded == b"\x01\xaa"
+
+    def test_long_form_over_127(self):
+        t = TableType("t", [Field("b", BytesType())])
+        payload = bytes(200)
+        encoded = codec.encode(t, {"b": payload})
+        # 10xxxxxx xxxxxxxx prefix: 0x80 | (200 >> 8), 200 & 0xFF
+        assert encoded[:2] == bytes([0x80, 200])
+        assert codec.decode(t, encoded) == {"b": payload}
+
+    def test_oversize_rejected(self):
+        t = TableType("t", [Field("b", BytesType())])
+        with pytest.raises(CodecError):
+            codec.encode(t, {"b": bytes(20000)})
+
+
+class TestCompositeKinds:
+    def test_enum_index_bits(self):
+        t = TableType("t", [Field("e", EnumType("e", ["a", "b", "c"]))])
+        # 3 values -> 2 bits; "c" = index 2
+        assert codec.encode(t, {"e": "c"}) == bytes([0b10000000])
+
+    def test_union_choice_index_prefix(self):
+        u = UnionType("u", [("a", BOOL), ("b", BOOL)])
+        t = TableType("t", [Field("u", u)])
+        # index 1 (1 bit) then value 1 -> 0b11
+        assert codec.encode(t, {"u": ("b", True)}) == bytes([0b11000000])
+
+    def test_bitstring_packs_exactly(self):
+        t = TableType("t", [Field("bits", BitStringType(12))])
+        encoded = codec.encode(t, {"bits": (0xABC, 12)})
+        assert encoded == bytes([0xAB, 0xC0])
+
+    def test_array_length_prefix(self):
+        t = TableType("t", [Field("xs", ArrayType(IntType(8)))])
+        encoded = codec.encode(t, {"xs": [1, 2]})
+        assert encoded[0] == 2  # count
+        assert codec.decode(t, encoded) == {"xs": [1, 2]}
+
+    def test_string_utf8(self):
+        t = TableType("t", [Field("s", StringType())])
+        assert codec.decode(t, codec.encode(t, {"s": "héllo"})) == {"s": "héllo"}
+
+    def test_float_roundtrip(self):
+        from repro.codec import F64
+
+        t = TableType("t", [Field("f", F64)])
+        assert codec.decode(t, codec.encode(t, {"f": 3.25})) == {"f": 3.25}
+
+    def test_corrupt_enum_index_rejected(self):
+        t = TableType("t", [Field("e", EnumType("e", ["a", "b", "c"]))])
+        with pytest.raises(CodecError):
+            codec.decode(t, bytes([0b11000000]))  # index 3 of 3
+
+
+class TestCompactness:
+    def test_per_is_smallest_codec_on_real_messages(self):
+        from repro.messages import CATALOG
+
+        for name in ("InitialUEMessage", "HandoverRequest", "Paging"):
+            per = CATALOG.wire_size(name, "asn1per")
+            for other in ("flatbuffers", "protobuf", "cdr", "flexbuffers"):
+                assert per < CATALOG.wire_size(name, other), (name, other)
+
+    def test_sequential_decode_has_no_random_access(self):
+        # Structural property: the PER codec exposes no partial access
+        # API; decode is all-or-nothing (vs FlatTable for FlatBuffers).
+        assert not hasattr(codec, "view")

@@ -1,0 +1,159 @@
+"""Tests for bit- and byte-level buffer primitives."""
+
+import pytest
+
+from repro.codec import BitReader, BitWriter, ByteReader, ByteWriter, CodecError
+
+
+class TestBitWriter:
+    def test_single_bits_msb_first(self):
+        w = BitWriter()
+        for bit in (1, 0, 1):
+            w.write_bit(bit)
+        assert w.getvalue() == bytes([0b10100000])
+
+    def test_write_bits_value(self):
+        w = BitWriter()
+        w.write_bits(0b1011, 4)
+        w.write_bits(0b0001, 4)
+        assert w.getvalue() == bytes([0b10110001])
+
+    def test_value_too_wide_rejected(self):
+        w = BitWriter()
+        with pytest.raises(CodecError):
+            w.write_bits(4, 2)
+
+    def test_negative_rejected(self):
+        w = BitWriter()
+        with pytest.raises(CodecError):
+            w.write_bits(-1, 4)
+        with pytest.raises(CodecError):
+            w.write_bits(0, -1)
+
+    def test_zero_bits_writes_nothing(self):
+        w = BitWriter()
+        w.write_bits(0, 0)
+        assert w.getvalue() == b""
+        assert len(w) == 0
+
+    def test_aligned_bytes_fast_path(self):
+        w = BitWriter()
+        w.write_bytes(b"\xab\xcd")
+        assert w.getvalue() == b"\xab\xcd"
+
+    def test_unaligned_bytes(self):
+        w = BitWriter()
+        w.write_bit(1)
+        w.write_bytes(b"\xff")
+        # 1 then 11111111 -> 11111111 1xxxxxxx
+        assert w.getvalue() == bytes([0xFF, 0x80])
+
+    def test_len_in_bits(self):
+        w = BitWriter()
+        w.write_bits(0, 13)
+        assert len(w) == 13
+
+    def test_align_pads_with_zeros(self):
+        w = BitWriter()
+        w.write_bit(1)
+        w.align()
+        w.write_bytes(b"\x01")
+        assert w.getvalue() == bytes([0x80, 0x01])
+
+
+class TestBitReader:
+    def test_roundtrip_bits(self):
+        w = BitWriter()
+        w.write_bits(0b101101, 6)
+        r = BitReader(w.getvalue())
+        assert r.read_bits(6) == 0b101101
+
+    def test_exhaustion_raises(self):
+        r = BitReader(b"\x00")
+        r.read_bits(8)
+        with pytest.raises(CodecError):
+            r.read_bit()
+
+    def test_aligned_byte_read(self):
+        r = BitReader(b"\x12\x34")
+        assert r.read_bytes(2) == b"\x12\x34"
+
+    def test_unaligned_byte_read(self):
+        w = BitWriter()
+        w.write_bit(0)
+        w.write_bytes(b"\xff\x00")
+        r = BitReader(w.getvalue())
+        r.read_bit()
+        assert r.read_bytes(2) == b"\xff\x00"
+
+    def test_align_skips_to_boundary(self):
+        r = BitReader(b"\x80\x42")
+        r.read_bit()
+        r.align()
+        assert r.read_bytes(1) == b"\x42"
+
+    def test_bits_remaining(self):
+        r = BitReader(b"\x00\x00")
+        r.read_bits(3)
+        assert r.bits_remaining == 13
+
+
+class TestByteWriterReader:
+    def test_little_endian_uint(self):
+        w = ByteWriter("little")
+        w.write_uint(0x0102, 2)
+        assert w.getvalue() == b"\x02\x01"
+
+    def test_big_endian_uint(self):
+        w = ByteWriter("big")
+        w.write_uint(0x0102, 2)
+        assert w.getvalue() == b"\x01\x02"
+
+    def test_signed_roundtrip(self):
+        w = ByteWriter("little")
+        w.write_int(-5, 4)
+        r = ByteReader(w.getvalue(), "little")
+        assert r.read_int(4) == -5
+
+    def test_invalid_endian_rejected(self):
+        with pytest.raises(CodecError):
+            ByteWriter("middle")
+        with pytest.raises(CodecError):
+            ByteReader(b"", "middle")
+
+    def test_pad_to_alignment(self):
+        w = ByteWriter()
+        w.write(b"\x01")
+        w.pad_to(4)
+        assert len(w) == 4
+        w.pad_to(4)  # already aligned: no-op
+        assert len(w) == 4
+
+    def test_patch_uint(self):
+        w = ByteWriter()
+        w.write(b"\x00\x00\x00\x00")
+        w.patch_uint(1, 0xAB, 2)
+        assert w.getvalue() == b"\x00\xab\x00\x00"
+
+    def test_reader_exhaustion(self):
+        r = ByteReader(b"\x01")
+        with pytest.raises(CodecError):
+            r.read(2)
+
+    def test_reader_align(self):
+        r = ByteReader(b"\x01\x00\x00\x00\x05")
+        r.read(1)
+        r.align(4)
+        assert r.read_uint(1) == 5
+
+    def test_random_access_uint(self):
+        r = ByteReader(b"\x00\x10\x00")
+        assert r.uint_at(1, 1) == 0x10
+        assert r.pos == 0  # random access does not move the cursor
+
+    def test_random_access_out_of_range(self):
+        r = ByteReader(b"\x00")
+        with pytest.raises(CodecError):
+            r.uint_at(0, 4)
+        with pytest.raises(CodecError):
+            r.int_at(-1, 1)

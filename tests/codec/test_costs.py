@@ -1,0 +1,113 @@
+"""Tests for the calibrated serialization cost model."""
+
+import pytest
+
+from repro.codec import DEFAULT_COSTS, CostModel, LinearCost, fit_linear, measure
+from repro.experiments.figures import custom_message
+
+
+class TestLinearCost:
+    def test_total_is_affine(self):
+        cost = LinearCost(2e-6, 0.5e-6)
+        assert cost.total(0) == pytest.approx(2e-6)
+        assert cost.total(10) == pytest.approx(7e-6)
+
+    def test_encode_decode_split_sums_to_total(self):
+        cost = LinearCost(1e-6, 0.1e-6)
+        assert cost.encode(8) + cost.decode(8) == pytest.approx(cost.total(8))
+
+    def test_decode_heavier_than_encode(self):
+        cost = LinearCost(1e-6, 0.1e-6)
+        assert cost.decode(8) > cost.encode(8)
+
+
+class TestCalibration:
+    """The paper's Fig. 18 shape properties, from the calibrated table."""
+
+    def test_all_registered_codecs_priced(self):
+        from repro.codec import codec_names
+
+        assert set(DEFAULT_COSTS) == set(codec_names())
+
+    def test_asn1_is_slowest_beyond_trivial_sizes(self):
+        model = CostModel()
+        asn1 = model.codec_cost("asn1per")
+        for name, cost in DEFAULT_COSTS.items():
+            if name == "asn1per":
+                continue
+            assert cost.total(8) < asn1.total(8), name
+
+    def test_cdr_and_lcm_win_below_seven_elements(self):
+        model = CostModel()
+        for n in (1, 3, 5, 6):
+            fb = model.codec_cost("flatbuffers").total(n)
+            assert model.codec_cost("cdr").total(n) < fb, n
+            assert model.codec_cost("lcm").total(n) < fb, n
+
+    def test_flatbuffers_wins_beyond_crossover(self):
+        model = CostModel()
+        for n in (10, 15, 25, 35):
+            fb = model.codec_cost("flatbuffers").total(n)
+            for other in ("cdr", "lcm", "protobuf", "flexbuffers", "asn1per"):
+                assert fb < model.codec_cost(other).total(n), (n, other)
+
+    def test_max_speedup_near_paper_range(self):
+        # Paper: 1.6x-19.2x vs ASN.1; calibration lands ~1.5x-23x.
+        model = CostModel()
+        speedup_35 = model.speedup_vs("flatbuffers", "asn1per", 35)
+        assert 15 <= speedup_35 <= 30
+        floor = min(
+            model.speedup_vs(c, "asn1per", 2)
+            for c in ("flexbuffers", "protobuf", "cdr", "lcm", "flatbuffers")
+        )
+        assert 1.0 <= floor <= 3.0
+
+    def test_optimized_fb_slightly_faster(self):
+        model = CostModel()
+        for n in (5, 20):
+            assert model.codec_cost("flatbuffers_opt").total(n) < model.codec_cost(
+                "flatbuffers"
+            ).total(n)
+
+    def test_unknown_codec_rejected(self):
+        with pytest.raises(KeyError):
+            CostModel().codec_cost("bson")
+
+    def test_message_service_time_includes_base(self):
+        model = CostModel()
+        service = model.message_service_time("flatbuffers", 8)
+        assert service > model.base_process_s
+        assert service == pytest.approx(
+            model.base_process_s + model.codec_cost("flatbuffers").total(8)
+        )
+
+
+class TestMeasurement:
+    def test_measure_returns_positive_times(self):
+        schema, value = custom_message(5)
+        enc, dec = measure("protobuf", schema, value, repeats=5)
+        assert enc > 0 and dec > 0
+
+    def test_measure_rejects_zero_repeats(self):
+        schema, value = custom_message(3)
+        with pytest.raises(ValueError):
+            measure("cdr", schema, value, repeats=0)
+
+    def test_fit_linear_recovers_slope(self):
+        # Fit against a synthetic timer to avoid flaky wall-clock checks.
+        ticks = [0.0]
+
+        def timer():
+            return ticks[0]
+
+        # monkeypatch measure by fitting directly on two sizes using the
+        # real codec but a controlled "cost": use actual fit on real
+        # measurements and only assert non-negativity + monotonicity.
+        samples = {n: custom_message(n) for n in (2, 10, 20)}
+        fitted = fit_linear("cdr", samples, repeats=5)
+        assert fitted.fixed_s >= 0
+        assert fitted.per_element_s >= 0
+
+    def test_fit_linear_needs_two_samples(self):
+        with pytest.raises(ValueError):
+            fit_linear("cdr", {3: custom_message(3)})

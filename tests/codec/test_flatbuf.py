@@ -1,0 +1,168 @@
+"""Tests for the FlatBuffers codec: wire layout, lazy access, svtable."""
+
+import pytest
+
+from repro.codec import (
+    BOOL,
+    U8,
+    U16,
+    U32,
+    ArrayType,
+    BytesType,
+    EnumType,
+    Field,
+    IntType,
+    StringType,
+    TableType,
+    UnionType,
+    get_codec,
+)
+
+fb = get_codec("flatbuffers")
+fb_opt = get_codec("flatbuffers_opt")
+
+SIMPLE = TableType(
+    "Simple",
+    [
+        Field("a", U32),
+        Field("b", U16),
+        Field("s", StringType(), optional=True),
+        Field("flag", BOOL, optional=True),
+    ],
+)
+
+
+class TestWireLayout:
+    def test_root_uoffset_points_to_table(self):
+        data = fb.encode(SIMPLE, {"a": 1, "b": 2})
+        root = int.from_bytes(data[0:4], "little")
+        assert 4 <= root < len(data)
+
+    def test_strings_nul_terminated(self):
+        data = fb.encode(SIMPLE, {"a": 1, "b": 2, "s": "hey"})
+        assert b"hey\x00" in data
+
+    def test_absent_optional_has_zero_vtable_slot(self):
+        with_s = fb.encode(SIMPLE, {"a": 1, "b": 2, "s": "x"})
+        without = fb.encode(SIMPLE, {"a": 1, "b": 2})
+        assert len(without) < len(with_s)
+        assert fb.decode(SIMPLE, without) == {"a": 1, "b": 2}
+
+    def test_vtable_dedup_shrinks_repeated_tables(self):
+        inner = TableType("I", [Field("x", U32)])
+        t1 = TableType("T1", [Field("list", ArrayType(inner))])
+        one = fb.encode(t1, {"list": [{"x": 1}]})
+        many = fb.encode(t1, {"list": [{"x": i} for i in range(8)]})
+        # Each extra identical table costs table bytes but shares one
+        # vtable (6 B): 8 tables must cost < 8x the 1-table overhead.
+        assert len(many) - len(one) < 7 * (len(one) - 4)
+
+    def test_signed_scalars_roundtrip(self):
+        t = TableType("S", [Field("x", IntType(32, signed=True))])
+        for v in (-1, -(1 << 31), (1 << 31) - 1):
+            assert fb.decode(t, fb.encode(t, {"x": v})) == {"x": v}
+
+    def test_scalar_widths_inline(self):
+        t8 = TableType("T8", [Field("x", U8)])
+        t32 = TableType("T32", [Field("x", U32)])
+        assert len(fb.encode(t8, {"x": 1})) < len(fb.encode(t32, {"x": 1})) + 4
+
+
+class TestLazyAccess:
+    def test_view_reads_single_field(self):
+        data = fb.encode(SIMPLE, {"a": 7, "b": 9, "s": "lazy"})
+        view = fb.view(SIMPLE, data)
+        assert view.get("a") == 7
+        assert view.get("s") == "lazy"
+
+    def test_view_has_detects_absence(self):
+        data = fb.encode(SIMPLE, {"a": 7, "b": 9})
+        view = fb.view(SIMPLE, data)
+        assert view.has("a")
+        assert not view.has("s")
+
+    def test_view_union_field(self):
+        u = UnionType("U", [("n", U32), ("s", StringType())])
+        t = TableType("T", [Field("u", u)])
+        data = fb.encode(t, {"u": ("n", 123)})
+        assert fb.view(t, data).get("u") == ("n", 123)
+
+    def test_view_matches_full_decode(self):
+        from repro.messages import CATALOG
+
+        schema = CATALOG.schema("InitialUEMessage")
+        sample = CATALOG.sample("InitialUEMessage")
+        data = fb.encode(schema, sample)
+        view = fb.view(schema, data)
+        for field in schema.fields:
+            if field.name in sample:
+                assert view.get(field.name) == sample[field.name]
+
+
+UNION_SCALAR = UnionType("US", [("num", U32), ("txt", StringType())])
+UNION_TABLE = UnionType(
+    "UT",
+    [
+        ("single", TableType("Single", [Field("v", U32)])),
+        ("pair", TableType("Pair", [Field("a", U32), Field("b", U32)])),
+    ],
+)
+
+
+class TestSvtableOptimization:
+    def test_scalar_union_saves_ten_bytes(self):
+        t = TableType("T", [Field("u", UNION_SCALAR)])
+        value = {"u": ("num", 5)}
+        standard = fb.encode(t, value)
+        optimized = fb_opt.encode(t, value)
+        assert len(standard) - len(optimized) == 10  # vtable(6) + soffset(4)
+        assert fb_opt.decode(t, optimized) == value
+
+    def test_varlen_union_saves_metadata(self):
+        t = TableType("T", [Field("u", UNION_SCALAR)])
+        value = {"u": ("txt", "hello-world")}
+        standard = fb.encode(t, value)
+        optimized = fb_opt.encode(t, value)
+        saved = len(standard) - len(optimized)
+        assert 10 <= saved <= 16  # ~14 B: vtable + soffset + slot
+        assert fb_opt.decode(t, optimized) == value
+
+    def test_single_field_table_alt_optimized(self):
+        t = TableType("T", [Field("u", UNION_TABLE)])
+        value = {"u": ("single", {"v": 9})}
+        standard = fb.encode(t, value)
+        optimized = fb_opt.encode(t, value)
+        assert len(optimized) < len(standard)
+        assert fb_opt.decode(t, optimized) == value
+
+    def test_multi_field_table_alt_not_optimized(self):
+        t = TableType("T", [Field("u", UNION_TABLE)])
+        value = {"u": ("pair", {"a": 1, "b": 2})}
+        assert len(fb.encode(t, value)) == len(fb_opt.encode(t, value))
+        assert fb_opt.decode(t, fb_opt.encode(t, value)) == value
+
+    def test_optimized_never_larger(self):
+        from repro.messages import CATALOG
+
+        for name in CATALOG.names():
+            assert CATALOG.wire_size(name, "flatbuffers_opt") <= CATALOG.wire_size(
+                name, "flatbuffers"
+            ), name
+
+    def test_wire_formats_incompatible_when_optimized(self):
+        # The optimization changes the union wire layout, so the codecs
+        # are distinct and not interchangeable on union-bearing messages.
+        t = TableType("T", [Field("u", UNION_SCALAR)])
+        value = {"u": ("num", 5)}
+        standard = fb.encode(t, value)
+        optimized = fb_opt.encode(t, value)
+        assert standard != optimized
+
+
+class TestNonTableRoots:
+    def test_bare_scalar_root_wrapped(self):
+        assert fb.decode(U32, fb.encode(U32, 77)) == 77
+
+    def test_bare_array_root(self):
+        t = ArrayType(U8)
+        assert fb.decode(t, fb.encode(t, [1, 2, 3])) == [1, 2, 3]

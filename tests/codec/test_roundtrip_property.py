@@ -1,0 +1,151 @@
+"""Property-based roundtrip tests: random schemas, random values.
+
+For every codec: ``decode(encode(value)) == value`` over generated
+(schema, value) pairs covering nesting, optionals, unions, arrays,
+bit strings, and all scalar kinds.  LCM runs on a restricted generator
+honoring its type-system limits.
+"""
+
+import string
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.codec import (
+    ArrayType,
+    BitStringType,
+    BoolType,
+    BytesType,
+    EnumType,
+    Field,
+    IntType,
+    StringType,
+    TableType,
+    UnionType,
+    codec_names,
+    get_codec,
+)
+
+_NAMES = st.text(string.ascii_lowercase, min_size=1, max_size=8)
+
+
+def _scalar_types(signed_only: bool):
+    widths = st.sampled_from([8, 16, 32, 64])
+    ints = widths.map(lambda w: IntType(w, signed=True))
+    if not signed_only:
+        ints = st.one_of(ints, widths.map(lambda w: IntType(w, signed=False)))
+    options = [
+        ints,
+        st.just(BoolType()),
+        st.just(StringType(max_len=16)),
+        st.just(BytesType(max_len=16)),
+        st.integers(1, 24).map(BitStringType),
+        st.lists(_NAMES, min_size=1, max_size=4, unique=True).map(
+            lambda names: EnumType("e", names)
+        ),
+    ]
+    return st.one_of(*options)
+
+
+def _type_strategy(signed_only: bool, depth: int = 2):
+    scalar = _scalar_types(signed_only)
+
+    def extend(children):
+        table = st.lists(
+            st.tuples(_NAMES, children, st.booleans()), min_size=1, max_size=4
+        ).map(
+            lambda fields: TableType(
+                "t",
+                [
+                    Field("f%d_%s" % (i, n), t, optional=opt)
+                    for i, (n, t, opt) in enumerate(fields)
+                ],
+            )
+        )
+        array = children.map(lambda t: ArrayType(t, max_len=4))
+        options = [table, array]
+        if not signed_only:
+            options.append(
+                st.lists(st.tuples(_NAMES, children), min_size=1, max_size=3).map(
+                    lambda alts: UnionType(
+                        "u", [("a%d_%s" % (i, n), t) for i, (n, t) in enumerate(alts)]
+                    )
+                )
+            )
+        return st.one_of(*options)
+
+    return st.recursive(scalar, extend, max_leaves=8)
+
+
+def _value_for(type_, draw):
+    kind = type_.kind
+    if kind == "int":
+        return draw(st.integers(type_.lo, type_.hi))
+    if kind == "bool":
+        return draw(st.booleans())
+    if kind == "string":
+        return draw(st.text(string.printable, max_size=type_.max_len or 8))
+    if kind == "bytes":
+        return draw(st.binary(max_size=type_.max_len or 8))
+    if kind == "bitstring":
+        return (draw(st.integers(0, (1 << type_.nbits) - 1)), type_.nbits)
+    if kind == "enum":
+        return draw(st.sampled_from(type_.names))
+    if kind == "array":
+        n = draw(st.integers(0, type_.max_len or 3))
+        return [_value_for(type_.element, draw) for _ in range(n)]
+    if kind == "table":
+        out = {}
+        for field in type_.fields:
+            if not field.optional or draw(st.booleans()):
+                out[field.name] = _value_for(field.type, draw)
+        return out
+    if kind == "union":
+        alt_name, alt_type = draw(st.sampled_from(type_.alts))
+        return (alt_name, _value_for(alt_type, draw))
+    raise AssertionError(kind)
+
+
+@st.composite
+def schema_and_value(draw, signed_only=False):
+    type_ = draw(_type_strategy(signed_only))
+    return type_, _value_for(type_, draw)
+
+
+GENERAL_CODECS = [n for n in codec_names() if n != "lcm"]
+
+
+@pytest.mark.parametrize("codec_name", GENERAL_CODECS)
+@given(pair=schema_and_value())
+@settings(max_examples=60, deadline=None)
+def test_roundtrip_random_schema(codec_name, pair):
+    type_, value = pair
+    codec = get_codec(codec_name)
+    if type_.kind not in ("table",):  # codecs take any root; normalize
+        type_ = TableType("root", [Field("v", type_)])
+        value = {"v": value}
+    assert codec.decode(type_, codec.encode(type_, value)) == value
+
+
+@given(pair=schema_and_value(signed_only=True))
+@settings(max_examples=60, deadline=None)
+def test_lcm_roundtrip_on_supported_schemas(pair):
+    type_, value = pair
+    if type_.kind != "table":
+        type_ = TableType("root", [Field("v", type_)])
+        value = {"v": value}
+    codec = get_codec("lcm")
+    codec.check_schema(type_)  # generator must only produce supported
+    assert codec.decode(type_, codec.encode(type_, value)) == value
+
+
+@pytest.mark.parametrize("codec_name", GENERAL_CODECS)
+@given(pair=schema_and_value())
+@settings(max_examples=30, deadline=None)
+def test_encode_deterministic(codec_name, pair):
+    type_, value = pair
+    if type_.kind != "table":
+        type_ = TableType("root", [Field("v", type_)])
+        value = {"v": value}
+    codec = get_codec(codec_name)
+    assert codec.encode(type_, value) == codec.encode(type_, value)

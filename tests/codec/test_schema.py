@@ -1,0 +1,186 @@
+"""Tests for the shared schema model and value validation."""
+
+import pytest
+
+from repro.codec import (
+    BOOL,
+    U8,
+    U16,
+    U32,
+    ArrayType,
+    BitStringType,
+    BytesType,
+    EnumType,
+    Field,
+    FloatType,
+    IntType,
+    SchemaError,
+    StringType,
+    TableType,
+    UnionType,
+    count_elements,
+    validate,
+)
+
+
+class TestTypeConstruction:
+    def test_int_default_range_unsigned(self):
+        t = IntType(16)
+        assert (t.lo, t.hi) == (0, 65535)
+
+    def test_int_default_range_signed(self):
+        t = IntType(8, signed=True)
+        assert (t.lo, t.hi) == (-128, 127)
+
+    def test_int_bad_width_rejected(self):
+        with pytest.raises(SchemaError):
+            IntType(12)
+
+    def test_int_empty_range_rejected(self):
+        with pytest.raises(SchemaError):
+            IntType(8, lo=5, hi=4)
+
+    def test_int24_storage_is_4_bytes(self):
+        assert IntType(24).storage_bytes == 4
+
+    def test_enum_duplicate_rejected(self):
+        with pytest.raises(SchemaError):
+            EnumType("e", ["a", "a"])
+
+    def test_enum_empty_rejected(self):
+        with pytest.raises(SchemaError):
+            EnumType("e", [])
+
+    def test_table_duplicate_fields_rejected(self):
+        with pytest.raises(SchemaError):
+            TableType("t", [Field("x", U8), Field("x", U8)])
+
+    def test_table_field_lookup(self):
+        t = TableType("t", [Field("x", U8)])
+        assert t.field("x").type is U8
+        with pytest.raises(SchemaError):
+            t.field("y")
+
+    def test_union_duplicate_alts_rejected(self):
+        with pytest.raises(SchemaError):
+            UnionType("u", [("a", U8), ("a", U16)])
+
+    def test_union_alt_lookup(self):
+        u = UnionType("u", [("a", U8)])
+        assert u.alt_type("a") is U8
+        with pytest.raises(SchemaError):
+            u.alt_type("b")
+
+    def test_bitstring_needs_positive_width(self):
+        with pytest.raises(SchemaError):
+            BitStringType(0)
+
+    def test_float_width_checked(self):
+        with pytest.raises(SchemaError):
+            FloatType(16)
+
+
+class TestValidation:
+    def test_int_range_enforced(self):
+        t = IntType(8, lo=0, hi=10)
+        validate(5, t)
+        with pytest.raises(SchemaError):
+            validate(11, t)
+        with pytest.raises(SchemaError):
+            validate(-1, t)
+
+    def test_bool_is_not_int(self):
+        with pytest.raises(SchemaError):
+            validate(True, U8)
+        with pytest.raises(SchemaError):
+            validate(1, BOOL)
+
+    def test_enum_membership(self):
+        t = EnumType("e", ["x", "y"])
+        validate("x", t)
+        with pytest.raises(SchemaError):
+            validate("z", t)
+
+    def test_bytes_max_len(self):
+        t = BytesType(max_len=2)
+        validate(b"ab", t)
+        with pytest.raises(SchemaError):
+            validate(b"abc", t)
+
+    def test_string_type(self):
+        validate("hi", StringType())
+        with pytest.raises(SchemaError):
+            validate(b"hi", StringType())
+
+    def test_bitstring_shape(self):
+        t = BitStringType(4)
+        validate((0xF, 4), t)
+        with pytest.raises(SchemaError):
+            validate((0x1F, 4), t)  # value wider than 4 bits
+        with pytest.raises(SchemaError):
+            validate((1, 5), t)  # wrong declared width
+        with pytest.raises(SchemaError):
+            validate(3, t)
+
+    def test_array_bounds_and_elements(self):
+        t = ArrayType(U8, max_len=2)
+        validate([1, 2], t)
+        with pytest.raises(SchemaError):
+            validate([1, 2, 3], t)
+        with pytest.raises(SchemaError):
+            validate([300], t)
+
+    def test_table_missing_required_field(self):
+        t = TableType("t", [Field("a", U8), Field("b", U8, optional=True)])
+        validate({"a": 1}, t)
+        with pytest.raises(SchemaError):
+            validate({"b": 1}, t)
+
+    def test_table_unknown_field_rejected(self):
+        t = TableType("t", [Field("a", U8)])
+        with pytest.raises(SchemaError):
+            validate({"a": 1, "zz": 2}, t)
+
+    def test_union_value_shape(self):
+        u = UnionType("u", [("n", U8)])
+        validate(("n", 3), u)
+        with pytest.raises(SchemaError):
+            validate(("missing", 3), u)
+        with pytest.raises(SchemaError):
+            validate("n", u)
+
+    def test_nested_error_path_mentions_field(self):
+        t = TableType("outer", [Field("inner", TableType("i", [Field("x", U8)]))])
+        with pytest.raises(SchemaError) as err:
+            validate({"inner": {"x": 999}}, t)
+        assert "inner.x" in str(err.value)
+
+
+class TestCountElements:
+    def test_scalar_is_one(self):
+        assert count_elements(5, U8) == 1
+
+    def test_table_counts_present_leaves(self):
+        t = TableType(
+            "t",
+            [Field("a", U8), Field("b", U8, optional=True), Field("c", U8, optional=True)],
+        )
+        assert count_elements({"a": 1, "b": 2}, t) == 2
+
+    def test_nested_tables_flatten(self):
+        inner = TableType("i", [Field("x", U8), Field("y", U8)])
+        outer = TableType("o", [Field("i", inner), Field("z", U8)])
+        assert count_elements({"i": {"x": 1, "y": 2}, "z": 3}, outer) == 3
+
+    def test_array_sums_elements(self):
+        t = ArrayType(U8)
+        assert count_elements([1, 2, 3], t) == 3
+
+    def test_empty_array_counts_one(self):
+        assert count_elements([], ArrayType(U8)) == 1
+
+    def test_union_counts_inner(self):
+        inner = TableType("i", [Field("x", U8), Field("y", U8)])
+        u = UnionType("u", [("t", inner), ("s", U8)])
+        assert count_elements(("t", {"x": 1, "y": 2}), u) == 2
+        assert count_elements(("s", 1), u) == 1

@@ -1,0 +1,212 @@
+"""Tests for protobuf, CDR, LCM, and FlexBuffers codecs."""
+
+import pytest
+
+from repro.codec import (
+    BOOL,
+    U8,
+    U32,
+    ArrayType,
+    BitStringType,
+    BytesType,
+    EnumType,
+    Field,
+    IntType,
+    StringType,
+    TableType,
+    UnionType,
+    UnsupportedSchema,
+    get_codec,
+)
+from repro.codec.protobuf import _read_varint, _unzigzag, _write_varint, _zigzag
+from repro.codec.bitio import ByteReader, ByteWriter, CodecError
+
+pb = get_codec("protobuf")
+cdr = get_codec("cdr")
+lcm = get_codec("lcm")
+flex = get_codec("flexbuffers")
+
+
+class TestVarint:
+    @pytest.mark.parametrize("value", [0, 1, 127, 128, 300, 2**32, 2**63 - 1])
+    def test_roundtrip(self, value):
+        w = ByteWriter("little")
+        _write_varint(w, value)
+        assert _read_varint(ByteReader(w.getvalue(), "little")) == value
+
+    def test_single_byte_below_128(self):
+        w = ByteWriter("little")
+        _write_varint(w, 127)
+        assert w.getvalue() == b"\x7f"
+
+    def test_continuation_bit(self):
+        w = ByteWriter("little")
+        _write_varint(w, 300)
+        assert w.getvalue() == b"\xac\x02"  # protobuf doc example
+
+    def test_negative_rejected(self):
+        with pytest.raises(CodecError):
+            _write_varint(ByteWriter("little"), -1)
+
+    @pytest.mark.parametrize("value", [0, -1, 1, -64, 63, -(2**31)])
+    def test_zigzag_roundtrip(self, value):
+        assert _unzigzag(_zigzag(value)) == value
+
+    def test_zigzag_small_negatives_small(self):
+        assert _zigzag(-1) == 1
+        assert _zigzag(1) == 2
+
+
+class TestProtobuf:
+    def test_field_numbers_are_schema_positions(self):
+        t = TableType(
+            "t",
+            [Field("a", IntType(32), optional=True), Field("b", IntType(32))],
+        )
+        data = pb.encode(t, {"b": 5})  # only field 2
+        # tag = (2 << 3) | 0 = 0x10
+        assert data[0] == 0x10
+
+    def test_optional_fields_simply_absent(self):
+        t = TableType("t", [Field("a", U32, optional=True), Field("b", U32)])
+        assert pb.decode(t, pb.encode(t, {"b": 9})) == {"b": 9}
+
+    def test_nested_length_delimited(self):
+        inner = TableType("i", [Field("x", U32)])
+        outer = TableType("o", [Field("i", inner)])
+        value = {"i": {"x": 300}}
+        assert pb.decode(outer, pb.encode(outer, value)) == value
+
+    def test_unknown_field_number_rejected(self):
+        t = TableType("t", [Field("a", U32)])
+        bad = bytes([0x58, 0x01])  # field 11
+        with pytest.raises(CodecError):
+            pb.decode(t, bad)
+
+    def test_union_encodes_single_member(self):
+        u = UnionType("u", [("a", U32), ("b", StringType())])
+        t = TableType("t", [Field("u", u)])
+        for value in ({"u": ("a", 7)}, {"u": ("b", "x")}):
+            assert pb.decode(t, pb.encode(t, value)) == value
+
+
+class TestCdr:
+    def test_alignment_padding(self):
+        t = TableType("t", [Field("a", U8), Field("b", U32)])
+        data = cdr.encode(t, {"a": 1, "b": 2})
+        # u8 then 3 pad bytes then u32
+        assert len(data) == 8
+        assert data[1:4] == b"\x00\x00\x00"
+
+    def test_string_counts_nul(self):
+        t = TableType("t", [Field("s", StringType())])
+        data = cdr.encode(t, {"s": "ab"})
+        assert int.from_bytes(data[0:4], "little") == 3  # 'a','b',NUL
+
+    def test_union_discriminator_u32(self):
+        u = UnionType("u", [("a", U8), ("b", U8)])
+        t = TableType("t", [Field("u", u)])
+        data = cdr.encode(t, {"u": ("b", 9)})
+        assert int.from_bytes(data[0:4], "little") == 1
+
+    def test_optional_presence_octet(self):
+        t = TableType("t", [Field("o", U32, optional=True)])
+        assert cdr.encode(t, {})[0] == 0
+        assert cdr.encode(t, {"o": 1})[0] == 1
+
+    def test_out_of_range_discriminator_rejected(self):
+        u = UnionType("u", [("a", U8)])
+        t = TableType("t", [Field("u", u)])
+        bad = b"\x09\x00\x00\x00\x01"
+        with pytest.raises(CodecError):
+            cdr.decode(t, bad)
+
+
+class TestLcm:
+    def test_rejects_unsigned(self):
+        t = TableType("t", [Field("x", IntType(32, signed=False))])
+        with pytest.raises(UnsupportedSchema):
+            lcm.encode(t, {"x": 1})
+
+    def test_rejects_unions(self):
+        u = UnionType("u", [("a", IntType(8, signed=True))])
+        t = TableType("t", [Field("u", u)])
+        with pytest.raises(UnsupportedSchema):
+            lcm.check_schema(t)
+
+    def test_rejects_nested_violations(self):
+        inner = TableType("i", [Field("x", IntType(16, signed=False))])
+        outer = TableType("o", [Field("xs", ArrayType(inner))])
+        with pytest.raises(UnsupportedSchema):
+            lcm.check_schema(outer)
+
+    def test_signed_schema_roundtrips(self):
+        t = TableType(
+            "t",
+            [
+                Field("x", IntType(32, signed=True)),
+                Field("s", StringType()),
+                Field("flag", BOOL),
+                Field("blob", BytesType()),
+            ],
+        )
+        value = {"x": -42, "s": "ok", "flag": True, "blob": b"\x01\x02"}
+        assert lcm.decode(t, lcm.encode(t, value)) == value
+
+    def test_fingerprint_guards_schema_identity(self):
+        t1 = TableType("t1", [Field("x", IntType(32, signed=True))])
+        t2 = TableType("t2", [Field("x", IntType(32, signed=True)), Field("y", IntType(8, signed=True), optional=True)])
+        data = lcm.encode(t1, {"x": 1})
+        with pytest.raises(CodecError):
+            lcm.decode(t2, data)
+
+    def test_rejects_most_real_control_messages(self):
+        from repro.messages import CATALOG
+
+        supported = CATALOG.supported_by("lcm")
+        # Unsigned ids are pervasive: almost nothing is expressible.
+        assert len(supported) < len(CATALOG.names()) / 4
+
+
+class TestFlexBuffers:
+    def test_self_describing_type_tags(self):
+        t = TableType("t", [Field("x", U32)])
+        data = flex.encode(t, {"x": 1})
+        # starts with a MAP tag
+        assert data[0] == 8
+
+    def test_roundtrip_full_kinds(self):
+        t = TableType(
+            "t",
+            [
+                Field("i", IntType(32, signed=True)),
+                Field("u", U32),
+                Field("s", StringType()),
+                Field("b", BytesType()),
+                Field("bits", BitStringType(9)),
+                Field("e", EnumType("e", ["p", "q"])),
+                Field("xs", ArrayType(U8)),
+                Field("flag", BOOL),
+            ],
+        )
+        value = {
+            "i": -3,
+            "u": 9,
+            "s": "str",
+            "b": b"\x00\x01",
+            "bits": (0x1FF, 9),
+            "e": "q",
+            "xs": [4, 5],
+            "flag": False,
+        }
+        assert flex.decode(t, flex.encode(t, value)) == value
+
+    def test_larger_than_schema_driven(self):
+        from repro.messages import CATALOG
+
+        # Self-description costs bytes: FlexBuffers beats none of the
+        # schema-driven compact codecs on real messages.
+        for name in ("InitialUEMessage", "HandoverRequest"):
+            assert CATALOG.wire_size(name, "flexbuffers") > CATALOG.wire_size(
+                name, "protobuf"
+            )

@@ -1,0 +1,41 @@
+"""Shared fixtures for core protocol tests."""
+
+import pytest
+
+from repro.core import ControlPlaneConfig, Deployment
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+def build(sim, config=None, cpfs_per_region=1, regions=2, **kwargs):
+    config = config or ControlPlaneConfig.neutrino()
+    return Deployment.build_grid(
+        sim, config, cpfs_per_region=cpfs_per_region, regions=regions, **kwargs
+    )
+
+
+@pytest.fixture
+def neutrino(sim):
+    return build(sim)
+
+
+@pytest.fixture
+def neutrino_2x2(sim):
+    return build(sim, cpfs_per_region=2)
+
+
+@pytest.fixture
+def epc(sim):
+    return build(sim, ControlPlaneConfig.existing_epc())
+
+
+def run_proc(dep, ue, name, target_bs=None, until=None):
+    """Run one procedure to completion; returns the outcome."""
+    proc = dep.sim.process(ue.execute(name, target_bs=target_bs))
+    dep.sim.run(until=until) if until else dep.sim.run()
+    assert proc.fired, "procedure did not finish"
+    return proc.value

@@ -1,0 +1,74 @@
+"""Tests for control-plane configuration presets and validation."""
+
+import pytest
+
+from repro.core import ControlPlaneConfig
+
+
+class TestValidation:
+    def test_bad_sync_mode_rejected(self):
+        with pytest.raises(ValueError):
+            ControlPlaneConfig(sync_mode="sometimes")
+
+    def test_bad_recovery_rejected(self):
+        with pytest.raises(ValueError):
+            ControlPlaneConfig(recovery="pray")
+
+    def test_replication_without_backups_rejected(self):
+        with pytest.raises(ValueError):
+            ControlPlaneConfig(sync_mode="per_procedure", n_backups=0)
+
+    def test_replay_requires_log(self):
+        with pytest.raises(ValueError):
+            ControlPlaneConfig(recovery="replay", message_logging=False)
+
+    def test_negative_backups_rejected(self):
+        with pytest.raises(ValueError):
+            ControlPlaneConfig(n_backups=-1)
+
+
+class TestPresets:
+    def test_neutrino_defaults(self):
+        cfg = ControlPlaneConfig.neutrino()
+        assert cfg.codec == "flatbuffers_opt"
+        assert cfg.sync_mode == "per_procedure"
+        assert cfg.message_logging
+        assert cfg.recovery == "replay"
+        assert cfg.proactive_georep
+
+    def test_existing_epc_defaults(self):
+        cfg = ControlPlaneConfig.existing_epc()
+        assert cfg.codec == "asn1per"
+        assert cfg.sync_mode == "none"
+        assert cfg.recovery == "reattach"
+        assert not cfg.proactive_georep
+        assert cfg.n_backups == 0
+
+    def test_skycore_per_message_broadcast(self):
+        cfg = ControlPlaneConfig.skycore()
+        assert cfg.sync_mode == "per_message"
+        assert cfg.broadcast_replication
+        assert cfg.codec == "asn1per"
+
+    def test_dpcm_flag(self):
+        cfg = ControlPlaneConfig.dpcm()
+        assert cfg.dpcm_mode
+        assert cfg.codec == "asn1per"
+
+    def test_preset_overrides(self):
+        cfg = ControlPlaneConfig.neutrino(n_backups=3)
+        assert cfg.n_backups == 3
+        named = ControlPlaneConfig.neutrino(name="custom-neutrino")
+        assert named.name == "custom-neutrino"
+
+    def test_variant_copies(self):
+        base = ControlPlaneConfig.neutrino()
+        variant = base.variant("no-log", message_logging=False, recovery="reattach")
+        assert variant.name == "no-log"
+        assert not variant.message_logging
+        assert base.message_logging  # original untouched
+
+    def test_variant_validates(self):
+        base = ControlPlaneConfig.neutrino()
+        with pytest.raises(ValueError):
+            base.variant("broken", message_logging=False)  # replay needs log

@@ -1,0 +1,84 @@
+"""Downlink delivery and the §3.1 UE-Core inconsistency scenario.
+
+The paper's motivating example: a UE attaches; the CPF fails before
+updating any replica; the UE believes it is Attached while the core has
+no state — downlink data/voice cannot be delivered until the UE
+Re-Attaches.  Neutrino's synced replicas close that window.
+"""
+
+import pytest
+
+from repro.core import ControlPlaneConfig
+
+from .conftest import build, run_proc
+
+
+def deliver(dep, ue_id):
+    handle = dep.sim.process(dep.deliver_downlink(ue_id))
+    dep.sim.run(until=dep.sim.now + 1.0)
+    assert handle.fired
+    return handle.value
+
+
+class TestHealthyDelivery:
+    def test_attached_ue_reachable(self, sim, neutrino):
+        ue = neutrino.new_ue("ue-1", "bs-20-0")
+        run_proc(neutrino, ue, "attach")
+        delivered, served_by = deliver(neutrino, "ue-1")
+        assert delivered
+        assert served_by == neutrino.primary_of("ue-1")
+
+    def test_unknown_ue_unreachable(self, sim, neutrino):
+        delivered, served_by = deliver(neutrino, "ghost")
+        assert not delivered and served_by is None
+
+    def test_detached_ue_unreachable(self, sim, neutrino):
+        ue = neutrino.bootstrap_ue("ue-1", "bs-20-0")
+        run_proc(neutrino, ue, "detach")
+        delivered, _ = deliver(neutrino, "ue-1")
+        assert not delivered
+
+
+class TestSection31Scenario:
+    """The exact Fig. 2 sequence of the paper."""
+
+    def _attach_then_fail_before_replication(self, dep):
+        ue = dep.new_ue("ue-1", "bs-20-0")
+        run_proc(dep, ue, "attach")
+        # CPF fails right after attach completes, before any replica
+        # copy exists (we wipe in-flight copies to model the race).
+        for backup in dep.replicas_of("ue-1"):
+            dep.cpfs[backup].store.drop("ue-1")
+        dep.fail_cpf(dep.primary_of("ue-1"))
+        return ue
+
+    def test_epc_cannot_deliver_after_failure(self, sim, epc):
+        ue = self._attach_then_fail_before_replication(epc)
+        assert ue.attached  # the UE still believes it is Attached...
+        delivered, _ = deliver(epc, "ue-1")
+        assert not delivered  # ...but the core cannot reach it (§3.1)
+
+    def test_reattach_restores_delivery(self, sim, epc):
+        ue = self._attach_then_fail_before_replication(epc)
+        run_proc(epc, ue, "re_attach")
+        delivered, _ = deliver(epc, "ue-1")
+        assert delivered
+
+    def test_neutrino_synced_replica_keeps_ue_reachable(self, sim, neutrino):
+        ue = neutrino.new_ue("ue-1", "bs-20-0")
+        run_proc(neutrino, ue, "attach")
+        sim.run(until=sim.now + 0.2)  # checkpoint ACKs land
+        neutrino.fail_cpf(neutrino.primary_of("ue-1"))
+        delivered, served_by = deliver(neutrino, "ue-1")
+        assert delivered  # the backup holds up-to-date state
+        assert served_by in neutrino.replicas_of("ue-1") or served_by is not None
+
+    def test_neutrino_window_before_checkpoint_is_small_but_real(self, sim, neutrino):
+        # Even Neutrino has the window between procedure completion and
+        # checkpoint arrival; §4.2.5 scenario 3 covers it via Re-Attach.
+        ue = self._attach_then_fail_before_replication(neutrino)
+        delivered, _ = deliver(neutrino, "ue-1")
+        assert not delivered
+        run_proc(neutrino, ue, "re_attach")
+        delivered, _ = deliver(neutrino, "ue-1")
+        assert delivered

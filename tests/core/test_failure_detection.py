@@ -1,0 +1,94 @@
+"""Proactive CPF failure detection via CTA heartbeats (§4.1)."""
+
+import pytest
+
+from repro.core import ControlPlaneConfig, Deployment
+from repro.sim import Simulator
+
+from .conftest import build
+
+
+def run_proc(dep, ue, name):
+    # bounded: the heartbeat process keeps the event heap non-empty, so
+    # unbounded sim.run() would never return with detection enabled.
+    proc = dep.sim.process(ue.execute(name))
+    dep.sim.run(until=dep.sim.now + 1.0)
+    assert proc.fired, "procedure did not finish"
+    return proc.value
+
+
+def detection_config(**overrides):
+    defaults = dict(heartbeat_interval_s=0.01, heartbeat_misses=2)
+    defaults.update(overrides)
+    return ControlPlaneConfig.neutrino(**defaults)
+
+
+class TestHeartbeatDetection:
+    def test_disabled_by_default(self, sim, neutrino):
+        assert neutrino.config.heartbeat_interval_s == 0.0
+        assert all(cta.failures_detected == 0 for cta in neutrino.ctas.values())
+
+    def test_detection_counts_after_k_misses(self, sim):
+        dep = build(sim, detection_config())
+        dep.bootstrap_ue("ue-1", "bs-20-0")
+        victim = dep.primary_of("ue-1")
+        dep.fail_cpf(victim)
+        sim.run(until=0.1)
+        region = dep.region_map.region_of_cpf(victim).geohash
+        cta = dep.cta_for_region(region)
+        assert cta.failures_detected == 1
+
+    def test_detection_fires_once_per_failure(self, sim):
+        dep = build(sim, detection_config())
+        dep.bootstrap_ue("ue-1", "bs-20-0")
+        victim = dep.primary_of("ue-1")
+        dep.fail_cpf(victim)
+        sim.run(until=0.5)
+        region = dep.region_map.region_of_cpf(victim).geohash
+        assert dep.cta_for_region(region).failures_detected == 1
+
+    def test_recovered_cpf_can_be_detected_again(self, sim):
+        dep = build(sim, detection_config())
+        dep.bootstrap_ue("ue-1", "bs-20-0")
+        victim = dep.primary_of("ue-1")
+        region = dep.region_map.region_of_cpf(victim).geohash
+        dep.fail_cpf(victim)
+        sim.run(until=0.1)
+        dep.recover_cpf(victim)
+        sim.run(until=0.2)
+        dep.fail_cpf(victim)
+        sim.run(until=0.3)
+        assert dep.cta_for_region(region).failures_detected == 2
+
+    def test_idle_ue_promoted_before_it_notices(self, sim):
+        """The key benefit: the failover happens in the background."""
+        dep = build(sim, detection_config())
+        ue = dep.bootstrap_ue("ue-1", "bs-20-0")
+        victim = dep.primary_of("ue-1")
+        backup = dep.replicas_of("ue-1")[0]
+        dep.fail_cpf(victim)
+        sim.run(until=0.5)  # heartbeats detect; background failover runs
+        assert dep.primary_of("ue-1") == backup
+        # The UE's next procedure is served with no visible recovery.
+        outcome = run_proc(dep, ue, "service_request")
+        assert outcome.completed
+        assert not outcome.recovered
+
+    def test_busy_ue_left_to_its_own_recovery(self, sim):
+        dep = build(sim, detection_config())
+        ue = dep.bootstrap_ue("ue-1", "bs-20-0")
+        ue.busy = True  # simulating an in-flight procedure
+        dep.fail_cpf(dep.primary_of("ue-1"))
+        sim.run(until=0.2)
+        # placement untouched by the proactive path (reactive path owns it)
+        assert dep.primary_of("ue-1") is not None
+
+    def test_consistency_held_under_proactive_failover(self, sim):
+        dep = build(sim, detection_config())
+        ue = dep.bootstrap_ue("ue-1", "bs-20-0")
+        run_proc(dep, ue, "service_request")
+        sim.run(until=sim.now + 0.2)
+        dep.fail_cpf(dep.primary_of("ue-1"))
+        sim.run(until=sim.now + 0.5)
+        run_proc(dep, ue, "service_request")
+        assert dep.auditor.read_your_writes_held

@@ -1,0 +1,147 @@
+"""Tests for the CTA logical clock and in-memory message log (§4.2.3)."""
+
+import pytest
+
+from repro.core import LogicalClock, MessageLog
+
+
+def make_log(enabled=True):
+    now = {"t": 0.0}
+
+    def sim_now():
+        return now["t"]
+
+    return MessageLog(sim_now, enabled=enabled), now
+
+
+class TestLogicalClock:
+    def test_monotone(self):
+        clock = LogicalClock()
+        values = [clock.tick() for _ in range(5)]
+        assert values == [1, 2, 3, 4, 5]
+        assert clock.value == 5
+
+    def test_start_offset(self):
+        assert LogicalClock(10).tick() == 11
+
+
+class TestAppendAndReplaySet:
+    def test_entries_after_filters_by_clock(self):
+        log, _ = make_log()
+        for clock in (1, 2, 3):
+            log.append(clock, "ue-1", "InitialUEMessage", 100)
+        assert [e.clock for e in log.entries_after("ue-1", 1)] == [2, 3]
+        assert log.entries_after("ue-1", 3) == []
+        assert log.entries_after("ue-other", 0) == []
+
+    def test_disabled_log_records_nothing(self):
+        log, _ = make_log(enabled=False)
+        log.append(1, "ue-1", "m", 100)
+        assert log.entry_count() == 0
+        assert log.size_bytes == 0
+
+    def test_size_includes_overhead(self):
+        log, _ = make_log()
+        log.append(1, "ue-1", "m", 100)
+        assert log.size_bytes > 100
+
+
+class TestAckAndPrune:
+    def test_full_acks_prune_procedure(self):
+        log, _ = make_log()
+        for clock in (1, 2):
+            log.append(clock, "ue-1", "m", 50)
+        log.procedure_completed("ue-1", 2, ["r1", "r2"])
+        log.ack("ue-1", 2, "r1")
+        assert log.entry_count() == 2  # still waiting on r2
+        log.ack("ue-1", 2, "r2")
+        assert log.entry_count() == 0
+        assert log.size_bytes == 0
+        assert log.pruned == 2
+
+    def test_prune_keeps_newer_messages(self):
+        log, _ = make_log()
+        log.append(1, "ue-1", "m", 50)
+        log.procedure_completed("ue-1", 1, ["r1"])
+        log.append(2, "ue-1", "m2", 50)  # next procedure's message
+        log.ack("ue-1", 1, "r1")
+        assert [e.clock for e in log.entries_after("ue-1", 0)] == [2]
+
+    def test_no_replicas_prunes_immediately(self):
+        log, _ = make_log()
+        log.append(1, "ue-1", "m", 50)
+        log.procedure_completed("ue-1", 1, [])
+        assert log.entry_count() == 0
+
+    def test_duplicate_ack_ignored(self):
+        log, _ = make_log()
+        log.append(1, "ue-1", "m", 50)
+        log.procedure_completed("ue-1", 1, ["r1"])
+        log.ack("ue-1", 1, "r1")
+        log.ack("ue-1", 1, "r1")  # already pruned: no-op
+
+    def test_unknown_ack_ignored(self):
+        log, _ = make_log()
+        log.ack("ue-x", 99, "r1")  # must not raise
+
+    def test_per_ue_isolation(self):
+        log, _ = make_log()
+        log.append(1, "ue-a", "m", 50)
+        log.append(2, "ue-b", "m", 50)
+        log.procedure_completed("ue-a", 1, ["r1"])
+        log.ack("ue-a", 1, "r1")
+        assert log.entries_after("ue-b", 0) != []
+
+
+class TestStaleRecords:
+    def test_stale_records_by_timeout(self):
+        log, now = make_log()
+        log.append(1, "ue-1", "m", 50)
+        log.procedure_completed("ue-1", 1, ["r1"])
+        now["t"] = 31.0
+        stale = log.stale_records(older_than=now["t"] - 30.0)
+        assert len(stale) == 1
+        assert stale[0].missing() == ["r1"]
+
+    def test_acked_records_not_stale(self):
+        log, now = make_log()
+        log.append(1, "ue-1", "m", 50)
+        log.procedure_completed("ue-1", 1, ["r1"])
+        log.ack("ue-1", 1, "r1")
+        now["t"] = 100.0
+        assert log.stale_records(older_than=50.0) == []
+
+    def test_unacked_for_lists_pending(self):
+        log, _ = make_log()
+        log.append(1, "ue-1", "m", 50)
+        log.procedure_completed("ue-1", 1, ["r1"])
+        assert len(log.unacked_for("ue-1")) == 1
+        assert log.unacked_for("ue-2") == []
+
+    def test_drop_procedure_clears_messages_and_record(self):
+        # §4.2.4(1d)
+        log, _ = make_log()
+        for clock in (1, 2):
+            log.append(clock, "ue-1", "m", 50)
+        log.procedure_completed("ue-1", 2, ["r1"])
+        log.drop_procedure("ue-1", 2)
+        assert log.entry_count() == 0
+        assert log.unacked_for("ue-1") == []
+
+
+class TestSizeTracking:
+    def test_max_size_survives_pruning(self):
+        log, _ = make_log()
+        for clock in range(1, 11):
+            log.append(clock, "ue-1", "m", 100)
+        peak = log.size_bytes
+        log.procedure_completed("ue-1", 10, ["r"])
+        log.ack("ue-1", 10, "r")
+        assert log.size_bytes == 0
+        assert log.max_size_bytes == peak
+
+    def test_appended_counter(self):
+        log, _ = make_log()
+        for clock in range(1, 4):
+            log.append(clock, "ue-1", "m", 10)
+        assert log.appended == 3

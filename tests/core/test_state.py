@@ -1,0 +1,137 @@
+"""Tests for UE state and the per-CPF state store."""
+
+import pytest
+
+from repro.core import StateEntry, StateStore, StaleStateError, UEState
+
+
+class TestUEState:
+    def test_new_state_detached(self):
+        state = UEState("ue-1", 42)
+        assert not state.attached
+        assert state.version == 0
+
+    def test_message_bumps_ops_not_version(self):
+        state = UEState("ue-1", 42)
+        state.apply_message()
+        state.apply_message()
+        assert state.ops_in_procedure == 2
+        assert state.version == 0
+
+    def test_complete_procedure_commits(self):
+        state = UEState("ue-1", 42)
+        state.apply_message()
+        state.complete_procedure("attach")
+        assert state.version == 1
+        assert state.ops_in_procedure == 0
+        assert state.attached and state.active
+
+    def test_detach_clears_flags(self):
+        state = UEState("ue-1", 42)
+        state.complete_procedure("attach")
+        state.complete_procedure("detach")
+        assert not state.attached and not state.active
+        assert state.version == 2
+
+    def test_service_request_reactivates(self):
+        state = UEState("ue-1", 42)
+        state.complete_procedure("attach")
+        state.active = False
+        state.complete_procedure("service_request")
+        assert state.active
+
+    def test_copy_is_independent(self):
+        state = UEState("ue-1", 42)
+        snapshot = state.copy()
+        state.complete_procedure("attach")
+        assert snapshot.version == 0
+        assert state.version == 1
+
+
+class TestStateStore:
+    def test_create_and_get(self):
+        store = StateStore("cpf-1")
+        entry = store.create("ue-1", 42, is_primary=True)
+        assert store.get("ue-1") is entry
+        assert entry.is_primary
+        assert "ue-1" in store
+        assert len(store) == 1
+
+    def test_get_missing_is_none(self):
+        assert StateStore("cpf-1").get("ue-x") is None
+
+    def test_require_current_raises_when_absent(self):
+        store = StateStore("cpf-1")
+        with pytest.raises(StaleStateError):
+            store.require_current("ue-1")
+
+    def test_require_current_raises_when_outdated(self):
+        store = StateStore("cpf-1")
+        store.create("ue-1", 42, is_primary=False)
+        store.mark_outdated("ue-1")
+        with pytest.raises(StaleStateError) as err:
+            store.require_current("ue-1")
+        assert err.value.cpf_name == "cpf-1"
+
+    def test_install_snapshot_sets_metadata(self):
+        store = StateStore("cpf-1")
+        snapshot = UEState("ue-1", 42)
+        snapshot.version = 3
+        entry = store.install_snapshot("ue-1", snapshot, synced_clock=17)
+        assert entry.version == 3
+        assert entry.synced_clock == 17
+        assert entry.up_to_date
+
+    def test_install_older_snapshot_ignored(self):
+        # §4.2.4(1a): the boundary clock lets replicas ignore the
+        # reception of outdated state.
+        store = StateStore("cpf-1")
+        fresh = UEState("ue-1", 42)
+        fresh.version = 5
+        store.install_snapshot("ue-1", fresh, synced_clock=20)
+        stale = UEState("ue-1", 42)
+        stale.version = 2
+        entry = store.install_snapshot("ue-1", stale, synced_clock=10)
+        assert entry.version == 5
+        assert entry.synced_clock == 20
+
+    def test_install_refreshes_outdated_entry(self):
+        # §4.2.4(2): a state update for a previously-outdated UE makes
+        # it up-to-date again.
+        store = StateStore("cpf-1")
+        store.create("ue-1", 42, is_primary=False)
+        store.mark_outdated("ue-1")
+        snapshot = UEState("ue-1", 42)
+        snapshot.version = 1
+        entry = store.install_snapshot("ue-1", snapshot, synced_clock=5)
+        assert entry.up_to_date
+
+    def test_snapshot_install_copies(self):
+        store = StateStore("cpf-1")
+        snapshot = UEState("ue-1", 42)
+        store.install_snapshot("ue-1", snapshot, 1)
+        snapshot.version = 99
+        assert store.get("ue-1").version == 0
+
+    def test_mark_outdated_missing_is_noop(self):
+        StateStore("cpf-1").mark_outdated("nobody")
+
+    def test_clear_loses_everything(self):
+        store = StateStore("cpf-1")
+        store.create("a", 1, True)
+        store.create("b", 2, False)
+        store.clear()
+        assert len(store) == 0
+
+    def test_drop_single(self):
+        store = StateStore("cpf-1")
+        store.create("a", 1, True)
+        store.drop("a")
+        store.drop("a")  # idempotent
+        assert store.get("a") is None
+
+    def test_ue_ids_sorted(self):
+        store = StateStore("cpf-1")
+        for ue in ("c", "a", "b"):
+            store.create(ue, 1, False)
+        assert store.ue_ids() == ["a", "b", "c"]

@@ -1,0 +1,69 @@
+"""Tests for the extra ablations (DESIGN.md §7)."""
+
+import pytest
+
+from repro.experiments import RunSpec
+from repro.experiments.ablations import (
+    ablate_ack_timeout,
+    ablate_georep_level,
+    ablate_n_backups,
+)
+
+
+class TestNBackups:
+    def test_rows_and_consistency(self):
+        spec = RunSpec(
+            procedure="attach",
+            regions=4,
+            procedures_target=200,
+            min_duration_s=0.03,
+            max_duration_s=0.08,
+            failure_cpf_index=0,
+            failure_at_frac=0.5,
+        )
+        rows = ablate_n_backups(backups=(1, 2), rate=40e3, spec=spec)
+        assert [r["n_backups"] for r in rows] == [1, 2]
+        for row in rows:
+            assert row["violations"] == 0
+            assert 0.0 <= row["masked_frac"] <= 1.0
+
+
+class TestGeorepLevel:
+    def test_level3_makes_cross_level2_commute_fast(self):
+        rows = ablate_georep_level(round_trips=6)
+        by_level = {r["georep_level"]: r for r in rows}
+        # level-2 placement can never put the replica across the
+        # boundary; level-3 placement does (the route was chosen so).
+        assert not by_level[2]["replica_waits_across_level2"]
+        assert by_level[3]["replica_waits_across_level2"]
+        # ... which makes the commute faster,
+        assert by_level[3]["fast_ho_p50_ms"] < by_level[2]["fast_ho_p50_ms"]
+        # ... at the cost of checkpoints riding the far links.
+        assert by_level[3]["checkpoint_bytes_far"] > by_level[2]["checkpoint_bytes_far"] * 0.9
+        # and consistency holds in both.
+        assert all(r["violations"] == 0 for r in rows)
+
+
+class TestAckTimeout:
+    def test_shorter_timeout_bounds_log_sooner(self):
+        rows = ablate_ack_timeout(timeouts_s=(0.5, 30.0))
+        short, long_ = rows
+        key = [k for k in short if k.startswith("log_entries")][0]
+        assert short[key] <= long_[key]
+        assert short[key] == 0  # already pruned at the observation point
+        assert long_[key] > 0  # still retained, within the 30 s window
+        assert all(r["violations"] == 0 for r in rows)
+
+
+class TestSerializationBandwidth:
+    def test_tradeoff_direction(self):
+        from repro.experiments.ablations import ablate_serialization_bandwidth
+
+        rows = ablate_serialization_bandwidth(n_procedures=40)
+        by = {r["codec"]: r for r in rows}
+        assert by["asn1per"]["inflation_vs_asn1"] == 1.0
+        assert by["flatbuffers"]["inflation_vs_asn1"] > 1.5
+        assert by["flatbuffers_opt"]["access_bytes"] <= by["flatbuffers"]["access_bytes"]
+        assert by["flatbuffers"]["attach_p50_ms"] < by["asn1per"]["attach_p50_ms"]
+        # replication bytes are codec-independent (state snapshots)
+        assert by["flatbuffers"]["replication_bytes"] == by["asn1per"]["replication_bytes"]

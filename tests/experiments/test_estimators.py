@@ -1,0 +1,88 @@
+"""Tests for the analytic CPU/utilization estimators."""
+
+import pytest
+
+from repro.core import ControlPlaneConfig
+from repro.experiments.harness import (
+    TESTBED_CPFS,
+    estimate_procedure_cpu,
+    estimated_utilization,
+    overload_pct_at_horizon,
+)
+
+
+class TestProcedureCpu:
+    def test_epc_attach_costs_more_than_neutrino(self):
+        epc = estimate_procedure_cpu(ControlPlaneConfig.existing_epc(), "attach")
+        neutrino = estimate_procedure_cpu(ControlPlaneConfig.neutrino(), "attach")
+        assert epc > 1.5 * neutrino
+
+    def test_attach_costs_more_than_service_request(self):
+        config = ControlPlaneConfig.existing_epc()
+        assert estimate_procedure_cpu(config, "attach") > estimate_procedure_cpu(
+            config, "service_request"
+        )
+
+    def test_knee_predictions_match_paper_ballpark(self):
+        # Paper: EPC attach knee ~60K, Neutrino ~120K; SR knee ~140K.
+        epc_attach = TESTBED_CPFS / estimate_procedure_cpu(
+            ControlPlaneConfig.existing_epc(), "attach"
+        )
+        neutrino_attach = TESTBED_CPFS / estimate_procedure_cpu(
+            ControlPlaneConfig.neutrino(), "attach"
+        )
+        epc_sr = TESTBED_CPFS / estimate_procedure_cpu(
+            ControlPlaneConfig.existing_epc(), "service_request"
+        )
+        assert 50e3 < epc_attach < 90e3
+        assert 100e3 < neutrino_attach < 160e3
+        assert 110e3 < epc_sr < 170e3
+        # the knee ratio is the paper's ~2x
+        assert 1.5 < neutrino_attach / epc_attach < 2.5
+
+    def test_per_message_sync_costs_more(self):
+        per_proc = estimate_procedure_cpu(ControlPlaneConfig.neutrino(), "attach")
+        per_msg = estimate_procedure_cpu(
+            ControlPlaneConfig.neutrino(name="pm", sync_mode="per_message"), "attach"
+        )
+        assert per_msg > per_proc
+
+    def test_dpcm_attach_cheaper_than_epc(self):
+        epc = estimate_procedure_cpu(ControlPlaneConfig.existing_epc(), "attach")
+        dpcm = estimate_procedure_cpu(ControlPlaneConfig.dpcm(), "attach")
+        assert dpcm < epc
+
+    def test_fast_handover_cheaper_than_handover(self):
+        config = ControlPlaneConfig.neutrino()
+        assert estimate_procedure_cpu(config, "fast_handover") < estimate_procedure_cpu(
+            config, "handover"
+        )
+
+
+class TestUtilizationAndOverload:
+    def test_utilization_linear_in_rate(self):
+        config = ControlPlaneConfig.neutrino()
+        rho1 = estimated_utilization(config, "attach", 50e3)
+        rho2 = estimated_utilization(config, "attach", 100e3)
+        assert rho2 == pytest.approx(2 * rho1)
+
+    def test_underload_has_no_overload_delay(self):
+        assert overload_pct_at_horizon(0.8, 60.0) == 0.0
+        assert overload_pct_at_horizon(1.0, 60.0) == 0.0
+
+    def test_overload_delay_grows_with_rho_and_horizon(self):
+        assert overload_pct_at_horizon(2.0, 60.0) == pytest.approx(30.0)
+        assert overload_pct_at_horizon(2.0, 120.0) == pytest.approx(60.0)
+        assert overload_pct_at_horizon(4.0, 60.0) > overload_pct_at_horizon(2.0, 60.0)
+
+    def test_predicted_vs_simulated_knee(self):
+        """The analytic knee must agree with where the simulator melts."""
+        from repro.experiments import RunSpec, run_pct_point
+
+        config = ControlPlaneConfig.existing_epc()
+        knee = TESTBED_CPFS / estimate_procedure_cpu(config, "attach")
+        spec = RunSpec(procedure="attach", procedures_target=200,
+                       min_duration_s=0.03, max_duration_s=0.06)
+        below = run_pct_point(config, knee * 0.6, spec)
+        above = run_pct_point(config, knee * 1.5, spec)
+        assert above.p50_ms > 5 * below.p50_ms

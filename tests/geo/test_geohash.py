@@ -1,0 +1,113 @@
+"""Tests for the 2-bits-per-character geo-hash (paper §5)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geo import geohash
+
+
+class TestEncode:
+    def test_known_quadrants_single_char(self):
+        # char = lon bit (2) | lat bit (1)
+        assert geohash.encode(45, 90, 1) == "3"    # NE
+        assert geohash.encode(45, -90, 1) == "1"   # NW
+        assert geohash.encode(-45, 90, 1) == "2"   # SE
+        assert geohash.encode(-45, -90, 1) == "0"  # SW
+
+    def test_precision_grows_string(self):
+        assert len(geohash.encode(10, 20, 6)) == 6
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            geohash.encode(91, 0, 3)
+        with pytest.raises(ValueError):
+            geohash.encode(0, 181, 3)
+        with pytest.raises(ValueError):
+            geohash.encode(0, 0, 0)
+
+    def test_prefix_property(self):
+        # Higher precision refines, never relocates.
+        full = geohash.encode(31.47, 74.41, 8)  # Lahore
+        assert geohash.encode(31.47, 74.41, 4) == full[:4]
+
+
+class TestDecode:
+    def test_bounds_contain_original_point(self):
+        gh = geohash.encode(31.47, 74.41, 6)
+        (lat_lo, lat_hi), (lon_lo, lon_hi) = geohash.decode_bounds(gh)
+        assert lat_lo <= 31.47 <= lat_hi
+        assert lon_lo <= 74.41 <= lon_hi
+
+    def test_invalid_characters_rejected(self):
+        with pytest.raises(ValueError):
+            geohash.decode_bounds("0z")
+        with pytest.raises(ValueError):
+            geohash.decode_bounds("")
+
+    def test_center_inside_bounds(self):
+        gh = geohash.encode(-10, 100, 5)
+        lat, lon = geohash.center(gh)
+        (lat_lo, lat_hi), (lon_lo, lon_hi) = geohash.decode_bounds(gh)
+        assert lat_lo < lat < lat_hi
+        assert lon_lo < lon < lon_hi
+
+
+class TestRegionAlgebra:
+    def test_parent_is_prefix(self):
+        assert geohash.parent("2103") == "210"
+
+    def test_parent_of_single_char_rejected(self):
+        with pytest.raises(ValueError):
+            geohash.parent("2")
+
+    def test_parent_region_is_four_times_larger(self):
+        # §5: "four-fold increase/decrease in the region size with each
+        # character".
+        gh = geohash.encode(10, 10, 5)
+        (clat, clon) = (
+            geohash.decode_bounds(gh)[0],
+            geohash.decode_bounds(gh)[1],
+        )
+        (plat, plon) = (
+            geohash.decode_bounds(geohash.parent(gh))[0],
+            geohash.decode_bounds(geohash.parent(gh))[1],
+        )
+        child_area = (clat[1] - clat[0]) * (clon[1] - clon[0])
+        parent_area = (plat[1] - plat[0]) * (plon[1] - plon[0])
+        assert parent_area == pytest.approx(4 * child_area)
+
+    def test_covers(self):
+        assert geohash.covers("21", "2103")
+        assert not geohash.covers("22", "2103")
+
+    def test_siblings_share_parent(self):
+        sibs = geohash.neighbors_at_level("2103")
+        assert len(sibs) == 4
+        assert "2103" in sibs
+        assert all(s.startswith("210") for s in sibs)
+
+    def test_siblings_need_two_chars(self):
+        with pytest.raises(ValueError):
+            geohash.neighbors_at_level("2")
+
+
+@given(
+    lat=st.floats(-90, 90, allow_nan=False),
+    lon=st.floats(-180, 180, allow_nan=False),
+    precision=st.integers(1, 12),
+)
+def test_encode_decode_containment_property(lat, lon, precision):
+    gh = geohash.encode(lat, lon, precision)
+    assert len(gh) == precision
+    (lat_lo, lat_hi), (lon_lo, lon_hi) = geohash.decode_bounds(gh)
+    assert lat_lo <= lat <= lat_hi
+    assert lon_lo <= lon <= lon_hi
+
+
+@given(
+    lat=st.floats(-90, 90, allow_nan=False),
+    lon=st.floats(-180, 180, allow_nan=False),
+)
+def test_parent_always_covers_child_property(lat, lon):
+    child = geohash.encode(lat, lon, 6)
+    assert geohash.covers(geohash.parent(child), child)

@@ -1,0 +1,134 @@
+"""Tests for multi-level rings (the paper's footnote-14 extension)."""
+
+import pytest
+
+from repro.core import ControlPlaneConfig, Deployment
+from repro.geo import Region, RegionMap
+from repro.sim import Simulator
+
+
+def tree_map(depth=3, cpfs=1):
+    suffixes = [""]
+    for _ in range(depth - 1):
+        suffixes = [s + c for s in suffixes for c in "0123"]
+    return RegionMap(
+        [
+            Region(
+                geohash="2" + s,
+                cta="cta-2" + s,
+                cpfs=["cpf-2%s-%d" % (s, k) for k in range(cpfs)],
+                bss=["bs-2%s-0" % s],
+            )
+            for s in suffixes
+        ]
+    )
+
+
+class TestLevelRing:
+    def test_level1_is_home_ring(self):
+        m = tree_map()
+        assert m.level_ring("200", 1).members == m.level1_ring("200").members
+
+    def test_level2_matches_existing_api(self):
+        m = tree_map()
+        assert m.level_ring("200", 2).members == m.level2_ring("200").members
+
+    def test_level3_spans_everything(self):
+        m = tree_map(depth=3)
+        ring = m.level_ring("200", 3)
+        assert len(ring.members) == 16
+
+    def test_ring_cached(self):
+        m = tree_map()
+        assert m.level_ring("200", 3) is m.level_ring("201", 3)
+
+    def test_invalid_level_rejected(self):
+        with pytest.raises(ValueError):
+            tree_map().level_ring("200", 0)
+
+
+class TestSharesLevel:
+    def test_level1_is_identity(self):
+        m = tree_map()
+        assert m.shares_level("200", "200", 1)
+        assert not m.shares_level("200", "201", 1)
+
+    def test_level2_groups_quads(self):
+        m = tree_map()
+        assert m.shares_level("200", "203", 2)
+        assert not m.shares_level("200", "210", 2)
+
+    def test_level3_groups_all(self):
+        m = tree_map()
+        assert m.shares_level("200", "233", 3)
+
+    def test_invalid_level_rejected(self):
+        with pytest.raises(ValueError):
+            tree_map().shares_level("200", "201", 0)
+
+
+class TestLevel3Placement:
+    def test_level3_replicas_still_outside_home(self):
+        m = tree_map()
+        home = set(m.region("200").cpfs)
+        for i in range(30):
+            for replica in m.replicas_for("ue-%d" % i, "200", 1, level=3):
+                assert replica not in home
+
+    def test_level3_can_cross_level2(self):
+        m = tree_map()
+        crossed = False
+        for i in range(100):
+            for replica in m.replicas_for("ue-%d" % i, "200", 1, level=3):
+                region = m.region_of_cpf(replica).geohash
+                if not m.shares_level("200", region, 2):
+                    crossed = True
+        assert crossed
+
+    def test_level2_never_crosses_level2(self):
+        m = tree_map()
+        for i in range(100):
+            for replica in m.replicas_for("ue-%d" % i, "200", 1, level=2):
+                region = m.region_of_cpf(replica).geohash
+                assert m.shares_level("200", region, 2)
+
+
+class TestDeploymentIntegration:
+    def test_build_tree_shapes(self):
+        sim = Simulator()
+        dep = Deployment.build_tree(sim, ControlPlaneConfig.neutrino(), depth=3)
+        assert len(dep.region_map.regions) == 16
+        assert len(dep.cpfs) == 16
+
+    def test_build_tree_depth_validated(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            Deployment.build_tree(sim, ControlPlaneConfig.neutrino(), depth=1)
+
+    def test_georep_level_config_validated(self):
+        with pytest.raises(ValueError):
+            ControlPlaneConfig.neutrino(georep_level=1)
+
+    def test_far_hop_selected_across_level2(self):
+        sim = Simulator()
+        dep = Deployment.build_tree(sim, ControlPlaneConfig.neutrino(), depth=3)
+        assert dep.cpf_hop("cpf-200-0", "cpf-200-0") == "cpf_cpf_intra"
+        assert dep.cpf_hop("cpf-200-0", "cpf-203-0") == "cpf_cpf_inter"
+        assert dep.cpf_hop("cpf-200-0", "cpf-230-0") == "cpf_cpf_far"
+
+    def test_level3_deployment_consistent_under_use(self):
+        sim = Simulator()
+        dep = Deployment.build_tree(
+            sim, ControlPlaneConfig.neutrino(georep_level=3), depth=3
+        )
+        ue = dep.new_ue("u", "bs-200-0")
+
+        def session():
+            yield from ue.execute("attach")
+            yield from ue.execute("fast_handover", target_bs="bs-210-0")
+            yield from ue.execute("service_request")
+
+        proc = sim.process(session())
+        sim.run(until=5.0)
+        assert proc.ok
+        assert dep.auditor.read_your_writes_held

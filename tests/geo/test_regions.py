@@ -1,0 +1,125 @@
+"""Tests for the level-1/level-2 region model (paper §4.3)."""
+
+import pytest
+
+from repro.geo import Region, RegionMap
+
+
+def grid(cpfs_per_region=2):
+    return RegionMap(
+        [
+            Region(
+                geohash="2" + c,
+                cta="cta-2" + c,
+                cpfs=["cpf-2%s-%d" % (c, k) for k in range(cpfs_per_region)],
+                bss=["bs-2%s-0" % c, "bs-2%s-1" % c],
+            )
+            for c in "0123"
+        ]
+    )
+
+
+class TestConstruction:
+    def test_region_needs_cpfs(self):
+        with pytest.raises(ValueError):
+            Region(geohash="20", cta="cta", cpfs=[])
+
+    def test_duplicate_regions_rejected(self):
+        r = Region(geohash="20", cta="c", cpfs=["x"])
+        with pytest.raises(ValueError):
+            RegionMap([r, Region(geohash="20", cta="c2", cpfs=["y"])])
+
+    def test_short_geohash_rejected(self):
+        with pytest.raises(ValueError):
+            RegionMap([Region(geohash="2", cta="c", cpfs=["x"])])
+
+    def test_empty_map_rejected(self):
+        with pytest.raises(ValueError):
+            RegionMap([])
+
+    def test_bs_in_two_regions_rejected(self):
+        with pytest.raises(ValueError):
+            RegionMap(
+                [
+                    Region(geohash="20", cta="a", cpfs=["x"], bss=["bs-1"]),
+                    Region(geohash="21", cta="b", cpfs=["y"], bss=["bs-1"]),
+                ]
+            )
+
+
+class TestLookups:
+    def test_region_of_bs(self):
+        m = grid()
+        assert m.region_of_bs("bs-21-0").geohash == "21"
+        with pytest.raises(KeyError):
+            m.region_of_bs("bs-nowhere")
+
+    def test_region_of_cpf(self):
+        m = grid()
+        assert m.region_of_cpf("cpf-22-1").geohash == "22"
+        with pytest.raises(KeyError):
+            m.region_of_cpf("cpf-zz")
+
+    def test_level2_groups_siblings(self):
+        m = grid()
+        assert m.region("20").level2 == "2"
+        assert m.shares_level2("20", "23")
+
+    def test_all_cpfs_and_ctas(self):
+        m = grid(cpfs_per_region=2)
+        assert len(m.all_cpfs()) == 8
+        assert len(m.all_ctas()) == 4
+
+
+class TestRings:
+    def test_level1_ring_contains_only_region_cpfs(self):
+        m = grid()
+        ring = m.level1_ring("20")
+        assert set(ring.members) == {"cpf-20-0", "cpf-20-1"}
+
+    def test_level2_ring_contains_all_sibling_cpfs(self):
+        m = grid()
+        ring = m.level2_ring("20")
+        assert len(ring.members) == 8
+
+    def test_primary_is_in_home_region(self):
+        m = grid()
+        for i in range(50):
+            primary = m.primary_for("ue-%d" % i, "21")
+            assert primary in m.region("21").cpfs
+
+
+class TestReplicaPlacement:
+    def test_replicas_outside_level1_region(self):
+        # §4.3: "N consecutive replicas on a level-2 ring (not included
+        # in the level-1 ring)".
+        m = grid()
+        home = set(m.region("20").cpfs)
+        for i in range(50):
+            for replica in m.replicas_for("ue-%d" % i, "20", 2):
+                assert replica not in home
+
+    def test_replicas_distinct(self):
+        m = grid()
+        replicas = m.replicas_for("ue-7", "20", 3)
+        assert len(set(replicas)) == 3
+
+    def test_replicas_never_include_primary(self):
+        m = grid()
+        for i in range(50):
+            key = "ue-%d" % i
+            primary = m.primary_for(key, "22")
+            assert primary not in m.replicas_for(key, "22", 2)
+
+    def test_single_region_falls_back_to_level1(self):
+        m = RegionMap(
+            [Region(geohash="20", cta="c", cpfs=["a", "b", "c3"], bss=["bs"])]
+        )
+        replicas = m.replicas_for("ue-1", "20", 2)
+        assert len(replicas) == 2
+        assert m.primary_for("ue-1", "20") not in replicas
+
+    def test_replica_choice_deterministic(self):
+        assert grid().replicas_for("ue-9", "21", 2) == grid().replicas_for(
+            "ue-9", "21", 2
+        )

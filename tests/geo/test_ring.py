@@ -1,0 +1,123 @@
+"""Tests for the consistent hash ring."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.geo import HashRing
+
+
+def make_ring(n=4, vnodes=64):
+    return HashRing(["cpf-%d" % i for i in range(n)], vnodes=vnodes)
+
+
+class TestBasics:
+    def test_membership(self):
+        ring = make_ring(3)
+        assert len(ring) == 3
+        assert "cpf-0" in ring
+        assert "cpf-9" not in ring
+
+    def test_duplicate_add_rejected(self):
+        ring = make_ring(2)
+        with pytest.raises(ValueError):
+            ring.add("cpf-0")
+
+    def test_remove_unknown_rejected(self):
+        ring = make_ring(2)
+        with pytest.raises(KeyError):
+            ring.remove("cpf-9")
+
+    def test_empty_ring_lookup_rejected(self):
+        with pytest.raises(LookupError):
+            HashRing().lookup("key")
+
+    def test_vnodes_validated(self):
+        with pytest.raises(ValueError):
+            HashRing(vnodes=0)
+
+    def test_lookup_deterministic(self):
+        ring = make_ring()
+        assert ring.lookup("ue-1") == ring.lookup("ue-1")
+
+    def test_lookup_stable_across_instances(self):
+        assert make_ring().lookup("ue-1") == make_ring().lookup("ue-1")
+
+
+class TestDistribution:
+    def test_keys_spread_over_members(self):
+        ring = make_ring(4, vnodes=128)
+        counts = ring.spread("ue-%d" % i for i in range(4000))
+        assert all(count > 0 for count in counts.values())
+        # no member owns more than half with 128 vnodes
+        assert max(counts.values()) < 2000
+
+    def test_removal_only_moves_removed_keys(self):
+        # The defining consistent-hashing property: removing one member
+        # relocates only the keys it owned.
+        ring = make_ring(4)
+        keys = ["ue-%d" % i for i in range(500)]
+        before = {k: ring.lookup(k) for k in keys}
+        ring.remove("cpf-2")
+        for key in keys:
+            after = ring.lookup(key)
+            if before[key] != "cpf-2":
+                assert after == before[key]
+            else:
+                assert after != "cpf-2"
+
+    def test_addition_only_steals_keys(self):
+        ring = make_ring(3)
+        keys = ["ue-%d" % i for i in range(500)]
+        before = {k: ring.lookup(k) for k in keys}
+        ring.add("cpf-new")
+        moved = sum(1 for k in keys if ring.lookup(k) != before[k])
+        for key in keys:
+            after = ring.lookup(key)
+            assert after == before[key] or after == "cpf-new"
+        assert 0 < moved < len(keys)
+
+
+class TestSuccessors:
+    def test_first_successor_is_lookup(self):
+        ring = make_ring(4)
+        assert ring.successors("ue-1", 1)[0] == ring.lookup("ue-1")
+
+    def test_distinct_members(self):
+        ring = make_ring(4)
+        succ = ring.successors("ue-1", 4)
+        assert len(succ) == 4
+        assert len(set(succ)) == 4
+
+    def test_n_larger_than_ring_truncates(self):
+        ring = make_ring(2)
+        assert len(ring.successors("ue-1", 5)) == 2
+
+    def test_exclusion_filters_before_counting(self):
+        ring = make_ring(4)
+        succ = ring.successors("ue-1", 2, exclude=["cpf-0", "cpf-1"])
+        assert set(succ) <= {"cpf-2", "cpf-3"}
+        assert len(succ) == 2
+
+    def test_negative_n_rejected(self):
+        with pytest.raises(ValueError):
+            make_ring().successors("k", -1)
+
+    def test_zero_n_empty(self):
+        assert make_ring().successors("k", 0) == []
+
+
+@given(key=st.text(min_size=1, max_size=16))
+@settings(max_examples=50, deadline=None)
+def test_lookup_in_members_property(key):
+    ring = make_ring(5)
+    assert ring.lookup(key) in ring.members
+
+
+@given(key=st.text(min_size=1, max_size=16), n=st.integers(1, 5))
+@settings(max_examples=50, deadline=None)
+def test_successors_prefix_property(key, n):
+    # successors(k, n) is always a prefix of successors(k, n+1).
+    ring = make_ring(6)
+    shorter = ring.successors(key, n)
+    longer = ring.successors(key, n + 1)
+    assert longer[: len(shorter)] == shorter

@@ -1,0 +1,153 @@
+"""Tests for the message catalog: schemas, samples, wire caching."""
+
+import pytest
+
+from repro.codec import codec_names, get_codec, validate
+from repro.messages import CATALOG
+
+
+class TestCatalogIntegrity:
+    def test_catalog_has_all_layers(self):
+        names = CATALOG.names()
+        # S1AP, NAS, and S11 messages are all present.
+        assert "InitialUEMessage" in names
+        assert "AttachRequest" in names
+        assert "CreateSessionRequest" in names
+        assert len(names) >= 30
+
+    def test_every_sample_validates(self):
+        for name in CATALOG.names():
+            validate(CATALOG.sample(name), CATALOG.schema(name))
+
+    def test_unknown_message_rejected(self):
+        with pytest.raises(KeyError):
+            CATALOG.schema("NoSuchMessage")
+        with pytest.raises(KeyError):
+            CATALOG.sample("NoSuchMessage")
+
+    @pytest.mark.parametrize(
+        "codec_name", [n for n in codec_names() if n != "lcm"]
+    )
+    def test_every_message_roundtrips_in_every_codec(self, codec_name):
+        codec = get_codec(codec_name)
+        for name in CATALOG.names():
+            schema, sample = CATALOG.schema(name), CATALOG.sample(name)
+            assert codec.decode(schema, codec.encode(schema, sample)) == sample, name
+
+    def test_wire_size_matches_real_encoding(self):
+        for name in ("InitialUEMessage", "HandoverRequest"):
+            for codec_name in ("asn1per", "flatbuffers"):
+                assert CATALOG.wire_size(name, codec_name) == len(
+                    CATALOG.encode(name, codec_name)
+                )
+
+    def test_wire_size_cached(self):
+        first = CATALOG.wire_size("Paging", "cdr")
+        assert CATALOG.wire_size("Paging", "cdr") == first
+
+    def test_element_counts_stable(self):
+        for name in CATALOG.names():
+            assert CATALOG.element_count(name) >= 1
+
+
+class TestPaperProperties:
+    """Structural claims the paper makes about control messages."""
+
+    PROCEDURE_MESSAGES = (
+        "InitialUEMessage",
+        "InitialContextSetup",
+        "HandoverRequired",
+        "HandoverRequest",
+        "PathSwitchRequest",
+        "Paging",
+        "AttachRequest",
+        "AttachAccept",
+        "eRABSetupRequest",
+        "eRABModifyRequest",
+    )
+
+    def test_key_messages_have_at_least_8_elements(self):
+        # §6.7.4: "all cellular control messages we tested contained a
+        # minimum of 8 data elements".
+        for name in self.PROCEDURE_MESSAGES:
+            assert CATALOG.element_count(name) >= 8, name
+
+    def test_asn1_always_smallest(self):
+        for name in CATALOG.names():
+            per = CATALOG.wire_size(name, "asn1per")
+            fb = CATALOG.wire_size(name, "flatbuffers")
+            assert per < fb, name
+
+    def test_flatbuffers_overhead_up_to_hundreds_of_bytes(self):
+        # §4.4 / Fig. 20: FB can add up to ~300 bytes of metadata.
+        deltas = [
+            CATALOG.wire_size(n, "flatbuffers") - CATALOG.wire_size(n, "asn1per")
+            for n in CATALOG.names()
+        ]
+        assert max(deltas) > 150
+        assert all(d > 0 for d in deltas)
+
+    def test_svtable_saves_on_union_messages(self):
+        # Messages carrying CHOICEs shrink under the optimization.
+        for name in ("HandoverRequired", "UEContextReleaseCommand", "InitialUEMessage"):
+            assert CATALOG.wire_size(name, "flatbuffers_opt") < CATALOG.wire_size(
+                name, "flatbuffers"
+            ), name
+
+    def test_svtable_savings_magnitude(self):
+        # §4.4: 10 bytes per single-scalar union, 14 per var-length one;
+        # whole-message savings land in the tens of bytes.
+        total_saved = sum(
+            CATALOG.wire_size(n, "flatbuffers") - CATALOG.wire_size(n, "flatbuffers_opt")
+            for n in CATALOG.names()
+        )
+        assert total_saved >= 40
+
+    def test_lcm_cannot_express_union_messages(self):
+        supported = set(CATALOG.supported_by("lcm"))
+        assert "HandoverRequired" not in supported
+        assert "InitialUEMessage" not in supported
+
+
+class TestComposedWireSizes:
+    """NAS-in-S1AP composition: sizes reflect both layers' encodings."""
+
+    def test_composition_changes_size(self):
+        base = CATALOG.wire_size("InitialUEMessage", "asn1per")
+        composed = CATALOG.composed_wire_size(
+            "InitialUEMessage", "AttachRequest", "asn1per"
+        )
+        assert composed != base
+
+    def test_none_nas_falls_back(self):
+        assert CATALOG.composed_wire_size(
+            "InitialUEMessage", None, "asn1per"
+        ) == CATALOG.wire_size("InitialUEMessage", "asn1per")
+
+    def test_no_nas_field_falls_back(self):
+        assert CATALOG.composed_wire_size(
+            "HandoverRequired", "AttachRequest", "asn1per"
+        ) == CATALOG.wire_size("HandoverRequired", "asn1per")
+
+    def test_bigger_nas_bigger_composite(self):
+        small = CATALOG.composed_wire_size(
+            "UplinkNASTransport", "AuthenticationResponse", "asn1per"
+        )
+        big = CATALOG.composed_wire_size(
+            "UplinkNASTransport", "AttachRequest", "asn1per"
+        )
+        assert big > small
+
+    def test_codec_applies_to_both_layers(self):
+        per = CATALOG.composed_wire_size("InitialUEMessage", "AttachRequest", "asn1per")
+        fb = CATALOG.composed_wire_size(
+            "InitialUEMessage", "AttachRequest", "flatbuffers"
+        )
+        # FB inflates both the container and the payload.
+        assert fb > per
+
+    def test_composed_cached(self):
+        first = CATALOG.composed_wire_size("InitialUEMessage", "AttachRequest", "cdr")
+        assert CATALOG.composed_wire_size(
+            "InitialUEMessage", "AttachRequest", "cdr"
+        ) == first

@@ -1,0 +1,115 @@
+"""Tests for control-procedure definitions."""
+
+import pytest
+
+from repro.messages import CATALOG, PROCEDURES, ProcedureSpec, Step, get_procedure
+from repro.messages.procedures import procedure_names
+
+
+class TestStep:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            Step("teleport", "InitialUEMessage")
+
+    def test_ue_message_cannot_have_response(self):
+        with pytest.raises(ValueError):
+            Step("ue_message", "InitialUEMessage", "DownlinkNASTransport")
+
+    def test_exchange_may_have_response(self):
+        step = Step("ue_exchange", "InitialUEMessage", "DownlinkNASTransport")
+        assert step.response == "DownlinkNASTransport"
+
+
+class TestProcedureSpec:
+    def test_empty_steps_rejected(self):
+        with pytest.raises(ValueError):
+            ProcedureSpec("empty", ())
+
+    def test_exactly_one_pct_marker_required(self):
+        steps = (Step("ue_message", "InitialUEMessage"),)
+        with pytest.raises(ValueError):
+            ProcedureSpec("no-marker", steps)
+        double = (
+            Step("ue_message", "InitialUEMessage", ends_pct=True),
+            Step("ue_message", "HandoverNotify", ends_pct=True),
+        )
+        with pytest.raises(ValueError):
+            ProcedureSpec("two-markers", double)
+
+    def test_lookup_helpers(self):
+        assert get_procedure("attach").name == "attach"
+        with pytest.raises(KeyError):
+            get_procedure("teleport")
+        assert "attach" in procedure_names()
+
+
+class TestPaperProcedureSet:
+    def test_the_four_supported_procedures_exist(self):
+        # §5: initial attach, handover with CPF change, FastHandover,
+        # service request — plus re_attach for recovery.
+        for name in ("attach", "handover", "fast_handover", "service_request", "re_attach"):
+            assert name in PROCEDURES
+
+    def test_all_step_messages_are_in_catalog(self):
+        known = set(CATALOG.names())
+        for spec in PROCEDURES.values():
+            for step in spec.steps:
+                assert step.request in known, (spec.name, step.request)
+                if step.response:
+                    assert step.response in known
+                if step.request_nas:
+                    assert step.request_nas in known
+                if step.response_nas:
+                    assert step.response_nas in known
+
+    def test_attach_is_multi_message(self):
+        # §4.2: procedures are "composed of several control messages".
+        attach = PROCEDURES["attach"]
+        assert len(attach.uplink_messages) >= 3
+        assert len(attach.cpf_processed_messages) >= 4
+
+    def test_fast_handover_skips_migration(self):
+        normal = PROCEDURES["handover"]
+        fast = PROCEDURES["fast_handover"]
+        assert any(s.kind == "cpf_cpf" for s in normal.steps)
+        assert not any(s.kind == "cpf_cpf" for s in fast.steps)
+        assert len(fast.steps) < len(normal.steps)
+
+    def test_cpf_changing_procedures_flagged(self):
+        assert PROCEDURES["handover"].changes_cpf
+        assert PROCEDURES["fast_handover"].changes_cpf
+        assert not PROCEDURES["attach"].changes_cpf
+        assert not PROCEDURES["intra_handover"].changes_cpf
+
+    def test_handover_target_steps_marked(self):
+        ho = PROCEDURES["handover"]
+        assert [s.at_target for s in ho.steps] == [False, False, False, True, True]
+
+    def test_service_request_is_short(self):
+        # SR must be much lighter than attach (that is what makes the
+        # Fig. 7 vs Fig. 8 knee positions differ).
+        sr = PROCEDURES["service_request"]
+        attach = PROCEDURES["attach"]
+        assert len(sr.cpf_processed_messages) < len(attach.cpf_processed_messages)
+
+    def test_re_attach_mirrors_attach(self):
+        assert PROCEDURES["re_attach"].steps == PROCEDURES["attach"].steps
+
+
+class TestDpcmVariants:
+    def test_dpcm_attach_saves_an_exchange(self):
+        from repro.baselines import DPCM_PROCEDURES
+
+        dpcm_attach = DPCM_PROCEDURES["attach"]
+        attach = PROCEDURES["attach"]
+        dpcm_exchanges = sum(1 for s in dpcm_attach.steps if s.kind == "ue_exchange")
+        exchanges = sum(1 for s in attach.steps if s.kind == "ue_exchange")
+        assert dpcm_exchanges < exchanges
+
+    def test_dpcm_messages_in_catalog(self):
+        from repro.baselines import DPCM_PROCEDURES
+
+        known = set(CATALOG.names())
+        for spec in DPCM_PROCEDURES.values():
+            for step in spec.steps:
+                assert step.request in known

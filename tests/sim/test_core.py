@@ -1,0 +1,280 @@
+"""Tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.sim import AllOf, AnyOf, Event, Interrupt, Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+class TestScheduling:
+    def test_clock_starts_at_zero(self, sim):
+        assert sim.now == 0.0
+
+    def test_schedule_runs_in_time_order(self, sim):
+        seen = []
+        sim.schedule(2.0, seen.append, "b")
+        sim.schedule(1.0, seen.append, "a")
+        sim.schedule(3.0, seen.append, "c")
+        sim.run()
+        assert seen == ["a", "b", "c"]
+
+    def test_same_time_preserves_insertion_order(self, sim):
+        seen = []
+        for tag in "abc":
+            sim.schedule(1.0, seen.append, tag)
+        sim.run()
+        assert seen == ["a", "b", "c"]
+
+    def test_negative_delay_rejected(self, sim):
+        with pytest.raises(ValueError):
+            sim.schedule(-0.1, lambda: None)
+
+    def test_run_until_stops_clock_exactly(self, sim):
+        sim.schedule(5.0, lambda: None)
+        sim.run(until=2.5)
+        assert sim.now == 2.5
+
+    def test_run_until_executes_events_at_boundary(self, sim):
+        seen = []
+        sim.schedule(2.5, seen.append, "x")
+        sim.run(until=2.5)
+        assert seen == ["x"]
+
+    def test_run_until_in_past_rejected(self, sim):
+        sim.schedule(1.0, lambda: None)
+        sim.run(until=2.0)
+        with pytest.raises(ValueError):
+            sim.run(until=1.0)
+
+    def test_run_drains_everything_without_until(self, sim):
+        sim.schedule(10.0, lambda: None)
+        sim.run()
+        assert sim.now == 10.0
+
+    def test_step_returns_false_when_empty(self, sim):
+        assert sim.step() is False
+
+    def test_events_scheduled_during_run_execute(self, sim):
+        seen = []
+        sim.schedule(1.0, lambda: sim.schedule(1.0, seen.append, "nested"))
+        sim.run()
+        assert seen == ["nested"]
+        assert sim.now == 2.0
+
+
+class TestEvent:
+    def test_succeed_delivers_value(self, sim):
+        ev = sim.event()
+        ev.succeed(42)
+        assert ev.fired and ev.ok
+        assert ev.value == 42
+
+    def test_double_fire_rejected(self, sim):
+        ev = sim.event()
+        ev.succeed(1)
+        with pytest.raises(RuntimeError):
+            ev.succeed(2)
+        with pytest.raises(RuntimeError):
+            ev.fail(RuntimeError("boom"))
+
+    def test_value_before_fire_rejected(self, sim):
+        ev = sim.event()
+        with pytest.raises(RuntimeError):
+            _ = ev.value
+
+    def test_fail_raises_on_value_access(self, sim):
+        ev = sim.event()
+        ev.fail(KeyError("k"))
+        assert ev.fired and not ev.ok
+        with pytest.raises(KeyError):
+            _ = ev.value
+
+    def test_callback_on_already_fired_event_runs_async(self, sim):
+        ev = sim.event()
+        ev.succeed("v")
+        seen = []
+        ev.add_callback(lambda e: seen.append(e.value))
+        assert seen == []  # not synchronous
+        sim.run()
+        assert seen == ["v"]
+
+    def test_timeout_fires_at_right_time(self, sim):
+        ev = sim.timeout(3.5, value="done")
+        sim.run()
+        assert sim.now == 3.5
+        assert ev.value == "done"
+
+    def test_negative_timeout_rejected(self, sim):
+        with pytest.raises(ValueError):
+            sim.timeout(-1.0)
+
+
+class TestCombinators:
+    def test_all_of_collects_values_in_order(self, sim):
+        events = [sim.timeout(t, value=t) for t in (3.0, 1.0, 2.0)]
+        combined = sim.all_of(events)
+        sim.run()
+        assert combined.value == [3.0, 1.0, 2.0]
+
+    def test_all_of_empty_fires_immediately(self, sim):
+        combined = sim.all_of([])
+        sim.run()
+        assert combined.value == []
+
+    def test_all_of_fails_if_child_fails(self, sim):
+        good = sim.timeout(1.0)
+        bad = sim.event()
+        combined = sim.all_of([good, bad])
+        bad.fail(RuntimeError("child"))
+        sim.run()
+        assert combined.fired and not combined.ok
+
+    def test_any_of_returns_first(self, sim):
+        events = [sim.timeout(3.0, value="slow"), sim.timeout(1.0, value="fast")]
+        combined = sim.any_of(events)
+        sim.run()
+        assert combined.value == (1, "fast")
+
+    def test_any_of_requires_children(self, sim):
+        with pytest.raises(ValueError):
+            sim.any_of([])
+
+
+class TestProcess:
+    def test_process_advances_through_timeouts(self, sim):
+        trace = []
+
+        def proc():
+            trace.append(sim.now)
+            yield sim.timeout(1.0)
+            trace.append(sim.now)
+            yield sim.timeout(2.0)
+            trace.append(sim.now)
+            return "done"
+
+        p = sim.process(proc())
+        sim.run()
+        assert trace == [0.0, 1.0, 3.0]
+        assert p.value == "done"
+
+    def test_process_receives_event_values(self, sim):
+        def proc():
+            got = yield sim.timeout(1.0, value="payload")
+            return got
+
+        assert sim.run_process(proc()) == "payload"
+
+    def test_process_joining_another(self, sim):
+        def child():
+            yield sim.timeout(2.0)
+            return 7
+
+        def parent():
+            result = yield sim.process(child())
+            return result * 2
+
+        assert sim.run_process(parent()) == 14
+
+    def test_failed_event_raises_inside_process(self, sim):
+        ev = sim.event()
+
+        def proc():
+            try:
+                yield ev
+            except ValueError:
+                return "caught"
+            return "missed"
+
+        p = sim.process(proc())
+        ev.fail(ValueError("x"))
+        sim.run()
+        assert p.value == "caught"
+
+    def test_uncaught_exception_fails_the_process(self, sim):
+        def proc():
+            yield sim.timeout(1.0)
+            raise KeyError("oops")
+
+        p = sim.process(proc())
+        sim.run()
+        assert p.fired and not p.ok
+        with pytest.raises(KeyError):
+            _ = p.value
+
+    def test_yielding_non_event_fails_process(self, sim):
+        def proc():
+            yield 42
+
+        p = sim.process(proc())
+        sim.run()
+        assert p.fired and not p.ok
+
+    def test_interrupt_raises_at_wait_point(self, sim):
+        state = {}
+
+        def proc():
+            try:
+                yield sim.timeout(100.0)
+            except Interrupt as intr:
+                state["cause"] = intr.cause
+                state["resumed_at"] = sim.now
+                return "interrupted"
+
+        p = sim.process(proc())
+        sim.schedule(1.0, p.interrupt, "node down")
+        sim.run()
+        assert p.value == "interrupted"
+        assert state["cause"] == "node down"
+        assert state["resumed_at"] == pytest.approx(1.0)
+
+    def test_interrupting_finished_process_is_noop(self, sim):
+        def proc():
+            yield sim.timeout(1.0)
+            return "ok"
+
+        p = sim.process(proc())
+        sim.run()
+        p.interrupt("late")  # must not raise
+        assert p.value == "ok"
+
+    def test_unhandled_interrupt_fails_process(self, sim):
+        def proc():
+            yield sim.timeout(100.0)
+
+        p = sim.process(proc())
+        sim.schedule(1.0, p.interrupt)
+        sim.run()
+        assert p.fired and not p.ok
+
+    def test_run_process_requires_completion(self, sim):
+        def proc():
+            yield sim.timeout(10.0)
+
+        with pytest.raises(RuntimeError):
+            sim.run_process(proc(), until=1.0)
+
+    def test_alive_tracks_completion(self, sim):
+        def proc():
+            yield sim.timeout(1.0)
+
+        p = sim.process(proc())
+        assert p.alive
+        sim.run()
+        assert not p.alive
+
+    def test_many_concurrent_processes(self, sim):
+        done = []
+
+        def proc(i):
+            yield sim.timeout(i * 0.01)
+            done.append(i)
+
+        for i in range(100):
+            sim.process(proc(i))
+        sim.run()
+        assert done == sorted(done)
+        assert len(done) == 100

@@ -1,0 +1,119 @@
+"""Tests for measurement probes: percentiles, tallies, time-weighted."""
+
+import pytest
+
+from repro.sim import Counter, Simulator, Tally, TimeWeighted, percentile, summarize
+
+
+class TestPercentile:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_out_of_range_q_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+        with pytest.raises(ValueError):
+            percentile([1.0], -1)
+
+    def test_single_value(self):
+        assert percentile([7.0], 99) == 7.0
+
+    def test_median_odd(self):
+        assert percentile([1, 2, 3], 50) == 2
+
+    def test_median_even_interpolates(self):
+        assert percentile([1, 2, 3, 4], 50) == pytest.approx(2.5)
+
+    def test_extremes(self):
+        data = list(range(101))
+        assert percentile(data, 0) == 0
+        assert percentile(data, 100) == 100
+
+    def test_matches_numpy_linear_method(self):
+        numpy = pytest.importorskip("numpy")
+        data = sorted([0.3, 1.7, 2.2, 9.9, 4.4, 0.1])
+        for q in (5, 25, 50, 75, 95):
+            assert percentile(data, q) == pytest.approx(
+                float(numpy.percentile(data, q))
+            )
+
+
+class TestTally:
+    def test_basic_stats(self):
+        tally = Tally("pct")
+        for v in (1.0, 2.0, 3.0):
+            tally.observe(v)
+        assert tally.count == 3
+        assert tally.mean == pytest.approx(2.0)
+        assert tally.min == 1.0
+        assert tally.max == 3.0
+        assert tally.median == 2.0
+
+    def test_empty_mean_rejected(self):
+        with pytest.raises(ValueError):
+            _ = Tally().mean
+
+    def test_summary_keys(self):
+        tally = Tally()
+        tally.observe(5.0)
+        summary = tally.summary(qs=(50, 95))
+        assert set(summary) == {"count", "mean", "min", "max", "p50", "p95"}
+
+    def test_summary_empty_has_count_zero(self):
+        assert Tally().summary() == {"count": 0.0}
+
+    def test_summarize_multiple(self):
+        tallies = {"a": Tally("a"), "b": Tally("b")}
+        tallies["a"].observe(1.0)
+        out = summarize(tallies, qs=(50,))
+        assert out["a"]["count"] == 1.0
+        assert out["b"]["count"] == 0.0
+
+
+class TestCounter:
+    def test_incr_and_read(self):
+        counter = Counter()
+        counter.incr("x")
+        counter.incr("x", 4)
+        assert counter["x"] == 5
+        assert counter["missing"] == 0
+
+    def test_as_dict_snapshot(self):
+        counter = Counter()
+        counter.incr("a")
+        snapshot = counter.as_dict()
+        counter.incr("a")
+        assert snapshot == {"a": 1}
+
+
+class TestTimeWeighted:
+    def test_max_tracking(self):
+        sim = Simulator()
+        probe = TimeWeighted(lambda: sim.now)
+        sim.schedule(1.0, probe.set, 10)
+        sim.schedule(2.0, probe.set, 3)
+        sim.run()
+        assert probe.max_value == 10
+        assert probe.max_time == 1.0
+
+    def test_time_average(self):
+        sim = Simulator()
+        probe = TimeWeighted(lambda: sim.now)
+        sim.schedule(1.0, probe.set, 10.0)
+        sim.schedule(2.0, probe.set, 0.0)
+        sim.run(until=2.0)
+        # 1s at 0 + 1s at 10 over 2s = 5
+        assert probe.time_average() == pytest.approx(5.0)
+
+    def test_add_is_relative(self):
+        sim = Simulator()
+        probe = TimeWeighted(lambda: sim.now, initial=5.0)
+        probe.add(3.0)
+        probe.add(-2.0)
+        assert probe.value == 6.0
+
+    def test_zero_elapsed_average_is_current(self):
+        sim = Simulator()
+        probe = TimeWeighted(lambda: sim.now, initial=4.0)
+        assert probe.time_average() == 4.0

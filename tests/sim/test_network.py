@@ -1,0 +1,98 @@
+"""Tests for links and the latency model."""
+
+import random
+
+import pytest
+
+from repro.sim import LatencyModel, Link, Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+class TestLink:
+    def test_delivery_after_latency(self, sim):
+        link = Link(sim, latency_s=0.01)
+        seen = []
+        link.send(100, seen.append, "msg")
+        sim.run()
+        assert seen == ["msg"]
+        assert sim.now == pytest.approx(0.01)
+
+    def test_bandwidth_adds_transmission_delay(self, sim):
+        link = Link(sim, latency_s=0.0, bandwidth_bps=8000.0)  # 1 kB/s
+        assert link.delay(500) == pytest.approx(0.5)
+
+    def test_zero_bytes_is_pure_propagation(self, sim):
+        link = Link(sim, latency_s=0.002, bandwidth_bps=1e6)
+        assert link.delay(0) == pytest.approx(0.002)
+
+    def test_negative_latency_rejected(self, sim):
+        with pytest.raises(ValueError):
+            Link(sim, latency_s=-1.0)
+
+    def test_jitter_requires_rng(self, sim):
+        with pytest.raises(ValueError):
+            Link(sim, latency_s=0.01, jitter_frac=0.1)
+
+    def test_jitter_bounded(self, sim):
+        link = Link(sim, 0.01, jitter_frac=0.5, rng=random.Random(1))
+        for _ in range(100):
+            d = link.delay(0)
+            assert 0.01 <= d <= 0.015
+
+    def test_fifo_preserved_under_jitter(self, sim):
+        link = Link(sim, 0.01, jitter_frac=1.0, rng=random.Random(2))
+        seen = []
+        for i in range(20):
+            link.send(0, seen.append, i)
+        sim.run()
+        assert seen == list(range(20))
+
+    def test_down_link_drops_messages(self, sim):
+        link = Link(sim, 0.01)
+        link.up = False
+        seen = []
+        assert link.send(0, seen.append, "lost") is False
+        sim.run()
+        assert seen == []
+
+    def test_byte_and_message_counters(self, sim):
+        link = Link(sim, 0.01)
+        link.send(100, lambda: None)
+        link.send(200, lambda: None)
+        assert link.messages_sent == 2
+        assert link.bytes_sent == 300
+
+
+class TestLatencyModel:
+    def test_defaults_validate(self):
+        model = LatencyModel()
+        model.validate()
+
+    def test_negative_hop_rejected(self):
+        model = LatencyModel(ue_bs=-1.0)
+        with pytest.raises(ValueError):
+            model.validate()
+
+    def test_link_factory_uses_hop_latency(self, sim):
+        model = LatencyModel(ue_bs=0.123)
+        link = model.link(sim, "ue_bs")
+        assert link.latency_s == pytest.approx(0.123)
+
+    def test_unknown_hop_rejected(self, sim):
+        with pytest.raises(KeyError):
+            LatencyModel().link(sim, "nonexistent_hop")
+
+    def test_edge_wan_is_slower_than_testbed(self):
+        testbed = LatencyModel()
+        wan = LatencyModel.edge_wan()
+        assert wan.ue_bs > testbed.ue_bs
+        assert wan.cpf_cpf_inter > testbed.cpf_cpf_inter
+
+    def test_inter_region_is_most_expensive_edge_hop(self):
+        model = LatencyModel()
+        assert model.cpf_cpf_inter > model.cpf_cpf_intra
+        assert model.cpf_cpf_inter > model.cta_cpf

@@ -1,0 +1,171 @@
+"""Tests for the queued-server node model and failure injection."""
+
+import pytest
+
+from repro.sim import Interrupt, NodeFailed, Server, Simulator, Store
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+class TestStore:
+    def test_put_then_get(self, sim):
+        store = Store(sim)
+        store.put("a")
+        ev = store.get()
+        sim.run()
+        assert ev.value == "a"
+
+    def test_get_blocks_until_put(self, sim):
+        store = Store(sim)
+        ev = store.get()
+        assert not ev.fired
+        store.put("x")
+        sim.run()
+        assert ev.value == "x"
+
+    def test_fifo_order(self, sim):
+        store = Store(sim)
+        for item in (1, 2, 3):
+            store.put(item)
+        values = [store.get(), store.get(), store.get()]
+        sim.run()
+        assert [v.value for v in values] == [1, 2, 3]
+
+    def test_waiting_getters_fifo(self, sim):
+        store = Store(sim)
+        g1, g2 = store.get(), store.get()
+        store.put("first")
+        store.put("second")
+        sim.run()
+        assert g1.value == "first"
+        assert g2.value == "second"
+
+    def test_drain_empties_and_returns(self, sim):
+        store = Store(sim)
+        store.put(1)
+        store.put(2)
+        assert store.drain() == [1, 2]
+        assert len(store) == 0
+
+
+class TestServer:
+    def test_single_job_service_time(self, sim):
+        server = Server(sim, cores=1)
+        done = server.submit(0.5, value="job")
+        sim.run()
+        assert done.value == "job"
+        assert sim.now == 0.5
+
+    def test_fifo_queueing_single_core(self, sim):
+        server = Server(sim, cores=1)
+        first = server.submit(1.0, value="first")
+        second = server.submit(1.0, value="second")
+        completion = {}
+        first.add_callback(lambda ev: completion.__setitem__("first", sim.now))
+        second.add_callback(lambda ev: completion.__setitem__("second", sim.now))
+        sim.run()
+        assert completion["first"] == pytest.approx(1.0)
+        assert completion["second"] == pytest.approx(2.0)
+
+    def test_two_cores_run_in_parallel(self, sim):
+        server = Server(sim, cores=2)
+        server.submit(1.0)
+        server.submit(1.0)
+        sim.run()
+        assert sim.now == pytest.approx(1.0)
+
+    def test_invalid_cores_rejected(self, sim):
+        with pytest.raises(ValueError):
+            Server(sim, cores=0)
+
+    def test_negative_service_rejected(self, sim):
+        server = Server(sim)
+        with pytest.raises(ValueError):
+            server.submit(-1.0)
+
+    def test_callback_invoked_with_value(self, sim):
+        server = Server(sim)
+        got = []
+        server.submit(0.1, value=99, callback=got.append)
+        sim.run()
+        assert got == [99]
+
+    def test_utilization_counts_busy_time(self, sim):
+        server = Server(sim, cores=1)
+        server.submit(1.0)
+        sim.run(until=2.0)
+        assert server.utilization() == pytest.approx(0.5)
+
+    def test_jobs_done_counter(self, sim):
+        server = Server(sim)
+        for _ in range(5):
+            server.submit(0.1)
+        sim.run()
+        assert server.jobs_done == 5
+
+    def test_queue_depth_probe_sees_peak(self, sim):
+        server = Server(sim, cores=1)
+        for _ in range(4):
+            server.submit(1.0)
+        sim.run()
+        assert server.queue_depth.max_value == 4
+
+
+class TestServerFailure:
+    def test_submit_to_failed_server_fails_event(self, sim):
+        server = Server(sim, name="cpf-x")
+        server.fail()
+        done = server.submit(0.1)
+        assert done.fired and not done.ok
+        with pytest.raises(NodeFailed):
+            _ = done.value
+
+    def test_failure_drops_queued_jobs(self, sim):
+        server = Server(sim, cores=1)
+        in_service = server.submit(1.0)
+        queued = server.submit(1.0)
+        sim.schedule(0.5, server.fail)
+        sim.run()
+        assert not in_service.ok
+        assert not queued.ok
+        assert server.jobs_dropped == 2
+
+    def test_failure_is_idempotent(self, sim):
+        server = Server(sim)
+        server.fail()
+        server.fail()  # must not raise
+        assert not server.up
+
+    def test_recover_restores_service(self, sim):
+        server = Server(sim)
+        server.fail()
+        server.recover()
+        done = server.submit(0.2, value="back")
+        sim.run()
+        assert done.value == "back"
+
+    def test_recover_when_up_is_noop(self, sim):
+        server = Server(sim)
+        server.recover()
+        assert server.up
+
+    def test_jobs_completed_before_failure_stay_ok(self, sim):
+        server = Server(sim, cores=1)
+        early = server.submit(0.1, value="early")
+        sim.schedule(0.5, server.fail)
+        sim.run()
+        assert early.value == "early"
+
+    def test_exception_carries_node_name(self, sim):
+        server = Server(sim, name="cpf-7")
+        server.fail()
+        done = server.submit(0.1)
+        try:
+            _ = done.value
+        except NodeFailed as exc:
+            assert exc.node_name == "cpf-7"
+        else:
+            pytest.fail("expected NodeFailed")

@@ -1,0 +1,44 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestList:
+    def test_list_prints_figures(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig08" in out and "fig20" in out
+        assert "georep_level" in out
+
+    def test_no_command_shows_help(self, capsys):
+        assert main([]) == 1
+
+
+class TestFigure:
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["figure", "fig99"])
+
+    def test_fig20_runs(self, capsys):
+        assert main(["figure", "fig20"]) == 0
+        out = capsys.readouterr().out
+        assert "InitialUEMessage" in out
+        assert "asn1per" in out
+
+    def test_fig18_quick_runs(self, capsys):
+        assert main(["figure", "fig18"]) == 0
+        out = capsys.readouterr().out
+        assert "flatbuffers" in out
+
+
+class TestTrace:
+    def test_trace_generation(self, tmp_path, capsys):
+        out_file = tmp_path / "trace.jsonl"
+        assert main(
+            ["trace", str(out_file), "--devices", "5", "--duration", "10"]
+        ) == 0
+        lines = out_file.read_text().strip().splitlines()
+        assert len(lines) >= 5  # at least one attach per device
+        assert "wrote" in capsys.readouterr().out

@@ -1,0 +1,93 @@
+"""Tests for arrival processes."""
+
+import random
+
+import pytest
+
+from repro.traffic import bursty_arrivals, poisson_arrivals, uniform_arrivals
+
+
+class TestUniform:
+    def test_count_matches_rate_times_duration(self):
+        times = list(uniform_arrivals(100.0, 1.0))
+        assert len(times) == 100
+
+    def test_evenly_spaced(self):
+        times = list(uniform_arrivals(10.0, 1.0))
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        assert all(g == pytest.approx(0.1) for g in gaps)
+
+    def test_start_offset(self):
+        times = list(uniform_arrivals(10.0, 0.5, start_s=2.0))
+        assert times[0] == pytest.approx(2.0)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            list(uniform_arrivals(0, 1.0))
+        with pytest.raises(ValueError):
+            list(uniform_arrivals(10, -1.0))
+
+    def test_zero_duration_empty(self):
+        assert list(uniform_arrivals(10.0, 0.0)) == []
+
+
+class TestPoisson:
+    def test_mean_rate_approximately_right(self):
+        rng = random.Random(1)
+        times = list(poisson_arrivals(1000.0, 2.0, rng))
+        assert 1700 < len(times) < 2300
+
+    def test_all_within_window(self):
+        rng = random.Random(2)
+        times = list(poisson_arrivals(100.0, 1.0, rng, start_s=5.0))
+        assert all(5.0 <= t < 6.0 for t in times)
+
+    def test_strictly_increasing(self):
+        rng = random.Random(3)
+        times = list(poisson_arrivals(500.0, 1.0, rng))
+        assert all(b > a for a, b in zip(times, times[1:]))
+
+    def test_deterministic_given_seed(self):
+        a = list(poisson_arrivals(100.0, 1.0, random.Random(7)))
+        b = list(poisson_arrivals(100.0, 1.0, random.Random(7)))
+        assert a == b
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            list(poisson_arrivals(0, 1.0, random.Random(1)))
+
+
+class TestBursty:
+    def test_all_devices_inside_window(self):
+        rng = random.Random(1)
+        times = list(bursty_arrivals(500, 0.02, rng))
+        assert len(times) == 500
+        assert all(0 <= t <= 0.02 for t in times)
+
+    def test_sorted_within_wave(self):
+        rng = random.Random(2)
+        times = list(bursty_arrivals(100, 0.02, rng))
+        assert times == sorted(times)
+
+    def test_multiple_waves_spaced(self):
+        rng = random.Random(3)
+        times = list(bursty_arrivals(100, 0.01, rng, waves=2, wave_gap_s=1.0))
+        assert len(times) == 100
+        first_wave = [t for t in times if t <= 0.01]
+        second_wave = [t for t in times if t >= 1.01]
+        assert len(first_wave) + len(second_wave) == 100
+        assert len(first_wave) == 50
+
+    def test_remainder_devices_distributed(self):
+        rng = random.Random(4)
+        times = list(bursty_arrivals(101, 0.01, rng, waves=2, wave_gap_s=1.0))
+        assert len(times) == 101
+
+    def test_invalid_args(self):
+        rng = random.Random(1)
+        with pytest.raises(ValueError):
+            list(bursty_arrivals(0, 0.01, rng))
+        with pytest.raises(ValueError):
+            list(bursty_arrivals(10, 0, rng))
+        with pytest.raises(ValueError):
+            list(bursty_arrivals(10, 0.01, rng, waves=0))

@@ -1,0 +1,96 @@
+"""Tests for synthetic ng4T-substitute traces."""
+
+import io
+
+import pytest
+
+from repro.traffic import TraceConfig, TraceRecord, generate_trace, load_trace, save_trace
+
+
+class TestTraceRecord:
+    def test_json_roundtrip(self):
+        record = TraceRecord(1.5, "ue-3", "handover", target_bs="bs-2")
+        assert TraceRecord.from_json(record.to_json()) == record
+
+    def test_json_omits_absent_target(self):
+        record = TraceRecord(1.5, "ue-3", "attach")
+        assert "target_bs" not in record.to_json()
+
+
+class TestGenerator:
+    def test_every_device_attaches_once(self):
+        cfg = TraceConfig(n_devices=20, duration_s=30, seed=1)
+        records = generate_trace(cfg)
+        attaches = [r for r in records if r.procedure == "attach"]
+        assert len(attaches) == 20
+        assert len({r.ue for r in attaches}) == 20
+
+    def test_sorted_by_time(self):
+        records = generate_trace(TraceConfig(n_devices=30, duration_s=60, seed=2))
+        times = [r.time for r in records]
+        assert times == sorted(times)
+
+    def test_deterministic(self):
+        cfg = TraceConfig(n_devices=10, duration_s=60, seed=5)
+        assert generate_trace(cfg) == generate_trace(cfg)
+
+    def test_session_interarrival_statistic(self):
+        # §2.2: a device issues a session request every ~106.9 s on
+        # average; over many device-hours the empirical rate converges.
+        cfg = TraceConfig(n_devices=300, duration_s=400, seed=3,
+                          handover_interarrival_s=None, power_cycle_fraction=0.0)
+        records = generate_trace(cfg)
+        srs = [r for r in records if r.procedure == "service_request"]
+        device_seconds = cfg.n_devices * cfg.duration_s
+        empirical_gap = device_seconds / len(srs)
+        assert 85 < empirical_gap < 135
+
+    def test_handovers_target_known_bss(self):
+        cfg = TraceConfig(n_devices=50, duration_s=600, seed=4,
+                          handover_interarrival_s=100.0)
+        bss = ["bs-a", "bs-b", "bs-c"]
+        records = generate_trace(cfg, bs_names=bss)
+        hos = [r for r in records if r.procedure == "handover"]
+        assert hos, "expected at least one handover"
+        assert all(r.target_bs in bss for r in hos)
+
+    def test_no_handovers_with_single_bs(self):
+        cfg = TraceConfig(n_devices=50, duration_s=600, seed=4)
+        records = generate_trace(cfg, bs_names=["only-bs"])
+        assert not [r for r in records if r.procedure == "handover"]
+
+    def test_tau_period(self):
+        cfg = TraceConfig(n_devices=5, duration_s=100, seed=1, tau_period_s=30,
+                          handover_interarrival_s=None)
+        records = generate_trace(cfg)
+        taus = [r for r in records if r.procedure == "tau"]
+        assert len(taus) >= 5  # each device: at least a few TAUs
+
+    def test_power_cycle_fraction(self):
+        cfg = TraceConfig(n_devices=200, duration_s=60, seed=9,
+                          power_cycle_fraction=0.5, handover_interarrival_s=None)
+        records = generate_trace(cfg)
+        detaches = [r for r in records if r.procedure == "detach"]
+        assert 50 < len(detaches) < 150
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            generate_trace(TraceConfig(n_devices=0))
+        with pytest.raises(ValueError):
+            generate_trace(TraceConfig(duration_s=0))
+        with pytest.raises(ValueError):
+            generate_trace(TraceConfig(power_cycle_fraction=1.5))
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self):
+        records = generate_trace(TraceConfig(n_devices=10, duration_s=30, seed=1))
+        buf = io.StringIO()
+        count = save_trace(records, buf)
+        assert count == len(records)
+        buf.seek(0)
+        assert load_trace(buf) == records
+
+    def test_load_skips_blank_lines(self):
+        buf = io.StringIO('{"t": 1.0, "ue": "u", "proc": "attach"}\n\n')
+        assert len(load_trace(buf)) == 1
