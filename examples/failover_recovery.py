@@ -11,10 +11,15 @@ each does:
                  operates on stale state.
 * existing EPC — no replicas at all; every failure costs a Re-Attach.
 
+The kill is injected through :mod:`repro.faults`, so each case's fault
+schedule is a serializable :class:`FaultPlan` — the same machinery the
+chaos CLI (``python -m repro chaos replay``) and the property tests use.
+
 Run:  python examples/failover_recovery.py
 """
 
 from repro.core import ControlPlaneConfig, Deployment
+from repro.faults import FaultEvent, FaultInjector, FaultPlan
 from repro.sim import Simulator
 
 
@@ -32,13 +37,17 @@ def run_case(label, config, sabotage_backups=False):
         for backup in dep.replicas_of(ue.ue_id):
             dep.cpfs[backup].store.drop(ue.ue_id)
 
-    # Busy out the primary so the next request queues, then kill it.
+    # Busy out the primary so the next request queues, then kill it via
+    # a timed FaultPlan event (guard off: this kill is the experiment).
     primary = dep.primary_of(ue.ue_id)
     dep.cpfs[primary].server.submit(0.0006)
+    plan = FaultPlan(seed=1, guard_last_alive=False)
+    plan.events.append(FaultEvent(op="fail_cpf", target=primary, at=sim.now + 0.0003))
+    injector = FaultInjector(dep, plan).install()
     handle = sim.process(ue.execute("service_request"))
-    sim.schedule(0.0003, dep.fail_cpf, primary)
     sim.run(until=2.0)
     outcome = handle.value
+    assert injector.ops_applied == 1  # the kill fired
 
     print("%-14s primary %-10s failed mid-procedure:" % (label, primary))
     print(
@@ -74,6 +83,19 @@ def main() -> None:
         "  improvement     : %.1fx (paper: up to 5.6x under load)"
         % (epc.pct / neutrino.pct)
     )
+
+    # Message-level chaos: the same subsystem drives seeded drop/reorder
+    # faults, and the whole schedule replays bit-for-bit.
+    from repro.faults import replay
+
+    chaos = FaultPlan(seed=42, note="lossy cta_cpf hop")
+    chaos.perturb("cta_cpf", drop_p=0.2, reorder_p=0.2)
+    for _ in range(5):
+        chaos.step("proc", proc="service_request")
+        chaos.step("wait", dt=0.002)
+    report = replay(chaos, runs=2)
+    print("\nchaos (20%% drop on cta_cpf): %s" % report.results[0].brief())
+    print("bit-for-bit replay: %s" % report.deterministic)
 
 
 if __name__ == "__main__":

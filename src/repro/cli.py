@@ -7,6 +7,8 @@ Usage::
     python -m repro figure fig18 --full     # paper-scale sweep
     python -m repro ablation georep_level
     python -m repro trace --devices 200 --duration 30 out.jsonl
+    python -m repro chaos replay schedule.json    # bit-for-bit replay
+    python -m repro chaos example schedule.json   # write a sample plan
 
 Figure ids follow the paper's numbering (fig03, fig07-fig11, fig13-fig20).
 """
@@ -160,6 +162,26 @@ def main(argv: List[str] = None) -> int:
     trace_parser.add_argument("--duration", type=float, default=60.0)
     trace_parser.add_argument("--seed", type=int, default=0)
 
+    chaos_parser = sub.add_parser(
+        "chaos", help="deterministic fault-injection schedules"
+    )
+    chaos_sub = chaos_parser.add_subparsers(dest="chaos_command")
+    replay_parser = chaos_sub.add_parser(
+        "replay", help="run a saved FaultPlan twice and verify bit-for-bit replay"
+    )
+    replay_parser.add_argument("plan", help="FaultPlan JSON file")
+    replay_parser.add_argument(
+        "--runs", type=int, default=2, help="replay count (default 2)"
+    )
+    replay_parser.add_argument(
+        "--show-trace", action="store_true", help="print the recorded event trace"
+    )
+    example_parser = chaos_sub.add_parser(
+        "example", help="write a sample chaos FaultPlan to a JSON file"
+    )
+    example_parser.add_argument("output")
+    example_parser.add_argument("--seed", type=int, default=7)
+
     args = parser.parse_args(argv)
     if args.command == "list":
         print("figures  :", " ".join(_FIGURES))
@@ -182,7 +204,49 @@ def main(argv: List[str] = None) -> int:
             count = save_trace(records, fp)
         print("wrote %d records to %s" % (count, args.output))
         return 0
+    if args.command == "chaos":
+        return _run_chaos(args)
     parser.print_help()
+    return 1
+
+
+def _run_chaos(args) -> int:
+    from .faults import FaultPlan, replay
+
+    if args.chaos_command == "example":
+        plan = FaultPlan(seed=args.seed, note="sample chaos schedule")
+        plan.perturb("cta_cpf", drop_p=0.1, dup_p=0.05, reorder_p=0.1)
+        plan.step("proc", proc="service_request")
+        plan.step("fail_cpf", "cpf-20-0")
+        plan.step("proc", proc="service_request")
+        plan.step("wait", dt=0.01)
+        plan.step("recover_cpf", "cpf-20-0")
+        plan.step("proc", proc="handover")
+        plan.save(args.output)
+        print("wrote sample FaultPlan to %s" % args.output)
+        return 0
+    if args.chaos_command == "replay":
+        plan = FaultPlan.load(args.plan)
+        report = replay(plan, runs=args.runs)
+        result = report.results[0]
+        for i, digest in enumerate(report.digests):
+            print("run %d: digest=%s" % (i + 1, digest))
+        print(result.brief())
+        if result.violations:
+            print("READ-YOUR-WRITES VIOLATIONS:")
+            for violation in result.violations:
+                print("  %r" % (violation,))
+                for event in violation.trace:
+                    print("    %r" % (event,))
+        if args.show_trace:
+            for line in result.trace.lines():
+                print("  " + line)
+        if not report.deterministic:
+            print("NOT DETERMINISTIC: trace digests differ across runs")
+            return 1
+        print("deterministic: %d/%d runs produced identical traces" % (args.runs, args.runs))
+        return 0 if result.ok else 1
+    print("usage: python -m repro chaos {replay,example} ...")
     return 1
 
 

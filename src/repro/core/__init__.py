@@ -6,12 +6,13 @@ Public surface:
 * :class:`Deployment` — wires a RegionMap into live simulated nodes.
 * :class:`UE` — the procedure driver (the paper's traffic generator role).
 * :class:`CTA`, :class:`CPF`, :class:`UPF`, :class:`BaseStation` — nodes.
-* :class:`ConsistencyAuditor` — Read-your-Writes verification.
+* :class:`RYWAuditor` — always-on Read-your-Writes verification
+  (``ConsistencyAuditor`` is its historic alias).
 """
 
 from .bs import BaseStation
 from .config import ControlPlaneConfig
-from .consistency import ConsistencyAuditor, Violation
+from .consistency import CausalEvent, ConsistencyAuditor, RYWAuditor, Violation
 from .cpf import CPF, HandleResult
 from .cta import CTA, FailoverPlan
 from .deployment import Deployment, Placement
@@ -35,6 +36,8 @@ __all__ = [
     "Session",
     "BaseStation",
     "ConsistencyAuditor",
+    "RYWAuditor",
+    "CausalEvent",
     "Violation",
     "UEState",
     "StateEntry",

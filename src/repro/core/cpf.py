@@ -207,7 +207,10 @@ class CPF:
         except NodeFailed:
             return  # we died mid-checkpoint; backups stay stale (scenario 2/3)
         hop = self.dep.cpf_hop(self.name, replica_name)
-        yield self.dep.hop(hop, SNAPSHOT_WIRE_BYTES)
+        try:
+            yield self.dep.hop(hop, SNAPSHOT_WIRE_BYTES, src=self.name, dst=replica_name)
+        except NodeFailed:
+            return  # checkpoint lost in transit; ACK never arrives -> §4.2.4
         replica = self.dep.cpfs.get(replica_name)
         if replica is None or not replica.up:
             return  # replica down; its ACK never arrives -> §4.2.4 timeout
@@ -215,8 +218,13 @@ class CPF:
         if not applied:
             return
         # ACK back to the UE's CTA (§4.2.3 step 3).
-        yield self.dep.hop("cta_cpf", 64)
         cta = self.dep.cta_of(ue_id)
+        try:
+            yield self.dep.hop(
+                "cta_cpf", 64, src=replica_name, dst=cta.name if cta else None
+            )
+        except NodeFailed:
+            return  # lost ACK looks like a laggard replica; scan repairs it
         if cta is not None and cta.up:
             cta.log.ack(ue_id, last_clock, replica_name)
 
@@ -265,13 +273,19 @@ class CPF:
         if source is None or not source.up:
             return False
         hop = self.dep.cpf_hop(self.name, source_name)
-        yield self.dep.hop(hop, 64)  # request
+        try:
+            yield self.dep.hop(hop, 64, src=self.name, dst=source_name)  # request
+        except NodeFailed:
+            return False
         entry = source.store.get(ue_id)
         if entry is None or not entry.up_to_date:
             return False
         snapshot = entry.state.copy()
         clock = entry.synced_clock
-        yield self.dep.hop(hop, SNAPSHOT_WIRE_BYTES)
+        try:
+            yield self.dep.hop(hop, SNAPSHOT_WIRE_BYTES, src=source_name, dst=self.name)
+        except NodeFailed:
+            return False
         if not self.up:
             return False
         applied = yield from self.apply_snapshot(ue_id, snapshot, clock)

@@ -140,11 +140,16 @@ class CTA:
             pending = self.log.entries_after(ue_id, entry.synced_clock)
             replayed = 0
             for log_entry in pending:
-                yield self.dep.hop(self.dep.cpf_hop_from_cta(self.region, backup_name), log_entry.size_bytes)
                 try:
+                    yield self.dep.hop(
+                        self.dep.cpf_hop_from_cta(self.region, backup_name),
+                        log_entry.size_bytes,
+                        src=self.name,
+                        dst=backup_name,
+                    )
                     yield backup.replay_message(ue_id, log_entry.msg_name, log_entry.clock)
                 except NodeFailed:
-                    break  # backup died mid-replay; try the next one
+                    break  # backup died (or replay msg lost); try the next one
                 replayed += 1
             else:
                 entry = backup.store.get(ue_id)

@@ -31,7 +31,7 @@ from ..sim.network import Link
 from ..sim.rng import RngRegistry
 from .bs import BaseStation
 from .config import ControlPlaneConfig
-from .consistency import ConsistencyAuditor
+from .consistency import RYWAuditor
 from .cpf import CPF
 from .cta import CTA
 from .ue import UE, ProcedureOutcome
@@ -63,7 +63,11 @@ class Deployment:
         self.config = config
         self.region_map = region_map
         self.rng = rng or RngRegistry(0)
-        self.auditor = ConsistencyAuditor(sim_now=lambda: sim.now)
+        self.auditor = RYWAuditor(sim_now=lambda: sim.now)
+        #: installed by :class:`repro.faults.FaultInjector`; when set,
+        #: every link traversal routes through it (drop/dup/reorder/
+        #: partition semantics + event tracing).
+        self.faults = None
 
         self.cpfs: Dict[str, CPF] = {}
         self.ctas: Dict[str, CTA] = {}
@@ -170,9 +174,25 @@ class Deployment:
 
     # -- links --------------------------------------------------------------------
 
-    def hop(self, hop_class: str, nbytes: int) -> Event:
-        """One directed link traversal as a waitable event."""
+    def hop(
+        self,
+        hop_class: str,
+        nbytes: int,
+        src: Optional[str] = None,
+        dst: Optional[str] = None,
+    ) -> Event:
+        """One directed link traversal as a waitable event.
+
+        ``src``/``dst`` name the endpoints when the caller knows them
+        (replication, repair, migration legs); the fault injector uses
+        them for partition decisions.  The returned event fails with
+        :class:`~repro.sim.network.LinkDown` when the message is lost
+        (blackholed link, partition, exhausted retransmissions) — which
+        the protocol layer handles exactly like a peer failure.
+        """
         link = self.links[hop_class]
+        if self.faults is not None:
+            return self.faults.transit_event(link, nbytes, src, dst)
         link.messages_sent += 1
         link.bytes_sent += nbytes
         return self.sim.timeout(link.delay(nbytes))
@@ -422,6 +442,7 @@ class Deployment:
             )
         ue.attached = True
         ue.completed_version = entry.state.version
+        self.auditor.record_write_completion(ue_id, ue.completed_version)
         return ue
 
     # -- downlink delivery (§3.1's motivating scenario) ---------------------------------------------
@@ -547,6 +568,7 @@ class Deployment:
             },
             "consistency": {
                 "serves": self.auditor.serves,
+                "writes": self.auditor.writes,
                 "violations": len(self.auditor.violations),
                 "read_your_writes_held": self.auditor.read_your_writes_held,
                 "failovers_masked": self.auditor.failovers_masked,
@@ -565,3 +587,9 @@ class Deployment:
 
     def fail_cta(self, name: str) -> None:
         self.ctas[name].fail()
+
+    def recover_cta(self, name: str) -> None:
+        self.ctas[name].recover()
+        # The region the CTA serves may have been adopted by a sibling
+        # (scenario 4); returning it restores the original mapping.
+        self.adopt_region_cta(self.ctas[name].region, name)

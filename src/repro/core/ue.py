@@ -151,6 +151,7 @@ class UE:
             self.completed_version = entry.state.version if entry is not None else 1
         else:
             self.completed_version += 1
+        dep.auditor.record_write_completion(self.ue_id, self.completed_version)
         outcome.completed = True
 
     # ------------------------------------------------------------------- steps

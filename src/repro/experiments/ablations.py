@@ -143,7 +143,7 @@ def ablate_georep_level(
                 "replica_waits_across_level2": not dep.region_map.shares_level2(
                     home_region, backup_region
                 ),
-                "fast_ho_p50_ms": tally.median * 1e3,
+                "fast_ho_p50_ms": tally.median * 1e3 if tally.count else None,
                 "checkpoint_bytes_inter": inter.bytes_sent,
                 "checkpoint_bytes_far": far.bytes_sent,
                 "violations": len(dep.auditor.violations),
@@ -236,7 +236,9 @@ def ablate_serialization_bandwidth(
                 "access_bytes": access_bytes,
                 "replication_bytes": replication_bytes,
                 "inflation_vs_asn1": access_bytes / baseline_bytes,
-                "attach_p50_ms": dep.pct["attach"].median * 1e3,
+                "attach_p50_ms": (
+                    dep.pct["attach"].median * 1e3 if dep.pct["attach"].count else None
+                ),
             }
         )
     return rows

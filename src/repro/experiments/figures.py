@@ -135,12 +135,19 @@ def fig09_attach_bursty(
 def fig10_failure_handover(
     rates: Sequence[float] = (40e3, 60e3, 80e3, 100e3, 120e3, 140e3, 160e3),
     spec: Optional[RunSpec] = None,
+    fault_plan=None,
 ) -> List[PCTPoint]:
     """Handover PCT under a CPF failure (paper Fig. 10).
 
     A 2x2 grid (two CPFs per region) so that backups survive the kill;
     the PCT distribution reported is over procedures that experienced
     the failure (``recovered``), matching the paper's accounting.
+
+    The kill is injected through :mod:`repro.faults`; pass a
+    :class:`~repro.faults.FaultPlan` as ``fault_plan`` to overlay
+    message-level chaos (seeded drop/dup/reorder on any hop) on the
+    same sweep.  Every point's ``violations`` field carries the
+    always-on Read-your-Writes audit — zero for Neutrino by design.
     """
     spec = spec or RunSpec(
         procedure="handover",
@@ -149,6 +156,8 @@ def fig10_failure_handover(
         failure_at_frac=0.5,
         first_region_only=True,
     )
+    if fault_plan is not None:
+        spec = RunSpec(**{**spec.__dict__, "fault_plan": fault_plan})
     configs = [ControlPlaneConfig.existing_epc(), ControlPlaneConfig.neutrino()]
     return [run_pct_point(c, r, spec) for c in configs for r in rates]
 

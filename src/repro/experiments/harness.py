@@ -19,6 +19,8 @@ from typing import Dict, List, Optional, Sequence
 
 from ..core.config import ControlPlaneConfig
 from ..core.deployment import Deployment
+from ..faults.injector import FaultInjector
+from ..faults.plan import FaultEvent, FaultPlan
 from ..sim.core import Simulator
 from ..sim.monitor import percentile
 from ..sim.rng import RngRegistry
@@ -92,6 +94,10 @@ class RunSpec:
     pool_size: Optional[int] = None
     #: restrict arrivals to BSs in the first region (handover sweeps).
     first_region_only: bool = False
+    #: extra chaos (message perturbations / timed events) applied via
+    #: :mod:`repro.faults`; the spec's own ``failure_cpf_index`` kill is
+    #: merged in as a timed event, never mutating this shared plan.
+    fault_plan: Optional[FaultPlan] = None
 
     @property
     def n_sim_cpfs(self) -> int:
@@ -157,10 +163,19 @@ def run_pct_point(
             picker = driver.same_region_target()
         driver.schedule_procedures(procedure, arrivals, bs_names, picker)
 
+    plan = spec.fault_plan
     if spec.failure_cpf_index is not None:
         t_fail = duration * spec.failure_at_frac
         victim = sorted(dep.cpfs)[spec.failure_cpf_index % len(dep.cpfs)]
-        sim.schedule(t_fail, dep.fail_cpf, victim)
+        kill = FaultEvent(op="fail_cpf", target=victim, at=t_fail)
+        # A fresh plan per point: the spec (and its plan) is shared
+        # across the config x rate sweep loops.
+        if plan is None:
+            plan = FaultPlan(seed=spec.seed, guard_last_alive=False, events=[kill])
+        else:
+            plan = plan.with_events(kill)
+    if plan is not None:
+        FaultInjector(dep, plan).install()
 
     horizon = (arrivals[-1] if arrivals else 0.0) + spec.drain_s
     sim.run(until=horizon)

@@ -1,0 +1,50 @@
+"""Deterministic, seed-driven fault injection (chaos) for the core.
+
+Public surface:
+
+* :class:`FaultPlan`, :class:`FaultEvent`, :class:`FaultOp`,
+  :class:`LinkPerturbation` — the declarative, JSON-serializable
+  schedule DSL.
+* :class:`FaultInjector` — executes a plan against a live
+  :class:`~repro.core.deployment.Deployment` (hooks the link choke
+  point, fires timed events, applies scripted ops).
+* :class:`EventTrace`, :class:`TraceRecord` — canonical event recorder
+  whose digest witnesses bit-for-bit replay.
+* :func:`run_plan`, :func:`replay` — one-call plan execution and the
+  determinism check behind ``python -m repro chaos replay``.
+
+The always-on consistency check lives in
+:class:`repro.core.consistency.RYWAuditor`; every run returned by
+:func:`run_plan` carries its verdict.
+"""
+
+from .injector import FaultInjector, region_of
+from .plan import FaultEvent, FaultOp, FaultPlan, LinkPerturbation
+from .runner import (
+    CONFIG_PRESETS,
+    ReplayReport,
+    RunResult,
+    config_from_name,
+    replay,
+    resolve_target_bs,
+    run_plan,
+)
+from .trace import EventTrace, TraceRecord
+
+__all__ = [
+    "FaultPlan",
+    "FaultEvent",
+    "FaultOp",
+    "LinkPerturbation",
+    "FaultInjector",
+    "EventTrace",
+    "TraceRecord",
+    "RunResult",
+    "ReplayReport",
+    "run_plan",
+    "replay",
+    "region_of",
+    "resolve_target_bs",
+    "config_from_name",
+    "CONFIG_PRESETS",
+]

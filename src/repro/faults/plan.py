@@ -1,0 +1,263 @@
+"""FaultPlan: a declarative, seed-driven schedule of faults.
+
+A plan is pure data — it names *what* goes wrong and *when*, never how
+the simulation reacts — so any failing schedule (hand-written, swept,
+or hypothesis-minimized) serializes to JSON and replays bit-for-bit::
+
+    plan = FaultPlan(seed=7)
+    plan.perturb("cta_cpf", drop_p=0.05, reorder_p=0.1)
+    plan.at(0.0003, "fail_cpf", "cpf-20-0")
+    plan.step("proc", proc="handover", target_bs="bs-21-0")
+    plan.save("schedule.json")             # later:
+    plan2 = FaultPlan.load("schedule.json")
+
+Three ingredients:
+
+* ``perturbations`` — per-hop-class message fault profiles (seeded
+  drop/dup/reorder probabilities + extra delay) installed at t=0.
+* ``events`` — timed control actions (crash/recover a CPF or CTA,
+  blackhole/restore a link, partition/heal region groups, install or
+  clear perturbations) fired by the simulator clock.
+* ``steps`` — a *sequential* script (run procedures, wait, inject)
+  executed by :func:`repro.faults.runner.run_plan`'s driver process;
+  this is the shape property-based schedules take.
+
+``partition`` targets name two region groups separated by ``|`` with
+``,``-separated members, e.g. ``"20|21"`` or ``"20,21|22,23"``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = ["LinkPerturbation", "FaultOp", "FaultEvent", "FaultPlan"]
+
+#: every action a plan may take (``proc``/``wait`` only make sense as
+#: sequential steps; the rest work both timed and scripted).
+OPS = frozenset(
+    (
+        "proc",
+        "wait",
+        "fail_cpf",
+        "recover_cpf",
+        "fail_cta",
+        "recover_cta",
+        "blackhole",
+        "restore",
+        "partition",
+        "heal",
+        "perturb",
+        "clear_faults",
+    )
+)
+
+_STEP_ONLY = frozenset(("proc", "wait"))
+
+
+@dataclass(frozen=True)
+class LinkPerturbation:
+    """Seeded message-fault profile for one hop class."""
+
+    hop: str
+    drop_p: float = 0.0
+    dup_p: float = 0.0
+    reorder_p: float = 0.0
+    extra_delay_s: float = 0.0
+    reorder_spread_s: Optional[float] = None
+    rto_s: Optional[float] = None
+    max_retx: int = 7
+
+    _DEFAULTS = {
+        "drop_p": 0.0,
+        "dup_p": 0.0,
+        "reorder_p": 0.0,
+        "extra_delay_s": 0.0,
+        "reorder_spread_s": None,
+        "rto_s": None,
+        "max_retx": 7,
+    }
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {"hop": self.hop}
+        for key, default in self._DEFAULTS.items():
+            value = getattr(self, key)
+            if value != default:
+                out[key] = value
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "LinkPerturbation":
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class FaultOp:
+    """One scripted action.
+
+    Field use depends on ``op``:
+
+    * ``proc``     — run ``proc`` (a procedure name) on UE ``target``
+      (default: the plan's first UE), optionally toward ``target_bs``.
+    * ``wait``     — advance simulated time by ``dt`` seconds.
+    * ``fail_* / recover_*`` — ``target`` is the node name.
+    * ``blackhole / restore`` — ``target`` is the hop class.
+    * ``partition`` — ``target`` is the two region groups (``"20|21"``).
+    * ``perturb``  — install ``perturbation``; ``clear_faults`` resets
+      every link profile (and heals any partition).
+    """
+
+    op: str
+    target: str = ""
+    dt: float = 0.0
+    proc: str = ""
+    target_bs: str = ""
+    perturbation: Optional[LinkPerturbation] = None
+
+    def __post_init__(self):
+        if self.op not in OPS:
+            raise ValueError("unknown fault op %r" % (self.op,))
+        if self.op == "wait" and self.dt < 0:
+            raise ValueError("wait dt must be non-negative")
+        if self.op == "perturb" and self.perturbation is None:
+            raise ValueError("perturb op needs a perturbation")
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {"op": self.op}
+        if self.target:
+            out["target"] = self.target
+        if self.dt:
+            out["dt"] = self.dt
+        if self.proc:
+            out["proc"] = self.proc
+        if self.target_bs:
+            out["target_bs"] = self.target_bs
+        if self.perturbation is not None:
+            out["perturbation"] = self.perturbation.to_dict()
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FaultOp":
+        data = dict(data)
+        pert = data.pop("perturbation", None)
+        if pert is not None:
+            data["perturbation"] = LinkPerturbation.from_dict(pert)
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class FaultEvent(FaultOp):
+    """A :class:`FaultOp` fired at an absolute simulated time."""
+
+    at: float = 0.0
+
+    def __post_init__(self):
+        super().__post_init__()
+        if self.op in _STEP_ONLY:
+            raise ValueError("%r is a sequential step, not a timed event" % self.op)
+        if self.at < 0:
+            raise ValueError("event time must be non-negative")
+
+    def to_dict(self) -> Dict[str, Any]:
+        out = super().to_dict()
+        out["at"] = self.at
+        return out
+
+
+@dataclass
+class FaultPlan:
+    """A complete, serializable chaos schedule.
+
+    ``seed`` drives every random draw the injector makes (independent
+    of the workload's RNG registry), so identical plans yield identical
+    fault outcomes.  ``guard_last_alive`` (default on) makes scripted
+    and timed kills no-ops when they would take down the last living
+    CPF or CTA — generated schedules then can't trivially wedge the
+    deployment; set it off to test total-outage behaviour.
+    """
+
+    seed: int = 0
+    note: str = ""
+    config: str = "neutrino"
+    topology: Dict[str, int] = field(
+        default_factory=lambda: {"regions": 2, "cpfs_per_region": 2, "bss_per_region": 2}
+    )
+    workload: Dict[str, Any] = field(default_factory=dict)
+    perturbations: List[LinkPerturbation] = field(default_factory=list)
+    events: List[FaultEvent] = field(default_factory=list)
+    steps: List[FaultOp] = field(default_factory=list)
+    guard_last_alive: bool = True
+
+    # -- builders (each returns self for chaining) --------------------------
+
+    def perturb(self, hop: str, **kwargs: Any) -> "FaultPlan":
+        self.perturbations.append(LinkPerturbation(hop, **kwargs))
+        return self
+
+    def at(self, t: float, op: str, target: str = "", **kwargs: Any) -> "FaultPlan":
+        self.events.append(FaultEvent(op=op, target=target, at=t, **kwargs))
+        return self
+
+    def step(self, op: str, target: str = "", **kwargs: Any) -> "FaultPlan":
+        self.steps.append(FaultOp(op=op, target=target, **kwargs))
+        return self
+
+    def with_events(self, *events: FaultEvent) -> "FaultPlan":
+        """A copy with extra timed events (leaves this plan untouched)."""
+        return replace(
+            self,
+            topology=dict(self.topology),
+            workload=dict(self.workload),
+            perturbations=list(self.perturbations),
+            events=list(self.events) + list(events),
+            steps=list(self.steps),
+        )
+
+    # -- JSON round-trip -----------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "note": self.note,
+            "config": self.config,
+            "topology": dict(self.topology),
+            "workload": dict(self.workload),
+            "perturbations": [p.to_dict() for p in self.perturbations],
+            "events": [e.to_dict() for e in self.events],
+            "steps": [s.to_dict() for s in self.steps],
+            "guard_last_alive": self.guard_last_alive,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FaultPlan":
+        return cls(
+            seed=data.get("seed", 0),
+            note=data.get("note", ""),
+            config=data.get("config", "neutrino"),
+            topology=dict(data.get("topology", {"regions": 2, "cpfs_per_region": 2, "bss_per_region": 2})),
+            workload=dict(data.get("workload", {})),
+            perturbations=[
+                LinkPerturbation.from_dict(p) for p in data.get("perturbations", ())
+            ],
+            events=[FaultEvent.from_dict(e) for e in data.get("events", ())],
+            steps=[FaultOp.from_dict(s) for s in data.get("steps", ())],
+            guard_last_alive=data.get("guard_last_alive", True),
+        )
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        return cls.from_dict(json.loads(text))
+
+    def save(self, path: str) -> None:
+        with open(path, "w") as fp:
+            fp.write(self.to_json())
+            fp.write("\n")
+
+    @classmethod
+    def load(cls, path: str) -> "FaultPlan":
+        with open(path) as fp:
+            return cls.from_json(fp.read())

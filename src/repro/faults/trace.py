@@ -1,0 +1,85 @@
+"""Event traces: the determinism witness for chaos runs.
+
+Every fault the injector applies (and, in verbose mode, every link
+traversal) is appended as a :class:`TraceRecord`; the canonical line
+format feeds a blake2b :meth:`EventTrace.digest`.  Two runs of the
+same :class:`~repro.faults.plan.FaultPlan` against the same workload
+seed must produce byte-identical traces — equal digests — which is
+exactly what ``python -m repro chaos replay`` asserts.
+
+Records never contain process-randomized values (no ``hash()``-derived
+identifiers, no wall-clock times), so digests are stable across
+interpreter invocations regardless of ``PYTHONHASHSEED``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+__all__ = ["TraceRecord", "EventTrace"]
+
+
+def _canonical(value: object) -> str:
+    """Stable textual form; floats use repr (shortest round-trip)."""
+    if isinstance(value, float):
+        return repr(value)
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    return str(value)
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One recorded event: time, kind, and sorted key/value detail."""
+
+    time: float
+    kind: str
+    detail: Tuple[Tuple[str, object], ...] = ()
+
+    def line(self) -> str:
+        pairs = ";".join("%s=%s" % (k, _canonical(v)) for k, v in self.detail)
+        return "%s|%s|%s" % (repr(self.time), self.kind, pairs)
+
+    def __repr__(self) -> str:
+        return "<%s>" % self.line()
+
+
+class EventTrace:
+    """Append-only recorder with a canonical digest.
+
+    ``verbose=True`` additionally records clean (unperturbed) link
+    traversals — the full event stream, used by the determinism tests
+    on small runs; the default records only faults and control ops so
+    full-figure runs stay cheap.
+    """
+
+    def __init__(self, verbose: bool = False):
+        self.verbose = verbose
+        self.records: List[TraceRecord] = []
+
+    def record(self, time: float, kind: str, **detail: object) -> None:
+        self.records.append(TraceRecord(time, kind, tuple(sorted(detail.items()))))
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self.records)
+
+    def lines(self) -> List[str]:
+        return [r.line() for r in self.records]
+
+    def digest(self) -> str:
+        h = hashlib.blake2b(digest_size=16)
+        for record in self.records:
+            h.update(record.line().encode("utf-8"))
+            h.update(b"\n")
+        return h.hexdigest()
+
+    def kinds(self) -> dict:
+        counts: dict = {}
+        for record in self.records:
+            counts[record.kind] = counts.get(record.kind, 0) + 1
+        return counts

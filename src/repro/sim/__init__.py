@@ -6,14 +6,16 @@ Public surface:
   — the event loop and coroutine model.
 * :class:`Server`, :class:`Store`, :class:`NodeFailed` — queued
   processing nodes with failure injection.
-* :class:`Link`, :class:`LatencyModel` — network hops.
+* :class:`Link`, :class:`LatencyModel` — network hops, with per-link
+  fault hooks (drop/dup/reorder/extra-delay, blackhole); :class:`LinkDown`
+  signals a lost message on a reliable channel.
 * :class:`Tally`, :class:`Counter`, :class:`TimeWeighted` — probes.
 * :class:`RngRegistry` — deterministic named random streams.
 """
 
 from .core import AllOf, AnyOf, Event, Interrupt, Process, Simulator, Timeout
 from .monitor import Counter, Tally, TimeWeighted, percentile, summarize
-from .network import LatencyModel, Link
+from .network import LatencyModel, Link, LinkDown, Transit
 from .node import NodeFailed, Server, Store
 from .rng import RngRegistry, stream_seed
 
@@ -29,6 +31,8 @@ __all__ = [
     "Store",
     "NodeFailed",
     "Link",
+    "LinkDown",
+    "Transit",
     "LatencyModel",
     "Tally",
     "Counter",

@@ -8,19 +8,27 @@ summarize them as the percentiles the paper plots.
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 __all__ = ["Tally", "Counter", "TimeWeighted", "percentile", "summarize"]
 
 
-def percentile(sorted_values: Sequence[float], q: float) -> float:
+_RAISE = object()  # sentinel: distinguish "no default" from default=None
+
+
+def percentile(sorted_values: Sequence[float], q: float, default: Any = _RAISE) -> Any:
     """Linear-interpolation percentile of a pre-sorted sequence.
 
     ``q`` is in [0, 100].  Matches numpy's default method so results are
-    comparable with any external analysis.
+    comparable with any external analysis.  An empty sequence raises
+    unless ``default`` is given (warmup-only measurement windows produce
+    legitimately empty tallies; callers pass ``default=None`` to report
+    "no data" instead of crashing a whole sweep).
     """
     if not sorted_values:
-        raise ValueError("percentile of empty sequence")
+        if default is _RAISE:
+            raise ValueError("percentile of empty sequence")
+        return default
     if not 0.0 <= q <= 100.0:
         raise ValueError("q must be in [0, 100], got %r" % (q,))
     if len(sorted_values) == 1:
@@ -65,11 +73,18 @@ class Tally:
     def max(self) -> float:
         return max(self.values)
 
-    def percentile(self, q: float) -> float:
-        return percentile(sorted(self.values), q)
+    def percentile(self, q: float) -> Optional[float]:
+        """Percentile of the observations, or ``None`` when empty.
+
+        Unlike the module-level :func:`percentile` (whose contract is a
+        hard error on empty input), a tally is a measurement probe: an
+        empty one just means the window saw no observations — e.g. a
+        warmup-only window — and reports ``None`` rather than raising.
+        """
+        return percentile(sorted(self.values), q, default=None)
 
     @property
-    def median(self) -> float:
+    def median(self) -> Optional[float]:
         return self.percentile(50.0)
 
     def summary(self, qs: Iterable[float] = (5, 25, 50, 75, 95, 99)) -> Dict[str, float]:

@@ -15,8 +15,48 @@ from dataclasses import dataclass
 from typing import Any, Callable, Optional
 
 from .core import Simulator
+from .node import NodeFailed
 
-__all__ = ["Link", "LatencyModel"]
+__all__ = ["Link", "LinkDown", "Transit", "LatencyModel"]
+
+
+class LinkDown(NodeFailed):
+    """A message was lost on a link (blackhole, partition, or exhausted
+    retransmissions).
+
+    Subclasses :class:`~repro.sim.node.NodeFailed` on purpose: a reliable
+    control channel (S1AP over SCTP) that gives up retransmitting reports
+    an association failure, which the protocol layer treats exactly like
+    a peer death — the CTA-driven recovery machinery takes over.
+    """
+
+
+@dataclass(frozen=True)
+class Transit:
+    """Outcome of one message crossing a link.
+
+    ``delay`` is the end-to-end delivery delay including retransmissions
+    and fault-injected perturbations, or ``None`` when the message was
+    lost (link down / retransmission budget exhausted).
+    """
+
+    delay: Optional[float]
+    duplicated: bool = False
+    reordered: bool = False
+    retransmits: int = 0
+
+    @property
+    def lost(self) -> bool:
+        return self.delay is None
+
+    @property
+    def perturbed(self) -> bool:
+        return (
+            self.delay is None
+            or self.duplicated
+            or self.reordered
+            or self.retransmits > 0
+        )
 
 
 class Link:
@@ -53,6 +93,122 @@ class Link:
         self.bytes_sent = 0
         self._last_arrival = 0.0
         self.up = True
+        # -- fault-injection profile (all zero -> fast clean path) -----
+        self.drop_p = 0.0
+        self.dup_p = 0.0
+        self.reorder_p = 0.0
+        self.extra_delay_s = 0.0
+        self.reorder_spread_s: Optional[float] = None
+        self.rto_s: Optional[float] = None
+        self.max_retx = 7
+        self.fault_rng: Optional[random.Random] = None
+        # fault counters (stable even when no faults are configured)
+        self.dropped = 0
+        self.duplicated = 0
+        self.reordered = 0
+        self.retransmits = 0
+
+    # -- fault injection hooks (installed by repro.faults) -----------------
+
+    def set_faults(
+        self,
+        drop_p: float = 0.0,
+        dup_p: float = 0.0,
+        reorder_p: float = 0.0,
+        extra_delay_s: float = 0.0,
+        rng: Optional[random.Random] = None,
+        reorder_spread_s: Optional[float] = None,
+        rto_s: Optional[float] = None,
+        max_retx: int = 7,
+    ) -> None:
+        """Install a seeded perturbation profile on this link.
+
+        Probabilities are per-message; ``rng`` must be supplied whenever
+        any probability is non-zero so outcomes stay deterministic.
+        """
+        for p, label in ((drop_p, "drop_p"), (dup_p, "dup_p"), (reorder_p, "reorder_p")):
+            if not 0.0 <= p < 1.0:
+                raise ValueError("%s must be in [0, 1), got %r" % (label, p))
+        if extra_delay_s < 0:
+            raise ValueError("negative extra_delay_s")
+        if (drop_p or dup_p or reorder_p) and rng is None:
+            raise ValueError("probabilistic link faults require an rng stream")
+        self.drop_p = drop_p
+        self.dup_p = dup_p
+        self.reorder_p = reorder_p
+        self.extra_delay_s = extra_delay_s
+        self.reorder_spread_s = reorder_spread_s
+        self.rto_s = rto_s
+        self.max_retx = max_retx
+        self.fault_rng = rng
+
+    def clear_faults(self) -> None:
+        self.drop_p = self.dup_p = self.reorder_p = 0.0
+        self.extra_delay_s = 0.0
+        self.reorder_spread_s = None
+        self.rto_s = None
+        self.fault_rng = None
+
+    @property
+    def faulty(self) -> bool:
+        return bool(
+            self.drop_p or self.dup_p or self.reorder_p or self.extra_delay_s
+        )
+
+    def effective_rto(self) -> float:
+        """Retransmission timeout: explicit, or 4 RTTs with a small floor."""
+        if self.rto_s is not None:
+            return self.rto_s
+        return max(8.0 * self.latency_s, 1e-4)
+
+    def transit(self, nbytes: int = 0) -> Transit:
+        """Account one message and compute its (possibly faulty) fate.
+
+        Clean path (no faults installed, link up) returns exactly
+        ``Transit(self.delay(nbytes))`` — byte-identical to the historic
+        ``sim.timeout(link.delay(n))`` behaviour.  A dropped message on a
+        reliable control channel is retransmitted after
+        :meth:`effective_rto` up to ``max_retx`` times before being
+        declared lost (``delay=None``).
+        """
+        self.messages_sent += 1
+        self.bytes_sent += nbytes
+        if not self.up:
+            self.dropped += 1
+            return Transit(None)
+        delay = self.delay(nbytes)
+        if not self.faulty:
+            return Transit(delay)
+        rng = self.fault_rng
+        retx = 0
+        if self.drop_p and rng is not None:
+            while rng.random() < self.drop_p:
+                retx += 1
+                if retx > self.max_retx:
+                    self.dropped += 1
+                    self.retransmits += self.max_retx
+                    return Transit(None, retransmits=self.max_retx)
+                delay += self.effective_rto()
+            self.retransmits += retx
+        duplicated = False
+        if self.dup_p and rng is not None and rng.random() < self.dup_p:
+            duplicated = True
+            self.duplicated += 1
+            self.messages_sent += 1  # the copy consumes link resources
+            self.bytes_sent += nbytes
+        reordered = False
+        if self.reorder_p and rng is not None and rng.random() < self.reorder_p:
+            reordered = True
+            self.reordered += 1
+            spread = (
+                self.reorder_spread_s
+                if self.reorder_spread_s is not None
+                else 4.0 * self.latency_s
+            )
+            delay += spread * rng.random()
+        if self.extra_delay_s:
+            delay += self.extra_delay_s
+        return Transit(delay, duplicated, reordered, retx)
 
     def delay(self, nbytes: int = 0) -> float:
         d = self.latency_s

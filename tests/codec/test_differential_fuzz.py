@@ -1,0 +1,93 @@
+"""Differential fuzzing across codecs on the *real* message catalog.
+
+The paper's Fig. 18-20 comparisons only mean something if every codec
+implements the same semantics: for any value admissible under a real
+control-message schema (CATALOG), encoding with codec A and decoding
+with codec A must reproduce the value exactly — and all codecs must
+agree with each other on what that value is.  Hypothesis drives values
+through every schema; disagreement between any two codecs is a bug in
+one of them.
+"""
+
+import string
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.messages.registry import CATALOG
+
+#: the four codecs the paper's figures compare head-to-head.
+DIFF_CODECS = ("asn1per", "flatbuffers", "flatbuffers_opt", "protobuf")
+
+_SETTINGS = dict(
+    deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+def _value_for(type_, draw):
+    """A random value admissible under a catalog schema node."""
+    kind = type_.kind
+    if kind == "int":
+        return draw(st.integers(type_.lo, type_.hi))
+    if kind == "bool":
+        return draw(st.booleans())
+    if kind == "string":
+        return draw(st.text(string.printable, max_size=type_.max_len or 8))
+    if kind == "bytes":
+        return draw(st.binary(max_size=type_.max_len or 8))
+    if kind == "bitstring":
+        return (draw(st.integers(0, (1 << type_.nbits) - 1)), type_.nbits)
+    if kind == "enum":
+        return draw(st.sampled_from(type_.names))
+    if kind == "array":
+        n = draw(st.integers(0, min(type_.max_len or 3, 3)))
+        return [_value_for(type_.element, draw) for _ in range(n)]
+    if kind == "table":
+        out = {}
+        for field in type_.fields:
+            if not field.optional or draw(st.booleans()):
+                out[field.name] = _value_for(field.type, draw)
+        return out
+    if kind == "union":
+        alt_name, alt_type = draw(st.sampled_from(type_.alts))
+        return (alt_name, _value_for(alt_type, draw))
+    raise AssertionError(kind)
+
+
+@st.composite
+def catalog_message(draw):
+    name = draw(st.sampled_from(CATALOG.names()))
+    return name, _value_for(CATALOG.schema(name), draw)
+
+
+@given(pair=catalog_message())
+@settings(max_examples=120, **_SETTINGS)
+def test_codecs_agree_on_catalog_messages(pair):
+    """Every codec round-trips the value; all decodes are identical."""
+    name, value = pair
+    decoded = {}
+    for codec in DIFF_CODECS:
+        wire = CATALOG.encode(name, codec, value)
+        decoded[codec] = CATALOG.decode(name, codec, wire)
+        assert decoded[codec] == value, codec
+    reference = decoded[DIFF_CODECS[0]]
+    for codec in DIFF_CODECS[1:]:
+        assert decoded[codec] == reference, (name, codec)
+
+
+@given(pair=catalog_message())
+@settings(max_examples=40, **_SETTINGS)
+def test_encodes_are_deterministic_per_codec(pair):
+    name, value = pair
+    for codec in DIFF_CODECS:
+        assert CATALOG.encode(name, codec, value) == CATALOG.encode(
+            name, codec, value
+        ), codec
+
+
+@pytest.mark.parametrize("codec", DIFF_CODECS)
+def test_every_catalog_sample_round_trips(codec):
+    """The samples the simulator prices must survive every codec."""
+    for name in CATALOG.names():
+        wire = CATALOG.encode(name, codec)
+        assert CATALOG.decode(name, codec, wire) == CATALOG.sample(name), name

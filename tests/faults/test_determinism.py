@@ -1,0 +1,87 @@
+"""Seed-determinism regressions: the replay promise of the chaos layer.
+
+The same (workload, FaultPlan, seed) must produce byte-identical event
+traces and identical PCT percentiles, run after run — this is what makes
+``python -m repro chaos replay`` and the regression corpus meaningful.
+"""
+
+from repro.core import ControlPlaneConfig
+from repro.experiments.harness import RunSpec, run_pct_point
+from repro.faults import EventTrace, FaultPlan, replay, run_plan
+
+
+def chaos_plan(seed=11):
+    plan = FaultPlan(seed=seed, note="determinism probe")
+    plan.workload = {"ues": [{"id": "ue-det", "bs": "bs-20-0"}]}
+    plan.perturb("cta_cpf", drop_p=0.2, dup_p=0.1, reorder_p=0.2)
+    plan.perturb("cpf_cpf_inter", drop_p=0.25, extra_delay_s=1e-4)
+    plan.step("proc", proc="service_request")
+    plan.step("fail_cpf", "cpf-20-0")
+    plan.step("proc", proc="handover")
+    plan.step("wait", dt=0.004)
+    plan.step("recover_cpf", "cpf-20-0")
+    plan.step("fail_cta", "cta-20")
+    plan.step("proc", proc="service_request")
+    plan.step("recover_cta", "cta-20")
+    plan.step("proc", proc="tau")
+    return plan
+
+
+def test_same_plan_yields_byte_identical_traces():
+    plan = chaos_plan()
+    a = run_plan(plan, verbose_trace=True)
+    b = run_plan(plan, verbose_trace=True)
+    assert a.trace.lines() == b.trace.lines()  # byte-for-byte, every message
+    assert a.digest == b.digest
+    assert a.pct_ms == b.pct_ms
+    assert a.fault_counters == b.fault_counters
+    assert a.end_time_s == b.end_time_s
+
+
+def test_json_round_trip_preserves_the_run():
+    plan = chaos_plan()
+    direct = run_plan(plan, verbose_trace=True)
+    reloaded = run_plan(FaultPlan.from_json(plan.to_json()), verbose_trace=True)
+    assert reloaded.digest == direct.digest
+    assert reloaded.trace.lines() == direct.trace.lines()
+
+
+def test_replay_helper_reports_deterministic():
+    report = replay(chaos_plan(), runs=3)
+    assert report.deterministic
+    assert len(set(report.digests)) == 1
+
+
+def test_different_seeds_draw_different_faults():
+    # same schedule, different seed -> different message-fault draws
+    a = run_plan(chaos_plan(seed=11), verbose_trace=True)
+    b = run_plan(chaos_plan(seed=12), verbose_trace=True)
+    assert a.digest != b.digest
+
+
+def test_trace_digest_ignores_nothing():
+    trace = EventTrace()
+    trace.record(0.5, "op", op="fail_cpf", target="cpf-20-0")
+    other = EventTrace()
+    other.record(0.5, "op", op="fail_cpf", target="cpf-20-1")
+    assert trace.digest() != other.digest()
+
+
+def test_harness_point_is_reproducible_under_chaos():
+    plan = FaultPlan(seed=5)
+    plan.perturb("cta_cpf", drop_p=0.15, reorder_p=0.15)
+    spec = RunSpec(
+        procedure="service_request",
+        procedures_target=150,
+        min_duration_s=0.02,
+        max_duration_s=0.05,
+        failure_cpf_index=0,
+        fault_plan=plan,
+    )
+    config = ControlPlaneConfig.neutrino()
+    first = run_pct_point(config, 40e3, spec)
+    second = run_pct_point(config, 40e3, spec)
+    assert first == second  # identical PCTPoint, percentile for percentile
+    assert first.violations == 0
+    # the harness merged its kill into a *copy*: the shared plan is intact
+    assert plan.events == []

@@ -1,0 +1,122 @@
+"""FaultPlan DSL: validation, builders, and the JSON round-trip."""
+
+import pytest
+
+from repro.faults import FaultEvent, FaultOp, FaultPlan, LinkPerturbation
+
+
+def full_plan():
+    plan = FaultPlan(seed=9, note="everything at once", config="neutrino")
+    plan.workload = {"ues": [{"id": "ue-1", "bs": "bs-20-0"}]}
+    plan.perturb("cta_cpf", drop_p=0.1, dup_p=0.05, reorder_p=0.2, extra_delay_s=1e-4)
+    plan.perturb("cpf_cpf_inter", drop_p=0.3, rto_s=2e-4, max_retx=3)
+    plan.at(0.001, "fail_cpf", "cpf-20-0")
+    plan.at(0.002, "partition", "20|21")
+    plan.at(0.003, "heal")
+    plan.step("proc", proc="service_request")
+    plan.step("wait", dt=0.005)
+    plan.step("proc", proc="handover", target_bs="bs-21-0")
+    plan.step("recover_cpf", "cpf-20-0")
+    plan.step(
+        "perturb",
+        perturbation=LinkPerturbation("bs_cta", drop_p=0.2),
+    )
+    plan.step("clear_faults")
+    return plan
+
+
+class TestValidation:
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ValueError):
+            FaultOp(op="explode")
+
+    def test_negative_wait_rejected(self):
+        with pytest.raises(ValueError):
+            FaultOp(op="wait", dt=-1.0)
+
+    def test_perturb_without_profile_rejected(self):
+        with pytest.raises(ValueError):
+            FaultOp(op="perturb")
+
+    @pytest.mark.parametrize("op", ["proc", "wait"])
+    def test_timed_event_rejects_step_only_ops(self, op):
+        with pytest.raises(ValueError):
+            FaultEvent(op=op, at=0.1)
+
+    def test_negative_event_time_rejected(self):
+        with pytest.raises(ValueError):
+            FaultEvent(op="fail_cpf", target="cpf-20-0", at=-0.1)
+
+    def test_bad_perturbation_probability_rejected_at_link(self):
+        # the plan accepts it (pure data); the Link rejects on install
+        from repro.sim import Link, Simulator
+
+        link = Link(Simulator(), 1e-4)
+        with pytest.raises(ValueError):
+            link.set_faults(drop_p=1.5)
+
+    def test_probabilistic_faults_require_rng(self):
+        from repro.sim import Link, Simulator
+
+        link = Link(Simulator(), 1e-4)
+        with pytest.raises(ValueError):
+            link.set_faults(drop_p=0.5)  # no rng supplied
+
+
+class TestBuilders:
+    def test_builders_chain(self):
+        plan = FaultPlan(seed=1).perturb("cta_cpf", drop_p=0.1).step(
+            "proc", proc="tau"
+        ).at(0.5, "fail_cta", "cta-20")
+        assert len(plan.perturbations) == 1
+        assert len(plan.steps) == 1
+        assert len(plan.events) == 1
+
+    def test_with_events_leaves_original_untouched(self):
+        plan = full_plan()
+        before = plan.to_dict()
+        extra = FaultEvent(op="fail_cta", target="cta-21", at=0.9)
+        copy = plan.with_events(extra)
+        assert plan.to_dict() == before
+        assert len(copy.events) == len(plan.events) + 1
+        assert copy.events[-1] == extra
+        # containers are copies, not aliases
+        copy.steps.append(FaultOp(op="heal"))
+        copy.topology["regions"] = 5
+        assert plan.to_dict() == before
+
+
+class TestRoundTrip:
+    def test_json_round_trip_is_lossless(self):
+        plan = full_plan()
+        clone = FaultPlan.from_json(plan.to_json())
+        assert clone.to_dict() == plan.to_dict()
+        assert clone.steps == plan.steps
+        assert clone.events == plan.events
+        assert clone.perturbations == plan.perturbations
+
+    def test_json_is_canonical(self):
+        plan = full_plan()
+        assert plan.to_json() == FaultPlan.from_json(plan.to_json()).to_json()
+
+    def test_save_load(self, tmp_path):
+        path = str(tmp_path / "plan.json")
+        plan = full_plan()
+        plan.save(path)
+        assert FaultPlan.load(path).to_dict() == plan.to_dict()
+
+    def test_perturbation_dict_omits_defaults(self):
+        d = LinkPerturbation("cta_cpf", drop_p=0.25).to_dict()
+        assert d == {"hop": "cta_cpf", "drop_p": 0.25}
+        assert LinkPerturbation.from_dict(d) == LinkPerturbation("cta_cpf", drop_p=0.25)
+
+    def test_op_dict_omits_empty_fields(self):
+        d = FaultOp(op="heal").to_dict()
+        assert d == {"op": "heal"}
+
+    def test_defaults_survive_empty_dict(self):
+        plan = FaultPlan.from_dict({})
+        assert plan.seed == 0
+        assert plan.config == "neutrino"
+        assert plan.guard_last_alive is True
+        assert plan.topology == {"regions": 2, "cpfs_per_region": 2, "bss_per_region": 2}

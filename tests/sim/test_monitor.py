@@ -38,6 +38,19 @@ class TestPercentile:
                 float(numpy.percentile(data, q))
             )
 
+    def test_empty_with_default_returns_default(self):
+        # warmup-only windows legitimately produce empty tallies; sweeps
+        # pass a default instead of crashing on the first idle point.
+        assert percentile([], 50, default=None) is None
+        assert percentile([], 99, default=0.0) == 0.0
+
+    def test_default_not_used_when_data_present(self):
+        assert percentile([3.0], 50, default=None) == 3.0
+
+    def test_out_of_range_q_still_rejected_with_data(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 200, default=None)
+
 
 class TestTally:
     def test_basic_stats(self):
@@ -62,6 +75,22 @@ class TestTally:
 
     def test_summary_empty_has_count_zero(self):
         assert Tally().summary() == {"count": 0.0}
+
+    def test_empty_percentile_is_none(self):
+        # the probe contract differs from the module function on purpose:
+        # "no observations" is a value, not an error.
+        tally = Tally("idle")
+        assert tally.percentile(50) is None
+        assert tally.percentile(99) is None
+        assert tally.median is None
+
+    def test_percentile_after_observations(self):
+        tally = Tally()
+        for v in (4.0, 1.0, 3.0, 2.0):
+            tally.observe(v)
+        assert tally.percentile(50) == pytest.approx(2.5)
+        assert tally.median == pytest.approx(2.5)
+        assert tally.percentile(100) == 4.0
 
     def test_summarize_multiple(self):
         tallies = {"a": Tally("a"), "b": Tally("b")}
