@@ -7,6 +7,8 @@ prints the same series the paper plots.  ``pytest benchmarks/
 reproduction tables that EXPERIMENTS.md records.
 """
 
+import os
+
 import pytest
 
 from repro.experiments import RunSpec
@@ -17,6 +19,17 @@ def quick_spec(**overrides) -> RunSpec:
     base = dict(procedures_target=600, min_duration_s=0.03, max_duration_s=0.15)
     base.update(overrides)
     return RunSpec(**base)
+
+
+def sweep_jobs() -> int:
+    """Worker-process count for sweep-backed figures.
+
+    Defaults to 1 (serial — keeps benchmark timings comparable);
+    ``REPRO_BENCH_JOBS=N`` fans points out over N processes, which is
+    bit-identical to serial (asserted in tests/experiments) but reports
+    wall-clock per figure, not per point.  ``0`` means one per core.
+    """
+    return int(os.environ.get("REPRO_BENCH_JOBS", "1"))
 
 
 @pytest.fixture

@@ -8,14 +8,14 @@ saturate drastically; Neutrino saturates last.
 from repro.experiments import figures
 from repro.experiments.report import format_pct_table, median_ratio
 
-from conftest import quick_spec
+from conftest import quick_spec, sweep_jobs
 
 RATES = (100e3, 140e3, 180e3, 220e3)
 
 
 def run_fig07():
     return figures.fig07_service_request(
-        rates=RATES, spec=quick_spec(procedure="service_request")
+        rates=RATES, spec=quick_spec(procedure="service_request"), jobs=sweep_jobs()
     )
 
 

@@ -8,13 +8,15 @@ double that rate (~120 KPPS), where Neutrino is up to 3.4x better.
 from repro.experiments import figures
 from repro.experiments.report import format_pct_table, median_ratio
 
-from conftest import quick_spec
+from conftest import quick_spec, sweep_jobs
 
 RATES = (40e3, 60e3, 80e3, 100e3, 120e3, 140e3)
 
 
 def run_fig08():
-    return figures.fig08_attach_uniform(rates=RATES, spec=quick_spec(procedure="attach"))
+    return figures.fig08_attach_uniform(
+        rates=RATES, spec=quick_spec(procedure="attach"), jobs=sweep_jobs()
+    )
 
 
 def find_knee(points, scheme):

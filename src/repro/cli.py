@@ -5,12 +5,22 @@ Usage::
     python -m repro list
     python -m repro figure fig08            # default (benchmark) scale
     python -m repro figure fig18 --full     # paper-scale sweep
+    python -m repro figure fig07 --jobs 8   # fan points out over 8 workers
+    python -m repro figure fig07 --smoke    # tiny spec (CI smoke runs)
+    python -m repro sweep --configs neutrino,existing_epc \\
+        --procedure attach --rates 20e3,40e3,60e3 --jobs 4
     python -m repro ablation georep_level
     python -m repro trace --devices 200 --duration 30 out.jsonl
     python -m repro chaos replay schedule.json    # bit-for-bit replay
     python -m repro chaos example schedule.json   # write a sample plan
 
 Figure ids follow the paper's numbering (fig03, fig07-fig11, fig13-fig20).
+
+Sweep-backed subcommands (``figure`` on PCT figures, ``sweep``, the
+``n_backups`` ablation) accept ``--jobs N`` (worker processes; 0 = one
+per core), ``--cache-dir PATH`` (content-addressed result cache,
+default ``.repro-cache/``), and ``--no-cache``.  Cached reruns perform
+zero simulation work; the footer line reports hits/misses/stale.
 """
 
 from __future__ import annotations
@@ -26,14 +36,23 @@ from .experiments.ablations import (
     ablate_n_backups,
     ablate_serialization_bandwidth,
 )
+from .experiments.cache import DEFAULT_CACHE_DIR, ResultCache
 from .experiments.harness import PCTPoint
-from .experiments.report import format_dict_rows, format_pct_table
+from .experiments.parallel import SweepReport, run_sweep
+from .experiments.report import format_dict_rows, format_pct_table, format_run_footer
 
 __all__ = ["main"]
 
 
 def _quick_spec(**overrides) -> RunSpec:
     base = dict(procedures_target=600, min_duration_s=0.03, max_duration_s=0.15)
+    base.update(overrides)
+    return RunSpec(**base)
+
+
+def _smoke_spec(**overrides) -> RunSpec:
+    """Tiny spec for CI smoke runs: shape only, seconds not minutes."""
+    base = dict(procedures_target=150, min_duration_s=0.02, max_duration_s=0.06)
     base.update(overrides)
     return RunSpec(**base)
 
@@ -55,12 +74,23 @@ _QUICK_RATES = {
     "fig16": (20e3, 60e3, 100e3),
 }
 
+#: the figures whose points run through the parallel/cached sweep runner.
+_SWEEP_FIGURES = frozenset(
+    ("fig07", "fig08", "fig09", "fig10", "fig11", "fig15", "fig16", "fig17")
+)
 
-def _run_figure(fig: str, full: bool) -> None:
+
+def _run_figure(fig: str, full: bool, jobs: int = 1, cache=None, smoke: bool = False) -> None:
     quick = not full
 
     def rates(default):
-        return _QUICK_RATES.get(fig, default) if quick else default
+        chosen = _QUICK_RATES.get(fig, default) if quick else default
+        return chosen[::2] if smoke else chosen  # smoke: every other rate
+
+    def spec(procedure):
+        if smoke:
+            return _smoke_spec(procedure=procedure)
+        return _quick_spec(procedure=procedure) if quick else None
 
     if fig == "fig03":
         _emit(figures.fig03_plt_and_video(rates=rates((180e3, 200e3, 220e3, 240e3, 260e3, 280e3, 300e3))), "Fig. 3")
@@ -68,7 +98,9 @@ def _run_figure(fig: str, full: bool) -> None:
         _emit(
             figures.fig07_service_request(
                 rates=rates(figures.DEFAULT_FIG07_RATES),
-                spec=_quick_spec(procedure="service_request") if quick else None,
+                spec=spec("service_request"),
+                jobs=jobs,
+                cache=cache,
             ),
             "Fig. 7 — service request PCT (median ms)",
         )
@@ -76,17 +108,38 @@ def _run_figure(fig: str, full: bool) -> None:
         _emit(
             figures.fig08_attach_uniform(
                 rates=rates(figures.DEFAULT_FIG08_RATES),
-                spec=_quick_spec(procedure="attach") if quick else None,
+                spec=spec("attach"),
+                jobs=jobs,
+                cache=cache,
             ),
             "Fig. 8 — attach PCT (median ms)",
         )
     elif fig == "fig09":
         users = (10e3, 100e3, 500e3, 2e6) if quick else figures.DEFAULT_FIG09_USERS
-        _emit(figures.fig09_attach_bursty(users=users), "Fig. 9 — bursty attach PCT")
+        if smoke:
+            users = (10e3, 100e3)
+        _emit(
+            figures.fig09_attach_bursty(users=users, jobs=jobs, cache=cache),
+            "Fig. 9 — bursty attach PCT",
+        )
     elif fig == "fig10":
-        _emit(figures.fig10_failure_handover(rates=rates((40e3, 60e3, 80e3, 100e3, 120e3, 140e3, 160e3))), "Fig. 10 — handover PCT under failure")
+        _emit(
+            figures.fig10_failure_handover(
+                rates=rates((40e3, 60e3, 80e3, 100e3, 120e3, 140e3, 160e3)),
+                jobs=jobs,
+                cache=cache,
+            ),
+            "Fig. 10 — handover PCT under failure",
+        )
     elif fig == "fig11":
-        _emit(figures.fig11_fast_handover(rates=rates((40e3, 60e3, 80e3, 100e3, 120e3, 140e3, 160e3))), "Fig. 11 — fast handover PCT")
+        _emit(
+            figures.fig11_fast_handover(
+                rates=rates((40e3, 60e3, 80e3, 100e3, 120e3, 140e3, 160e3)),
+                jobs=jobs,
+                cache=cache,
+            ),
+            "Fig. 11 — fast handover PCT",
+        )
     elif fig == "fig13":
         _emit(figures.fig13_self_driving(), "Fig. 13 — self-driving missed deadlines")
     elif fig == "fig14":
@@ -95,7 +148,9 @@ def _run_figure(fig: str, full: bool) -> None:
         _emit(
             figures.fig15_sync_schemes(
                 rates=rates((20e3, 40e3, 60e3, 80e3, 100e3)),
-                spec=_quick_spec(procedure="attach") if quick else None,
+                spec=spec("attach"),
+                jobs=jobs,
+                cache=cache,
             ),
             "Fig. 15 — sync schemes",
         )
@@ -103,12 +158,18 @@ def _run_figure(fig: str, full: bool) -> None:
         _emit(
             figures.fig16_logging_overhead(
                 rates=rates((20e3, 40e3, 60e3, 80e3, 100e3, 120e3, 140e3)),
-                spec=_quick_spec(procedure="attach") if quick else None,
+                spec=spec("attach"),
+                jobs=jobs,
+                cache=cache,
             ),
             "Fig. 16 — logging overhead",
         )
     elif fig == "fig17":
-        _emit(figures.fig17_log_size(), "Fig. 17 — max CTA log size")
+        users = (10e3, 50e3) if smoke else (10e3, 50e3, 100e3, 200e3)
+        _emit(
+            figures.fig17_log_size(users=users, jobs=jobs, cache=cache),
+            "Fig. 17 — max CTA log size",
+        )
     elif fig == "fig18":
         _emit(
             figures.fig18_codec_speedup(measured_repeats=0 if quick else 200),
@@ -125,12 +186,17 @@ def _run_figure(fig: str, full: bool) -> None:
         raise SystemExit("unknown figure %r (try: python -m repro list)" % fig)
 
 
-_ABLATIONS: Dict[str, Callable[[], list]] = {
-    "n_backups": ablate_n_backups,
-    "georep_level": ablate_georep_level,
-    "ack_timeout": ablate_ack_timeout,
-    "serialization_bandwidth": ablate_serialization_bandwidth,
+#: ablations are (runner, uses_sweep_runner); only sweep-backed ones
+#: honour --jobs / the cache (the rest drive one deployment directly).
+_ABLATIONS: Dict[str, Callable] = {
+    "n_backups": lambda jobs, cache: ablate_n_backups(jobs=jobs, cache=cache),
+    "georep_level": lambda jobs, cache: ablate_georep_level(),
+    "ack_timeout": lambda jobs, cache: ablate_ack_timeout(),
+    "serialization_bandwidth": lambda jobs, cache: ablate_serialization_bandwidth(),
 }
+
+#: presets selectable by name in ``python -m repro sweep --configs``.
+_SWEEP_CONFIGS = ("neutrino", "existing_epc", "skycore", "dpcm")
 
 _FIGURES = [
     "fig03", "fig07", "fig08", "fig09", "fig10", "fig11",
@@ -147,14 +213,58 @@ def main(argv: List[str] = None) -> int:
 
     sub.add_parser("list", help="list available figures and ablations")
 
+    def add_runner_flags(p):
+        p.add_argument(
+            "--jobs", type=int, default=1, metavar="N",
+            help="worker processes for sweep points (0 = one per core)",
+        )
+        p.add_argument(
+            "--no-cache", action="store_true",
+            help="always re-simulate, never read or write the result cache",
+        )
+        p.add_argument(
+            "--cache-dir", default=DEFAULT_CACHE_DIR, metavar="PATH",
+            help="result cache directory (default: %(default)s)",
+        )
+
     fig_parser = sub.add_parser("figure", help="regenerate one figure")
     fig_parser.add_argument("id", choices=_FIGURES)
     fig_parser.add_argument(
         "--full", action="store_true", help="paper-scale sweep (slower)"
     )
+    fig_parser.add_argument(
+        "--smoke", action="store_true",
+        help="tiny reduced spec (CI smoke; overrides --full)",
+    )
+    add_runner_flags(fig_parser)
 
     abl_parser = sub.add_parser("ablation", help="run one extra ablation")
     abl_parser.add_argument("id", choices=sorted(_ABLATIONS))
+    add_runner_flags(abl_parser)
+
+    sweep_parser = sub.add_parser(
+        "sweep", help="ad-hoc custom sweep over configs x rates"
+    )
+    sweep_parser.add_argument(
+        "--configs", default="neutrino,existing_epc", metavar="A,B",
+        help="comma-separated presets from: %s" % ",".join(_SWEEP_CONFIGS),
+    )
+    sweep_parser.add_argument(
+        "--procedure", default="attach",
+        help="procedure to sweep (attach, service_request, handover, ...)",
+    )
+    sweep_parser.add_argument(
+        "--rates", default="20e3,40e3,60e3,80e3", metavar="R1,R2",
+        help="comma-separated system-wide procedures/s (paper axis)",
+    )
+    sweep_parser.add_argument("--seed", type=int, default=1)
+    sweep_parser.add_argument(
+        "--procedures-target", type=int, default=600, metavar="N",
+        help="procedures per measurement point",
+    )
+    sweep_parser.add_argument("--regions", type=int, default=2)
+    sweep_parser.add_argument("--cpfs-per-region", type=int, default=1)
+    add_runner_flags(sweep_parser)
 
     trace_parser = sub.add_parser("trace", help="generate a synthetic trace")
     trace_parser.add_argument("output")
@@ -186,13 +296,22 @@ def main(argv: List[str] = None) -> int:
     if args.command == "list":
         print("figures  :", " ".join(_FIGURES))
         print("ablations:", " ".join(sorted(_ABLATIONS)))
+        print("sweep    : custom config x rate sweeps (see sweep --help)")
         return 0
     if args.command == "figure":
-        _run_figure(args.id, args.full)
+        cache = _make_cache(args) if args.id in _SWEEP_FIGURES else None
+        _run_figure(args.id, args.full, jobs=args.jobs, cache=cache, smoke=args.smoke)
+        if cache is not None:
+            print(format_run_footer(cache=cache))
         return 0
     if args.command == "ablation":
-        _emit(_ABLATIONS[args.id](), "Ablation — %s" % args.id)
+        cache = _make_cache(args) if args.id == "n_backups" else None
+        _emit(_ABLATIONS[args.id](args.jobs, cache), "Ablation — %s" % args.id)
+        if cache is not None:
+            print(format_run_footer(cache=cache))
         return 0
+    if args.command == "sweep":
+        return _run_sweep_command(args)
     if args.command == "trace":
         from .traffic import TraceConfig, generate_trace, save_trace
 
@@ -208,6 +327,47 @@ def main(argv: List[str] = None) -> int:
         return _run_chaos(args)
     parser.print_help()
     return 1
+
+
+def _make_cache(args):
+    if args.no_cache:
+        return None
+    return ResultCache(args.cache_dir)
+
+
+def _run_sweep_command(args) -> int:
+    from .core.config import ControlPlaneConfig
+
+    presets = {name: getattr(ControlPlaneConfig, name) for name in _SWEEP_CONFIGS}
+    configs = []
+    for name in args.configs.split(","):
+        name = name.strip()
+        if name not in presets:
+            print("unknown config %r (choose from: %s)" % (name, ", ".join(_SWEEP_CONFIGS)))
+            return 1
+        configs.append(presets[name]())
+    try:
+        rates = [float(r) for r in args.rates.split(",") if r.strip()]
+    except ValueError:
+        print("bad --rates %r (want comma-separated numbers, e.g. 20e3,40e3)" % args.rates)
+        return 1
+    if not rates:
+        print("no rates given")
+        return 1
+    spec = RunSpec(
+        procedure=args.procedure,
+        seed=args.seed,
+        procedures_target=args.procedures_target,
+        regions=args.regions,
+        cpfs_per_region=args.cpfs_per_region,
+    )
+    cache = _make_cache(args)
+    report = SweepReport()
+    grouped = run_sweep(configs, rates, spec, jobs=args.jobs, cache=cache, report=report)
+    points = [p for series in grouped.values() for p in series]
+    print(format_pct_table(points, "Sweep — %s" % args.procedure))
+    print(format_run_footer(report=report, cache=cache))
+    return 0
 
 
 def _run_chaos(args) -> int:

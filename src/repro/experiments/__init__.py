@@ -1,6 +1,21 @@
 """Experiment harness and per-figure reproduction definitions."""
 
 from .harness import PCTPoint, RunSpec, run_pct_point, sweep
+from .cache import CacheStats, ResultCache
+from .parallel import SweepJob, SweepReport, run_jobs, run_sweep
 from . import figures, report
 
-__all__ = ["PCTPoint", "RunSpec", "run_pct_point", "sweep", "figures", "report"]
+__all__ = [
+    "PCTPoint",
+    "RunSpec",
+    "run_pct_point",
+    "sweep",
+    "CacheStats",
+    "ResultCache",
+    "SweepJob",
+    "SweepReport",
+    "run_jobs",
+    "run_sweep",
+    "figures",
+    "report",
+]

@@ -22,7 +22,8 @@ from ..core.config import ControlPlaneConfig
 from ..core.deployment import Deployment
 from ..sim.core import Simulator
 from ..sim.rng import RngRegistry
-from .harness import RunSpec, run_pct_point
+from .harness import RunSpec
+from .parallel import SweepJob, run_jobs
 
 __all__ = [
     "ablate_n_backups",
@@ -36,6 +37,8 @@ def ablate_n_backups(
     backups: Sequence[int] = (1, 2, 3),
     rate: float = 60e3,
     spec: Optional[RunSpec] = None,
+    jobs: int = 1,
+    cache=None,
 ) -> List[Dict[str, Any]]:
     """Attach PCT and failure masking as the replication factor N grows.
 
@@ -52,9 +55,13 @@ def ablate_n_backups(
         failure_cpf_index=0,
         failure_at_frac=0.5,
     )
-    for n in backups:
-        config = ControlPlaneConfig.neutrino(name="n%d" % n, n_backups=n)
-        point = run_pct_point(config, rate, base_spec)
+    configs = [
+        ControlPlaneConfig.neutrino(name="n%d" % n, n_backups=n) for n in backups
+    ]
+    points = run_jobs(
+        [SweepJob(c, rate, base_spec) for c in configs], jobs=jobs, cache=cache
+    )
+    for n, point in zip(backups, points):
         rows.append(
             {
                 "n_backups": n,

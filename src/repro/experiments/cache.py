@@ -1,0 +1,190 @@
+"""Content-addressed on-disk cache for sweep measurement points.
+
+Every measurement point is a pure function of its inputs — the
+:class:`~repro.core.config.ControlPlaneConfig`, the axis rate, and the
+:class:`~repro.experiments.harness.RunSpec` (including its seed and any
+fault plan); PR 1 made that determinism a tested invariant.  A point can
+therefore be cached forever under a digest of those inputs, and a figure
+regeneration whose inputs have not changed performs zero simulation
+work.
+
+Layout (``.repro-cache/`` by default)::
+
+    .repro-cache/
+      ab/abcdef0123...json      # one entry per point, sharded by prefix
+
+Each entry records the code-version fingerprint of ``src/repro`` at
+write time.  An entry whose fingerprint no longer matches the running
+code is *stale*: it is ignored (and overwritten after the rerun), since
+a simulator change may legitimately move every number.  The
+:class:`CacheStats` counters (hits / misses / stale) are surfaced in the
+report output so a cached figure run is auditable.
+
+Entries are JSON, so a cache round-trips points bit-for-bit: Python's
+``repr``-based float serialization is exact for finite doubles, and the
+empty-window NaN percentiles survive via the JSON extension literals.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+from .harness import PCTPoint, RunSpec
+
+__all__ = [
+    "CacheStats",
+    "ResultCache",
+    "code_fingerprint",
+    "describe_point_inputs",
+    "point_key",
+]
+
+#: default cache directory (relative to the current working directory).
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+_FINGERPRINT: Optional[str] = None
+
+
+def code_fingerprint() -> str:
+    """Digest of every ``.py`` file under ``src/repro`` (cached per process).
+
+    Any source change — simulator, codecs, harness — invalidates every
+    cached point; re-validating stale entries would require knowing
+    which module can influence which figure, and being wrong silently
+    corrupts a reproduction.
+    """
+    global _FINGERPRINT
+    if _FINGERPRINT is None:
+        pkg_root = Path(__file__).resolve().parent.parent
+        digest = hashlib.sha256()
+        for path in sorted(pkg_root.rglob("*.py")):
+            digest.update(str(path.relative_to(pkg_root)).encode())
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+            digest.update(b"\0")
+        _FINGERPRINT = digest.hexdigest()
+    return _FINGERPRINT
+
+
+def _stable(value: Any) -> Any:
+    """A JSON-serializable, deterministic view of a point input."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: _stable(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+    if isinstance(value, dict):
+        return {str(k): _stable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_stable(v) for v in value]
+    if isinstance(value, float):
+        return repr(value)  # exact: repr round-trips finite doubles
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    raise TypeError("cannot digest %r in a cache key" % (type(value).__name__,))
+
+
+def describe_point_inputs(
+    config, axis_rate: float, spec: Optional[RunSpec]
+) -> Dict[str, Any]:
+    """The full input record one point is keyed by (debuggable JSON)."""
+    return {
+        "config": _stable(config),
+        "axis_rate": repr(float(axis_rate)),
+        "spec": _stable(spec if spec is not None else RunSpec()),
+    }
+
+
+def point_key(config, axis_rate: float, spec: Optional[RunSpec]) -> str:
+    """Content address of one ``(config, rate, spec)`` measurement point."""
+    inputs = describe_point_inputs(config, axis_rate, spec)
+    blob = json.dumps(inputs, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Hit / miss / stale accounting for one runner invocation."""
+
+    hits: int = 0
+    misses: int = 0
+    stale: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses + self.stale
+
+    def summary(self) -> str:
+        return "cache: hits=%d misses=%d stale=%d" % (
+            self.hits,
+            self.misses,
+            self.stale,
+        )
+
+
+class ResultCache:
+    """Content-addressed store of :class:`PCTPoint` results.
+
+    ``get``/``put`` take the key from :func:`point_key`; entries from a
+    different code version count as *stale* and are treated as absent
+    (the rerun's ``put`` overwrites them).
+    """
+
+    def __init__(self, root: str = DEFAULT_CACHE_DIR, fingerprint: Optional[str] = None):
+        self.root = Path(root)
+        self.fingerprint = fingerprint or code_fingerprint()
+        self.stats = CacheStats()
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / (key + ".json")
+
+    def key(self, config, axis_rate: float, spec: Optional[RunSpec]) -> str:
+        return point_key(config, axis_rate, spec)
+
+    def get(self, key: str) -> Optional[PCTPoint]:
+        path = self._path(key)
+        try:
+            with open(path) as fp:
+                entry = json.load(fp)
+        except (OSError, ValueError):
+            self.stats.misses += 1
+            return None
+        if entry.get("fingerprint") != self.fingerprint:
+            self.stats.stale += 1
+            return None
+        try:
+            point = PCTPoint(**entry["point"])
+        except (KeyError, TypeError):
+            self.stats.misses += 1  # foreign/corrupt entry shape
+            return None
+        self.stats.hits += 1
+        return point
+
+    def put(self, key: str, point: PCTPoint) -> None:
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        entry = {
+            "fingerprint": self.fingerprint,
+            "point": dataclasses.asdict(point),
+        }
+        tmp = path.with_suffix(".tmp.%d" % os.getpid())
+        with open(tmp, "w") as fp:
+            json.dump(entry, fp, sort_keys=True)
+            fp.write("\n")
+        os.replace(tmp, path)  # atomic: concurrent sweeps never see partial JSON
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        if not self.root.exists():
+            return removed
+        for path in self.root.glob("*/*.json"):
+            path.unlink()
+            removed += 1
+        return removed

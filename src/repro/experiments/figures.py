@@ -45,8 +45,8 @@ from .harness import (
     RunSpec,
     estimated_utilization,
     overload_pct_at_horizon,
-    run_pct_point,
 )
+from .parallel import SweepJob, run_jobs
 
 __all__ = [
     "fig03_plt_and_video",
@@ -77,6 +77,8 @@ DEFAULT_FIG08_RATES = (40e3, 60e3, 80e3, 100e3, 120e3, 140e3, 160e3)
 def fig07_service_request(
     rates: Sequence[float] = DEFAULT_FIG07_RATES,
     spec: Optional[RunSpec] = None,
+    jobs: int = 1,
+    cache=None,
 ) -> List[PCTPoint]:
     """Service request PCT for all four designs (paper Fig. 7)."""
     spec = spec or RunSpec(procedure="service_request")
@@ -86,17 +88,27 @@ def fig07_service_request(
         ControlPlaneConfig.skycore(),
         ControlPlaneConfig.neutrino(),
     ]
-    return [run_pct_point(c, r, spec) for c in configs for r in rates]
+    return run_jobs(
+        [SweepJob(c, r, spec) for c in configs for r in rates],
+        jobs=jobs,
+        cache=cache,
+    )
 
 
 def fig08_attach_uniform(
     rates: Sequence[float] = DEFAULT_FIG08_RATES,
     spec: Optional[RunSpec] = None,
+    jobs: int = 1,
+    cache=None,
 ) -> List[PCTPoint]:
     """Attach PCT, uniform traffic: EPC vs Neutrino (paper Fig. 8)."""
     spec = spec or RunSpec(procedure="attach")
     configs = [ControlPlaneConfig.existing_epc(), ControlPlaneConfig.neutrino()]
-    return [run_pct_point(c, r, spec) for c in configs for r in rates]
+    return run_jobs(
+        [SweepJob(c, r, spec) for c in configs for r in rates],
+        jobs=jobs,
+        cache=cache,
+    )
 
 
 #: paper Fig. 9 x-axis (total active users bursting); we simulate a
@@ -109,10 +121,13 @@ def fig09_attach_bursty(
     users: Sequence[float] = DEFAULT_FIG09_USERS,
     burst_slice: float = FIG09_BURST_SLICE,
     spec: Optional[RunSpec] = None,
+    jobs: int = 1,
+    cache=None,
 ) -> List[PCTPoint]:
     """Attach PCT under synchronized IoT bursts (paper Fig. 9)."""
     configs = [ControlPlaneConfig.existing_epc(), ControlPlaneConfig.neutrino()]
-    points = []
+    sweep_jobs = []
+    axes = []
     for config in configs:
         for n in users:
             sim_users = max(64, int(n * burst_slice))
@@ -126,9 +141,11 @@ def fig09_attach_bursty(
                     "warmup_frac": 0.0,
                 }
             )
-            point = run_pct_point(config, 1.0, run)
-            point.axis_rate = n  # report the paper's axis, not the slice
-            points.append(point)
+            sweep_jobs.append(SweepJob(config, 1.0, run))
+            axes.append(n)
+    points = run_jobs(sweep_jobs, jobs=jobs, cache=cache)
+    for point, n in zip(points, axes):
+        point.axis_rate = n  # report the paper's axis, not the slice
     return points
 
 
@@ -136,6 +153,8 @@ def fig10_failure_handover(
     rates: Sequence[float] = (40e3, 60e3, 80e3, 100e3, 120e3, 140e3, 160e3),
     spec: Optional[RunSpec] = None,
     fault_plan=None,
+    jobs: int = 1,
+    cache=None,
 ) -> List[PCTPoint]:
     """Handover PCT under a CPF failure (paper Fig. 10).
 
@@ -159,15 +178,20 @@ def fig10_failure_handover(
     if fault_plan is not None:
         spec = RunSpec(**{**spec.__dict__, "fault_plan": fault_plan})
     configs = [ControlPlaneConfig.existing_epc(), ControlPlaneConfig.neutrino()]
-    return [run_pct_point(c, r, spec) for c in configs for r in rates]
+    return run_jobs(
+        [SweepJob(c, r, spec) for c in configs for r in rates],
+        jobs=jobs,
+        cache=cache,
+    )
 
 
 def fig11_fast_handover(
     rates: Sequence[float] = (40e3, 60e3, 80e3, 100e3, 120e3, 140e3, 160e3),
     spec: Optional[RunSpec] = None,
+    jobs: int = 1,
+    cache=None,
 ) -> List[PCTPoint]:
     """EPC vs Neutrino-Default vs Neutrino-Proactive (paper Fig. 11)."""
-    points = []
     cases = [
         (ControlPlaneConfig.existing_epc(), "handover"),
         (
@@ -178,6 +202,7 @@ def fig11_fast_handover(
         ),
         (ControlPlaneConfig.neutrino(name="neutrino_proactive"), "fast_handover"),
     ]
+    sweep_jobs = []
     for config, procedure in cases:
         for rate in rates:
             run = spec or RunSpec()
@@ -188,8 +213,8 @@ def fig11_fast_handover(
                     "first_region_only": True,
                 }
             )
-            points.append(run_pct_point(config, rate, run))
-    return points
+            sweep_jobs.append(SweepJob(config, rate, run))
+    return run_jobs(sweep_jobs, jobs=jobs, cache=cache)
 
 
 # ---------------------------------------------------------------------------
@@ -302,6 +327,8 @@ def fig14_vr(
 def fig15_sync_schemes(
     rates: Sequence[float] = (20e3, 40e3, 60e3, 80e3, 100e3),
     spec: Optional[RunSpec] = None,
+    jobs: int = 1,
+    cache=None,
 ) -> List[PCTPoint]:
     """No-rep vs per-message vs per-procedure sync (paper Fig. 15)."""
     spec = spec or RunSpec(procedure="attach")
@@ -311,12 +338,18 @@ def fig15_sync_schemes(
         base(name="per_msg_rep", sync_mode="per_message"),
         base(name="per_proc_rep", sync_mode="per_procedure"),
     ]
-    return [run_pct_point(c, r, spec) for c in configs for r in rates]
+    return run_jobs(
+        [SweepJob(c, r, spec) for c in configs for r in rates],
+        jobs=jobs,
+        cache=cache,
+    )
 
 
 def fig16_logging_overhead(
     rates: Sequence[float] = (20e3, 40e3, 60e3, 80e3, 100e3, 120e3, 140e3),
     spec: Optional[RunSpec] = None,
+    jobs: int = 1,
+    cache=None,
 ) -> List[PCTPoint]:
     """Message logging on vs off (paper Fig. 16)."""
     spec = spec or RunSpec(procedure="attach")
@@ -326,7 +359,11 @@ def fig16_logging_overhead(
             name="no_logging", message_logging=False, recovery="reattach"
         ),
     ]
-    return [run_pct_point(c, r, spec) for c in configs for r in rates]
+    return run_jobs(
+        [SweepJob(c, r, spec) for c in configs for r in rates],
+        jobs=jobs,
+        cache=cache,
+    )
 
 
 #: Fig. 17 slice: fraction of each user population simulated (log size
@@ -338,9 +375,12 @@ def fig17_log_size(
     users: Sequence[float] = (10e3, 50e3, 100e3, 200e3),
     user_slice: float = FIG17_USER_SLICE,
     procedures: Sequence[str] = ("attach", "handover"),
+    jobs: int = 1,
+    cache=None,
 ) -> List[Dict[str, Any]]:
     """Max CTA log size vs active users (paper Fig. 17)."""
-    rows = []
+    sweep_jobs = []
+    meta = []
     for procedure in procedures:
         for n_users in users:
             sim_users = max(64, int(n_users * user_slice))
@@ -353,18 +393,21 @@ def fig17_log_size(
                 cpfs_per_region=2 if procedure == "handover" else 1,
                 first_region_only=(procedure == "handover"),
             )
-            config = ControlPlaneConfig.neutrino()
-            point = run_pct_point(config, 1.0, spec)
-            scaled = point.max_log_bytes / user_slice
-            rows.append(
-                {
-                    "procedure": procedure,
-                    "active_users": n_users,
-                    "sim_users": sim_users,
-                    "max_log_bytes_sim": point.max_log_bytes,
-                    "max_log_mb_extrapolated": scaled / 1e6,
-                }
-            )
+            sweep_jobs.append(SweepJob(ControlPlaneConfig.neutrino(), 1.0, spec))
+            meta.append((procedure, n_users, sim_users))
+    points = run_jobs(sweep_jobs, jobs=jobs, cache=cache)
+    rows = []
+    for point, (procedure, n_users, sim_users) in zip(points, meta):
+        scaled = point.max_log_bytes / user_slice
+        rows.append(
+            {
+                "procedure": procedure,
+                "active_users": n_users,
+                "sim_users": sim_users,
+                "max_log_bytes_sim": point.max_log_bytes,
+                "max_log_mb_extrapolated": scaled / 1e6,
+            }
+        )
     return rows
 
 

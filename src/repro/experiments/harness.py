@@ -53,7 +53,17 @@ class PCTPoint:
     completed: int = 0
     utilization: float = 0.0
 
+    @property
+    def empty(self) -> bool:
+        """True when no procedure completed inside the measurement window."""
+        return self.count == 0
+
     def row(self) -> str:
+        if self.empty:
+            return (
+                "%-14s %10.0f %8d  p50=%9s ms  p95=%9s ms  util=%4.2f"
+                % (self.scheme, self.axis_rate, 0, "-", "-", self.utilization)
+            )
         return (
             "%-14s %10.0f %8d  p50=%9.3f ms  p95=%9.3f ms  util=%4.2f"
             % (
@@ -196,9 +206,11 @@ def run_pct_point(
         for o in dep.outcomes
         if o.name == procedure and o.reattached and o.started_at >= warmup
     )
-    if not pcts:
-        pcts = [float("nan")]
+    # An empty window (nothing completed past warmup) is a legitimate
+    # outcome in deep overload: report count=0 with NaN percentiles
+    # rather than fabricating a sample (count=1, NaN-poisoned means).
     ordered = sorted(pcts)
+    nan = float("nan")
     util = max(
         (cpf.server.utilization(sim.now) for cpf in dep.cpfs.values()), default=0.0
     )
@@ -208,10 +220,10 @@ def run_pct_point(
         axis_rate=axis_rate if spec.bursty_users is None else float(spec.bursty_users),
         offered_rate=offered,
         count=len(ordered),
-        p50_ms=percentile(ordered, 50) * 1e3,
-        p95_ms=percentile(ordered, 95) * 1e3,
-        mean_ms=sum(ordered) / len(ordered) * 1e3,
-        max_ms=ordered[-1] * 1e3,
+        p50_ms=percentile(ordered, 50, default=nan) * 1e3,
+        p95_ms=percentile(ordered, 95, default=nan) * 1e3,
+        mean_ms=sum(ordered) / len(ordered) * 1e3 if ordered else nan,
+        max_ms=ordered[-1] * 1e3 if ordered else nan,
         recovered=recovered,
         reattached=reattached,
         violations=len(dep.auditor.violations),
@@ -299,11 +311,16 @@ def sweep(
     configs: Sequence[ControlPlaneConfig],
     axis_rates: Sequence[float],
     spec: Optional[RunSpec] = None,
+    jobs: int = 1,
+    cache=None,
 ) -> Dict[str, List[PCTPoint]]:
-    """Run every (config, rate) pair; returns points grouped by scheme."""
-    results: Dict[str, List[PCTPoint]] = {}
-    for config in configs:
-        for rate in axis_rates:
-            point = run_pct_point(config, rate, spec)
-            results.setdefault(config.name, []).append(point)
-    return results
+    """Run every (config, rate) pair; returns points grouped by scheme.
+
+    ``jobs > 1`` fans the points out over a worker pool and ``cache``
+    (a :class:`repro.experiments.cache.ResultCache`) skips points whose
+    inputs were already run — both produce bit-identical points to the
+    serial path (see :mod:`repro.experiments.parallel`).
+    """
+    from .parallel import run_sweep  # deferred: parallel imports this module
+
+    return run_sweep(configs, axis_rates, spec, jobs=jobs, cache=cache)

@@ -1,0 +1,177 @@
+"""Parallel sweep runner: fan measurement points out over processes.
+
+Every figure in the reproduction is a sweep of independent
+``(config, RunSpec, axis_rate)`` points, each fully deterministic given
+its inputs (:func:`~repro.experiments.harness.run_pct_point` builds a
+fresh :class:`~repro.sim.core.Simulator` and re-seeds a
+:class:`~repro.sim.rng.RngRegistry` from the spec).  Points are
+therefore embarrassingly parallel — a worker pool produces *bit
+identical* results to the serial loop, in any order — and perfectly
+cacheable (:mod:`repro.experiments.cache`).
+
+The runner degrades gracefully: ``jobs <= 1``, a single pending point,
+or a platform whose multiprocessing primitives are unavailable (no
+``fork``/semaphores in some sandboxes) all fall back to the in-process
+serial loop, which shares the exact code path the workers run.
+
+Usage::
+
+    from repro.experiments.cache import ResultCache
+    from repro.experiments.parallel import SweepJob, run_jobs
+
+    jobs = [SweepJob(config, rate, spec) for config in configs for rate in rates]
+    points = run_jobs(jobs, jobs=8, cache=ResultCache())
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import multiprocessing
+import os
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..core.config import ControlPlaneConfig
+from .harness import PCTPoint, RunSpec, run_pct_point
+
+__all__ = [
+    "SweepJob",
+    "SweepReport",
+    "default_jobs",
+    "expand_grid",
+    "run_jobs",
+    "run_sweep",
+]
+
+
+@dataclass
+class SweepJob:
+    """One measurement point: everything a worker needs, picklable."""
+
+    config: ControlPlaneConfig
+    axis_rate: float
+    spec: Optional[RunSpec] = None
+
+
+@dataclass
+class SweepReport:
+    """What one :func:`run_jobs` invocation actually did."""
+
+    total: int = 0
+    executed: int = 0
+    cached: int = 0
+    #: True when a worker pool ran (False on serial path or fallback).
+    parallel: bool = False
+    #: why the pool was skipped, when it was ("", "jobs=1", an OS error).
+    fallback_reason: str = ""
+
+
+def default_jobs() -> int:
+    """Worker count for ``--jobs 0`` ("use every core")."""
+    return os.cpu_count() or 1
+
+
+def expand_grid(
+    configs: Sequence[ControlPlaneConfig],
+    axis_rates: Sequence[float],
+    spec: Optional[RunSpec] = None,
+) -> List[SweepJob]:
+    """The config x rate product in the serial loop's iteration order."""
+    return [SweepJob(c, r, spec) for c in configs for r in axis_rates]
+
+
+def _run_job(job: SweepJob) -> PCTPoint:
+    # Top-level so every start method (fork/spawn/forkserver) can import
+    # it; the point re-seeds from its spec, so placement in a worker
+    # process cannot change the result.
+    return run_pct_point(job.config, job.axis_rate, job.spec)
+
+
+def _pool_context():
+    methods = multiprocessing.get_all_start_methods()
+    if "fork" in methods:
+        # cheapest, and immune to import-path differences in children
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+def _run_pool(jobs_list: List[SweepJob], workers: int, report: SweepReport) -> List[PCTPoint]:
+    try:
+        with concurrent.futures.ProcessPoolExecutor(
+            max_workers=min(workers, len(jobs_list)), mp_context=_pool_context()
+        ) as pool:
+            points = list(pool.map(_run_job, jobs_list))
+        report.parallel = True
+        return points
+    except (OSError, PermissionError, ImportError,
+            concurrent.futures.process.BrokenProcessPool) as err:
+        # sandboxes without working fork/semaphores: run where we are
+        report.fallback_reason = "%s: %s" % (type(err).__name__, err)
+        return [_run_job(job) for job in jobs_list]
+
+
+def run_jobs(
+    jobs_list: Sequence[SweepJob],
+    jobs: int = 1,
+    cache=None,
+    report: Optional[SweepReport] = None,
+) -> List[PCTPoint]:
+    """Run every job, in input order, using cache and worker pool.
+
+    ``jobs`` is the worker-process count (``<= 1`` means in-process
+    serial; ``0`` means one per core).  ``cache`` is a
+    :class:`repro.experiments.cache.ResultCache` or ``None``.  The
+    returned list is positionally aligned with ``jobs_list`` and
+    bit-identical to what the serial loop would produce.
+    """
+    jobs_list = list(jobs_list)
+    if jobs == 0:
+        jobs = default_jobs()
+    if report is None:
+        report = SweepReport()
+    report.total = len(jobs_list)
+
+    points: List[Optional[PCTPoint]] = [None] * len(jobs_list)
+    pending: List[tuple] = []  # (index, cache key or None, job)
+    for i, job in enumerate(jobs_list):
+        if cache is not None:
+            key = cache.key(job.config, job.axis_rate, job.spec)
+            hit = cache.get(key)
+            if hit is not None:
+                points[i] = hit
+                continue
+        else:
+            key = None
+        pending.append((i, key, job))
+    report.cached = report.total - len(pending)
+    report.executed = len(pending)
+
+    if pending:
+        run_list = [job for _i, _key, job in pending]
+        if jobs > 1 and len(run_list) > 1:
+            results = _run_pool(run_list, jobs, report)
+        else:
+            report.fallback_reason = "jobs=1" if jobs <= 1 else "single point"
+            results = [_run_job(job) for job in run_list]
+        for (i, key, _job), point in zip(pending, results):
+            points[i] = point
+            if cache is not None and key is not None:
+                cache.put(key, point)
+    return points  # type: ignore[return-value]
+
+
+def run_sweep(
+    configs: Sequence[ControlPlaneConfig],
+    axis_rates: Sequence[float],
+    spec: Optional[RunSpec] = None,
+    jobs: int = 1,
+    cache=None,
+    report: Optional[SweepReport] = None,
+) -> Dict[str, List[PCTPoint]]:
+    """Parallel/cached equivalent of :func:`repro.experiments.harness.sweep`."""
+    points = run_jobs(expand_grid(configs, axis_rates, spec), jobs=jobs,
+                      cache=cache, report=report)
+    results: Dict[str, List[PCTPoint]] = {}
+    for point in points:
+        results.setdefault(point.scheme, []).append(point)
+    return results

@@ -14,6 +14,7 @@ from .harness import PCTPoint
 __all__ = [
     "format_pct_table",
     "format_dict_rows",
+    "format_run_footer",
     "median_ratio",
     "best_ratio",
     "print_pct_table",
@@ -39,7 +40,14 @@ def format_pct_table(points: Sequence[PCTPoint], title: str = "") -> str:
         cells = []
         for rate in rates:
             point = by_scheme[scheme].get(rate)
-            cells.append("%12.3f" % point.p50_ms if point else "%12s" % "-")
+            if point is None:
+                cells.append("%12s" % "-")
+            elif point.count == 0:
+                # deep overload: nothing completed in the window — an
+                # explicit marker beats a NaN pretending to be a median
+                cells.append("%12s" % "(empty)")
+            else:
+                cells.append("%12.3f" % point.p50_ms)
         lines.append("%-20s" % scheme + "".join(cells))
     lines.append("(cells: median PCT in ms)")
     return "\n".join(lines)
@@ -76,6 +84,26 @@ def _fmt(value: Any) -> str:
             return "%.0f" % value
         return "%.3f" % value
     return str(value)
+
+
+def format_run_footer(report=None, cache=None) -> str:
+    """One-line summary of what a sweep run actually did.
+
+    ``report`` is a :class:`repro.experiments.parallel.SweepReport`,
+    ``cache`` a :class:`repro.experiments.cache.ResultCache`; either may
+    be ``None``.  Surfaces the cache hit/miss/stale counters next to the
+    executed-point count so a cached rerun is auditably simulation-free.
+    """
+    parts = []
+    if report is not None:
+        mode = "parallel" if report.parallel else "serial"
+        parts.append(
+            "points: total=%d executed=%d cached=%d (%s)"
+            % (report.total, report.executed, report.cached, mode)
+        )
+    if cache is not None:
+        parts.append(cache.stats.summary())
+    return "  ".join(parts)
 
 
 def median_ratio(

@@ -132,7 +132,11 @@ class Timeout(Event):
         sim.schedule(delay, self._fire, value)
 
     def _fire(self, value: Any) -> None:
-        if not self._fired:  # may have been cancelled via succeed/fail
+        # Skip both races: fired early via succeed/fail, or abandoned by
+        # an interrupted waiter.  Firing a cancelled timeout would mark
+        # it fired, so a producer's later succeed() on the abandoned
+        # event would blow up with "event already fired".
+        if not self._fired and not self._cancelled:
             self.succeed(value)
 
 
@@ -159,6 +163,11 @@ class AllOf(Event):
             return
         if not ev.ok:
             self.fail(ev._exc or RuntimeError("child event failed"))
+            # The composite is dead: nobody will consume the remaining
+            # children, so mark them abandoned before producers deliver.
+            for child in self._children:
+                if not child.fired:
+                    child.cancel()
             return
         self._remaining -= 1
         if self._remaining == 0:

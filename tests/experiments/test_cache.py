@@ -1,0 +1,123 @@
+"""Tests for the content-addressed result cache (repro.experiments.cache)."""
+
+import dataclasses
+import math
+
+from repro.core import ControlPlaneConfig
+from repro.experiments import RunSpec
+from repro.experiments.cache import (
+    ResultCache,
+    code_fingerprint,
+    describe_point_inputs,
+    point_key,
+)
+from repro.experiments.harness import PCTPoint
+from repro.faults.plan import FaultPlan
+
+
+def sample_point(**overrides) -> PCTPoint:
+    base = dict(
+        scheme="neutrino",
+        procedure="attach",
+        axis_rate=40e3,
+        offered_rate=16e3,
+        count=123,
+        p50_ms=0.295,
+        p95_ms=0.51,
+        mean_ms=0.31,
+        max_ms=1.7,
+        utilization=0.42,
+    )
+    base.update(overrides)
+    return PCTPoint(**base)
+
+
+class TestPointKey:
+    def test_stable_across_equal_inputs(self):
+        a = point_key(ControlPlaneConfig.neutrino(), 40e3, RunSpec(seed=3))
+        b = point_key(ControlPlaneConfig.neutrino(), 40e3, RunSpec(seed=3))
+        assert a == b and len(a) == 64
+
+    def test_none_spec_means_default_spec(self):
+        config = ControlPlaneConfig.neutrino()
+        assert point_key(config, 40e3, None) == point_key(config, 40e3, RunSpec())
+
+    def test_any_knob_changes_the_key(self):
+        config = ControlPlaneConfig.neutrino()
+        base = point_key(config, 40e3, RunSpec())
+        assert point_key(config, 40e3 + 1, RunSpec()) != base
+        assert point_key(config, 40e3, RunSpec(seed=2)) != base
+        assert point_key(config.variant("v", n_backups=2), 40e3, RunSpec()) != base
+        assert point_key(config, 40e3, RunSpec(procedure="handover")) != base
+
+    def test_fault_plan_is_part_of_the_key(self):
+        config = ControlPlaneConfig.neutrino()
+        plan = FaultPlan(seed=7).perturb("cta_cpf", drop_p=0.1)
+        with_plan = point_key(config, 40e3, RunSpec(fault_plan=plan))
+        assert with_plan != point_key(config, 40e3, RunSpec())
+        hotter = FaultPlan(seed=7).perturb("cta_cpf", drop_p=0.2)
+        assert with_plan != point_key(config, 40e3, RunSpec(fault_plan=hotter))
+
+    def test_inputs_record_is_debuggable_json(self):
+        inputs = describe_point_inputs(ControlPlaneConfig.neutrino(), 40e3, None)
+        assert inputs["config"]["name"] == "neutrino"
+        assert inputs["axis_rate"] == repr(40e3)
+
+    def test_fingerprint_is_cached_and_hex(self):
+        assert code_fingerprint() == code_fingerprint()
+        assert len(code_fingerprint()) == 64
+
+
+class TestResultCache:
+    def test_miss_then_hit_round_trip(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "c"))
+        key = point_key(ControlPlaneConfig.neutrino(), 40e3, RunSpec())
+        assert cache.get(key) is None
+        point = sample_point()
+        cache.put(key, point)
+        got = cache.get(key)
+        assert got == point  # exact float equality through JSON
+        assert dataclasses.asdict(got) == dataclasses.asdict(point)
+        assert (cache.stats.hits, cache.stats.misses, cache.stats.stale) == (1, 1, 0)
+
+    def test_nan_percentiles_survive_round_trip(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "c"))
+        empty = sample_point(
+            count=0,
+            p50_ms=float("nan"),
+            p95_ms=float("nan"),
+            mean_ms=float("nan"),
+            max_ms=float("nan"),
+        )
+        cache.put("k" * 64, empty)
+        got = cache.get("k" * 64)
+        assert got.count == 0 and got.empty
+        assert math.isnan(got.p50_ms) and math.isnan(got.max_ms)
+
+    def test_stale_fingerprint_ignored_and_counted(self, tmp_path):
+        root = str(tmp_path / "c")
+        old = ResultCache(root, fingerprint="old-code-version")
+        key = "a" * 64
+        old.put(key, sample_point())
+        fresh = ResultCache(root)
+        assert fresh.get(key) is None
+        assert fresh.stats.stale == 1 and fresh.stats.misses == 0
+        # the rerun overwrites the stale entry under the same address
+        fresh.put(key, sample_point(count=9))
+        assert fresh.get(key).count == 9
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "c"))
+        key = "b" * 64
+        path = cache._path(key)
+        path.parent.mkdir(parents=True)
+        path.write_text("{ not json")
+        assert cache.get(key) is None
+        assert cache.stats.misses == 1
+
+    def test_clear_removes_entries(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "c"))
+        cache.put("c" * 64, sample_point())
+        cache.put("d" * 64, sample_point())
+        assert cache.clear() == 2
+        assert cache.get("c" * 64) is None

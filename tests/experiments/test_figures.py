@@ -118,6 +118,36 @@ class TestReport:
     def test_format_dict_rows_empty(self):
         assert "(no rows)" in format_dict_rows([], "t")
 
+    def test_format_pct_table_marks_empty_points(self):
+        from repro.experiments.harness import PCTPoint
+
+        nan = float("nan")
+        empty = PCTPoint(
+            scheme="epc", procedure="attach", axis_rate=40e3, offered_rate=16e3,
+            count=0, p50_ms=nan, p95_ms=nan, mean_ms=nan, max_ms=nan,
+        )
+        table = format_pct_table([empty], title="overload")
+        assert "(empty)" in table
+        assert "nan" not in table
+
+    def test_format_run_footer(self):
+        from repro.experiments.parallel import SweepReport
+        from repro.experiments.report import format_run_footer
+
+        assert format_run_footer() == ""
+        report = SweepReport(total=4, executed=1, cached=3, parallel=True)
+        footer = format_run_footer(report=report)
+        assert "total=4" in footer and "cached=3" in footer and "parallel" in footer
+
+    def test_format_run_footer_cache_stats(self, tmp_path):
+        from repro.experiments.cache import ResultCache
+        from repro.experiments.report import format_run_footer
+
+        cache = ResultCache(str(tmp_path))
+        cache.get("0" * 64)  # one miss
+        footer = format_run_footer(cache=cache)
+        assert "hits=0" in footer and "misses=1" in footer and "stale=0" in footer
+
     def test_ratio_helpers(self):
         points = figures.fig08_attach_uniform(rates=(40e3,), spec=RunSpec(
             procedure="attach", procedures_target=80, min_duration_s=0.02,

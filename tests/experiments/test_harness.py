@@ -88,6 +88,37 @@ class TestRunPctPoint:
         row = point.row()
         assert "neutrino" in row and "p50" in row
 
+    def test_empty_window_reports_count_zero(self):
+        # Regression: a window where nothing completes (here: warmup
+        # covers the whole run) used to fabricate a count=1 NaN sample.
+        spec = RunSpec(
+            procedure="attach",
+            procedures_target=50,
+            min_duration_s=0.02,
+            max_duration_s=0.05,
+            warmup_frac=1.0,
+            drain_s=0.0,
+        )
+        point = run_pct_point(ControlPlaneConfig.neutrino(), 30e3, spec)
+        assert point.count == 0
+        assert point.empty
+        assert math.isnan(point.p50_ms) and math.isnan(point.p95_ms)
+        assert math.isnan(point.mean_ms) and math.isnan(point.max_ms)
+
+    def test_empty_window_row_renders_dash(self):
+        spec = RunSpec(
+            procedure="attach",
+            procedures_target=50,
+            min_duration_s=0.02,
+            max_duration_s=0.05,
+            warmup_frac=1.0,
+            drain_s=0.0,
+        )
+        point = run_pct_point(ControlPlaneConfig.neutrino(), 30e3, spec)
+        row = point.row()
+        assert "nan" not in row
+        assert "-" in row
+
 
 class TestSweep:
     def test_sweep_groups_by_scheme(self):

@@ -1,0 +1,118 @@
+"""Tests for the parallel sweep runner (repro.experiments.parallel)."""
+
+import pytest
+
+from repro.core import ControlPlaneConfig
+from repro.experiments import RunSpec
+from repro.experiments.cache import ResultCache
+from repro.experiments.figures import fig07_service_request
+from repro.experiments.harness import sweep
+from repro.experiments.parallel import (
+    SweepJob,
+    SweepReport,
+    default_jobs,
+    expand_grid,
+    run_jobs,
+    run_sweep,
+)
+
+QUICK = dict(procedures_target=150, min_duration_s=0.02, max_duration_s=0.08)
+
+
+def quick_spec(**overrides):
+    return RunSpec(**{**QUICK, **overrides})
+
+
+class TestExpandGrid:
+    def test_serial_loop_iteration_order(self):
+        configs = [ControlPlaneConfig.neutrino(), ControlPlaneConfig.existing_epc()]
+        grid = expand_grid(configs, [10e3, 20e3], None)
+        assert [(j.config.name, j.axis_rate) for j in grid] == [
+            ("neutrino", 10e3),
+            ("neutrino", 20e3),
+            ("existing_epc", 10e3),
+            ("existing_epc", 20e3),
+        ]
+
+    def test_default_jobs_positive(self):
+        assert default_jobs() >= 1
+
+
+class TestSerialParallelEquality:
+    def test_parallel_points_bit_identical_to_serial(self):
+        spec = quick_spec(procedure="attach")
+        configs = [ControlPlaneConfig.neutrino(), ControlPlaneConfig.existing_epc()]
+        grid = expand_grid(configs, [20e3, 40e3], spec)
+        serial = run_jobs(grid, jobs=1)
+        report = SweepReport()
+        parallel = run_jobs(grid, jobs=2, report=report)
+        # PCTPoint is a dataclass of floats/ints: == is exact, so this
+        # asserts byte-identical rows, not approximate agreement.
+        assert serial == parallel
+        if not report.parallel:
+            pytest.skip("platform fell back to serial: %s" % report.fallback_reason)
+
+    def test_fig07_slice_equality(self):
+        spec = quick_spec(procedure="service_request")
+        serial = fig07_service_request(rates=(100e3,), spec=spec, jobs=1)
+        parallel = fig07_service_request(rates=(100e3,), spec=spec, jobs=4)
+        assert serial == parallel
+
+    def test_harness_sweep_delegates(self):
+        spec = quick_spec(procedure="attach")
+        configs = [ControlPlaneConfig.neutrino()]
+        assert sweep(configs, [30e3], spec) == sweep(configs, [30e3], spec, jobs=2)
+
+
+class TestRunJobs:
+    def test_results_positionally_aligned(self):
+        spec = quick_spec(procedure="attach")
+        grid = [
+            SweepJob(ControlPlaneConfig.existing_epc(), 40e3, spec),
+            SweepJob(ControlPlaneConfig.neutrino(), 20e3, spec),
+        ]
+        points = run_jobs(grid, jobs=2)
+        assert [(p.scheme, p.axis_rate) for p in points] == [
+            ("existing_epc", 40e3),
+            ("neutrino", 20e3),
+        ]
+
+    def test_report_counts(self, tmp_path):
+        spec = quick_spec(procedure="attach")
+        grid = expand_grid([ControlPlaneConfig.neutrino()], [20e3, 40e3], spec)
+        cache = ResultCache(str(tmp_path / "cache"))
+        first = SweepReport()
+        run_jobs(grid, jobs=1, cache=cache, report=first)
+        assert (first.total, first.executed, first.cached) == (2, 2, 0)
+        second = SweepReport()
+        run_jobs(grid, jobs=1, cache=cache, report=second)
+        assert (second.total, second.executed, second.cached) == (2, 0, 2)
+
+    def test_cached_rerun_does_zero_simulation_work(self, tmp_path, monkeypatch):
+        spec = quick_spec(procedure="attach")
+        grid = expand_grid([ControlPlaneConfig.neutrino()], [20e3, 40e3], spec)
+        cache = ResultCache(str(tmp_path / "cache"))
+        warm = run_jobs(grid, jobs=1, cache=cache)
+
+        def boom(*_args, **_kwargs):
+            raise AssertionError("simulation ran on a fully cached sweep")
+
+        import repro.experiments.parallel as parallel_mod
+
+        monkeypatch.setattr(parallel_mod, "run_pct_point", boom)
+        cached = run_jobs(grid, jobs=1, cache=cache)
+        assert cached == warm
+
+    def test_worker_error_propagates(self):
+        bad = SweepJob(ControlPlaneConfig.neutrino(), -5.0, quick_spec())
+        with pytest.raises(ValueError):
+            run_jobs([bad], jobs=2)
+
+
+class TestRunSweep:
+    def test_grouped_like_serial_sweep(self):
+        spec = quick_spec(procedure="attach")
+        configs = [ControlPlaneConfig.neutrino(), ControlPlaneConfig.existing_epc()]
+        grouped = run_sweep(configs, [20e3, 40e3], spec, jobs=2)
+        assert list(grouped) == ["neutrino", "existing_epc"]
+        assert [p.axis_rate for p in grouped["neutrino"]] == [20e3, 40e3]

@@ -50,6 +50,21 @@ class TestScheduling:
         with pytest.raises(ValueError):
             sim.run(until=1.0)
 
+    def test_run_until_now_is_noop(self, sim):
+        sim.schedule(5.0, lambda: None)
+        sim.run(until=2.0)
+        assert sim.run(until=2.0) == 2.0  # boundary run: no error, no advance
+        assert sim.now == 2.0
+        assert len(sim._heap) == 1  # the t=5 event is untouched
+
+    def test_run_until_now_executes_events_due_now(self, sim):
+        seen = []
+        sim.run(until=3.0)
+        sim.schedule(0.0, seen.append, "due-now")
+        sim.run(until=3.0)
+        assert seen == ["due-now"]
+        assert sim.now == 3.0
+
     def test_run_drains_everything_without_until(self, sim):
         sim.schedule(10.0, lambda: None)
         sim.run()
@@ -112,6 +127,29 @@ class TestEvent:
         with pytest.raises(ValueError):
             sim.timeout(-1.0)
 
+    def test_cancelled_timeout_does_not_fire(self, sim):
+        ev = sim.timeout(1.0, value="late")
+        ev.cancel()
+        sim.run()
+        assert not ev.fired
+        assert ev.cancelled
+
+    def test_cancelled_timeout_leaves_event_deliverable(self, sim):
+        # Regression: _fire used to succeed() a cancelled timeout, so a
+        # producer reusing the abandoned event handle afterwards blew up
+        # with "event already fired".
+        ev = sim.timeout(0.5)
+        ev.cancel()
+        sim.run()
+        ev.succeed("producer-delivery")  # must not raise
+        assert ev.value == "producer-delivery"
+
+    def test_timeout_fired_then_cancelled_keeps_value(self, sim):
+        ev = sim.timeout(0.5, value="v")
+        sim.run()
+        ev.cancel()  # cancel after firing is a no-op
+        assert ev.ok and ev.value == "v"
+
 
 class TestCombinators:
     def test_all_of_collects_values_in_order(self, sim):
@@ -142,6 +180,42 @@ class TestCombinators:
     def test_any_of_requires_children(self, sim):
         with pytest.raises(ValueError):
             sim.any_of([])
+
+    def test_all_of_failure_cancels_pending_children(self, sim):
+        # Regression: a failed AllOf abandoned its still-pending
+        # children without cancelling them, so producers (queues,
+        # stores) kept delivering into events nobody would consume.
+        slow = sim.timeout(10.0)
+        pending = sim.event("pending-child")
+        bad = sim.event("bad-child")
+        combined = sim.all_of([slow, pending, bad])
+        bad.fail(RuntimeError("boom"))
+        sim.run(until=1.0)
+        assert combined.fired and not combined.ok
+        assert pending.cancelled and not pending.fired
+        assert slow.cancelled and not slow.fired
+        sim.run()  # the slow timeout's timer pops: must stay unfired
+        assert not slow.fired
+
+    def test_all_of_failure_does_not_cancel_fired_children(self, sim):
+        done = sim.event()
+        done.succeed(1)
+        bad = sim.event()
+        combined = sim.all_of([done, bad])
+        bad.fail(RuntimeError("boom"))
+        sim.run()
+        assert combined.fired and not combined.ok
+        assert done.ok and not done.cancelled
+
+    def test_any_of_failing_child_fails_composite(self, sim):
+        slow = sim.timeout(5.0, value="slow")
+        bad = sim.event()
+        combined = sim.any_of([slow, bad])
+        bad.fail(KeyError("first"))
+        sim.run(until=1.0)
+        assert combined.fired and not combined.ok
+        with pytest.raises(KeyError):
+            _ = combined.value
 
 
 class TestProcess:
@@ -240,6 +314,35 @@ class TestProcess:
         sim.run()
         p.interrupt("late")  # must not raise
         assert p.value == "ok"
+
+    def test_interrupt_while_waiting_on_already_fired_event(self, sim):
+        # The event fires and the interrupt lands in the same scheduler
+        # step, with the interrupt delivered first: the process must see
+        # the Interrupt, and the event's own (now stale) wakeup must be
+        # ignored rather than resuming the process twice.
+        ev = sim.event("contested")
+        log = []
+
+        def proc():
+            try:
+                got = yield ev
+                log.append(("value", got))
+            except Interrupt as intr:
+                log.append(("interrupt", intr.cause))
+                yield sim.timeout(1.0)
+                log.append(("after", sim.now))
+            return "done"
+
+        p = sim.process(proc())
+
+        def race():
+            p.interrupt("failure")  # queued before the event's dispatch
+            ev.succeed("too-late")
+
+        sim.schedule(1.0, race)
+        sim.run()
+        assert log == [("interrupt", "failure"), ("after", 2.0)]
+        assert p.value == "done"
 
     def test_unhandled_interrupt_fails_process(self, sim):
         def proc():

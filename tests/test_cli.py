@@ -33,6 +33,78 @@ class TestFigure:
         assert "flatbuffers" in out
 
 
+class TestSweep:
+    def test_sweep_runs_and_reports_cache(self, tmp_path, capsys):
+        argv = [
+            "sweep", "--configs", "neutrino", "--procedure", "attach",
+            "--rates", "20e3,40e3", "--procedures-target", "120",
+            "--cache-dir", str(tmp_path / "cache"),
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "neutrino" in out
+        assert "cache: hits=0 misses=2 stale=0" in out
+
+    def test_sweep_second_run_all_hits(self, tmp_path, capsys):
+        argv = [
+            "sweep", "--configs", "neutrino", "--rates", "25e3",
+            "--procedures-target", "120", "--cache-dir", str(tmp_path / "cache"),
+        ]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "cache: hits=1 misses=0 stale=0" in out
+        assert "executed=0 cached=1" in out
+
+    def test_sweep_no_cache_flag(self, capsys):
+        argv = [
+            "sweep", "--configs", "neutrino", "--rates", "25e3",
+            "--procedures-target", "120", "--no-cache",
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "cache:" not in out
+
+    def test_sweep_parallel_jobs(self, tmp_path, capsys):
+        argv = [
+            "sweep", "--configs", "neutrino,existing_epc", "--rates", "20e3,40e3",
+            "--procedures-target", "120", "--jobs", "2",
+            "--cache-dir", str(tmp_path / "cache"),
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "existing_epc" in out and "total=4" in out
+
+    def test_sweep_unknown_config_rejected(self, capsys):
+        assert main(["sweep", "--configs", "nope", "--no-cache"]) == 1
+        assert "unknown config" in capsys.readouterr().out
+
+    def test_sweep_bad_rates_rejected(self, capsys):
+        assert main(["sweep", "--rates", "fast", "--no-cache"]) == 1
+        assert "bad --rates" in capsys.readouterr().out
+
+
+class TestFigureRunnerFlags:
+    def test_figure_smoke_with_jobs_and_cache(self, tmp_path, capsys):
+        argv = [
+            "figure", "fig08", "--smoke", "--jobs", "2",
+            "--cache-dir", str(tmp_path / "cache"),
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 8" in out
+        assert "cache: hits=0" in out
+        capsys.readouterr()
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "misses=0 stale=0" in out
+
+    def test_non_sweep_figure_has_no_cache_footer(self, capsys):
+        assert main(["figure", "fig20"]) == 0
+        assert "cache:" not in capsys.readouterr().out
+
+
 class TestTrace:
     def test_trace_generation(self, tmp_path, capsys):
         out_file = tmp_path / "trace.jsonl"
