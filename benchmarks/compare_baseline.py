@@ -1,0 +1,125 @@
+#!/usr/bin/env python
+"""Compare a fresh pytest-benchmark run against BENCH_baseline.json.
+
+Usage::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_kernel_micro.py \
+        --benchmark-json=/tmp/bench.json
+    python benchmarks/compare_baseline.py /tmp/bench.json BENCH_baseline.json
+
+Exit status is non-zero when any *guarded* benchmark (the kernel
+schedule/fire throughput and the ASN.1 PER codec, listed in the
+baseline's ``guarded`` array) regresses more than ``max_regression``
+(default 30%) beyond the committed baseline.
+
+Raw milliseconds are not comparable across machines or load levels, so
+the check is **calibrated**: the machine-speed scale is the median of
+``current/baseline`` ratios over every benchmark present in both runs.
+A CI box that is uniformly 2x slower moves the median to ~2x, scales
+every limit accordingly, and passes; a change that slows the guarded
+hot paths *relative to the rest of the suite* fails.  (A single named
+calibration benchmark would be hostage to its own noise; the run-wide
+median is robust as long as a regression doesn't hit most of the suite
+at once — and one that does will push some guarded ratio past the
+limit anyway.)
+
+``--update`` rewrites the baseline's recorded numbers from the fresh
+run (keeping guards, notes, and pre-optimization history) for when a
+faster kernel legitimately moves the trajectory.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+
+
+def load_run(path: str) -> dict:
+    """name -> min milliseconds from a --benchmark-json file."""
+    with open(path) as fp:
+        data = json.load(fp)
+    return {b["name"]: b["stats"]["min"] * 1e3 for b in data["benchmarks"]}
+
+
+def compare(run: dict, baseline: dict) -> int:
+    base_ms = {k: v["min_ms"] for k, v in baseline["benchmarks"].items()}
+    guarded = set(baseline.get("guarded", ()))
+    tolerance = float(baseline.get("max_regression", 0.30))
+
+    shared = [k for k in base_ms if k in run and base_ms[k] > 0]
+    if shared:
+        scale = statistics.median(run[k] / base_ms[k] for k in shared)
+        print("machine calibration (median ratio over %d benchmarks): %.2fx"
+              % (len(shared), scale))
+    else:
+        scale = 1.0
+        print("WARNING: no shared benchmarks; comparing raw times")
+
+    failures = []
+    print("%-45s %10s %10s %8s  %s" % ("benchmark", "base(ms)", "now(ms)", "ratio", "status"))
+    for name in sorted(base_ms):
+        base = base_ms[name]
+        now = run.get(name)
+        if now is None:
+            status = "MISSING"
+            if name in guarded:
+                failures.append("%s: not present in the fresh run" % name)
+            print("%-45s %10.3f %10s %8s  %s" % (name, base, "-", "-", status))
+            continue
+        ratio = now / (base * scale) if base > 0 else float("inf")
+        if name in guarded:
+            if ratio > 1.0 + tolerance:
+                status = "FAIL (>%d%% regression)" % round(tolerance * 100)
+                failures.append(
+                    "%s: %.3f ms vs calibrated limit %.3f ms (%.0f%% over baseline)"
+                    % (name, now, base * scale * (1 + tolerance), (ratio - 1) * 100)
+                )
+            else:
+                status = "ok (guarded)"
+        else:
+            status = "ok" if ratio <= 1.0 + tolerance else "slower (unguarded)"
+        print("%-45s %10.3f %10.3f %8.2f  %s" % (name, base, now, ratio, status))
+
+    if failures:
+        print()
+        print("PERF REGRESSION: %d guarded benchmark(s) failed" % len(failures))
+        for failure in failures:
+            print("  - " + failure)
+        return 1
+    print()
+    print("all guarded benchmarks within %.0f%% of the calibrated baseline" % (tolerance * 100))
+    return 0
+
+
+def update(run: dict, baseline: dict, baseline_path: str) -> int:
+    for name, ms in run.items():
+        baseline["benchmarks"][name] = {"min_ms": round(ms, 4)}
+    with open(baseline_path, "w") as fp:
+        json.dump(baseline, fp, indent=2)
+        fp.write("\n")
+    print("rewrote %s from the fresh run (%d benchmarks)" % (baseline_path, len(run)))
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("run_json", help="--benchmark-json output of a fresh run")
+    parser.add_argument("baseline_json", help="committed BENCH_baseline.json")
+    parser.add_argument(
+        "--update", action="store_true",
+        help="rewrite the baseline numbers from the fresh run instead of comparing",
+    )
+    args = parser.parse_args(argv)
+
+    run = load_run(args.run_json)
+    with open(args.baseline_json) as fp:
+        baseline = json.load(fp)
+    if args.update:
+        return update(run, baseline, args.baseline_json)
+    return compare(run, baseline)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,6 +13,7 @@ Usage::
     python -m repro trace --devices 200 --duration 30 out.jsonl
     python -m repro chaos replay schedule.json    # bit-for-bit replay
     python -m repro chaos example schedule.json   # write a sample plan
+    python -m repro profile fig08 --top 20        # cProfile a figure run
 
 Figure ids follow the paper's numbering (fig03, fig07-fig11, fig13-fig20).
 
@@ -266,6 +267,37 @@ def main(argv: List[str] = None) -> int:
     sweep_parser.add_argument("--cpfs-per-region", type=int, default=1)
     add_runner_flags(sweep_parser)
 
+    prof_parser = sub.add_parser(
+        "profile",
+        help="run one figure under cProfile and report the top-N hot functions",
+        description=(
+            "Profile a figure regeneration. The run is always serial and "
+            "uncached: cProfile cannot see into worker processes, and a "
+            "cache hit would profile zero simulation work."
+        ),
+    )
+    prof_parser.add_argument("id", choices=_FIGURES)
+    prof_parser.add_argument(
+        "--top", type=int, default=25, metavar="N",
+        help="how many functions to report (default: %(default)s)",
+    )
+    prof_parser.add_argument(
+        "--sort", default="cumulative",
+        choices=["cumulative", "tottime", "ncalls"],
+        help="pstats sort key (default: %(default)s)",
+    )
+    prof_parser.add_argument(
+        "--full", action="store_true", help="paper-scale sweep (slower)"
+    )
+    prof_parser.add_argument(
+        "--smoke", action="store_true",
+        help="tiny reduced spec (fast profile; overrides --full)",
+    )
+    prof_parser.add_argument(
+        "--output", metavar="FILE",
+        help="also dump raw pstats data to FILE (for snakeviz etc.)",
+    )
+
     trace_parser = sub.add_parser("trace", help="generate a synthetic trace")
     trace_parser.add_argument("output")
     trace_parser.add_argument("--devices", type=int, default=100)
@@ -310,6 +342,8 @@ def main(argv: List[str] = None) -> int:
         if cache is not None:
             print(format_run_footer(cache=cache))
         return 0
+    if args.command == "profile":
+        return _run_profile(args)
     if args.command == "sweep":
         return _run_sweep_command(args)
     if args.command == "trace":
@@ -333,6 +367,27 @@ def _make_cache(args):
     if args.no_cache:
         return None
     return ResultCache(args.cache_dir)
+
+
+def _run_profile(args) -> int:
+    import cProfile
+    import pstats
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        _run_figure(args.id, args.full, jobs=1, cache=None, smoke=args.smoke)
+    finally:
+        profiler.disable()
+    if args.output:
+        profiler.dump_stats(args.output)
+        print("wrote raw profile data to %s" % args.output)
+    stats = pstats.Stats(profiler)
+    stats.sort_stats(args.sort)
+    print()
+    print("== %s: top %d functions by %s ==" % (args.id, args.top, args.sort))
+    stats.print_stats(args.top)
+    return 0
 
 
 def _run_sweep_command(args) -> int:

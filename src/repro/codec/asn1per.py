@@ -21,6 +21,7 @@ What PER buys in exchange is size: constrained integers use
 
 from __future__ import annotations
 
+import struct
 from typing import Any
 
 from .base import Codec, register_codec
@@ -28,6 +29,9 @@ from .bitio import BitReader, BitWriter, CodecError
 from .schema import Type, validate
 
 __all__ = ["Asn1PerCodec"]
+
+_F64 = struct.Struct(">d")
+_F32 = struct.Struct(">f")
 
 # Length determinants above this need fragmentation, which control
 # messages never hit; we reject rather than silently mis-encode.
@@ -104,9 +108,7 @@ class Asn1PerCodec(Codec):
         elif kind == "bool":
             w.write_bit(1 if v else 0)
         elif kind == "float":
-            import struct
-
-            raw = struct.pack(">d" if t.bits == 64 else ">f", v)
+            raw = (_F64 if t.bits == 64 else _F32).pack(v)
             _write_length(w, len(raw))
             w.write_bytes(raw)
         elif kind == "enum":
@@ -150,11 +152,9 @@ class Asn1PerCodec(Codec):
         if kind == "bool":
             return bool(r.read_bit())
         if kind == "float":
-            import struct
-
             nbytes = _read_length(r)
             raw = r.read_bytes(nbytes)
-            return struct.unpack(">d" if nbytes == 8 else ">f", raw)[0]
+            return (_F64 if nbytes == 8 else _F32).unpack(raw)[0]
         if kind == "enum":
             idx = r.read_bits(_bits_for_range(len(t.names)))
             if idx >= len(t.names):

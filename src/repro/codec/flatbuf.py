@@ -26,7 +26,8 @@ faster times (one less indirection).
 from __future__ import annotations
 
 import struct
-from typing import Any, Dict, List, Optional, Tuple
+import weakref
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from .base import Codec, register_codec
 from .bitio import ByteReader, ByteWriter, CodecError
@@ -36,6 +37,46 @@ __all__ = ["FlatBuffersCodec", "FlatTable"]
 
 _SOFFSET_SIZE = 4
 _UOFFSET_SIZE = 4
+
+_FD = struct.Struct("<d")
+_FF = struct.Struct("<f")
+_LEN4 = struct.Struct("<I")
+
+# Per-schema-type caches for the hot paths.  A table's slot layout,
+# vtable bytes and decode plan depend only on the schema (and, for the
+# layout, on which optional fields are present), so they are computed
+# once per type and reused across every encode/decode.  Weak keys let
+# transient types (e.g. hypothesis-generated schemas) be collected, and
+# keep the schema objects themselves free of codec state.
+_LAYOUTS: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+_PLANS: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+_SCALAR_ENC: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+_UELEM_WRAP: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+_UNION_ENC_WRAP: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+_UNION_DEC_WRAP: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+
+_VT_UNPACKERS: Dict[int, Callable] = {}
+
+#: zero padding up to 4-byte alignment, indexed by pad width
+_PADS = (b"", b"\x00", b"\x00\x00", b"\x00\x00\x00")
+
+
+def _vt_unpacker(n_entries: int) -> Callable:
+    """unpack_from for a whole vtable entry array (n little-endian u16)."""
+    unpacker = _VT_UNPACKERS.get(n_entries)
+    if unpacker is None:
+        unpacker = _VT_UNPACKERS[n_entries] = struct.Struct(
+            "<%dH" % n_entries
+        ).unpack_from
+    return unpacker
+
+
+def _uelem_wrapper(t: Type) -> TableType:
+    """The implicit single-field table wrapping a vector-of-unions element."""
+    wrapper = _UELEM_WRAP.get(t)
+    if wrapper is None:
+        wrapper = _UELEM_WRAP[t] = TableType("_uelem", [Field("u", t)])
+    return wrapper
 
 
 def _scalar_width(t: Type) -> int:
@@ -75,6 +116,238 @@ def _is_single_varlen_union_alt(t: Type) -> bool:
     return False
 
 
+def _scalar_encoder(t: Type) -> Callable[[Any], bytes]:
+    """value -> inline little-endian slot bytes, compiled per scalar type."""
+    enc = _SCALAR_ENC.get(t)
+    if enc is not None:
+        return enc
+    kind = t.kind
+    if kind == "int":
+        width = t.storage_bytes
+        mask = (1 << (width * 8)) - 1
+
+        def enc(v, _w=width, _m=mask):
+            return (v & _m).to_bytes(_w, "little")
+
+    elif kind == "bool":
+
+        def enc(v):
+            return b"\x01" if v else b"\x00"
+
+    elif kind == "float":
+        enc = (_FD if t.bits == 64 else _FF).pack
+    elif kind == "enum":
+        width = _scalar_width(t)
+        index = t.index
+
+        def enc(v, _w=width, _index=index):
+            return _index[v].to_bytes(_w, "little")
+
+    else:
+        raise CodecError("not an inline scalar: %r" % kind)
+    _SCALAR_ENC[t] = enc
+    return enc
+
+
+def _scalar_decoder(t: Type) -> Callable[[ByteReader, int], Any]:
+    """(reader, pos) -> value, compiled per scalar type."""
+    kind = t.kind
+    if kind == "int":
+        width = t.storage_bytes
+        if t.signed:
+            return lambda r, pos, _w=width: r.int_at(pos, _w)
+        return lambda r, pos, _w=width: r.uint_at(pos, _w)
+    if kind == "bool":
+        return lambda r, pos: bool(r.uint_at(pos, 1))
+    if kind == "float":
+        unpack = (_FD if t.bits == 64 else _FF).unpack_from
+
+        def dec(r, pos, _unpack=unpack):
+            return _unpack(r.data, pos)[0]
+
+        return dec
+    if kind == "enum":
+        width = _scalar_width(t)
+        names = t.names
+
+        def dec(r, pos, _w=width, _names=names):
+            idx = r.uint_at(pos, _w)
+            if idx >= len(_names):
+                raise CodecError("enum index out of range")
+            return _names[idx]
+
+        return dec
+    raise CodecError("not a scalar kind: %r" % kind)
+
+
+#: layout item roles (encode side); string/bytes refs get dedicated
+#: roles so write_table can batch those leaf children into one append.
+_ROLE_SCALAR, _ROLE_UNION_TYPE, _ROLE_REF = 0, 1, 2
+_ROLE_REF_STR, _ROLE_REF_BYTES = 3, 4
+
+
+def _ref_writer(t: Type) -> Optional[Callable]:
+    """(builder, value) -> position, pre-resolved per out-of-line type."""
+    kind = t.kind
+    if kind == "string":
+        return lambda b, v: b.write_string(v.encode("utf-8"))
+    if kind == "bytes":
+        return lambda b, v: b.write_vector_bytes(bytes(v))
+    if kind == "bitstring":
+
+        def wr(b, v):
+            intval, nbits = v
+            return b.write_vector_bytes(intval.to_bytes((nbits + 7) // 8, "big"))
+
+        return wr
+    if kind == "table":
+        return lambda b, v, _t=t: b.write_table(_t, v)
+    if kind == "array":
+        return lambda b, v, _e=t.element: b.write_vector(_e, v)
+    if kind == "union":
+        return lambda b, v, _t=t: b._write_union_value(_t, v)
+    return None  # fall back to write_value's error path
+
+
+def _compute_layout(t: TableType, present: Tuple[bool, ...]):
+    """Slot layout + prebuilt vtable bytes for one presence pattern.
+
+    Mirrors the real builder: each present field gets a slot (unions get
+    a u8 type slot and a uoffset value slot), slots are aligned to their
+    width after the 4-byte soffset, and the vtable maps schema-order
+    slot ids to in-table offsets (0 = absent).
+    """
+    slots: List[Tuple[Field, str, int]] = []
+    for field, here in zip(t.fields, present):
+        if not here:
+            continue
+        ft = field.type
+        if ft.kind == "union":
+            slots.append((field, "union_type", 1))
+            slots.append((field, "union_value", _UOFFSET_SIZE))
+        else:
+            width = _scalar_width(ft)
+            if width:
+                slots.append((field, "scalar", width))
+            else:
+                slots.append((field, "ref", _UOFFSET_SIZE))
+
+    offsets: List[int] = []
+    cursor = _SOFFSET_SIZE
+    for _field, _role, width in slots:
+        if cursor % width:
+            cursor += width - (cursor % width)
+        offsets.append(cursor)
+        cursor += width
+    table_size = cursor
+
+    vt_entries: List[int] = []
+    slot_lookup = {}
+    for (field, role, _w), off in zip(slots, offsets):
+        slot_lookup[(field.name, role)] = off
+    for field in t.fields:
+        if field.type.kind == "union":
+            vt_entries.append(slot_lookup.get((field.name, "union_type"), 0))
+            vt_entries.append(slot_lookup.get((field.name, "union_value"), 0))
+        else:
+            role = "scalar" if _scalar_width(field.type) else "ref"
+            vt_entries.append(slot_lookup.get((field.name, role), 0))
+
+    vt_size = 4 + 2 * len(vt_entries)
+    vt_bytes = struct.pack(
+        "<%dH" % (2 + len(vt_entries)), vt_size, table_size, *vt_entries
+    )
+    vt_key = (table_size, tuple(vt_entries))
+
+    items = []
+    for (field, role, width), off in zip(slots, offsets):
+        ft = field.type
+        if role == "scalar":
+            items.append((field.name, _ROLE_SCALAR, _scalar_encoder(ft), off, width, ft))
+        elif role == "union_type":
+            items.append((field.name, _ROLE_UNION_TYPE, None, off, width, ft))
+        elif field.type.kind == "string":
+            items.append((field.name, _ROLE_REF_STR, None, off, width, ft))
+        elif field.type.kind == "bytes":
+            items.append((field.name, _ROLE_REF_BYTES, None, off, width, ft))
+        else:  # ref / union_value: pre-resolve the out-of-line writer
+            items.append((field.name, _ROLE_REF, _ref_writer(ft), off, width, ft))
+    return tuple(items), table_size, vt_key, vt_bytes
+
+
+def _table_layout(t: TableType, v: dict):
+    per_type = _LAYOUTS.get(t)
+    if per_type is None:
+        per_type = _LAYOUTS[t] = {}
+    fields = t.fields
+    # Values reaching write_table are already validated, so they hold no
+    # unknown keys: equal sizes means every field is present (the common
+    # case — skip building the per-field presence tuple).
+    if len(v) == len(fields):
+        layout = per_type.get(True)
+        if layout is None:
+            layout = per_type[True] = _compute_layout(t, (True,) * len(fields))
+        return layout
+    present = tuple(f.name in v for f in fields)
+    layout = per_type.get(present)
+    if layout is None:
+        layout = per_type[present] = _compute_layout(t, present)
+    return layout
+
+
+def _slot_decoder(t: Type) -> Optional[Callable[[ByteReader, int], Any]]:
+    """(reader, slot position) -> value for slots decodable without the
+    codec: inline scalars, and refs to strings / bytes / bit strings.
+    Tables, unions and arrays return None (codec-dependent path)."""
+    if _scalar_width(t):
+        return _scalar_decoder(t)
+    kind = t.kind
+    if kind == "string":
+
+        def dec(r, pos):
+            target = pos + r.uint_at(pos, _UOFFSET_SIZE)
+            n = r.uint_at(target, 4)
+            return r.data[target + 4 : target + 4 + n].decode("utf-8")
+
+        return dec
+    if kind == "bytes":
+
+        def dec(r, pos):
+            target = pos + r.uint_at(pos, _UOFFSET_SIZE)
+            n = r.uint_at(target, 4)
+            return r.data[target + 4 : target + 4 + n]
+
+        return dec
+    if kind == "bitstring":
+
+        def dec(r, pos, _nbits=t.nbits):
+            target = pos + r.uint_at(pos, _UOFFSET_SIZE)
+            n = r.uint_at(target, 4)
+            return (int.from_bytes(r.data[target + 4 : target + 4 + n], "big"), _nbits)
+
+        return dec
+    return None
+
+
+def _decode_plan(t: TableType):
+    """(name, type, slot id, is_union, slot decoder | None) per field."""
+    plan = _PLANS.get(t)
+    if plan is not None:
+        return plan
+    entries = []
+    slot = 0
+    for field in t.fields:
+        ft = field.type
+        if ft.kind == "union":
+            entries.append((field.name, ft, slot, True, None))
+            slot += 2
+        else:
+            entries.append((field.name, ft, slot, False, _slot_decoder(ft)))
+            slot += 1
+    plan = _PLANS[t] = tuple(entries)
+    return plan
+
+
 class _Builder:
     """Front-to-back builder with forward-reference patching.
 
@@ -101,17 +374,18 @@ class _Builder:
         delta = target_pos - slot_pos
         if delta <= 0:
             raise CodecError("uoffset must point forward")
-        self.w.patch_uint(slot_pos, delta, _UOFFSET_SIZE)
+        # Inline u32 little-endian patch (buffer offsets always fit).
+        _LEN4.pack_into(self.w._buf, slot_pos, delta)
 
     # -- leaf writers --------------------------------------------------------
 
     def write_string(self, raw: bytes) -> int:
-        self.w.pad_to(4)
-        pos = self.w.tell()
-        self.w.write_uint(len(raw), 4)
-        self.w.write(raw)
-        self.w.write(b"\x00")  # FlatBuffers strings are NUL-terminated
-        return pos
+        w = self.w
+        here = w.tell()
+        pad = -here & 3
+        # FlatBuffers strings are length-prefixed and NUL-terminated.
+        w.write(_PADS[pad] + _LEN4.pack(len(raw)) + raw + b"\x00")
+        return here + pad
 
     def write_scalar_inline(self, t: Type, v: Any) -> bytes:
         kind = t.kind
@@ -121,7 +395,7 @@ class _Builder:
         if kind == "bool":
             return b"\x01" if v else b"\x00"
         if kind == "float":
-            return struct.pack("<d" if t.bits == 64 else "<f", v)
+            return (_FD if t.bits == 64 else _FF).pack(v)
         if kind == "enum":
             return t.index[v].to_bytes(_scalar_width(t), "little")
         raise CodecError("not an inline scalar: %r" % kind)
@@ -136,17 +410,24 @@ class _Builder:
 
     def write_vector(self, elem: Type, items: list) -> int:
         width = _scalar_width(elem)
-        self.w.pad_to(4)
-        pos = self.w.tell()
-        self.w.write_uint(len(items), 4)
-        if width:  # inline scalar elements
-            for item in items:
-                self.w.write(self.write_scalar_inline(elem, item))
+        w = self.w
+        here = w.tell()
+        pad = -here & 3
+        pos = here + pad
+        if width:  # inline scalar elements, one buffer append
+            enc = _scalar_encoder(elem)
+            w.write(
+                _PADS[pad]
+                + _LEN4.pack(len(items))
+                + b"".join([enc(item) for item in items])
+            )
         else:  # reference elements (uoffsets patched later)
-            slots = [self._reserve(_UOFFSET_SIZE) for _ in items]
-            for slot, item in zip(slots, items):
+            w.write(_PADS[pad] + _LEN4.pack(len(items))
+                    + b"\x00" * (_UOFFSET_SIZE * len(items)))
+            base = pos + 4
+            for i, item in enumerate(items):
                 child = self.write_value(elem, item)
-                self._patch_uoffset(slot, child)
+                self._patch_uoffset(base + _UOFFSET_SIZE * i, child)
         return pos
 
     # -- composite writers ---------------------------------------------------
@@ -169,107 +450,90 @@ class _Builder:
         if kind == "union":
             # Real FlatBuffers has no bare vectors-of-unions: union
             # elements are wrapped in a single-field table.
-            wrapper = TableType("_uelem", [Field("u", t)])
-            return self.write_table(wrapper, {"u": v})
+            return self.write_table(_uelem_wrapper(t), {"u": v})
         raise CodecError("cannot write %r out of line" % kind)
 
     def write_vector_bytes(self, raw: bytes) -> int:
-        self.w.pad_to(4)
-        pos = self.w.tell()
-        self.w.write_uint(len(raw), 4)
-        self.w.write(raw)
-        return pos
+        w = self.w
+        here = w.tell()
+        pad = -here & 3
+        w.write(_PADS[pad] + _LEN4.pack(len(raw)) + raw)
+        return here + pad
 
     def write_table(self, t: TableType, v: dict) -> int:
-        # Layout: compute slots.  Each present field gets a slot; unions
-        # expand to a type slot (u8) and a value slot (uoffset).
-        slots: List[Tuple[Field, str, int]] = []  # (field, role, width)
-        for field in t.fields:
-            if field.name not in v:
-                continue
-            ft = field.type
-            if ft.kind == "union":
-                slots.append((field, "union_type", 1))
-                slots.append((field, "union_value", _UOFFSET_SIZE))
-            else:
-                width = _scalar_width(ft)
-                if width:
-                    slots.append((field, "scalar", width))
-                else:
-                    slots.append((field, "ref", _UOFFSET_SIZE))
+        # Slot layout, offsets and vtable bytes depend only on the schema
+        # and which optional fields are present — memoized per type.
+        items, table_size, vt_key, vt_bytes = _table_layout(t, v)
 
-        # Assign in-table offsets (after the 4-byte soffset), aligning each
-        # slot to its width like the real builder does.
-        offsets: List[int] = []
-        cursor = _SOFFSET_SIZE
-        for _field, _role, width in slots:
-            if cursor % width:
-                cursor += width - (cursor % width)
-            offsets.append(cursor)
-            cursor += width
-        table_size = cursor
+        w = self.w
+        here = w.tell()
+        pad = -here & 3
+        table_pos = here + pad
 
-        # vtable slot ids: one entry per (field, role) position in schema
-        # order, so absent optional fields get offset 0.
-        vt_entries: List[int] = []
-        slot_lookup = {}
-        for (field, role, _w), off in zip(slots, offsets):
-            slot_lookup[(field.name, role)] = off
-        for field in t.fields:
-            if field.type.kind == "union":
-                vt_entries.append(slot_lookup.get((field.name, "union_type"), 0))
-                vt_entries.append(slot_lookup.get((field.name, "union_value"), 0))
-            else:
-                role = "scalar" if _scalar_width(field.type) else "ref"
-                vt_entries.append(slot_lookup.get((field.name, role), 0))
-
-        self.w.pad_to(4)
-        table_pos = self.w.tell()
-        self._reserve(table_size)
-
-        # Fill inline slots; remember reference slots for patching.
-        ref_jobs: List[Tuple[int, Type, Any]] = []
-        for (field, role, width), off in zip(slots, offsets):
-            slot_pos = table_pos + off
-            ft = field.type
-            fv = v[field.name]
-            if role == "scalar":
-                raw = self.write_scalar_inline(ft, fv)
-                self.w.patch_uint(
-                    slot_pos, int.from_bytes(raw, "little"), len(raw)
-                )
-            elif role == "union_type":
+        # Build the whole inline region locally, then append it in one
+        # write: scalar slots are filled directly, reference slots stay
+        # zero and are patched once the children exist.
+        block = bytearray(pad + table_size)
+        ref_jobs: List[Tuple[int, int, Any, Type, Any]] = []
+        for name, role, enc, off, width, ft in items:
+            fv = v[name]
+            if role == _ROLE_SCALAR:
+                at = pad + off
+                block[at:at + width] = enc(fv)
+            elif role == _ROLE_UNION_TYPE:
                 alt_idx = ft.index[fv[0]] + 1  # 0 is NONE in FlatBuffers
-                self.w.patch_uint(slot_pos, alt_idx, 1)
-            elif role in ("union_value", "ref"):
-                ref_jobs.append((slot_pos, ft, fv))
+                at = pad + off
+                block[at:at + 1] = alt_idx.to_bytes(1, "little")
+            else:  # union_value / ref
+                ref_jobs.append((table_pos + off, role, enc, ft, fv))
+        w.write(block)
 
         # vtable (deduplicated within the buffer).
-        vt_key = (table_size, tuple(vt_entries))
         vt_pos = self._vtable_cache.get(vt_key)
         if vt_pos is None:
-            self.w.pad_to(2)
-            vt_pos = self.w.tell()
-            vt_size = 4 + 2 * len(vt_entries)
-            self.w.write_uint(vt_size, 2)
-            self.w.write_uint(table_size, 2)
-            for entry in vt_entries:
-                self.w.write_uint(entry, 2)
+            w.pad_to(2)
+            vt_pos = w.tell()
+            w.write(vt_bytes)
             self._vtable_cache[vt_key] = vt_pos
         # soffset: vtable_pos = table_pos - soffset
-        self.w.patch_uint(
-            table_pos,
-            (table_pos - vt_pos) & 0xFFFFFFFF,
-            _SOFFSET_SIZE,
-        )
+        _LEN4.pack_into(w._buf, table_pos, (table_pos - vt_pos) & 0xFFFFFFFF)
 
-        # Children after the table; patch uoffsets.
-        for slot_pos, ft, fv in ref_jobs:
-            if ft.kind == "union":
-                child = self._write_union_value(ft, fv)
+        # Children after the table; patch uoffsets.  Consecutive string /
+        # bytes leaves are assembled locally and appended in one write
+        # (their layout is position-independent: pad + length + payload).
+        pending: List[bytes] = []
+        patches: List[Tuple[int, int]] = []
+        cur = w.tell()
+        for slot_pos, role, writer, ft, fv in ref_jobs:
+            if role == _ROLE_REF_STR:
+                raw = fv.encode("utf-8")
+                cpad = -cur & 3
+                patches.append((slot_pos, cur + cpad))
+                pending.append(_PADS[cpad] + _LEN4.pack(len(raw)) + raw + b"\x00")
+                cur += cpad + 5 + len(raw)
+            elif role == _ROLE_REF_BYTES:
+                raw = bytes(fv)
+                cpad = -cur & 3
+                patches.append((slot_pos, cur + cpad))
+                pending.append(_PADS[cpad] + _LEN4.pack(len(raw)) + raw)
+                cur += cpad + 4 + len(raw)
             else:
-                child = self.write_value(ft, fv)
-            self._patch_uoffset(slot_pos, child)
+                if pending:
+                    w.write(b"".join(pending))
+                    pending.clear()
+                if writer is not None:
+                    child = writer(self, fv)
+                else:
+                    child = self.write_value(ft, fv)
+                self._patch_uoffset(slot_pos, child)
+                cur = w.tell()
+        if pending:
+            w.write(b"".join(pending))
+        if patches:
+            buf = w._buf
+            pack_into = _LEN4.pack_into
+            for slot_pos, child in patches:
+                pack_into(buf, slot_pos, child - slot_pos)
         return table_pos
 
     def _write_union_value(self, t: Type, v: Tuple[str, Any]) -> int:
@@ -291,7 +555,14 @@ class _Builder:
         # exactly the metadata cost the paper's svtable removes.
         if alt_type.kind == "table":
             return self.write_table(alt_type, inner)
-        wrapper = TableType("_u_" + alt_name, [Field("value", alt_type)])
+        wrappers = _UNION_ENC_WRAP.get(t)
+        if wrappers is None:
+            wrappers = _UNION_ENC_WRAP[t] = {}
+        wrapper = wrappers.get(alt_name)
+        if wrapper is None:
+            wrapper = wrappers[alt_name] = TableType(
+                "_u_" + alt_name, [Field("value", alt_type)]
+            )
         return self.write_table(wrapper, {"value": inner})
 
 
@@ -399,38 +670,46 @@ class FlatBuffersCodec(Codec):
     # -- decoding ----------------------------------------------------------
 
     def _decode_table(self, r: ByteReader, pos: int, t: TableType) -> dict:
-        soffset = r.uint_at(pos, _SOFFSET_SIZE)
+        plan = _decode_plan(t)
+        uint_at = r.uint_at
+        soffset = uint_at(pos, _SOFFSET_SIZE)
         vt_pos = (pos - soffset) & 0xFFFFFFFF
-        vt_size = r.uint_at(vt_pos, 2)
+        vt_size = uint_at(vt_pos, 2)
         n_entries = (vt_size - 4) // 2
-
-        def entry(idx: int) -> int:
-            if idx >= n_entries:
-                return 0
-            return r.uint_at(vt_pos + 4 + 2 * idx, 2)
+        if n_entries > 0:
+            # One struct call for the whole entry array instead of one
+            # bounds-checked read per slot.
+            try:
+                vt = _vt_unpacker(n_entries)(r.data, vt_pos + 4)
+            except struct.error:
+                raise CodecError("random access out of range")
+        else:
+            vt = ()
 
         out: dict = {}
-        slot = 0
-        for field in t.fields:
-            ft = field.type
-            if ft.kind == "union":
-                type_off, value_off = entry(slot), entry(slot + 1)
-                slot += 2
+        for name, ft, slot, is_union, dec in plan:
+            if is_union:
+                type_off = vt[slot] if slot < n_entries else 0
+                value_off = vt[slot + 1] if slot + 1 < n_entries else 0
                 if not type_off or not value_off:
                     continue
-                alt_idx = r.uint_at(pos + type_off, 1) - 1
+                alt_idx = uint_at(pos + type_off, 1) - 1
                 if not 0 <= alt_idx < len(ft.alts):
-                    raise CodecError("corrupt union in %s.%s" % (t.name, field.name))
+                    raise CodecError("corrupt union in %s.%s" % (t.name, name))
                 alt_name, alt_type = ft.alts[alt_idx]
                 slot_pos = pos + value_off
-                target = slot_pos + r.uint_at(slot_pos, _UOFFSET_SIZE)
-                out[field.name] = (alt_name, self._decode_union_alt(r, target, alt_type))
+                target = slot_pos + uint_at(slot_pos, _UOFFSET_SIZE)
+                out[name] = (alt_name, self._decode_union_alt(r, target, alt_type))
                 continue
-            off = entry(slot)
-            slot += 1
+            off = vt[slot] if slot < n_entries else 0
             if not off:
                 continue
-            out[field.name] = self._decode_slot(r, pos + off, ft)
+            if dec is not None:  # precompiled scalar / simple-ref decoder
+                out[name] = dec(r, pos + off)
+            else:
+                slot_pos = pos + off
+                target = slot_pos + uint_at(slot_pos, _UOFFSET_SIZE)
+                out[name] = self._decode_ref(r, target, ft)
         return out
 
     def _decode_slot(self, r: ByteReader, slot_pos: int, t: Type) -> Any:
@@ -450,8 +729,7 @@ class FlatBuffersCodec(Codec):
         if kind == "bool":
             return bool(r.uint_at(pos, 1))
         if kind == "float":
-            raw = r.data[pos : pos + t.bits // 8]
-            return struct.unpack("<d" if t.bits == 64 else "<f", raw)[0]
+            return (_FD if t.bits == 64 else _FF).unpack_from(r.data, pos)[0]
         if kind == "enum":
             idx = r.uint_at(pos, _scalar_width(t))
             if idx >= len(t.names):
@@ -462,8 +740,7 @@ class FlatBuffersCodec(Codec):
     def _decode_ref(self, r: ByteReader, pos: int, t: Type) -> Any:
         kind = t.kind
         if kind == "union":
-            wrapper = TableType("_uelem", [Field("u", t)])
-            return self._decode_table(r, pos, wrapper)["u"]
+            return self._decode_table(r, pos, _uelem_wrapper(t))["u"]
         if kind == "table":
             return self._decode_table(r, pos, t)
         if kind == "string":
@@ -506,7 +783,11 @@ class FlatBuffersCodec(Codec):
             return self._decode_ref(r, pos, alt_type)
         if alt_type.kind == "table":
             return self._decode_table(r, pos, alt_type)
-        wrapper = TableType("_u", [Field("value", alt_type)])
+        wrapper = _UNION_DEC_WRAP.get(alt_type)
+        if wrapper is None:
+            wrapper = _UNION_DEC_WRAP[alt_type] = TableType(
+                "_u", [Field("value", alt_type)]
+            )
         return self._decode_table(r, pos, wrapper)["value"]
 
 

@@ -27,30 +27,43 @@ _WT_I64 = 1
 _WT_LEN = 2
 _WT_I32 = 5
 
+_PF64 = struct.Struct("<d")
+_PF32 = struct.Struct("<f")
+
 
 def _write_varint(w: ByteWriter, value: int) -> None:
     if value < 0:
         raise CodecError("varint takes non-negative values")
-    while True:
-        byte = value & 0x7F
+    # Append continuation bytes straight into the writer's buffer — one
+    # bytearray.append per byte instead of a bytes object per byte.
+    buf = w._buf
+    while value > 0x7F:
+        buf.append((value & 0x7F) | 0x80)
         value >>= 7
-        if value:
-            w.write(bytes([byte | 0x80]))
-        else:
-            w.write(bytes([byte]))
-            return
+    buf.append(value)
 
 
 def _read_varint(r: ByteReader) -> int:
+    # Walk the underlying buffer directly; committing `pos` once at the
+    # end keeps the per-byte loop free of attribute writes.
+    data = r.data
+    pos = r.pos
+    n = len(data)
     result = 0
     shift = 0
     while True:
-        byte = r.read_uint(1)
+        if pos >= n:
+            r.pos = pos
+            raise CodecError("buffer exhausted (want 1 bytes)")
+        byte = data[pos]
+        pos += 1
         result |= (byte & 0x7F) << shift
         if not byte & 0x80:
+            r.pos = pos
             return result
         shift += 7
         if shift > 63:
+            r.pos = pos
             raise CodecError("varint too long")
 
 
@@ -104,10 +117,10 @@ class ProtobufCodec(Codec):
         elif kind == "float":
             if t.bits == 64:
                 _write_varint(w, (number << 3) | _WT_I64)
-                w.write(struct.pack("<d", v))
+                w.write(_PF64.pack(v))
             else:
                 _write_varint(w, (number << 3) | _WT_I32)
-                w.write(struct.pack("<f", v))
+                w.write(_PF32.pack(v))
         elif kind in ("bytes", "string", "bitstring", "table", "array", "union"):
             payload = self._encode_nested(t, v)
             _write_varint(w, (number << 3) | _WT_LEN)
@@ -165,8 +178,8 @@ class ProtobufCodec(Codec):
             return t.names[idx]
         if kind == "float":
             if t.bits == 64:
-                return struct.unpack("<d", r.read(8))[0]
-            return struct.unpack("<f", r.read(4))[0]
+                return _PF64.unpack(r.read(8))[0]
+            return _PF32.unpack(r.read(4))[0]
         if wire_type != _WT_LEN:
             raise CodecError("%s expects length-delimited wire type" % kind)
         length = _read_varint(r)

@@ -20,7 +20,8 @@ Values are plain Python data:
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+import weakref
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 __all__ = [
     "SchemaError",
@@ -254,83 +255,141 @@ F32 = FloatType(32)
 F64 = FloatType(64)
 
 
-def validate(value: Any, type_: Type, path: str = "$") -> None:
-    """Raise :class:`SchemaError` unless ``value`` conforms to ``type_``."""
+#: compiled validator per schema type.  Validation runs on every encode
+#: — the codec hot path — so the per-call kind dispatch and constraint
+#: attribute lookups are hoisted into a closure compiled once per type.
+#: Weak keys let transient (e.g. property-test generated) types collect.
+_VALIDATORS: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+
+
+def _validator(type_: Type) -> Callable[[Any, str], None]:
+    check = _VALIDATORS.get(type_)
+    if check is None:
+        check = _VALIDATORS[type_] = _compile_validator(type_)
+    return check
+
+
+def _compile_validator(type_: Type) -> Callable[[Any, str], None]:
     kind = type_.kind
     if kind == "int":
-        if not isinstance(value, int) or isinstance(value, bool):
-            raise SchemaError("%s: expected int, got %r" % (path, value))
-        if not type_.lo <= value <= type_.hi:
-            raise SchemaError(
-                "%s: %d outside [%d, %d]" % (path, value, type_.lo, type_.hi)
-            )
+        lo, hi = type_.lo, type_.hi
+
+        def check(value, path):
+            if not isinstance(value, int) or isinstance(value, bool):
+                raise SchemaError("%s: expected int, got %r" % (path, value))
+            if not lo <= value <= hi:
+                raise SchemaError("%s: %d outside [%d, %d]" % (path, value, lo, hi))
+
     elif kind == "bool":
-        if not isinstance(value, bool):
-            raise SchemaError("%s: expected bool, got %r" % (path, value))
+
+        def check(value, path):
+            if not isinstance(value, bool):
+                raise SchemaError("%s: expected bool, got %r" % (path, value))
+
     elif kind == "float":
-        if not isinstance(value, (int, float)) or isinstance(value, bool):
-            raise SchemaError("%s: expected float, got %r" % (path, value))
+
+        def check(value, path):
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                raise SchemaError("%s: expected float, got %r" % (path, value))
+
     elif kind == "enum":
-        if value not in type_.index:
-            raise SchemaError("%s: %r not in enum %s" % (path, value, type_.name))
+        index, ename = type_.index, type_.name
+
+        def check(value, path):
+            if value not in index:
+                raise SchemaError("%s: %r not in enum %s" % (path, value, ename))
+
     elif kind == "bytes":
-        if not isinstance(value, (bytes, bytearray)):
-            raise SchemaError("%s: expected bytes, got %r" % (path, value))
-        if type_.max_len is not None and len(value) > type_.max_len:
-            raise SchemaError("%s: byte string longer than %d" % (path, type_.max_len))
+        max_len = type_.max_len
+
+        def check(value, path):
+            if not isinstance(value, (bytes, bytearray)):
+                raise SchemaError("%s: expected bytes, got %r" % (path, value))
+            if max_len is not None and len(value) > max_len:
+                raise SchemaError("%s: byte string longer than %d" % (path, max_len))
+
     elif kind == "string":
-        if not isinstance(value, str):
-            raise SchemaError("%s: expected str, got %r" % (path, value))
-        if type_.max_len is not None and len(value) > type_.max_len:
-            raise SchemaError("%s: string longer than %d" % (path, type_.max_len))
+        max_len = type_.max_len
+
+        def check(value, path):
+            if not isinstance(value, str):
+                raise SchemaError("%s: expected str, got %r" % (path, value))
+            if max_len is not None and len(value) > max_len:
+                raise SchemaError("%s: string longer than %d" % (path, max_len))
+
     elif kind == "bitstring":
-        if (
-            not isinstance(value, tuple)
-            or len(value) != 2
-            or not isinstance(value[0], int)
-            or not isinstance(value[1], int)
-        ):
-            raise SchemaError("%s: bit string must be (int, nbits)" % path)
-        intval, nbits = value
-        if nbits != type_.nbits:
-            raise SchemaError(
-                "%s: bit string width %d != declared %d" % (path, nbits, type_.nbits)
-            )
-        if intval < 0 or intval >> nbits:
-            raise SchemaError("%s: bit string value out of range" % path)
+        declared = type_.nbits
+
+        def check(value, path):
+            if (
+                not isinstance(value, tuple)
+                or len(value) != 2
+                or not isinstance(value[0], int)
+                or not isinstance(value[1], int)
+            ):
+                raise SchemaError("%s: bit string must be (int, nbits)" % path)
+            intval, nbits = value
+            if nbits != declared:
+                raise SchemaError(
+                    "%s: bit string width %d != declared %d" % (path, nbits, declared)
+                )
+            if intval < 0 or intval >> nbits:
+                raise SchemaError("%s: bit string value out of range" % path)
+
     elif kind == "array":
-        if not isinstance(value, list):
-            raise SchemaError("%s: expected list, got %r" % (path, value))
-        if type_.max_len is not None and len(value) > type_.max_len:
-            raise SchemaError("%s: array longer than %d" % (path, type_.max_len))
-        for i, item in enumerate(value):
-            validate(item, type_.element, "%s[%d]" % (path, i))
+        max_len = type_.max_len
+        elem_check = _validator(type_.element)
+
+        def check(value, path):
+            if not isinstance(value, list):
+                raise SchemaError("%s: expected list, got %r" % (path, value))
+            if max_len is not None and len(value) > max_len:
+                raise SchemaError("%s: array longer than %d" % (path, max_len))
+            for i, item in enumerate(value):
+                elem_check(item, "%s[%d]" % (path, i))
+
     elif kind == "table":
-        if not isinstance(value, dict):
-            raise SchemaError("%s: expected dict for table %s" % (path, type_.name))
-        known = set(type_.field_map)
-        extra = set(value) - known
-        if extra:
-            raise SchemaError(
-                "%s: unknown fields %s for table %s" % (path, sorted(extra), type_.name)
-            )
-        for field in type_.fields:
-            if field.name not in value:
-                if not field.optional:
-                    raise SchemaError(
-                        "%s: missing required field %r of %s"
-                        % (path, field.name, type_.name)
-                    )
-                continue
-            validate(value[field.name], field.type, "%s.%s" % (path, field.name))
+        field_map, tname = type_.field_map, type_.name
+        fields_c = [(f.name, f.optional, _validator(f.type)) for f in type_.fields]
+
+        def check(value, path):
+            if not isinstance(value, dict):
+                raise SchemaError("%s: expected dict for table %s" % (path, tname))
+            extra = [k for k in value if k not in field_map]
+            if extra:
+                raise SchemaError(
+                    "%s: unknown fields %s for table %s" % (path, sorted(extra), tname)
+                )
+            for name, optional, fcheck in fields_c:
+                if name not in value:
+                    if not optional:
+                        raise SchemaError(
+                            "%s: missing required field %r of %s" % (path, name, tname)
+                        )
+                    continue
+                fcheck(value[name], path + "." + name)
+
     elif kind == "union":
-        if not isinstance(value, tuple) or len(value) != 2:
-            raise SchemaError("%s: union value must be (alt_name, value)" % path)
-        alt_name, inner = value
-        inner_type = type_.alt_type(alt_name)
-        validate(inner, inner_type, "%s<%s>" % (path, alt_name))
+        alt_type = type_.alt_type
+
+        def check(value, path):
+            if not isinstance(value, tuple) or len(value) != 2:
+                raise SchemaError("%s: union value must be (alt_name, value)" % path)
+            alt_name, inner = value
+            inner_type = alt_type(alt_name)
+            _validator(inner_type)(inner, "%s<%s>" % (path, alt_name))
+
     else:
-        raise SchemaError("unknown schema kind %r" % kind)
+
+        def check(value, path, _kind=kind):
+            raise SchemaError("unknown schema kind %r" % _kind)
+
+    return check
+
+
+def validate(value: Any, type_: Type, path: str = "$") -> None:
+    """Raise :class:`SchemaError` unless ``value`` conforms to ``type_``."""
+    _validator(type_)(value, path)
 
 
 def count_elements(value: Any, type_: Type) -> int:

@@ -138,8 +138,22 @@ class ResultCache:
 
     def __init__(self, root: str = DEFAULT_CACHE_DIR, fingerprint: Optional[str] = None):
         self.root = Path(root)
-        self.fingerprint = fingerprint or code_fingerprint()
+        self._fingerprint = fingerprint
         self.stats = CacheStats()
+
+    @property
+    def fingerprint(self) -> str:
+        """Code fingerprint, computed lazily and exactly once per cache.
+
+        The hash walks every ``.py`` file under ``src/repro``, so it must
+        not run per point lookup; a whole ``run_jobs`` sweep performs a
+        single computation (see the regression test in
+        ``tests/experiments/test_cache.py``).
+        """
+        fp = self._fingerprint
+        if fp is None:
+            fp = self._fingerprint = code_fingerprint()
+        return fp
 
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / (key + ".json")

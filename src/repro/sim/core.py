@@ -14,7 +14,8 @@ rather than being asserted.
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
+from collections import deque
+from typing import Any, Callable, Deque, Generator, Iterable, List, Optional, Tuple
 
 __all__ = [
     "Simulator",
@@ -108,16 +109,36 @@ class Event:
         return self
 
     def add_callback(self, cb: Callable[["Event"], None]) -> None:
-        """Run ``cb(self)`` when the event fires (immediately if fired)."""
+        """Run ``cb(self)`` when the event fires (async even if fired).
+
+        A callback added to an already-fired event — succeeded *or*
+        failed — is delivered on the next scheduler step with the event
+        as argument, exactly like a waiter registered before the fire:
+        late joiners of a failed event still receive (and must consume)
+        the stored exception.
+        """
         if self._fired:
-            self.sim.schedule(0.0, cb, self)
+            self.sim._push_immediate(cb, self)
         else:
             self._waiters.append(cb)
 
     def _dispatch(self) -> None:
-        waiters, self._waiters = self._waiters, []
+        waiters = self._waiters
+        if not waiters:
+            return
+        self._waiters = []
+        # Inlined Simulator._push_immediate: waiter wakeups dominate the
+        # event loop, so each one is a deque append rather than a heap
+        # push.  Seq numbers are allocated in the same order schedule()
+        # would have, preserving the (time, seq) total order.
+        sim = self.sim
+        seq = sim._seq
+        immediate = sim._immediate
+        arg = (self,)
         for cb in waiters:
-            self.sim.schedule(0.0, cb, self)
+            seq += 1
+            immediate.append((seq, cb, arg))
+        sim._seq = seq
 
 
 class Timeout(Event):
@@ -136,8 +157,27 @@ class Timeout(Event):
         # an interrupted waiter.  Firing a cancelled timeout would mark
         # it fired, so a producer's later succeed() on the abandoned
         # event would blow up with "event already fired".
-        if not self._fired and not self._cancelled:
-            self.succeed(value)
+        if self._fired or self._cancelled:
+            return
+        # Fast path: inline succeed() + _dispatch without the re-fire
+        # check (we just made it) or the generic callback indirection.
+        # Waiter wakeups still go through the immediate queue with
+        # freshly allocated seq numbers — bit-identical ordering to the
+        # generic path, one Python frame cheaper per timer pop.
+        self._fired = True
+        self._value = value
+        waiters = self._waiters
+        if not waiters:
+            return
+        self._waiters = []
+        sim = self.sim
+        seq = sim._seq
+        immediate = sim._immediate
+        arg = (self,)
+        for cb in waiters:
+            seq += 1
+            immediate.append((seq, cb, arg))
+        sim._seq = seq
 
 
 class AllOf(Event):
@@ -199,6 +239,13 @@ class AnyOf(Event):
                 self.succeed((index, ev.value))
             else:
                 self.fail(ev._exc or RuntimeError("child event failed"))
+            # The race is decided: nobody will ever consume the losing
+            # children, so mark them abandoned before producers (queues,
+            # stores) deliver into them and die on "event already
+            # fired" — mirroring AllOf's cancellation on failure.
+            for child in self._children:
+                if not child._fired:
+                    child.cancel()
 
         return cb
 
@@ -222,7 +269,7 @@ class Process(Event):
         self._gen = gen
         self._waiting_on: Optional[Event] = None
         self._interrupts: List[Interrupt] = []
-        sim.schedule(0.0, self._resume, None, None)
+        sim._push_immediate(self._resume, None, None)
 
     @property
     def alive(self) -> bool:
@@ -237,7 +284,7 @@ class Process(Event):
         if self._fired:
             return
         self._interrupts.append(Interrupt(cause))
-        self.sim.schedule(0.0, self._deliver_interrupt)
+        self.sim._push_immediate(self._deliver_interrupt)
 
     def _deliver_interrupt(self) -> None:
         if self._fired or not self._interrupts:
@@ -277,6 +324,16 @@ class Process(Event):
         except Exception as err:  # propagate to joiners
             self.fail(err)
             return
+        if type(target) is Timeout:
+            # Fast path for the dominant yield: register the resume
+            # callback directly, skipping the generic add_callback
+            # dispatch (same waiter list, same wakeup ordering).
+            self._waiting_on = target
+            if target._fired:
+                self.sim._push_immediate(self._on_event, target)
+            else:
+                target._waiters.append(self._on_event)
+            return
         if not isinstance(target, Event):
             self._gen.close()
             self.fail(TypeError("process yielded %r, expected an Event" % (target,)))
@@ -286,12 +343,36 @@ class Process(Event):
 
 
 class Simulator:
-    """Event loop with a monotonically advancing simulated clock."""
+    """Event loop with a monotonically advancing simulated clock.
+
+    Callbacks are totally ordered by ``(fire time, seq)`` where ``seq``
+    is a global monotone counter assigned at schedule time; same-time
+    callbacks therefore run in schedule order.  Two structures carry
+    that order:
+
+    * a binary heap for timed callbacks (``delay > 0``);
+    * an **immediate queue** (plain deque) for zero-delay callbacks —
+      the ``schedule(0.0, ...)`` pattern that event dispatch and
+      process wakeups produce dominates the loop, and those entries
+      are always due *now*, already in seq order (appends allocate
+      increasing seqs, and the queue fully drains before the clock can
+      advance), so the heap's log-n push/pop is pure overhead for them.
+
+    ``step`` merges the two: an immediate entry runs unless the heap's
+    head is due at the current instant with a *smaller* seq (it was
+    scheduled earlier for this exact time).  The merge reproduces the
+    single-heap execution order bit for bit — the EventTrace-digest
+    witness tests in ``tests/core/test_kernel_witnesses.py`` pin that.
+    """
 
     def __init__(self):
         self._now = 0.0
         self._seq = 0
         self._heap: List[Tuple[float, int, Callable, tuple]] = []
+        self._immediate: Deque[Tuple[int, Callable, tuple]] = deque()
+        # Bound once: schedule() and _push_immediate() run millions of
+        # times per figure point; the attribute hops add up.
+        self._imm_append = self._immediate.append
 
     @property
     def now(self) -> float:
@@ -302,10 +383,21 @@ class Simulator:
 
     def schedule(self, delay: float, fn: Callable, *args: Any) -> None:
         """Run ``fn(*args)`` after ``delay`` simulated seconds."""
+        if delay == 0.0:
+            seq = self._seq + 1
+            self._seq = seq
+            self._imm_append((seq, fn, args))
+            return
         if delay < 0:
             raise ValueError("cannot schedule into the past (delay=%r)" % delay)
         self._seq += 1
         heapq.heappush(self._heap, (self._now + delay, self._seq, fn, args))
+
+    def _push_immediate(self, fn: Callable, *args: Any) -> None:
+        """Internal zero-delay schedule without the delay check."""
+        seq = self._seq + 1
+        self._seq = seq
+        self._imm_append((seq, fn, args))
 
     def event(self, name: str = "") -> Event:
         return Event(self, name)
@@ -326,31 +418,85 @@ class Simulator:
     # -- execution --------------------------------------------------------
 
     def step(self) -> bool:
-        """Execute the next scheduled callback.  Returns False when empty."""
-        if not self._heap:
+        """Execute the next scheduled callback.  Returns False when empty.
+
+        Merges the immediate queue with the heap respecting the
+        ``(time, seq)`` total order: immediate entries are due at the
+        current instant, so only a heap entry due *now* with a smaller
+        seq (scheduled earlier for this exact time) may preempt them.
+        """
+        immediate = self._immediate
+        heap = self._heap
+        if immediate:
+            if heap:
+                head = heap[0]
+                if head[0] <= self._now and head[1] < immediate[0][0]:
+                    heapq.heappop(heap)
+                    self._now = head[0]
+                    head[2](*head[3])
+                    return True
+            _seq, fn, args = immediate.popleft()
+            fn(*args)
+            return True
+        if not heap:
             return False
-        t, _seq, fn, args = heapq.heappop(self._heap)
+        t, _seq, fn, args = heapq.heappop(heap)
         self._now = t
         fn(*args)
         return True
 
     def run(self, until: Optional[float] = None) -> float:
-        """Run until the heap drains or the clock passes ``until``.
+        """Run until the queues drain or the clock passes ``until``.
 
         With ``until`` set the clock is left exactly at ``until`` even if
         the next event lies beyond it, so back-to-back ``run`` calls
         compose predictably.
         """
+        # The drain loops inline step() — one Python call per event is
+        # measurable at millions of events per figure point.
+        immediate = self._immediate
+        heap = self._heap
+        heappop = heapq.heappop
+        popleft = immediate.popleft
         if until is None:
-            while self.step():
-                pass
-            return self._now
+            while True:
+                if immediate:
+                    if heap:
+                        head = heap[0]
+                        if head[0] <= self._now and head[1] < immediate[0][0]:
+                            heappop(heap)
+                            self._now = head[0]
+                            head[2](*head[3])
+                            continue
+                    _seq, fn, args = popleft()
+                    fn(*args)
+                elif heap:
+                    t, _seq, fn, args = heappop(heap)
+                    self._now = t
+                    fn(*args)
+                else:
+                    return self._now
         if until < self._now:
             raise ValueError(
                 "until=%r is before current time %r" % (until, self._now)
             )
-        while self._heap and self._heap[0][0] <= until:
-            self.step()
+        while True:
+            if immediate:  # immediate entries are always due now (<= until)
+                if heap:
+                    head = heap[0]
+                    if head[0] <= self._now and head[1] < immediate[0][0]:
+                        heappop(heap)
+                        self._now = head[0]
+                        head[2](*head[3])
+                        continue
+                _seq, fn, args = popleft()
+                fn(*args)
+            elif heap and heap[0][0] <= until:
+                t, _seq, fn, args = heappop(heap)
+                self._now = t
+                fn(*args)
+            else:
+                break
         self._now = until
         return self._now
 

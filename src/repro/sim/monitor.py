@@ -48,8 +48,13 @@ class Tally:
     def __init__(self, name: str = ""):
         self.name = name
         self.values: List[float] = []
+        # Per-sample hot path: bind observe straight to list.append so
+        # each observation is one C call, no Python frame.  The method
+        # below remains as documentation and for subclasses that
+        # override __init__ without calling up.
+        self.observe = self.values.append
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float) -> None:  # noqa: F811 — shadowed by the bound append
         self.values.append(value)
 
     def __len__(self) -> int:

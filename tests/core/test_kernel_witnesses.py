@@ -1,0 +1,120 @@
+"""Determinism witnesses for the optimized simulation kernel.
+
+The kernel's zero-delay immediate queue and the codec word-level hot
+paths (PR 3) are only admissible if they are *bit-identical* to the
+original implementation: every callback must run in the same
+``(time, seq)`` total order and every encoder must emit the same bytes.
+
+These tests pin the witnesses produced by the pre-optimization kernel:
+
+* the :class:`~repro.faults.trace.EventTrace` digest of every plan in
+  ``tests/core/regression_schedules/`` (full verbose traces — every
+  message traversal, every fault draw);
+* the complete :class:`~repro.experiments.harness.PCTPoint` rows of a
+  Fig. 7 slice (all four schemes at one rate) and a Fig. 10 slice
+  (handover under CPF failure), float for float.
+
+If an optimization reorders same-time callbacks, perturbs an RNG draw
+sequence, or changes a single encoded byte, a digest or a percentile
+here moves and the test fails.  The expected values must NEVER be
+regenerated to make an optimization pass; they may only change when
+the *model* (protocol logic, costs, workloads) intentionally changes.
+"""
+
+import dataclasses
+import json
+import math
+import pathlib
+
+import pytest
+
+from repro.core import ControlPlaneConfig
+from repro.experiments.harness import RunSpec, run_pct_point
+from repro.faults import FaultPlan, run_plan
+
+CORPUS_DIR = pathlib.Path(__file__).parent / "regression_schedules"
+WITNESS_PCT = pathlib.Path(__file__).parent / "kernel_witness_pct.json"
+
+#: blake2b trace digests recorded with the pre-optimization kernel
+#: (binary heap only, per-bit codecs) at commit ca630d8.
+EXPECTED_DIGESTS = {
+    "blackhole_burst": "16025cfb48c4852bc48573070bdb81db",
+    "combined_chaos": "8e0121f367c3d969b5294781ea03d0c5",
+    "lossy_links": "11811451b4b6d0f14e2ee9422e656f07",
+    "partition_inter_region": "738d8fe81bbbb04bf27c9c95829afa23",
+    "s1_masked_failover": "6a3e5a482e351de00940883426f0d40d",
+    "s4_cta_failure": "1e410cce822c6857e43d273071afa059",
+}
+
+
+def test_every_corpus_plan_has_a_pinned_digest():
+    stems = sorted(p.stem for p in CORPUS_DIR.glob("*.json"))
+    assert stems == sorted(EXPECTED_DIGESTS), (
+        "regression corpus and pinned digests diverged; pin a digest for "
+        "every schedule (computed with the unoptimized kernel)"
+    )
+
+
+@pytest.mark.parametrize("stem", sorted(EXPECTED_DIGESTS), ids=str)
+def test_corpus_digest_matches_pre_optimization_kernel(stem):
+    plan = FaultPlan.load(str(CORPUS_DIR / ("%s.json" % stem)))
+    result = run_plan(plan, verbose_trace=True)
+    assert result.digest == EXPECTED_DIGESTS[stem], (
+        "trace digest moved for %s: the kernel/codec optimizations are no "
+        "longer bit-identical to the pre-optimization event order" % stem
+    )
+
+
+# -- figure-slice witnesses -------------------------------------------------
+
+_FIG07_SPEC = dict(
+    procedure="service_request",
+    procedures_target=150,
+    min_duration_s=0.02,
+    max_duration_s=0.06,
+)
+_FIG10_SPEC = dict(
+    procedure="handover",
+    cpfs_per_region=2,
+    failure_cpf_index=0,
+    failure_at_frac=0.5,
+    first_region_only=True,
+    procedures_target=150,
+    min_duration_s=0.02,
+    max_duration_s=0.06,
+)
+
+
+def _witnesses():
+    with open(WITNESS_PCT) as fp:
+        return json.load(fp)
+
+
+def _assert_point_identical(point, expected, label):
+    got = dataclasses.asdict(point)
+    assert sorted(got) == sorted(expected), label
+    for field, want in expected.items():
+        have = got[field]
+        if isinstance(want, float) and math.isnan(want):
+            assert isinstance(have, float) and math.isnan(have), (label, field)
+            continue
+        # Bit-identical: exact equality, no approx.
+        assert have == want, (
+            "%s: field %r moved from %r to %r" % (label, field, want, have)
+        )
+
+
+@pytest.mark.parametrize("preset", ["existing_epc", "dpcm", "skycore", "neutrino"])
+def test_fig07_slice_rows_are_byte_identical(preset):
+    expected = _witnesses()["fig07"][preset]
+    config = getattr(ControlPlaneConfig, preset)()
+    point = run_pct_point(config, 100e3, RunSpec(**_FIG07_SPEC))
+    _assert_point_identical(point, expected, "fig07/%s" % preset)
+
+
+def test_fig10_slice_row_is_byte_identical():
+    expected = _witnesses()["fig10"]["neutrino"]
+    point = run_pct_point(
+        ControlPlaneConfig.neutrino(), 60e3, RunSpec(**_FIG10_SPEC)
+    )
+    _assert_point_identical(point, expected, "fig10/neutrino")

@@ -121,3 +121,38 @@ class TestResultCache:
         cache.put("d" * 64, sample_point())
         assert cache.clear() == 2
         assert cache.get("c" * 64) is None
+
+
+class TestFingerprintOncePerRun:
+    def test_run_jobs_computes_fingerprint_once(self, tmp_path, monkeypatch):
+        # Regression: the code fingerprint hashes every .py file under
+        # src/repro, so it must be computed once per run, not once per
+        # point lookup (or eagerly for caches that are never used).
+        from repro.experiments import cache as cache_mod
+        from repro.experiments.parallel import SweepJob, run_jobs
+
+        calls = []
+
+        def counting_fingerprint():
+            calls.append(1)
+            return "test-fp"
+
+        monkeypatch.setattr(cache_mod, "code_fingerprint", counting_fingerprint)
+
+        root = str(tmp_path / "c")
+        config = ControlPlaneConfig.neutrino()
+        jobs = [SweepJob(config, rate, RunSpec()) for rate in
+                (10e3, 20e3, 30e3, 40e3, 50e3)]
+
+        seed_cache = ResultCache(root, fingerprint="test-fp")
+        for job in jobs:
+            key = seed_cache.key(job.config, job.axis_rate, job.spec)
+            seed_cache.put(key, sample_point(axis_rate=job.axis_rate))
+        assert calls == []  # explicit fingerprint: no computation at all
+
+        cache = ResultCache(root)
+        assert calls == []  # lazy: constructing a cache hashes nothing
+        points = run_jobs(jobs, jobs=1, cache=cache)
+        assert len(points) == len(jobs)
+        assert cache.stats.hits == len(jobs)
+        assert len(calls) == 1, "fingerprint must be computed once per run"

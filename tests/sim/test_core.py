@@ -117,6 +117,55 @@ class TestEvent:
         sim.run()
         assert seen == ["v"]
 
+    def test_callback_on_already_failed_event_receives_exception(self, sim):
+        # Audit: a late callback on a fired-*failed* event must still be
+        # delivered with the event (and its stored exception) as the
+        # argument, exactly like a waiter registered before the fail —
+        # otherwise the exception is silently dropped.
+        ev = sim.event("doomed")
+        boom = KeyError("boom")
+        ev.fail(boom)
+        seen = []
+        ev.add_callback(lambda e: seen.append((e.ok, e._exc)))
+        assert seen == []  # not synchronous, same as the success path
+        sim.run()
+        assert seen == [(False, boom)]
+
+    def test_late_callbacks_on_failed_event_interleave_in_seq_order(self, sim):
+        # Fired-failed + late-callback interleaving: callbacks added
+        # before the fail, after the fail, and from *inside* a delivered
+        # callback all run, in registration (seq) order.
+        ev = sim.event()
+        order = []
+        ev.add_callback(lambda e: order.append("early"))
+        ev.fail(RuntimeError("boom"))
+        ev.add_callback(lambda e: order.append("late"))
+
+        def nested(e):
+            order.append("outer")
+            e.add_callback(lambda e2: order.append("inner"))
+
+        ev.add_callback(nested)
+        sim.run()
+        assert order == ["early", "late", "outer", "inner"]
+
+    def test_process_joining_already_failed_event_gets_exception(self, sim):
+        ev = sim.event()
+        ev.fail(KeyError("gone"))
+        sim.run()  # the fail's dispatch (no waiters) fully drains
+        caught = []
+
+        def proc():
+            try:
+                yield ev
+            except KeyError as err:
+                caught.append(err)
+            return "handled"
+
+        result = sim.run_process(proc())
+        assert result == "handled"
+        assert len(caught) == 1
+
     def test_timeout_fires_at_right_time(self, sim):
         ev = sim.timeout(3.5, value="done")
         sim.run()
@@ -216,6 +265,52 @@ class TestCombinators:
         assert combined.fired and not combined.ok
         with pytest.raises(KeyError):
             _ = combined.value
+
+    def test_any_of_cancels_losing_children(self, sim):
+        # Regression: AnyOf left its losing children pending after the
+        # race was decided (unlike AllOf on failure), so producers
+        # (queues, stores) could deliver into abandoned events and die
+        # with "event already fired".
+        fast = sim.timeout(1.0, value="fast")
+        slow = sim.timeout(10.0, value="slow")
+        pending = sim.event("producer-held")
+        combined = sim.any_of([fast, slow, pending])
+        sim.run(until=2.0)
+        assert combined.value == (0, "fast")
+        assert slow.cancelled and not slow.fired
+        assert pending.cancelled and not pending.fired
+        # A producer following the cancellation protocol now skips the
+        # abandoned event instead of delivering into it.
+        if not pending.cancelled:
+            pending.succeed("too late")
+        sim.run()  # the slow timer pops: must stay unfired
+        assert not slow.fired
+
+    def test_any_of_failure_cancels_losing_children(self, sim):
+        slow = sim.timeout(10.0)
+        pending = sim.event()
+        bad = sim.event()
+        combined = sim.any_of([slow, pending, bad])
+        bad.fail(RuntimeError("boom"))
+        sim.run(until=1.0)
+        assert combined.fired and not combined.ok
+        assert slow.cancelled and pending.cancelled
+        sim.run()
+        assert not slow.fired
+
+    def test_any_of_does_not_cancel_already_fired_children(self, sim):
+        # Two children fire in the same instant: the second is already
+        # fired when the first's callback wins the race, and a fired
+        # event must keep its value for any other waiter holding it.
+        first = sim.event()
+        second = sim.event()
+        combined = sim.any_of([first, second])
+        first.succeed("a")
+        second.succeed("b")
+        sim.run()
+        assert combined.value == (0, "a")
+        assert second.ok and not second.cancelled
+        assert second.value == "b"
 
 
 class TestProcess:

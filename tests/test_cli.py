@@ -105,6 +105,30 @@ class TestFigureRunnerFlags:
         assert "cache:" not in capsys.readouterr().out
 
 
+class TestProfile:
+    def test_profile_fig20_reports_hot_functions(self, capsys):
+        assert main(["profile", "fig20", "--top", "10"]) == 0
+        out = capsys.readouterr().out
+        # The figure output still appears, followed by the pstats report.
+        assert "InitialUEMessage" in out
+        assert "top 10 functions by cumulative" in out
+        assert "function calls" in out  # pstats header
+        assert "encode" in out  # a codec hot function makes the top-10
+
+    def test_profile_sort_and_output_dump(self, tmp_path, capsys):
+        dump = tmp_path / "fig20.pstats"
+        argv = ["profile", "fig20", "--top", "5", "--sort", "tottime",
+                "--output", str(dump)]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "top 5 functions by tottime" in out
+        assert dump.exists() and dump.stat().st_size > 0
+
+    def test_profile_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["profile", "fig99"])
+
+
 class TestTrace:
     def test_trace_generation(self, tmp_path, capsys):
         out_file = tmp_path / "trace.jsonl"
