@@ -14,6 +14,8 @@ Usage::
     python -m repro chaos replay schedule.json    # bit-for-bit replay
     python -m repro chaos example schedule.json   # write a sample plan
     python -m repro profile fig08 --top 20        # cProfile a figure run
+    python -m repro obs fig07                     # traced run + breakdown
+    python -m repro obs fig07 --timeline          # + slowest-procedure trees
 
 Figure ids follow the paper's numbering (fig03, fig07-fig11, fig13-fig20).
 
@@ -204,6 +206,66 @@ _FIGURES = [
     "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "fig20",
 ]
 
+#: ``python -m repro obs`` figure points: one representative rate per
+#: PCT figure, run per-scheme with tracing on.  Cases are
+#: (label, config factory kwargs tuple, procedure, spec overrides).
+_OBS_FIGURES: Dict[str, dict] = {
+    "fig07": dict(
+        rate=140e3,
+        cases=[
+            ("existing_epc", ("existing_epc", {}), "service_request", {}),
+            ("dpcm", ("dpcm", {}), "service_request", {}),
+            ("skycore", ("skycore", {}), "service_request", {}),
+            ("neutrino", ("neutrino", {}), "service_request", {}),
+        ],
+    ),
+    "fig08": dict(
+        rate=80e3,
+        cases=[
+            ("existing_epc", ("existing_epc", {}), "attach", {}),
+            ("neutrino", ("neutrino", {}), "attach", {}),
+        ],
+    ),
+    "fig10": dict(
+        rate=60e3,
+        cases=[
+            (
+                label,
+                (label, {}),
+                "handover",
+                dict(
+                    cpfs_per_region=2,
+                    failure_cpf_index=0,
+                    failure_at_frac=0.5,
+                    first_region_only=True,
+                ),
+            )
+            for label in ("existing_epc", "neutrino")
+        ],
+    ),
+    "fig11": dict(
+        rate=60e3,
+        cases=[
+            (
+                "existing_epc", ("existing_epc", {}), "handover",
+                dict(first_region_only=True),
+            ),
+            (
+                "neutrino_default",
+                ("neutrino", dict(name="neutrino_default", proactive_georep=False)),
+                "handover",
+                dict(first_region_only=True),
+            ),
+            (
+                "neutrino_proactive",
+                ("neutrino", dict(name="neutrino_proactive")),
+                "fast_handover",
+                dict(first_region_only=True),
+            ),
+        ],
+    ),
+}
+
 
 def main(argv: List[str] = None) -> int:
     parser = argparse.ArgumentParser(
@@ -298,6 +360,34 @@ def main(argv: List[str] = None) -> int:
         help="also dump raw pstats data to FILE (for snakeviz etc.)",
     )
 
+    obs_parser = sub.add_parser(
+        "obs",
+        help="run one traced figure point; export Perfetto JSON + breakdown",
+        description=(
+            "Run one representative measurement point per scheme of a PCT "
+            "figure with tracing enabled, write a Chrome/Perfetto "
+            "trace_event JSON per scheme plus a merged metrics snapshot, "
+            "and print the per-phase latency breakdown."
+        ),
+    )
+    obs_parser.add_argument("id", choices=sorted(_OBS_FIGURES))
+    obs_parser.add_argument(
+        "--rate", type=float, default=None, metavar="R",
+        help="override the point's system-wide procedures/s",
+    )
+    obs_parser.add_argument(
+        "--out", default="obs-out", metavar="DIR",
+        help="output directory for trace/metrics files (default: %(default)s)",
+    )
+    obs_parser.add_argument(
+        "--smoke", action="store_true",
+        help="tiny reduced spec (CI smoke runs)",
+    )
+    obs_parser.add_argument(
+        "--timeline", action="store_true",
+        help="also print the slowest procedures' span trees",
+    )
+
     trace_parser = sub.add_parser("trace", help="generate a synthetic trace")
     trace_parser.add_argument("output")
     trace_parser.add_argument("--devices", type=int, default=100)
@@ -317,6 +407,11 @@ def main(argv: List[str] = None) -> int:
     )
     replay_parser.add_argument(
         "--show-trace", action="store_true", help="print the recorded event trace"
+    )
+    replay_parser.add_argument(
+        "--obs", action="store_true",
+        help="run with tracing installed so violations carry span ids "
+        "(the digest check proves tracing changed nothing)",
     )
     example_parser = chaos_sub.add_parser(
         "example", help="write a sample chaos FaultPlan to a JSON file"
@@ -359,6 +454,8 @@ def main(argv: List[str] = None) -> int:
         return 0
     if args.command == "chaos":
         return _run_chaos(args)
+    if args.command == "obs":
+        return _run_obs(args)
     parser.print_help()
     return 1
 
@@ -425,6 +522,56 @@ def _run_sweep_command(args) -> int:
     return 0
 
 
+def _run_obs(args) -> int:
+    import json
+    import os
+
+    from .core.config import ControlPlaneConfig
+    from .experiments.harness import run_pct_point
+    from .experiments.report import format_latency_breakdown
+    from .obs import Observability
+    from .obs.export import (
+        timeline_summary,
+        validate_chrome_trace,
+        write_chrome_trace,
+    )
+
+    table = _OBS_FIGURES[args.id]
+    rate = args.rate if args.rate is not None else table["rate"]
+    os.makedirs(args.out, exist_ok=True)
+
+    labeled = []
+    for label, (preset, kwargs), procedure, overrides in table["cases"]:
+        config = getattr(ControlPlaneConfig, preset)(**kwargs)
+        spec_kwargs = dict(procedure=procedure, **overrides)
+        spec = _smoke_spec(**spec_kwargs) if args.smoke else _quick_spec(**spec_kwargs)
+        obs = Observability("trace")
+        point = run_pct_point(config, rate, spec, obs=obs)
+        print(point.row())
+        trace_path = os.path.join(args.out, "%s-%s.trace.json" % (args.id, label))
+        data = write_chrome_trace(
+            trace_path, obs.tracer, process_name="repro %s %s" % (args.id, label)
+        )
+        n_events = validate_chrome_trace(data)
+        print("  trace ok (%d events) -> %s" % (n_events, trace_path))
+        if args.timeline:
+            print(timeline_summary(obs.tracer, limit=2))
+        labeled.append((label, obs.snapshot()))
+
+    metrics_path = os.path.join(args.out, "%s-metrics.json" % args.id)
+    with open(metrics_path, "w") as fp:
+        json.dump({label: snap for label, snap in labeled}, fp, indent=1)
+        fp.write("\n")
+    print("metrics snapshot -> %s" % metrics_path)
+    print()
+    print(
+        format_latency_breakdown(
+            labeled, title="Latency breakdown — %s @ %.0f procedures/s" % (args.id, rate)
+        )
+    )
+    return 0
+
+
 def _run_chaos(args) -> int:
     from .faults import FaultPlan, replay
 
@@ -442,7 +589,7 @@ def _run_chaos(args) -> int:
         return 0
     if args.chaos_command == "replay":
         plan = FaultPlan.load(args.plan)
-        report = replay(plan, runs=args.runs)
+        report = replay(plan, runs=args.runs, obs_mode="trace" if args.obs else None)
         result = report.results[0]
         for i, digest in enumerate(report.digests):
             print("run %d: digest=%s" % (i + 1, digest))
@@ -451,6 +598,12 @@ def _run_chaos(args) -> int:
             print("READ-YOUR-WRITES VIOLATIONS:")
             for violation in result.violations:
                 print("  %r" % (violation,))
+                if violation.span_id is not None:
+                    print(
+                        "    span: trace_id=%d span_id=%d (searchable in the "
+                        "exported Perfetto trace)"
+                        % (violation.trace_id, violation.span_id)
+                    )
                 for event in violation.trace:
                     print("    %r" % (event,))
         if args.show_trace:

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict, List, Tuple
+from typing import Deque, Dict, List, Optional, Tuple
 
 __all__ = ["RYWAuditor", "ConsistencyAuditor", "Violation", "CausalEvent"]
 
@@ -48,7 +48,10 @@ class Violation:
 
     ``trace`` carries the UE's causal history up to (and including) the
     violating serve; it is excluded from equality so violations compare
-    by the observable facts alone.
+    by the observable facts alone.  When observability was installed on
+    the run, ``trace_id``/``span_id`` point at the violating serve's
+    span in the exported timeline (searchable in the Perfetto UI); they
+    are diagnostics, also excluded from equality.
     """
 
     time: float
@@ -57,6 +60,8 @@ class Violation:
     reader_version: int
     served_version: int
     trace: Tuple[CausalEvent, ...] = field(default=(), compare=False, repr=False)
+    trace_id: Optional[int] = field(default=None, compare=False)
+    span_id: Optional[int] = field(default=None, compare=False)
 
 
 @dataclass
@@ -100,7 +105,12 @@ class RYWAuditor:
     # -- read side ------------------------------------------------------------
 
     def record_serve(
-        self, ue_id: str, reader_version: int, served_version: int, cpf_name: str
+        self,
+        ue_id: str,
+        reader_version: int,
+        served_version: int,
+        cpf_name: str,
+        span: object = None,
     ) -> None:
         self.serves += 1
         self._note(
@@ -119,6 +129,8 @@ class RYWAuditor:
                     reader_version,
                     served_version,
                     trace=self.history(ue_id),
+                    trace_id=getattr(span, "root_id", None),
+                    span_id=getattr(span, "span_id", None),
                 )
             )
 

@@ -26,6 +26,14 @@ __all__ = ["CPF", "HandleResult", "SNAPSHOT_WIRE_BYTES"]
 SNAPSHOT_WIRE_BYTES = 1200
 
 
+class _ShipAbandoned(Exception):
+    """Internal: a checkpoint ship leg gave up; carries the span status."""
+
+    def __init__(self, status: str):
+        super().__init__(status)
+        self.status = status
+
+
 @dataclass(frozen=True)
 class HandleResult:
     """Outcome of the CPF processing one uplink message."""
@@ -88,6 +96,7 @@ class CPF:
         creates_state: bool = False,
         reader_version: int = 0,
         extra_service: float = 0.0,
+        obs_parent: Optional[Any] = None,
     ) -> Event:
         """Process one logged uplink message for ``ue_id``.
 
@@ -98,9 +107,32 @@ class CPF:
         """
         service = self.message_service_time(msg_name, resp_msg, extra_service)
         done = self.sim.event("%s.handle" % self.name)
+        obs = self.dep.obs
+        if obs is not None and obs_parent is not None:
+            span = obs.tracer.begin(
+                "cpf.handle", parent=obs_parent, phase="cpf",
+                node=self.name, msg=msg_name,
+            )
+        else:
+            span = None
+
+        def finish_span(status: str) -> None:
+            if span is None:
+                return
+            # Split queueing from serving: the job spent `service`
+            # seconds on a core; everything else was the queue.
+            total = self.sim.now - span.start
+            wait = max(0.0, total - service)
+            obs.tracer.finish(
+                span,
+                status=status,
+                phases=(("cpf_wait", wait), ("cpf_serve", total - wait)),
+            )
 
         def process(_value: Any) -> None:
             self.messages_handled += 1
+            if obs is not None:
+                obs.metrics.counter("cpf_messages", node=self.name).inc()
             if creates_state:
                 entry = self.store.get(ue_id)
                 if entry is None or not entry.is_primary:
@@ -120,24 +152,29 @@ class CPF:
                     # reveal a CPF operating behind the UE's last
                     # completed write, closing repair/checkpoint races.
                     self.dep.auditor.record_reattach_forced(ue_id, self.name)
+                    finish_span("reattach_required")
                     done.succeed(HandleResult("reattach_required", self.name))
                     return
                 entry.is_primary = True
             self.dep.auditor.record_serve(
-                ue_id, reader_version, entry.state.version, self.name
+                ue_id, reader_version, entry.state.version, self.name, span=span
             )
             entry.state.apply_message()
             entry.synced_clock = max(entry.synced_clock, clock)
             if self.config.sync_mode == "per_message":
-                self._checkpoint(ue_id, clock)
+                self._checkpoint(ue_id, clock, obs_parent=span)
+            finish_span("ok")
             done.succeed(HandleResult("ok", self.name, entry.state.version))
 
+        def _on_job(ev: Event) -> None:
+            if ev.ok:
+                process(ev.value)
+            elif not done.fired:
+                finish_span("failed")
+                done.fail(NodeFailed(self.name))
+
         job = self.server.submit(service)
-        job.add_callback(
-            lambda ev: process(ev.value) if ev.ok else (
-                done.fail(NodeFailed(self.name)) if not done.fired else None
-            )
-        )
+        job.add_callback(_on_job)
         return done
 
     def peer_service_time(self, req_msg: str, resp_msg: Optional[str]) -> float:
@@ -151,7 +188,8 @@ class CPF:
     # -- procedure boundaries ----------------------------------------------------
 
     def complete_procedure(
-        self, ue_id: str, proc_name: str, last_clock: int
+        self, ue_id: str, proc_name: str, last_clock: int,
+        obs_parent: Optional[Any] = None,
     ) -> List[str]:
         """Commit the procedure and (maybe) checkpoint; returns replicas.
 
@@ -165,16 +203,18 @@ class CPF:
         entry.state.complete_procedure(proc_name)
         entry.synced_clock = max(entry.synced_clock, last_clock)
         if self.config.sync_mode == "per_procedure":
-            return self._checkpoint(ue_id, last_clock)
+            return self._checkpoint(ue_id, last_clock, obs_parent=obs_parent)
         if self.config.sync_mode == "on_idle" and not entry.state.active:
-            return self._checkpoint(ue_id, last_clock)
+            return self._checkpoint(ue_id, last_clock, obs_parent=obs_parent)
         if self.config.sync_mode == "per_message":
             return self.dep.replicas_of(ue_id)
         return []
 
     # -- replication (primary side) ------------------------------------------------
 
-    def _checkpoint(self, ue_id: str, last_clock: int) -> List[str]:
+    def _checkpoint(
+        self, ue_id: str, last_clock: int, obs_parent: Optional[Any] = None
+    ) -> List[str]:
         """Asynchronously ship a state snapshot to the backups (§4.2.2).
 
         Non-blocking: the snapshot is taken now (after the lock cost,
@@ -192,39 +232,72 @@ class CPF:
             return []
         snapshot = entry.state.copy()
         self.checkpoints_sent += 1
+        obs = self.dep.obs
         for replica_name in replicas:
+            if obs is not None and obs_parent is not None:
+                span = obs.tracer.begin(
+                    "checkpoint.ship", parent=obs_parent, phase="checkpoint",
+                    node=self.name, replica=replica_name,
+                )
+            else:
+                span = None
             self.sim.process(
-                self._ship(ue_id, snapshot, last_clock, replica_name),
+                self._ship(ue_id, snapshot, last_clock, replica_name, span=span),
                 name="%s.ship.%s" % (self.name, ue_id),
             )
         return replicas
 
-    def _ship(self, ue_id: str, snapshot: UEState, last_clock: int, replica_name: str):
+    def _ship(
+        self,
+        ue_id: str,
+        snapshot: UEState,
+        last_clock: int,
+        replica_name: str,
+        span: Optional[Any] = None,
+    ):
+        status = "lost"
+        try:
+            yield from self._ship_inner(ue_id, snapshot, last_clock, replica_name, span)
+            status = "acked"
+        except _ShipAbandoned as stop:
+            status = stop.status
+        finally:
+            if span is not None:
+                self.dep.obs.tracer.finish(span, status=status)
+
+    def _ship_inner(self, ue_id, snapshot, last_clock, replica_name, span):
         cost = self._cost()
         serialize = cost.serialize_cost(self._codec(), 16)  # snapshot encode
         try:
             yield self.sync_server.submit(serialize)
         except NodeFailed:
-            return  # we died mid-checkpoint; backups stay stale (scenario 2/3)
+            # we died mid-checkpoint; backups stay stale (scenario 2/3)
+            raise _ShipAbandoned("primary_died")
         hop = self.dep.cpf_hop(self.name, replica_name)
         try:
-            yield self.dep.hop(hop, SNAPSHOT_WIRE_BYTES, src=self.name, dst=replica_name)
+            yield self.dep.hop(
+                hop, SNAPSHOT_WIRE_BYTES, src=self.name, dst=replica_name, parent=span
+            )
         except NodeFailed:
-            return  # checkpoint lost in transit; ACK never arrives -> §4.2.4
+            # checkpoint lost in transit; ACK never arrives -> §4.2.4
+            raise _ShipAbandoned("lost")
         replica = self.dep.cpfs.get(replica_name)
         if replica is None or not replica.up:
-            return  # replica down; its ACK never arrives -> §4.2.4 timeout
+            # replica down; its ACK never arrives -> §4.2.4 timeout
+            raise _ShipAbandoned("replica_down")
         applied = yield from replica.apply_snapshot(ue_id, snapshot, last_clock)
         if not applied:
-            return
+            raise _ShipAbandoned("replica_died")
         # ACK back to the UE's CTA (§4.2.3 step 3).
         cta = self.dep.cta_of(ue_id)
         try:
             yield self.dep.hop(
-                "cta_cpf", 64, src=replica_name, dst=cta.name if cta else None
+                "cta_cpf", 64, src=replica_name, dst=cta.name if cta else None,
+                parent=span,
             )
         except NodeFailed:
-            return  # lost ACK looks like a laggard replica; scan repairs it
+            # lost ACK looks like a laggard replica; scan repairs it
+            raise _ShipAbandoned("ack_lost")
         if cta is not None and cta.up:
             cta.log.ack(ue_id, last_clock, replica_name)
 

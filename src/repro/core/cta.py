@@ -88,6 +88,10 @@ class CTA:
         clock = self.dep.next_clock(ue_id)
         self.clock.tick()
         self.log.append(clock, ue_id, msg_name, size_bytes)
+        obs = self.dep.obs
+        if obs is not None:
+            obs.metrics.counter("cta_messages", node=self.name).inc()
+            obs.metrics.gauge("cta_log_bytes", node=self.name).set(self.log.size_bytes)
         service = self.config.cta_forward_s
         if self.config.message_logging:
             service += self.config.log_append_s
@@ -109,7 +113,7 @@ class CTA:
 
     # -- recovery (§4.2.5) -----------------------------------------------------------
 
-    def failover(self, ue_id: str) -> Generator:
+    def failover(self, ue_id: str, obs_parent=None) -> Generator:
         """Recovery decision process; returns a :class:`FailoverPlan`.
 
         Detection time is not modeled (the paper excludes it from PCT,
@@ -117,7 +121,7 @@ class CTA:
         """
         self.failovers += 1
         if self.config.recovery == "replay":
-            plan = yield from self._try_promote(ue_id)
+            plan = yield from self._try_promote(ue_id, obs_parent=obs_parent)
             if plan is not None:
                 return plan
         # Scenario 3 (or EPC policy): Re-Attach through a fresh primary.
@@ -126,8 +130,9 @@ class CTA:
         self.dep.reset_placement(ue_id, new_primary)
         return FailoverPlan("reattach", new_primary)
 
-    def _try_promote(self, ue_id: str) -> Generator:
+    def _try_promote(self, ue_id: str, obs_parent=None) -> Generator:
         """Scenarios 1 & 2: find a synced backup, replay the log tail."""
+        obs = self.dep.obs
         for backup_name in self.dep.replicas_of(ue_id):
             backup = self.dep.cpfs.get(backup_name)
             if backup is None or not backup.up:
@@ -140,16 +145,28 @@ class CTA:
             pending = self.log.entries_after(ue_id, entry.synced_clock)
             replayed = 0
             for log_entry in pending:
+                if obs is not None and obs_parent is not None:
+                    rspan = obs.tracer.begin(
+                        "cta.replay", parent=obs_parent, phase="recovery",
+                        node=backup_name, msg=log_entry.msg_name,
+                    )
+                else:
+                    rspan = None
                 try:
                     yield self.dep.hop(
                         self.dep.cpf_hop_from_cta(self.region, backup_name),
                         log_entry.size_bytes,
                         src=self.name,
                         dst=backup_name,
+                        parent=rspan,
                     )
                     yield backup.replay_message(ue_id, log_entry.msg_name, log_entry.clock)
                 except NodeFailed:
+                    if rspan is not None:
+                        obs.tracer.finish(rspan, status="failed")
                     break  # backup died (or replay msg lost); try the next one
+                if rspan is not None:
+                    obs.tracer.finish(rspan, status="ok")
                 replayed += 1
             else:
                 entry = backup.store.get(ue_id)

@@ -68,6 +68,11 @@ class Deployment:
         #: every link traversal routes through it (drop/dup/reorder/
         #: partition semantics + event tracing).
         self.faults = None
+        #: installed by :meth:`repro.obs.Observability.install`; when
+        #: set, every link traversal records a transit span and hop
+        #: counters.  ``None`` (the default) keeps every instrumented
+        #: site down to one attribute check.
+        self.obs = None
 
         self.cpfs: Dict[str, CPF] = {}
         self.ctas: Dict[str, CTA] = {}
@@ -180,6 +185,7 @@ class Deployment:
         nbytes: int,
         src: Optional[str] = None,
         dst: Optional[str] = None,
+        parent: Optional[Any] = None,
     ) -> Event:
         """One directed link traversal as a waitable event.
 
@@ -189,13 +195,21 @@ class Deployment:
         :class:`~repro.sim.network.LinkDown` when the message is lost
         (blackholed link, partition, exhausted retransmissions) — which
         the protocol layer handles exactly like a peer failure.
+
+        ``parent`` is the observability span this traversal belongs to
+        (the procedure's root, a checkpoint ship, a replay); ignored
+        unless an :class:`~repro.obs.Observability` is installed.
         """
         link = self.links[hop_class]
         if self.faults is not None:
-            return self.faults.transit_event(link, nbytes, src, dst)
-        link.messages_sent += 1
-        link.bytes_sent += nbytes
-        return self.sim.timeout(link.delay(nbytes))
+            ev = self.faults.transit_event(link, nbytes, src, dst)
+        else:
+            link.messages_sent += 1
+            link.bytes_sent += nbytes
+            ev = self.sim.timeout(link.delay(nbytes))
+        if self.obs is not None:
+            self.obs.on_hop(hop_class, nbytes, ev, parent)
+        return ev
 
     def cpf_hop(self, a: str, b: str) -> str:
         ra = self.region_map.region_of_cpf(a).geohash

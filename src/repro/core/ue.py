@@ -17,6 +17,7 @@ the failed procedure's PCT when the Re-Attach completes.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from typing import Generator, Optional
 
 from ..messages.procedures import ProcedureSpec, Step
@@ -28,6 +29,26 @@ from .cpf import CPF, SNAPSHOT_WIRE_BYTES
 __all__ = ["UE", "ProcedureOutcome", "ProcedureAborted"]
 
 _MAX_RECOVERIES = 8
+
+#: reusable no-op context manager (nullcontext is stateless/reentrant):
+#: the whole per-span cost when observability is disabled.
+_NULL_SPAN = nullcontext()
+
+
+def _span_factory(obs, parent):
+    """Per-step span context managers, parented under ``parent``.
+
+    Parenting is explicit (never an ambient stack): sim processes
+    interleave at every yield, so only the procedure's own root may
+    adopt its spans.  With obs disabled this costs one lambda per
+    procedure step-helper call and a C-level nullcontext per site.
+    """
+    if obs is None or parent is None:
+        return lambda name, phase=None, **attrs: _NULL_SPAN
+    tracer = obs.tracer
+    return lambda name, phase=None, **attrs: tracer.span(
+        name, parent=parent, phase=phase, **attrs
+    )
 
 
 class ProcedureAborted(Exception):
@@ -61,6 +82,8 @@ class UE:
         self.completed_version = 0
         self.busy = False
         self.procedures_run = 0
+        #: root span of the procedure currently running (obs enabled only).
+        self._obs_root = None
 
     # ------------------------------------------------------------------ api
 
@@ -91,6 +114,35 @@ class UE:
     # ----------------------------------------------------------- procedure body
 
     def _run_steps(self, spec, proc_name, target_bs, outcome, is_attach) -> Generator:
+        obs = self.dep.obs
+        if obs is None:
+            self._obs_root = None
+            yield from self._run_steps_inner(
+                spec, proc_name, target_bs, outcome, is_attach
+            )
+            return
+        # Root span for the whole procedure; a nested Re-Attach (its own
+        # execute() call) parents under the failed procedure's root, so
+        # the recovery shows up inside the timeline that paid for it.
+        prev_root = self._obs_root
+        root = obs.tracer.begin(
+            "proc." + proc_name, parent=prev_root, proc=proc_name, ue=self.ue_id
+        )
+        self._obs_root = root
+        try:
+            yield from self._run_steps_inner(
+                spec, proc_name, target_bs, outcome, is_attach
+            )
+        finally:
+            obs.tracer.finish(
+                root,
+                status="completed" if outcome.completed else "failed",
+                recovered=outcome.recovered,
+                reattached=outcome.reattached,
+            )
+            self._obs_root = prev_root
+
+    def _run_steps_inner(self, spec, proc_name, target_bs, outcome, is_attach) -> Generator:
         dep = self.dep
         self._last_clock = 0
         self._migrated_to: Optional[str] = None
@@ -139,10 +191,14 @@ class UE:
             self.bs_name = target_bs
         serving = dep.cpfs.get(serving_name)
         if serving is not None and serving.up:
+            span = _span_factory(dep.obs, self._obs_root)
             if dep.config.sync_mode == "per_procedure":
                 # brief state lock on the processing core (§6.7.1)
-                yield serving.server.submit(dep.config.checkpoint_lock_s)
-            replicas = serving.complete_procedure(self.ue_id, proc_name, self._last_clock)
+                with span("checkpoint.lock", phase="lock", node=serving.name):
+                    yield serving.server.submit(dep.config.checkpoint_lock_s)
+            replicas = serving.complete_procedure(
+                self.ue_id, proc_name, self._last_clock, obs_parent=self._obs_root
+            )
             cta = dep.cta_of(self.ue_id)
             if cta is not None and cta.up:
                 cta.procedure_completed(self.ue_id, self._last_clock, replicas)
@@ -171,7 +227,9 @@ class UE:
             self.ue_id, tgt_region, min_version=self.completed_version
         )
         if fetch_from is not None:
-            yield from dep.cpfs[tgt_name].fetch_state_from(self.ue_id, fetch_from)
+            span = _span_factory(dep.obs, self._obs_root)
+            with span("cpf.fetch", phase="migrate", src=fetch_from, dst=tgt_name):
+                yield from dep.cpfs[tgt_name].fetch_state_from(self.ue_id, fetch_from)
             entry = dep.cpfs[tgt_name].store.get(self.ue_id)
             if entry is None or entry.state.version < self.completed_version:
                 raise NodeFailed(tgt_name)
@@ -216,18 +274,22 @@ class UE:
         bs, cta, cpf = self._context(step, proc_name, target_bs)
         msg, resp = step.request, step.response
         size = CATALOG.composed_wire_size(msg, step.request_nas, dep.config.codec)
+        root = self._obs_root
+        span = _span_factory(dep.obs, root)
 
-        yield dep.hop("ue_bs", size)
-        yield sim.timeout(bs.uplink_delay(msg))
-        yield dep.hop("bs_cta", size)
-        clock = yield cta.ingest(self.ue_id, msg, size)
+        yield dep.hop("ue_bs", size, parent=root)
+        with span("bs.uplink", phase="radio", bs=bs.name, msg=msg):
+            yield sim.timeout(bs.uplink_delay(msg))
+        yield dep.hop("bs_cta", size, parent=root)
+        with span("cta.ingest", phase="cta", node=cta.name, msg=msg):
+            clock = yield cta.ingest(self.ue_id, msg, size)
         self._last_clock = max(self._last_clock, clock)
-        yield dep.hop("cta_cpf", size)
+        yield dep.hop("cta_cpf", size, parent=root)
 
         creates = is_attach and msg == "InitialUEMessage"
         reader_version = 0 if is_attach else self.completed_version
         result = yield cpf.handle_uplink(
-            self.ue_id, msg, clock, resp, creates, reader_version
+            self.ue_id, msg, clock, resp, creates, reader_version, obs_parent=root
         )
         if result.status == "reattach_required":
             # §4.2.4(3): treat like a primary loss — the CTA will route
@@ -238,11 +300,13 @@ class UE:
             resp_size = CATALOG.composed_wire_size(
                 resp, step.response_nas, dep.config.codec
             )
-            yield dep.hop("cta_cpf", resp_size)
-            yield cta.respond()
-            yield dep.hop("bs_cta", resp_size)
-            yield sim.timeout(bs.downlink_delay(resp))
-            yield dep.hop("ue_bs", resp_size)
+            yield dep.hop("cta_cpf", resp_size, parent=root)
+            with span("cta.respond", phase="cta", node=cta.name):
+                yield cta.respond()
+            yield dep.hop("bs_cta", resp_size, parent=root)
+            with span("bs.downlink", phase="radio", bs=bs.name, msg=resp):
+                yield sim.timeout(bs.downlink_delay(resp))
+            yield dep.hop("ue_bs", resp_size, parent=root)
         if step.ends_pct:
             self._mark_pct(outcome)
 
@@ -253,17 +317,22 @@ class UE:
         req, resp = step.request, step.response
         req_size = CATALOG.composed_wire_size(req, step.request_nas, dep.config.codec)
         cost = dep.config.cost_model
+        root = self._obs_root
+        span = _span_factory(dep.obs, root)
 
         # CPF encodes and emits the downlink request.
-        yield cpf.handle_peer(
-            cost.base_process_s * 0.5
-            + cost.serialize_cost(dep.config.codec, CATALOG.element_count(req))
-        )
-        yield dep.hop("cta_cpf", req_size)
-        yield cta.respond()
-        yield dep.hop("bs_cta", req_size)
-        yield sim.timeout(bs.downlink_delay(req))
-        yield dep.hop("ue_bs", req_size)
+        with span("cpf.encode", phase="cpf_serve", node=cpf.name, msg=req):
+            yield cpf.handle_peer(
+                cost.base_process_s * 0.5
+                + cost.serialize_cost(dep.config.codec, CATALOG.element_count(req))
+            )
+        yield dep.hop("cta_cpf", req_size, parent=root)
+        with span("cta.respond", phase="cta", node=cta.name):
+            yield cta.respond()
+        yield dep.hop("bs_cta", req_size, parent=root)
+        with span("bs.downlink", phase="radio", bs=bs.name, msg=req):
+            yield sim.timeout(bs.downlink_delay(req))
+        yield dep.hop("ue_bs", req_size, parent=root)
         if step.ends_pct:
             # The accept/command reached the UE: the paper's client-side
             # PCT clock stops here.
@@ -273,14 +342,16 @@ class UE:
             # BS answers uplink; it is logged and handled like any other
             # uplink control message.
             resp_size = CATALOG.wire_size(resp, dep.config.codec)
-            yield sim.timeout(bs.uplink_delay(resp))
-            yield dep.hop("bs_cta", resp_size)
-            clock = yield cta.ingest(self.ue_id, resp, resp_size)
+            with span("bs.uplink", phase="radio", bs=bs.name, msg=resp):
+                yield sim.timeout(bs.uplink_delay(resp))
+            yield dep.hop("bs_cta", resp_size, parent=root)
+            with span("cta.ingest", phase="cta", node=cta.name, msg=resp):
+                clock = yield cta.ingest(self.ue_id, resp, resp_size)
             self._last_clock = max(self._last_clock, clock)
-            yield dep.hop("cta_cpf", resp_size)
+            yield dep.hop("cta_cpf", resp_size, parent=root)
             reader_version = 0 if is_attach else self.completed_version
             result = yield cpf.handle_uplink(
-                self.ue_id, resp, clock, None, False, reader_version
+                self.ue_id, resp, clock, None, False, reader_version, obs_parent=root
             )
             if result.status == "reattach_required":
                 raise NodeFailed(cpf.name)
@@ -293,19 +364,24 @@ class UE:
         req_size = CATALOG.wire_size(req, dep.config.codec)
         resp_size = CATALOG.wire_size(resp, dep.config.codec) if resp else 0
         cost = dep.config.cost_model
+        root = self._obs_root
+        span = _span_factory(dep.obs, root)
 
         def leg() -> Generator:
-            yield cpf.handle_peer(
-                cost.base_process_s * 0.5
-                + cost.serialize_cost(dep.config.codec, CATALOG.element_count(req))
-            )
-            yield dep.hop("cpf_upf", req_size)
-            yield upf.program(req, self.ue_id, bs.name)
-            if resp:
-                yield dep.hop("cpf_upf", resp_size)
+            with span("cpf.encode", phase="cpf_serve", node=cpf.name, msg=req):
                 yield cpf.handle_peer(
-                    cost.deserialize_cost(dep.config.codec, CATALOG.element_count(resp))
+                    cost.base_process_s * 0.5
+                    + cost.serialize_cost(dep.config.codec, CATALOG.element_count(req))
                 )
+            yield dep.hop("cpf_upf", req_size, parent=root)
+            with span("upf.program", phase="upf", upf=upf.name, msg=req):
+                yield upf.program(req, self.ue_id, bs.name)
+            if resp:
+                yield dep.hop("cpf_upf", resp_size, parent=root)
+                with span("cpf.decode", phase="cpf_serve", node=cpf.name, msg=resp):
+                    yield cpf.handle_peer(
+                        cost.deserialize_cost(dep.config.codec, CATALOG.element_count(resp))
+                    )
             if step.ends_pct:
                 self._mark_pct(outcome)
 
@@ -338,21 +414,24 @@ class UE:
         req_size = CATALOG.wire_size(req, codec) + SNAPSHOT_WIRE_BYTES
         resp_size = CATALOG.wire_size(resp, codec) if resp else 64
         hop = dep.cpf_hop(src_name, tgt_name)
+        root = self._obs_root
+        span = _span_factory(dep.obs, root)
 
-        # Source: snapshot + encode the relocation request.
-        yield src.handle_peer(src.message_service_time(req, None))
-        entry = src.store.get(self.ue_id)
-        if entry is None or not entry.up_to_date:
-            raise NodeFailed(src_name)
-        snapshot, clock = entry.state.copy(), entry.synced_clock
-        yield dep.hop(hop, req_size)
-        # Target: decode, install migrated state, encode the ack.
-        yield tgt.handle_peer(tgt.message_service_time(req, resp))
-        tgt.store.install_snapshot(self.ue_id, snapshot, clock)
-        yield dep.hop(hop, resp_size)
-        yield src.handle_peer(
-            dep.config.cost_model.deserialize_cost(codec, CATALOG.element_count(resp or req))
-        )
+        with span("cpf.migrate", phase="migrate", src=src_name, dst=tgt_name):
+            # Source: snapshot + encode the relocation request.
+            yield src.handle_peer(src.message_service_time(req, None))
+            entry = src.store.get(self.ue_id)
+            if entry is None or not entry.up_to_date:
+                raise NodeFailed(src_name)
+            snapshot, clock = entry.state.copy(), entry.synced_clock
+            yield dep.hop(hop, req_size, parent=root)
+            # Target: decode, install migrated state, encode the ack.
+            yield tgt.handle_peer(tgt.message_service_time(req, resp))
+            tgt.store.install_snapshot(self.ue_id, snapshot, clock)
+            yield dep.hop(hop, resp_size, parent=root)
+            yield src.handle_peer(
+                dep.config.cost_model.deserialize_cost(codec, CATALOG.element_count(resp or req))
+            )
         self._migrated_to = tgt_name
 
     # ---------------------------------------------------------------- recovery
@@ -372,7 +451,14 @@ class UE:
             dep.reset_placement(self.ue_id, dep.pick_fresh_primary(self.ue_id))
             yield from self._reattach(proc_name, outcome)
             return "reattached"
-        plan = yield from cta.failover(self.ue_id)
+        obs, root = dep.obs, self._obs_root
+        if obs is not None and root is not None:
+            with obs.tracer.span(
+                "recovery.failover", parent=root, phase="recovery", node=cta.name
+            ) as rs:
+                plan = yield from cta.failover(self.ue_id, obs_parent=rs)
+        else:
+            plan = yield from cta.failover(self.ue_id)
         if plan.action == "resume":
             self._migrated_to = None
             return "resumed"

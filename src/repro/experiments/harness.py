@@ -21,6 +21,7 @@ from ..core.config import ControlPlaneConfig
 from ..core.deployment import Deployment
 from ..faults.injector import FaultInjector
 from ..faults.plan import FaultEvent, FaultPlan
+from ..obs import MODES as OBS_MODES, Observability
 from ..sim.core import Simulator
 from ..sim.monitor import percentile
 from ..sim.rng import RngRegistry
@@ -52,6 +53,10 @@ class PCTPoint:
     max_log_bytes: float = 0.0
     completed: int = 0
     utilization: float = 0.0
+    #: Observability snapshot (counters + phase histograms) when the run
+    #: had obs installed, else None.  Rides through the parallel sweep's
+    #: result serialization so worker snapshots merge on the parent.
+    obs: Optional[dict] = None
 
     @property
     def empty(self) -> bool:
@@ -108,6 +113,10 @@ class RunSpec:
     #: :mod:`repro.faults`; the spec's own ``failure_cpf_index`` kill is
     #: merged in as a timed event, never mutating this shared plan.
     fault_plan: Optional[FaultPlan] = None
+    #: "off" (default), "metrics", or "trace": install a fresh
+    #: :class:`repro.obs.Observability` on each point's deployment and
+    #: attach its snapshot to the returned :class:`PCTPoint`.
+    obs_mode: str = "off"
 
     @property
     def n_sim_cpfs(self) -> int:
@@ -122,12 +131,22 @@ def _duration_for(spec: RunSpec, offered: float) -> float:
 
 
 def run_pct_point(
-    config: ControlPlaneConfig, axis_rate: float, spec: Optional[RunSpec] = None
+    config: ControlPlaneConfig,
+    axis_rate: float,
+    spec: Optional[RunSpec] = None,
+    obs: Optional[Observability] = None,
 ) -> PCTPoint:
-    """Run one measurement point and summarize its PCT distribution."""
+    """Run one measurement point and summarize its PCT distribution.
+
+    ``obs`` (or ``spec.obs_mode != "off"``) installs observability on
+    the point's deployment; passing an :class:`Observability` directly
+    lets the caller keep the tracer for span export afterwards.
+    """
     spec = spec or RunSpec()
     if axis_rate <= 0 and spec.bursty_users is None:
         raise ValueError("axis_rate must be positive for uniform traffic")
+    if spec.obs_mode not in ("off",) + OBS_MODES:
+        raise ValueError("unknown obs_mode %r" % (spec.obs_mode,))
 
     sim = Simulator()
     rng = RngRegistry(spec.seed)
@@ -139,6 +158,10 @@ def run_pct_point(
         regions=spec.regions,
         rng=rng,
     )
+    if obs is None and spec.obs_mode != "off":
+        obs = Observability(spec.obs_mode)
+    if obs is not None:
+        obs.install(dep)
     driver = WorkloadDriver(dep)
 
     offered = axis_rate / TESTBED_CPFS * spec.n_sim_cpfs
@@ -230,6 +253,7 @@ def run_pct_point(
         max_log_bytes=dep.max_log_bytes(),
         completed=driver.completed(),
         utilization=util,
+        obs=obs.snapshot() if obs is not None else None,
     )
 
 

@@ -14,6 +14,7 @@ from .harness import PCTPoint
 __all__ = [
     "format_pct_table",
     "format_dict_rows",
+    "format_latency_breakdown",
     "format_run_footer",
     "median_ratio",
     "best_ratio",
@@ -84,6 +85,114 @@ def _fmt(value: Any) -> str:
             return "%.0f" % value
         return "%.3f" % value
     return str(value)
+
+
+#: display order of the span taxonomy's phases; unknown phases sort after.
+_PHASE_ORDER = (
+    "radio", "transit", "cta", "cpf_wait", "cpf_serve", "cpf", "upf",
+    "lock", "migrate", "recovery", "checkpoint", "other",
+)
+
+
+def _metrics_of(snapshot: Optional[Dict]) -> Dict[str, list]:
+    """Accept an Observability snapshot or a bare metrics dict."""
+    if not snapshot:
+        return {}
+    if "metrics" in snapshot and isinstance(snapshot["metrics"], dict):
+        return snapshot["metrics"]
+    return snapshot
+
+
+def format_latency_breakdown(
+    labeled_snapshots: Sequence, title: str = ""
+) -> str:
+    """Per-phase latency decomposition table, scheme vs scheme.
+
+    ``labeled_snapshots`` is ``(scheme, snapshot)`` pairs where each
+    snapshot came from :meth:`repro.obs.Observability.snapshot` (or a
+    :func:`repro.obs.merge_snapshots` of several).  For every procedure
+    in the ``phase_s`` histograms it prints one row per (scheme, phase)
+    with the phase's mean and P99 contribution and its share of the
+    procedure total — the decomposition behind the paper's latency
+    claims (cheap serialization, checkpoints off the critical path).
+    """
+    from ..obs import summarize_histogram
+
+    # (proc, scheme) -> {phase: values}, plus the proc totals.
+    phases: Dict[tuple, Dict[str, list]] = defaultdict(dict)
+    totals: Dict[tuple, list] = {}
+    procs: List[str] = []
+    for scheme, snapshot in labeled_snapshots:
+        for row in _metrics_of(snapshot).get("histograms", ()):
+            if row["name"] == "phase_s":
+                proc = row["labels"].get("proc", "?")
+                phase = row["labels"].get("phase", "?")
+                phases[(proc, scheme)].setdefault(phase, []).extend(row["values"])
+                if proc not in procs:
+                    procs.append(proc)
+            elif row["name"] == "proc_total_s":
+                proc = row["labels"].get("proc", "?")
+                totals.setdefault((proc, scheme), []).extend(row["values"])
+                if proc not in procs:
+                    procs.append(proc)
+
+    def phase_rank(phase: str):
+        try:
+            return (_PHASE_ORDER.index(phase), phase)
+        except ValueError:
+            return (len(_PHASE_ORDER), phase)
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    if not procs:
+        lines.append("(no phase histograms in snapshots)")
+        return "\n".join(lines)
+    header = "%-14s %-12s %-12s %12s %12s %8s" % (
+        "procedure", "scheme", "phase", "mean_ms", "p99_ms", "share",
+    )
+    for proc in sorted(procs):
+        lines.append(header)
+        lines.append("-" * len(header))
+        for scheme, _snap in labeled_snapshots:
+            total = summarize_histogram(totals.get((proc, scheme), ()))
+            total_mean = total.get("mean", 0.0)
+            by_phase = phases.get((proc, scheme), {})
+            for phase in sorted(by_phase, key=phase_rank):
+                stats = summarize_histogram(by_phase[phase])
+                if not stats["count"]:
+                    continue
+                # share of the mean end-to-end PCT attributed to this
+                # phase (phases can overlap 100% only if spans nest).
+                per_proc_mean = (
+                    sum(by_phase[phase]) / total["count"] if total.get("count") else 0.0
+                )
+                share = per_proc_mean / total_mean if total_mean else 0.0
+                lines.append(
+                    "%-14s %-12s %-12s %12.3f %12.3f %7.1f%%"
+                    % (
+                        proc,
+                        scheme,
+                        phase,
+                        stats["mean"] * 1e3,
+                        stats["p99"] * 1e3,
+                        share * 100.0,
+                    )
+                )
+            if total.get("count"):
+                lines.append(
+                    "%-14s %-12s %-12s %12.3f %12.3f %7.1f%%"
+                    % (
+                        proc,
+                        scheme,
+                        "TOTAL",
+                        total["mean"] * 1e3,
+                        total["p99"] * 1e3,
+                        100.0,
+                    )
+                )
+        lines.append("")
+    return "\n".join(lines).rstrip()
 
 
 def format_run_footer(report=None, cache=None) -> str:

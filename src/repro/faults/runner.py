@@ -127,8 +127,15 @@ def run_plan(
     plan: FaultPlan,
     config: Optional[ControlPlaneConfig] = None,
     verbose_trace: bool = False,
+    obs=None,
 ) -> RunResult:
-    """Execute one plan; deterministic in (plan, config) alone."""
+    """Execute one plan; deterministic in (plan, config) alone.
+
+    ``obs`` (a :class:`repro.obs.Observability`) is installed on the
+    deployment when given; it never changes the run's trace digest —
+    the witness tests pin that — but lets a violation report carry the
+    span ids of the offending serve.
+    """
     sim = Simulator()
     cfg = config if config is not None else config_from_name(plan.config)
     topology = plan.topology or {}
@@ -140,6 +147,8 @@ def run_plan(
         regions=int(topology.get("regions", 2)),
         rng=RngRegistry(plan.seed),
     )
+    if obs is not None:
+        obs.install(dep)
     trace = EventTrace(verbose=verbose_trace)
     injector = FaultInjector(dep, plan, trace=trace).install()
 
@@ -228,9 +237,27 @@ def replay(
     runs: int = 2,
     config: Optional[ControlPlaneConfig] = None,
     verbose_trace: bool = True,
+    obs_mode: Optional[str] = None,
 ) -> ReplayReport:
-    """Run the plan ``runs`` times; equal digests == deterministic."""
+    """Run the plan ``runs`` times; equal digests == deterministic.
+
+    ``obs_mode`` ("metrics" or "trace") installs a fresh
+    :class:`repro.obs.Observability` per run, so violation reports carry
+    span ids while the digest comparison still proves obs changed
+    nothing.
+    """
     if runs < 1:
         raise ValueError("need at least one run")
-    results = [run_plan(plan, config=config, verbose_trace=verbose_trace) for _ in range(runs)]
+
+    def _obs():
+        if obs_mode is None:
+            return None
+        from ..obs import Observability  # deferred: keep faults obs-optional
+
+        return Observability(obs_mode)
+
+    results = [
+        run_plan(plan, config=config, verbose_trace=verbose_trace, obs=_obs())
+        for _ in range(runs)
+    ]
     return ReplayReport(digests=[r.digest for r in results], results=results)

@@ -1,0 +1,141 @@
+"""``repro.obs``: deterministic tracing + metrics for the simulated core.
+
+The paper's argument is a latency *decomposition* — checkpointing off
+the critical path, cheap serialization (§4.2, §4.4) — so the
+reproduction needs to see *where* a procedure spent its time, not just
+its end-to-end PCT.  This package provides:
+
+* :class:`~repro.obs.tracer.Tracer` — sim-clock spans with explicit
+  parent links covering the whole procedure lifecycle (UE start/finish,
+  every ``Deployment.hop`` transit, CPF queue/serve, CTA log append,
+  checkpoint ship/ack, failover/replay);
+* :class:`~repro.obs.metrics.MetricsRegistry` — labeled Counter /
+  Gauge / Histogram instruments built on ``sim.monitor`` primitives,
+  snapshotable mid-run and mergeable across parallel sweep workers;
+* :mod:`~repro.obs.export` — Chrome/Perfetto ``trace_event`` JSON and
+  plain-text timelines (``python -m repro obs fig07``).
+
+The facade is :class:`Observability`: construct one (mode ``"trace"``
+retains spans for export; ``"metrics"`` keeps only phase histograms and
+counters), :meth:`~Observability.install` it on a
+:class:`~repro.core.deployment.Deployment`, run, then
+:meth:`~Observability.snapshot` or export.  When no observability is
+installed (``dep.obs is None``, the default) every instrumentation site
+is a single attribute check — the disabled-mode overhead guarded by
+``benchmarks/test_obs_overhead.py``.
+
+Determinism contract: enabling obs never changes simulation behaviour —
+no RNG draws, no clock advances, no scheduled work; witness tests pin
+that obs-enabled runs reproduce pre-obs EventTrace digests and PCT rows
+bit for bit (see :mod:`repro.obs.tracer`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    merge_snapshots,
+    summarize_histogram,
+)
+from .tracer import Span, Tracer
+
+__all__ = [
+    "Observability",
+    "Tracer",
+    "Span",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "merge_snapshots",
+    "summarize_histogram",
+]
+
+#: valid Observability modes (RunSpec.obs_mode adds "off" = don't install).
+MODES = ("metrics", "trace")
+
+
+class Observability:
+    """Tracer + metrics registry bound to one deployment run."""
+
+    def __init__(self, mode: str = "trace"):
+        if mode not in MODES:
+            raise ValueError("obs mode must be one of %r, got %r" % (MODES, mode))
+        self.mode = mode
+        self.tracer: Optional[Tracer] = None
+        self.metrics: Optional[MetricsRegistry] = None
+        self._dep = None
+
+    def install(self, dep) -> "Observability":
+        """Bind to a deployment's sim clock and set ``dep.obs``.
+
+        One Observability per run: rebinding would mix spans of two
+        simulations into one timeline.
+        """
+        if self._dep is not None:
+            raise RuntimeError("Observability is already installed on a deployment")
+        sim_now = lambda: dep.sim.now  # noqa: E731 — tiny clock closure
+        self.tracer = Tracer(
+            sim_now,
+            retain=(self.mode == "trace"),
+            on_root_finish=self._fold_root,
+            on_offpath_finish=self._fold_offpath,
+        )
+        self.metrics = MetricsRegistry(sim_now)
+        self._dep = dep
+        dep.obs = self
+        return self
+
+    # -- instrumentation hooks -------------------------------------------------
+
+    def on_hop(self, hop_class: str, nbytes: int, event, parent) -> None:
+        """Per-link-traversal hook called by :meth:`Deployment.hop`."""
+        self.metrics.counter("hop_messages", hop=hop_class).inc()
+        self.metrics.counter("hop_bytes", hop=hop_class).inc(nbytes)
+        if parent is None:
+            # Un-parented transits (call sites outside any procedure)
+            # are counted but not traced: a bare hop root would pollute
+            # the per-procedure timelines and phase histograms.
+            return
+        span = self.tracer.begin(
+            "hop." + hop_class, parent=parent, phase="transit", nbytes=nbytes
+        )
+        self.tracer.end_on(span, event)
+
+    def _fold_root(self, root: Span, phases: Dict[str, float]) -> None:
+        """A procedure root closed: record its per-phase decomposition."""
+        proc = str(root.attrs.get("proc", root.name))
+        metrics = self.metrics
+        metrics.histogram("proc_total_s", proc=proc).observe(root.duration)
+        accounted = 0.0
+        for phase, seconds in phases.items():
+            metrics.histogram("phase_s", proc=proc, phase=phase).observe(seconds)
+            accounted += seconds
+        # Whatever the instrumented children don't cover (UE think time
+        # between steps is zero here, but queueing outside any span is
+        # not) shows up explicitly instead of silently vanishing.
+        other = root.duration - accounted
+        if other > 0:
+            metrics.histogram("phase_s", proc=proc, phase="other").observe(other)
+
+    def _fold_offpath(self, span: Span) -> None:
+        """Work finishing after its root closed (off the critical path)."""
+        self.metrics.histogram(
+            "offpath_s", phase=span.phase, span=span.name
+        ).observe(span.duration)
+
+    # -- results ---------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-able state: metric dump + span accounting.  Mid-run safe."""
+        return {
+            "mode": self.mode,
+            "spans_started": self.tracer.started if self.tracer else 0,
+            "spans_finished": self.tracer.finished if self.tracer else 0,
+            "metrics": self.metrics.snapshot() if self.metrics else None,
+        }

@@ -1,0 +1,176 @@
+"""Trace exporters: Chrome/Perfetto ``trace_event`` JSON + text timelines.
+
+The Chrome trace-event format (loadable by Perfetto's UI and
+``chrome://tracing``) wants microsecond timestamps, integer pid/tid,
+and ``"X"`` complete events with a duration.  We map:
+
+* pid 1 = the whole simulated deployment (one metadata event names it);
+* one tid per *procedure* (per root span), named after the root, so the
+  UI draws each procedure as its own track with nested child slices;
+* ``args`` = the span's attrs plus its ids, so a violation's
+  ``trace_id``/``span_id`` can be searched in the UI.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Sequence
+
+from .tracer import Span, Tracer
+
+__all__ = [
+    "chrome_trace_events",
+    "write_chrome_trace",
+    "validate_chrome_trace",
+    "timeline_summary",
+]
+
+_PID = 1
+
+
+def _spans_of(tracer_or_spans) -> List[Span]:
+    if isinstance(tracer_or_spans, Tracer):
+        return list(tracer_or_spans.spans)
+    return list(tracer_or_spans)
+
+
+def chrome_trace_events(
+    tracer_or_spans, process_name: str = "repro-sim"
+) -> Dict[str, object]:
+    """Spans -> a ``{"traceEvents": [...]}`` dict (Perfetto-loadable)."""
+    spans = _spans_of(tracer_or_spans)
+    events: List[Dict[str, object]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": _PID,
+            "tid": 0,
+            "args": {"name": process_name},
+        }
+    ]
+    tids: Dict[int, int] = {}
+    for span in spans:
+        tid = tids.get(span.root_id)
+        if tid is None:
+            tid = tids[span.root_id] = len(tids) + 1
+        if span.parent_id is None:
+            events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": _PID,
+                    "tid": tid,
+                    "args": {
+                        "name": ("%s #%d %s" % (
+                            span.name, span.root_id, span.attrs.get("ue", "")
+                        )).strip()
+                    },
+                }
+            )
+        args = {"span_id": span.span_id, "trace_id": span.root_id,
+                "status": span.status}
+        if span.parent_id is not None:
+            args["parent_id"] = span.parent_id
+        for key, value in span.attrs.items():
+            args[key] = value if isinstance(value, (int, float, bool)) else str(value)
+        unfinished = span.end is None
+        if unfinished:
+            args["unfinished"] = True
+        events.append(
+            {
+                "name": span.name,
+                "cat": span.phase,
+                "ph": "X",
+                "ts": span.start * 1e6,
+                "dur": 0.0 if unfinished else max(0.0, span.duration) * 1e6,
+                "pid": _PID,
+                "tid": tid,
+                "args": args,
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(
+    path: str, tracer_or_spans, process_name: str = "repro-sim"
+) -> Dict[str, object]:
+    """Write the Chrome trace JSON to ``path``; returns the dict."""
+    data = chrome_trace_events(tracer_or_spans, process_name=process_name)
+    with open(path, "w") as fp:
+        json.dump(data, fp)
+        fp.write("\n")
+    return data
+
+
+def validate_chrome_trace(data: Dict[str, object]) -> int:
+    """Schema-check a trace dict; returns the event count or raises.
+
+    Checks the invariants Perfetto's importer relies on: a
+    ``traceEvents`` list, string names, known phases, numeric
+    timestamps, integer pid/tid, and non-negative durations on ``"X"``
+    events.  Used by the export tests and the ``obs`` CLI smoke step.
+    """
+    if not isinstance(data, dict) or "traceEvents" not in data:
+        raise ValueError("trace must be a dict with a traceEvents list")
+    events = data["traceEvents"]
+    if not isinstance(events, list):
+        raise ValueError("traceEvents must be a list")
+    for i, ev in enumerate(events):
+        where = "traceEvents[%d]" % i
+        if not isinstance(ev, dict):
+            raise ValueError(where + " is not an object")
+        if not isinstance(ev.get("name"), str) or not ev["name"]:
+            raise ValueError(where + " has no name")
+        if ev.get("ph") not in ("X", "B", "E", "M", "i", "C"):
+            raise ValueError(where + " has unknown phase %r" % (ev.get("ph"),))
+        if not isinstance(ev.get("pid"), int) or not isinstance(ev.get("tid"), int):
+            raise ValueError(where + " pid/tid must be ints")
+        if ev["ph"] == "X":
+            ts, dur = ev.get("ts"), ev.get("dur")
+            if not isinstance(ts, (int, float)) or not isinstance(dur, (int, float)):
+                raise ValueError(where + " X event needs numeric ts/dur")
+            if dur < 0:
+                raise ValueError(where + " has negative duration")
+    return len(events)
+
+
+def timeline_summary(
+    tracer_or_spans, limit: int = 3, slowest: bool = True
+) -> str:
+    """Indented text timeline of the ``limit`` slowest (or first) roots."""
+    spans = _spans_of(tracer_or_spans)
+    children: Dict[Optional[int], List[Span]] = {}
+    for span in spans:
+        children.setdefault(span.parent_id, []).append(span)
+    roots = children.get(None, [])
+    if slowest:
+        roots = sorted(roots, key=lambda s: -s.duration)
+    roots = roots[:limit]
+
+    lines: List[str] = []
+
+    def emit(span: Span, depth: int) -> None:
+        lines.append(
+            "%s%-28s %10.3f ms  [%s] %s"
+            % (
+                "  " * depth,
+                span.name,
+                span.duration * 1e3,
+                span.phase,
+                span.status,
+            )
+        )
+        for child in sorted(
+            children.get(span.span_id, ()), key=lambda s: (s.start, s.span_id)
+        ):
+            emit(child, depth + 1)
+
+    for root in roots:
+        lines.append(
+            "-- trace %d: %s (t=%.6f s, %.3f ms) --"
+            % (root.root_id, root.name, root.start, root.duration * 1e3)
+        )
+        emit(root, 0)
+    if not roots:
+        lines.append("(no spans recorded)")
+    return "\n".join(lines)

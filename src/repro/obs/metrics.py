@@ -1,0 +1,232 @@
+"""Labeled metric instruments over the :mod:`repro.sim.monitor` probes.
+
+A :class:`MetricsRegistry` hands out named :class:`Counter`,
+:class:`Gauge`, and :class:`Histogram` instruments keyed by
+``(name, sorted label items)``.  Histograms subclass
+:class:`~repro.sim.monitor.Tally` (keeping its bound-append fast path);
+gauges wrap :class:`~repro.sim.monitor.TimeWeighted` so they carry the
+time-average and peak, which is what queue/log-size probes need.
+
+Snapshots are plain JSON-able dicts in a deterministic order, so they
+ride inside :class:`~repro.experiments.harness.PCTPoint` results
+through pickling (parallel sweep workers) and the result cache's JSON
+round trip unchanged.  :func:`merge_snapshots` folds per-point
+snapshots together *in input order*; because
+:func:`repro.experiments.parallel.run_jobs` returns points positionally
+aligned with its job list, merging parallel results is bit-identical
+to merging the serial loop's.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..sim.monitor import Tally, TimeWeighted, percentile
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "merge_snapshots",
+    "summarize_histogram",
+]
+
+_LabelKey = Tuple[str, Tuple[Tuple[str, str], ...]]
+
+
+def _label_key(name: str, labels: Dict[str, object]) -> _LabelKey:
+    return name, tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """Monotone labeled counter."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: Dict[str, str]):
+        self.name = name
+        self.labels = labels
+        self.value = 0
+
+    def inc(self, by: int = 1) -> None:
+        self.value += by
+
+
+class Gauge:
+    """Piecewise-constant labeled quantity (queue depth, log bytes)."""
+
+    __slots__ = ("name", "labels", "_probe")
+
+    def __init__(self, name: str, labels: Dict[str, str], sim_now: Callable[[], float]):
+        self.name = name
+        self.labels = labels
+        self._probe = TimeWeighted(sim_now)
+
+    def set(self, value: float) -> None:
+        self._probe.set(value)
+
+    def add(self, delta: float) -> None:
+        self._probe.add(delta)
+
+    @property
+    def value(self) -> float:
+        return self._probe.value
+
+    @property
+    def max_value(self) -> float:
+        return self._probe.max_value
+
+    def time_average(self) -> float:
+        return self._probe.time_average()
+
+
+class Histogram(Tally):
+    """Labeled distribution; a :class:`Tally` with registry identity.
+
+    Calls ``super().__init__`` so it keeps the per-sample bound-append
+    fast path (and is the regression canary for the ``Tally.observe``
+    subclassing fix — see ``tests/obs/test_metrics.py``).
+    """
+
+    def __init__(self, name: str, labels: Dict[str, str]):
+        super().__init__(name)
+        self.labels = labels
+
+
+class MetricsRegistry:
+    """Creates-or-returns instruments by ``name`` + label set."""
+
+    def __init__(self, sim_now: Optional[Callable[[], float]] = None):
+        self._now = sim_now or (lambda: 0.0)
+        self._counters: Dict[_LabelKey, Counter] = {}
+        self._gauges: Dict[_LabelKey, Gauge] = {}
+        self._histograms: Dict[_LabelKey, Histogram] = {}
+
+    def counter(self, name: str, **labels) -> Counter:
+        key = _label_key(name, labels)
+        inst = self._counters.get(key)
+        if inst is None:
+            inst = self._counters[key] = Counter(name, dict(key[1]))
+        return inst
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        key = _label_key(name, labels)
+        inst = self._gauges.get(key)
+        if inst is None:
+            inst = self._gauges[key] = Gauge(name, dict(key[1]), self._now)
+        return inst
+
+    def histogram(self, name: str, **labels) -> Histogram:
+        key = _label_key(name, labels)
+        inst = self._histograms.get(key)
+        if inst is None:
+            inst = self._histograms[key] = Histogram(name, dict(key[1]))
+        return inst
+
+    # -- snapshots ------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, list]:
+        """JSON-able dump, callable mid-run; deterministic key order.
+
+        Histograms carry their raw sample lists (not just summaries) so
+        merged snapshots aggregate exactly — percentiles of a merge are
+        computed over all samples, never averaged averages.
+        """
+        return {
+            "counters": [
+                {"name": c.name, "labels": c.labels, "value": c.value}
+                for _k, c in sorted(self._counters.items())
+            ],
+            "gauges": [
+                {
+                    "name": g.name,
+                    "labels": g.labels,
+                    "last": g.value,
+                    "max": g.max_value,
+                    "time_average": g.time_average(),
+                }
+                for _k, g in sorted(self._gauges.items())
+            ],
+            "histograms": [
+                {
+                    "name": h.name,
+                    "labels": h.labels,
+                    "count": h.count,
+                    "values": list(h.values),
+                }
+                for _k, h in sorted(self._histograms.items())
+            ],
+        }
+
+
+def _merge_key(row: Dict) -> _LabelKey:
+    return _label_key(row["name"], row["labels"])
+
+
+def merge_snapshots(snapshots: Sequence[Optional[Dict]]) -> Dict[str, list]:
+    """Fold registry snapshots together, in input order.
+
+    Counters sum; histogram sample lists concatenate (so percentiles of
+    the merge are exact); gauges keep the global peak, the last value
+    seen, and the mean of per-source time-averages (sources don't carry
+    enough to time-weight across runs — documented approximation).
+    ``None`` entries (points run without obs) are skipped.
+    """
+    counters: Dict[_LabelKey, Dict] = {}
+    gauges: Dict[_LabelKey, Dict] = {}
+    histograms: Dict[_LabelKey, Dict] = {}
+    gauge_sources: Dict[_LabelKey, List[float]] = {}
+    for snap in snapshots:
+        if not snap:
+            continue
+        for row in snap.get("counters", ()):
+            key = _merge_key(row)
+            out = counters.get(key)
+            if out is None:
+                counters[key] = dict(row)
+            else:
+                out["value"] += row["value"]
+        for row in snap.get("gauges", ()):
+            key = _merge_key(row)
+            out = gauges.get(key)
+            if out is None:
+                gauges[key] = dict(row)
+                gauge_sources[key] = [row["time_average"]]
+            else:
+                out["max"] = max(out["max"], row["max"])
+                out["last"] = row["last"]
+                gauge_sources[key].append(row["time_average"])
+        for row in snap.get("histograms", ()):
+            key = _merge_key(row)
+            out = histograms.get(key)
+            if out is None:
+                histograms[key] = {
+                    "name": row["name"],
+                    "labels": row["labels"],
+                    "count": row["count"],
+                    "values": list(row["values"]),
+                }
+            else:
+                out["count"] += row["count"]
+                out["values"].extend(row["values"])
+    for key, averages in gauge_sources.items():
+        gauges[key]["time_average"] = sum(averages) / len(averages)
+    return {
+        "counters": [counters[k] for k in sorted(counters)],
+        "gauges": [gauges[k] for k in sorted(gauges)],
+        "histograms": [histograms[k] for k in sorted(histograms)],
+    }
+
+
+def summarize_histogram(values: Iterable[float]) -> Dict[str, float]:
+    """count/mean/p50/p95/p99/max of one (possibly merged) sample list."""
+    ordered = sorted(values)
+    out = {"count": float(len(ordered))}
+    if ordered:
+        out["mean"] = sum(ordered) / len(ordered)
+        out["p50"] = percentile(ordered, 50)
+        out["p95"] = percentile(ordered, 95)
+        out["p99"] = percentile(ordered, 99)
+        out["max"] = ordered[-1]
+    return out

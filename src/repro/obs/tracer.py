@@ -1,0 +1,192 @@
+"""Deterministic, sim-clock-timestamped spans with parent links.
+
+A :class:`Span` records one unit of work on the simulated timeline —
+a procedure run, a link traversal, a CPF service — with explicit
+parent links so every procedure yields a causal tree.  The tracer is
+built for a discrete-event simulator, which makes two things different
+from wall-clock tracers:
+
+* **Timestamps come from the sim clock** (a zero-arg callable), so a
+  trace is bit-for-bit reproducible across runs and machines.
+
+* **Determinism contract**: the tracer must never perturb the
+  simulation schedule.  It draws no randomness, advances no clock,
+  and schedules no work.  :meth:`Tracer.end_on` attaches a finish
+  callback to an existing event; that allocates a callback seq, but
+  seq allocation order for *protocol* callbacks is unchanged (an
+  observer callback only shifts later seqs uniformly, preserving every
+  relative ``(time, seq)`` comparison), and the callback itself only
+  writes tracer state.  ``tests/obs/test_obs_witness.py`` pins this:
+  obs-enabled runs reproduce the pre-obs EventTrace digests exactly.
+
+Parenting is **explicit** (a ``parent=`` argument threaded through the
+instrumented call chain), never an ambient "current span" stack: sim
+processes interleave at every yield, so a global stack would attribute
+one UE's hops to whichever procedure yielded last.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+__all__ = ["Span", "Tracer"]
+
+
+class Span:
+    """One timed unit of work on the simulated timeline."""
+
+    __slots__ = (
+        "span_id", "parent_id", "root_id", "name", "phase",
+        "start", "end", "status", "attrs",
+    )
+
+    def __init__(self, span_id, parent_id, root_id, name, phase, start, attrs):
+        self.span_id: int = span_id
+        self.parent_id: Optional[int] = parent_id
+        self.root_id: int = root_id
+        self.name = name
+        #: latency-breakdown bucket ("transit", "cta", "cpf_serve", ...);
+        #: defaults to the name's first dotted component.
+        self.phase: str = phase
+        self.start: float = start
+        self.end: Optional[float] = None
+        self.status: str = "open"
+        self.attrs: dict = attrs
+
+    @property
+    def duration(self) -> float:
+        return (self.end if self.end is not None else self.start) - self.start
+
+    @property
+    def is_root(self) -> bool:
+        return self.parent_id is None
+
+    def __repr__(self) -> str:
+        return "Span(%d %s %s t=%.6f+%.6f %s)" % (
+            self.span_id, self.name, self.phase,
+            self.start, self.duration, self.status,
+        )
+
+
+class Tracer:
+    """Allocates, finishes, and (optionally) retains spans.
+
+    ``sim_now`` is a zero-arg callable returning the current sim time.
+    ``retain=False`` keeps only counters and phase folds (the metrics
+    mode: span objects live just long enough to be timed).  Span ids
+    are sequential ints — deterministic, and stable enough for the
+    RYW auditor to reference a violation's serving span.
+    """
+
+    def __init__(
+        self,
+        sim_now: Callable[[], float],
+        retain: bool = True,
+        on_root_finish: Optional[Callable[[Span, Dict[str, float]], None]] = None,
+        on_offpath_finish: Optional[Callable[[Span], None]] = None,
+    ):
+        self._now = sim_now
+        self.retain = retain
+        self.spans: List[Span] = []
+        self.started = 0
+        self.finished = 0
+        self._next_id = 1
+        #: per-open-root phase accumulator: root span id -> {phase: seconds}.
+        self._open_roots: Dict[int, Dict[str, float]] = {}
+        self._on_root_finish = on_root_finish
+        self._on_offpath_finish = on_offpath_finish
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def begin(
+        self, name: str, parent: Optional[Span] = None,
+        phase: Optional[str] = None, **attrs
+    ) -> Span:
+        """Start a span now; link it under ``parent`` when given."""
+        span_id = self._next_id
+        self._next_id += 1
+        self.started += 1
+        if parent is not None:
+            span = Span(span_id, parent.span_id, parent.root_id, name,
+                        phase or name.split(".", 1)[0], self._now(), attrs)
+        else:
+            span = Span(span_id, None, span_id, name,
+                        phase or name.split(".", 1)[0], self._now(), attrs)
+            self._open_roots[span_id] = {}
+        if self.retain:
+            self.spans.append(span)
+        return span
+
+    def finish(
+        self, span: Span, status: str = "ok",
+        phases: Optional[Iterable[Tuple[str, float]]] = None, **attrs
+    ) -> Span:
+        """Close a span now.
+
+        ``phases`` overrides the default fold of the span's whole
+        duration into its single ``span.phase`` bucket — the CPF uses
+        it to split one handle span into queue-wait and service time.
+        """
+        if span.end is not None:
+            return span  # idempotent: callback-style code may race a ctx exit
+        span.end = self._now()
+        span.status = status
+        if attrs:
+            span.attrs.update(attrs)
+        self.finished += 1
+        if span.parent_id is None:
+            folds = self._open_roots.pop(span.root_id, {})
+            if self._on_root_finish is not None:
+                self._on_root_finish(span, folds)
+            return span
+        acc = self._open_roots.get(span.root_id)
+        if acc is not None:
+            for phase, seconds in (phases or ((span.phase, span.duration),)):
+                acc[phase] = acc.get(phase, 0.0) + seconds
+        elif self._on_offpath_finish is not None:
+            # Root already closed: off-critical-path work (checkpoint
+            # shipping after the UE's PCT clock stopped).
+            self._on_offpath_finish(span)
+        return span
+
+    @contextmanager
+    def span(
+        self, name: str, parent: Optional[Span] = None,
+        phase: Optional[str] = None, **attrs
+    ):
+        """Context manager form for straight-line (generator) code.
+
+        The span closes when the block exits — in a sim process that is
+        the moment the process resumes past the block, which is exactly
+        the fire time of whatever it yielded on.  An exception thrown
+        into the block (a :class:`~repro.sim.node.NodeFailed` delivered
+        at a yield) marks the span ``error`` and propagates.
+        """
+        span = self.begin(name, parent=parent, phase=phase, **attrs)
+        try:
+            yield span
+        except BaseException:
+            self.finish(span, status="error")
+            raise
+        self.finish(span)
+
+    def end_on(self, span: Span, event) -> "object":
+        """Finish ``span`` when ``event`` fires (callback-style code).
+
+        Returns the event so call sites stay expressions.  The callback
+        only records time and status — never sim state — so it is
+        schedule-transparent (see the module docstring).
+        """
+        event.add_callback(
+            lambda ev: self.finish(span, status="ok" if ev.ok else "error")
+        )
+        return event
+
+    # -- queries --------------------------------------------------------------
+
+    def roots(self) -> List[Span]:
+        return [s for s in self.spans if s.parent_id is None]
+
+    def children_of(self, span: Span) -> List[Span]:
+        return [s for s in self.spans if s.parent_id == span.span_id]

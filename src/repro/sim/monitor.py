@@ -49,13 +49,21 @@ class Tally:
         self.name = name
         self.values: List[float] = []
         # Per-sample hot path: bind observe straight to list.append so
-        # each observation is one C call, no Python frame.  The method
-        # below remains as documentation and for subclasses that
-        # override __init__ without calling up.
-        self.observe = self.values.append
+        # each observation is one C call, no Python frame.  Only when
+        # the subclass hasn't overridden observe — the bound append
+        # would silently shadow an override otherwise.
+        if type(self).observe is Tally.observe:
+            self.observe = self.values.append
 
     def observe(self, value: float) -> None:  # noqa: F811 — shadowed by the bound append
-        self.values.append(value)
+        # Reached only without the bound fast path: an overriding
+        # subclass calling up, or one that skipped super().__init__
+        # entirely (then self.values may not exist yet — create it so
+        # the probe still works instead of raising AttributeError).
+        values = self.__dict__.get("values")
+        if values is None:
+            values = self.values = []
+        values.append(value)
 
     def __len__(self) -> int:
         return len(self.values)

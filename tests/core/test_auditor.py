@@ -36,3 +36,25 @@ class TestAuditor:
         assert auditor.reattaches_forced == 1
         assert auditor.failovers_masked == 2
         assert auditor.messages_replayed == 3
+
+    def test_violation_carries_serving_span_ids(self):
+        """With obs installed the CPF passes its handle span; the
+        violation then points into the exported trace timeline."""
+        from repro.obs import Tracer
+
+        tracer = Tracer(lambda: 0.0)
+        root = tracer.begin("proc.service_request")
+        handle = tracer.begin("cpf.handle", parent=root)
+        auditor = ConsistencyAuditor(sim_now=lambda: 3.0)
+        auditor.record_serve("ue-1", 4, 3, "c", span=handle)
+        violation = auditor.violations[0]
+        assert violation.trace_id == root.root_id
+        assert violation.span_id == handle.span_id
+        # span ids are diagnostics: equality still compares facts alone
+        assert violation == Violation(3.0, "ue-1", "c", 4, 3)
+
+    def test_violation_span_ids_default_to_none(self):
+        auditor = ConsistencyAuditor()
+        auditor.record_serve("ue-1", 2, 1, "c")
+        assert auditor.violations[0].span_id is None
+        assert auditor.violations[0].trace_id is None

@@ -1,0 +1,160 @@
+"""Unit tests for the deterministic span tracer."""
+
+import pytest
+
+from repro.obs import Tracer
+from repro.sim import Simulator
+from repro.sim.node import NodeFailed
+
+
+class TestSpanBasics:
+    def test_root_and_child_linking(self):
+        tracer = Tracer(lambda: 0.0)
+        root = tracer.begin("proc.attach", proc="attach")
+        child = tracer.begin("hop.ue_bs", parent=root)
+        assert root.is_root and root.root_id == root.span_id
+        assert child.parent_id == root.span_id
+        assert child.root_id == root.root_id
+        assert tracer.children_of(root) == [child]
+        assert tracer.roots() == [root]
+
+    def test_phase_defaults_to_first_dotted_component(self):
+        tracer = Tracer(lambda: 0.0)
+        assert tracer.begin("cta.ingest").phase == "cta"
+        assert tracer.begin("hop.bs_cta", phase="transit").phase == "transit"
+
+    def test_ids_are_sequential_from_one(self):
+        tracer = Tracer(lambda: 0.0)
+        spans = [tracer.begin("s") for _ in range(3)]
+        assert [s.span_id for s in spans] == [1, 2, 3]
+
+    def test_finish_is_idempotent(self):
+        tracer = Tracer(lambda: 0.0)
+        span = tracer.begin("s")
+        tracer.finish(span, status="ok")
+        tracer.finish(span, status="error")  # late callback: no-op
+        assert span.status == "ok"
+        assert tracer.finished == 1
+
+    def test_retain_false_keeps_counters_only(self):
+        tracer = Tracer(lambda: 0.0, retain=False)
+        tracer.finish(tracer.begin("s"))
+        assert tracer.spans == []
+        assert (tracer.started, tracer.finished) == (1, 1)
+
+
+class TestSimIntegration:
+    def test_context_manager_times_the_yield(self):
+        sim = Simulator()
+        tracer = Tracer(lambda: sim.now)
+        seen = {}
+
+        def proc():
+            with tracer.span("work") as span:
+                yield sim.timeout(0.5)
+            seen["span"] = span
+
+        sim.process(proc())
+        sim.run()
+        span = seen["span"]
+        assert span.start == 0.0
+        assert span.end == 0.5
+        assert span.status == "ok"
+
+    def test_exception_at_yield_marks_error_and_propagates(self):
+        sim = Simulator()
+        tracer = Tracer(lambda: sim.now)
+        seen = {}
+
+        def proc():
+            root = tracer.begin("proc.x")
+            try:
+                with tracer.span("leg", parent=root) as span:
+                    seen["span"] = span
+                    ev = sim.event("doomed")
+                    sim.schedule(0.25, lambda: ev.fail(NodeFailed("n")))
+                    yield ev
+            except NodeFailed:
+                seen["caught"] = True
+            tracer.finish(root, status="failed")
+
+        sim.process(proc())
+        sim.run()
+        assert seen["caught"]
+        assert seen["span"].status == "error"
+        assert seen["span"].end == 0.25
+
+    def test_end_on_finishes_at_event_fire_time(self):
+        sim = Simulator()
+        tracer = Tracer(lambda: sim.now)
+        span = tracer.begin("hop")
+        tracer.end_on(span, sim.timeout(0.125))
+        sim.run()
+        assert span.end == 0.125
+        assert span.status == "ok"
+
+    def test_parents_do_not_cross_contaminate_interleaved_processes(self):
+        """Two sim processes interleave at every yield; explicit parent
+        threading must keep each child under its own process's root."""
+        sim = Simulator()
+        tracer = Tracer(lambda: sim.now)
+        roots = {}
+
+        def proc(name, dt):
+            root = tracer.begin("proc." + name, proc=name)
+            roots[name] = root
+            for _ in range(3):
+                with tracer.span("leg", parent=root):
+                    yield sim.timeout(dt)
+            tracer.finish(root)
+
+        sim.process(proc("a", 0.1))
+        sim.process(proc("b", 0.07))
+        sim.run()
+        for name, root in roots.items():
+            children = tracer.children_of(root)
+            assert len(children) == 3
+            assert all(c.root_id == root.root_id for c in children)
+
+
+class TestPhaseFolding:
+    def test_children_fold_into_open_root(self):
+        folds = []
+        now = [0.0]
+        tracer = Tracer(lambda: now[0], on_root_finish=lambda r, p: folds.append((r, p)))
+        root = tracer.begin("proc.sr", proc="sr")
+        child = tracer.begin("hop.x", parent=root, phase="transit")
+        now[0] = 0.2
+        tracer.finish(child)
+        now[0] = 0.5
+        tracer.finish(root)
+        (got_root, phases), = folds
+        assert got_root is root
+        assert phases == {"transit": pytest.approx(0.2)}
+
+    def test_phases_override_splits_one_span(self):
+        folds = []
+        now = [0.0]
+        tracer = Tracer(lambda: now[0], on_root_finish=lambda r, p: folds.append(p))
+        root = tracer.begin("proc.sr")
+        handle = tracer.begin("cpf.handle", parent=root, phase="cpf")
+        now[0] = 0.3
+        tracer.finish(handle, phases=(("cpf_wait", 0.1), ("cpf_serve", 0.2)))
+        tracer.finish(root)
+        assert folds[0] == {
+            "cpf_wait": pytest.approx(0.1), "cpf_serve": pytest.approx(0.2)
+        }
+        assert "cpf" not in folds[0]
+
+    def test_finish_after_root_close_goes_offpath(self):
+        offpath = []
+        now = [0.0]
+        tracer = Tracer(lambda: now[0], on_offpath_finish=offpath.append)
+        root = tracer.begin("proc.sr")
+        ship = tracer.begin("checkpoint.ship", parent=root, phase="checkpoint")
+        now[0] = 0.1
+        tracer.finish(root)  # PCT clock stops
+        now[0] = 0.4
+        tracer.finish(ship, status="acked")
+        assert offpath == [ship]
+        assert ship.status == "acked"

@@ -146,3 +146,38 @@ class TestTimeWeighted:
         sim = Simulator()
         probe = TimeWeighted(lambda: sim.now, initial=4.0)
         assert probe.time_average() == 4.0
+
+
+class TestTallySubclassing:
+    """Regression tests for the observe-shadowing footgun: Tally binds
+    ``observe`` to ``values.append`` per instance for speed, which used
+    to silently shadow subclass overrides."""
+
+    def test_base_tally_has_bound_fast_path(self):
+        tally = Tally("t")
+        assert "observe" in tally.__dict__
+        tally.observe(1.0)
+        assert tally.values == [1.0]
+
+    def test_override_is_not_shadowed(self):
+        class MsTally(Tally):
+            def observe(self, value):
+                super().observe(value * 1e3)
+
+        tally = MsTally("ms")
+        assert "observe" not in tally.__dict__
+        tally.observe(0.5)
+        assert tally.values == [500.0]
+        assert tally.count == 1
+
+    def test_override_without_super_init_does_not_crash(self):
+        class Bare(Tally):
+            def __init__(self):
+                pass
+
+            def observe(self, value):
+                super().observe(value)
+
+        tally = Bare()
+        tally.observe(2.0)
+        assert tally.values == [2.0]
