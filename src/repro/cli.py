@@ -388,6 +388,54 @@ def main(argv: List[str] = None) -> int:
         help="also print the slowest procedures' span trees",
     )
 
+    scale_parser = sub.add_parser(
+        "scale",
+        help="run a city-scale sharded deployment scenario",
+        description=(
+            "Instantiate a geo-hash-tile city (K CTAs x M level-2 regions), "
+            "drive mobility-model traffic over an aggregated-UE cohort, and "
+            "report per-region latency percentiles plus the RYW audit. "
+            "Scenarios: steady-city, commute-wave, stadium-flash-crowd, "
+            "region-failover, ring-churn."
+        ),
+    )
+    from .scale.scenarios import scenario_names
+
+    scale_parser.add_argument("scenario", choices=scenario_names())
+    scale_parser.add_argument(
+        "--n-ue", type=int, default=None, metavar="N",
+        help="population size (default: the scenario's, typically 20000)",
+    )
+    scale_parser.add_argument(
+        "--duration", type=float, default=None, metavar="SECONDS",
+        help="simulated duration (fault/churn phases scale with it)",
+    )
+    scale_parser.add_argument("--seed", type=int, default=None)
+    scale_parser.add_argument(
+        "--seeds", default=None, metavar="S1,S2",
+        help="replicate sweep over comma-separated seeds "
+        "(runs through the parallel runner + result cache)",
+    )
+    scale_parser.add_argument(
+        "--mode", choices=["cohort", "individual"], default="cohort",
+        help="population model (individual = N persistent UE objects, "
+        "the conformance witness; default: %(default)s)",
+    )
+    scale_parser.add_argument(
+        "--obs", nargs="?", const="metrics", default=None,
+        choices=["metrics", "trace"],
+        help="install observability (bare --obs = bounded metrics mode)",
+    )
+    scale_parser.add_argument(
+        "--verbose-trace", action="store_true",
+        help="record every message in the event trace (digest witness; "
+        "unbounded — small populations only)",
+    )
+    scale_parser.add_argument(
+        "--json", action="store_true", help="emit the result as JSON"
+    )
+    add_runner_flags(scale_parser)
+
     trace_parser = sub.add_parser("trace", help="generate a synthetic trace")
     trace_parser.add_argument("output")
     trace_parser.add_argument("--devices", type=int, default=100)
@@ -456,6 +504,8 @@ def main(argv: List[str] = None) -> int:
         return _run_chaos(args)
     if args.command == "obs":
         return _run_obs(args)
+    if args.command == "scale":
+        return _run_scale(args)
     parser.print_help()
     return 1
 
@@ -464,6 +514,79 @@ def _make_cache(args):
     if args.no_cache:
         return None
     return ResultCache(args.cache_dir)
+
+
+def _run_scale(args) -> int:
+    import json as json_mod
+
+    from .scale import ScaleResult, run_replicates, run_scenario
+
+    if args.seeds:
+        seeds = [int(s) for s in args.seeds.split(",") if s]
+        cache = None
+        if not args.no_cache:
+            cache = ResultCache(args.cache_dir, decode=ScaleResult.from_dict)
+        report = SweepReport()
+        results = run_replicates(
+            args.scenario,
+            seeds,
+            n_ue=args.n_ue,
+            duration_s=args.duration,
+            mode=args.mode,
+            jobs=args.jobs,
+            cache=cache,
+            report=report,
+        )
+        if args.json:
+            print(json_mod.dumps(
+                [r.to_dict() for r in results], indent=2, sort_keys=True
+            ))
+        else:
+            for result in results:
+                print(result.format_report())
+                print()
+        violations = sum(r.violations for r in results)
+        print(
+            "replicates=%d violations=%d digests=%s"
+            % (len(results), violations, ",".join(r.digest for r in results))
+        )
+        print(format_run_footer(report=report, cache=cache))
+        return 0 if violations == 0 else 1
+
+    obs = None
+    if args.obs is not None:
+        from .obs import Observability
+
+        obs = Observability(args.obs)
+    result = run_scenario(
+        args.scenario,
+        n_ue=args.n_ue,
+        duration_s=args.duration,
+        seed=args.seed,
+        mode=args.mode,
+        obs=obs,
+        verbose_trace=args.verbose_trace,
+    )
+    if args.json:
+        print(json_mod.dumps(result.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(result.format_report())
+    if obs is not None and obs.metrics is not None:
+        snapshot = obs.snapshot()
+        counters = (snapshot.get("metrics") or {}).get("counters", [])
+        hop_messages = sum(
+            c["value"] for c in counters if c["name"] == "hop_messages"
+        )
+        print(
+            "obs: spans=%s/%s hop_messages=%d (mode=%s)"
+            % (
+                snapshot["spans_started"],
+                snapshot["spans_finished"],
+                hop_messages,
+                args.obs,
+            )
+        )
+    return 0 if result.violations == 0 else 1
 
 
 def _run_profile(args) -> int:

@@ -81,12 +81,19 @@ class RYWAuditor:
     reattaches_forced: int = 0
     failovers_masked: int = 0
     messages_replayed: int = 0
+    #: diagnostics switch for population-scale runs: the per-UE causal
+    #: history is O(UEs) memory and exists only to annotate violation
+    #: reports — detection itself is the version comparison in
+    #: :meth:`record_serve`, which stays identical with history off.
+    keep_history: bool = True
     _history: Dict[str, Deque[CausalEvent]] = field(default_factory=dict, repr=False)
 
     def _now(self) -> float:
         return self.sim_now() if self.sim_now else 0.0
 
     def _note(self, ue_id: str, kind: str, **detail: object) -> None:
+        if not self.keep_history:
+            return
         history = self._history.get(ue_id)
         if history is None:
             history = deque(maxlen=_HISTORY_LIMIT)

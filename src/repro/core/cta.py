@@ -247,13 +247,17 @@ class CTA:
         replay) before the UE's next request ever bounces.
         """
         interval = self.config.heartbeat_interval_s
-        region_cpfs = self.dep.region_map.region(self.region).cpfs
         declared: set = set()
         while True:
             yield self.sim.timeout(interval)
             if not self.up:
                 continue
-            for name in region_cpfs:
+            # Re-read membership every tick: ring churn can grow, shrink,
+            # or retire this region mid-run.
+            region = self.dep.region_map.regions.get(self.region)
+            if region is None:
+                return  # region retired; the loop winds down with it
+            for name in region.cpfs:
                 cpf = self.dep.cpfs.get(name)
                 if cpf is None:
                     continue

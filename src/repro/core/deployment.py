@@ -112,6 +112,12 @@ class Deployment:
         self._ues: Dict[str, UE] = {}
         self.pct: Dict[str, Tally] = {}
         self.outcomes: List[ProcedureOutcome] = []
+        #: when set (a callable taking one ProcedureOutcome), every
+        #: completed-procedure measurement is handed to it *instead of*
+        #: the Tally lists and the outcomes list above.  Population-
+        #: scale runs install a streaming-sketch sink here so memory
+        #: stays bounded no matter how many procedures complete.
+        self.outcome_sink = None
 
     # -- canonical topology -----------------------------------------------------
 
@@ -177,6 +183,96 @@ class Deployment:
             )
         return cls(sim, config, RegionMap(region_objs), rng)
 
+    # -- membership churn (ring add/remove with live nodes) -------------------------
+
+    def add_region(self, region: Region) -> None:
+        """Admit a new level-1 region (CTA + CPF pool + BSs) mid-run.
+
+        Updates the consistent-hash rings first, then brings up live
+        node objects, so any placement computed after this call may land
+        on the new CPFs.  Existing placements are untouched — callers
+        re-place affected UEs via :meth:`stale_placements` /
+        :meth:`apply_placement` (the scale engine staggers those
+        fetches so the new CPFs warm up without a stampede).
+        """
+        self.region_map.add_region(region)
+        cta = CTA(self, region.cta, region.geohash)
+        self.ctas[region.cta] = cta
+        self._region_cta[region.geohash] = region.cta
+        for cpf_name in region.cpfs:
+            self.cpfs[cpf_name] = CPF(self, cpf_name, region.geohash)
+        self.upfs[region.geohash] = UPF(
+            self.sim,
+            "upf-" + region.geohash,
+            region.geohash,
+            self.config.upf_service_s,
+        )
+        for bs_name in region.bss:
+            self.bss[bs_name] = BaseStation(self, bs_name, region.geohash)
+
+    def retire_region(self, region_hash: str) -> Region:
+        """Remove a drained region from the rings and take its nodes down.
+
+        The caller must already have re-homed every UE attached or
+        placed there.  Node objects stay in the registries (marked
+        failed) so any straggling reference degrades into the normal
+        failure-recovery paths rather than a KeyError.
+        """
+        region = self.region_map.remove_region(region_hash)
+        for cpf_name in region.cpfs:
+            if self.cpfs[cpf_name].up:
+                self.cpfs[cpf_name].fail()
+        if self.ctas[region.cta].up:
+            self.ctas[region.cta].fail()
+        self._region_cta.pop(region_hash, None)
+        return region
+
+    def stale_placements(self) -> List[Tuple[str, "Placement", str, List[str]]]:
+        """UEs whose stored placement disagrees with the current rings.
+
+        Returns ``(ue_id, placement, desired_primary, desired_backups)``
+        tuples in sorted UE order (determinism).  Only meaningful right
+        after ring churn: consistent hashing guarantees the list is the
+        small set of keys owned by the added/removed members, which is
+        exactly what the monotonicity property tests pin.  UEs placed in
+        a region that no longer exists are skipped — those need a
+        re-homing handover, not a re-placement.
+        """
+        out = []
+        for ue_id in sorted(self._placements):
+            placement = self._placements[ue_id]
+            try:
+                desired_primary = self.region_map.primary_for(ue_id, placement.region)
+            except KeyError:
+                continue
+            desired_backups = self.region_map.replicas_for(
+                ue_id, placement.region, self.config.n_backups, self.config.georep_level
+            )
+            if desired_primary != placement.primary or desired_backups != placement.backups:
+                out.append((ue_id, placement, desired_primary, desired_backups))
+        return out
+
+    def apply_placement(
+        self, ue_id: str, region: str, primary: str, backups: List[str]
+    ) -> Placement:
+        """Commit a re-placement; mark state at dropped holders outdated.
+
+        The caller is responsible for having copied up-to-date state to
+        the new primary/backups first (repair fetches); this just swaps
+        the registry entry and poisons the copies that fell out of the
+        replica set so they can never serve a stale read.
+        """
+        old = self._placements.get(ue_id)
+        keep = {primary, *backups}
+        if old is not None:
+            for name in {old.primary, *old.backups} - keep:
+                cpf = self.cpfs.get(name)
+                if cpf is not None:
+                    cpf.store.mark_outdated(ue_id)
+        placement = Placement(region, primary, list(backups))
+        self._placements[ue_id] = placement
+        return placement
+
     # -- links --------------------------------------------------------------------
 
     def hop(
@@ -238,6 +334,18 @@ class Deployment:
 
     def placement_of(self, ue_id: str) -> Optional[Placement]:
         return self._placements.get(ue_id)
+
+    def drop_placement(self, ue_id: str) -> None:
+        """Forget a UE's placement entirely (region retirement of a
+        detached UE: there is no serving region left to re-home it to,
+        and a later attach re-derives placement from its new BS)."""
+        placement = self._placements.pop(ue_id, None)
+        if placement is None:
+            return
+        for name in {placement.primary, *placement.backups}:
+            cpf = self.cpfs.get(name)
+            if cpf is not None:
+                cpf.store.mark_outdated(ue_id)
 
     def placements_items(self):
         """(ue_id, Placement) pairs — used by proactive failure detection."""
@@ -436,13 +544,29 @@ class Deployment:
     def ues(self) -> List[UE]:
         return list(self._ues.values())
 
-    def bootstrap_ue(self, ue_id: str, bs_name: str) -> UE:
-        """Create a UE already attached, with state replicated (no events).
+    def adopt_ue(self, ue: UE) -> None:
+        """Register a flyweight UE shell for the duration of a procedure.
 
-        Used to build warm pools for service-request/handover sweeps
-        without simulating hundreds of thousands of attaches first.
+        The cohort model (``repro.scale``) keeps per-UE state in arrays
+        and materialises a :class:`UE` object only while a procedure is
+        in flight; unlike :meth:`new_ue` this replaces any previous
+        shell for the same id.
         """
-        ue = self.new_ue(ue_id, bs_name)
+        self._ues[ue.ue_id] = ue
+
+    def release_ue(self, ue_id: str) -> None:
+        """Drop a shell registered by :meth:`adopt_ue` (idempotent)."""
+        self._ues.pop(ue_id, None)
+
+    def bootstrap_state(self, ue_id: str, bs_name: str) -> int:
+        """Install attached, replicated state for a UE (no sim events).
+
+        The network-side half of :meth:`bootstrap_ue`: placement, primary
+        state, backup snapshots, and the auditor's write record.  Returns
+        the UE's completed write version (its RYW reader version).  The
+        cohort model calls this directly so 100k warm UEs never exist as
+        objects.
+        """
         region = self.bss[bs_name].region
         placement = self.ensure_placement(ue_id, region)
         clock = self.next_clock(ue_id)
@@ -454,9 +578,18 @@ class Deployment:
             self.cpfs[backup_name].store.install_snapshot(
                 ue_id, entry.state, clock
             )
+        self.auditor.record_write_completion(ue_id, entry.state.version)
+        return entry.state.version
+
+    def bootstrap_ue(self, ue_id: str, bs_name: str) -> UE:
+        """Create a UE already attached, with state replicated (no events).
+
+        Used to build warm pools for service-request/handover sweeps
+        without simulating hundreds of thousands of attaches first.
+        """
+        ue = self.new_ue(ue_id, bs_name)
         ue.attached = True
-        ue.completed_version = entry.state.version
-        self.auditor.record_write_completion(ue_id, ue.completed_version)
+        ue.completed_version = self.bootstrap_state(ue_id, bs_name)
         return ue
 
     # -- downlink delivery (§3.1's motivating scenario) ---------------------------------------------
@@ -522,6 +655,10 @@ class Deployment:
     # -- measurement --------------------------------------------------------------------------------
 
     def record_pct(self, outcome: ProcedureOutcome) -> None:
+        sink = self.outcome_sink
+        if sink is not None:
+            sink(outcome)
+            return
         tally = self.pct.get(outcome.name)
         if tally is None:
             tally = Tally(outcome.name)

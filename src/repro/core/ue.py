@@ -58,11 +58,20 @@ class ProcedureAborted(Exception):
 class ProcedureOutcome:
     """What happened to one procedure run."""
 
-    __slots__ = ("name", "pct", "completed", "recovered", "reattached", "started_at")
+    __slots__ = (
+        "name",
+        "pct",
+        "completed",
+        "recovered",
+        "reattached",
+        "started_at",
+        "ue_id",
+    )
 
-    def __init__(self, name: str, started_at: float):
+    def __init__(self, name: str, started_at: float, ue_id: str = ""):
         self.name = name
         self.started_at = started_at
+        self.ue_id = ue_id
         self.pct: Optional[float] = None
         self.completed = False
         self.recovered = False
@@ -101,7 +110,7 @@ class UE:
         dep = self.dep
         spec = dep.spec(proc_name)
         if outcome is None:
-            outcome = ProcedureOutcome(proc_name, self.sim.now)
+            outcome = ProcedureOutcome(proc_name, self.sim.now, self.ue_id)
         self.busy = True
         self.procedures_run += 1
         is_attach = proc_name in ("attach", "re_attach")
@@ -470,7 +479,7 @@ class UE:
         outcome.reattached = True
         self.attached = False
         self.completed_version = 0
-        inner = ProcedureOutcome("re_attach", self.sim.now)
+        inner = ProcedureOutcome("re_attach", self.sim.now, self.ue_id)
         yield from self.execute("re_attach", outcome=inner)
         self._mark_pct(outcome)
 

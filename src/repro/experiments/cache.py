@@ -43,6 +43,7 @@ __all__ = [
     "code_fingerprint",
     "describe_point_inputs",
     "point_key",
+    "task_key",
 ]
 
 #: default cache directory (relative to the current working directory).
@@ -108,6 +109,23 @@ def point_key(config, axis_rate: float, spec: Optional[RunSpec]) -> str:
     return hashlib.sha256(blob.encode()).hexdigest()
 
 
+def task_key(kind: str, payload: Any) -> str:
+    """Content address of an arbitrary task (generic runner entries).
+
+    ``kind`` namespaces the key so two task families whose payloads
+    happen to collide (e.g. a scale replicate and a future sweep both
+    keyed by a bare seed) can never alias each other's cache entries.
+    ``payload`` must be digestible by :func:`_stable` — dataclasses,
+    dicts, lists/tuples, and scalars.
+    """
+    blob = json.dumps(
+        {"kind": kind, "task": _stable(payload)},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
 @dataclass
 class CacheStats:
     """Hit / miss / stale accounting for one runner invocation."""
@@ -129,16 +147,31 @@ class CacheStats:
 
 
 class ResultCache:
-    """Content-addressed store of :class:`PCTPoint` results.
+    """Content-addressed store of measurement results.
 
-    ``get``/``put`` take the key from :func:`point_key`; entries from a
-    different code version count as *stale* and are treated as absent
-    (the rerun's ``put`` overwrites them).
+    ``get``/``put`` take the key from :func:`point_key` (or
+    :func:`task_key` for generic tasks); entries from a different code
+    version count as *stale* and are treated as absent (the rerun's
+    ``put`` overwrites them).
+
+    By default entries are :class:`PCTPoint` objects.  Other result
+    types plug in through the ``encode``/``decode`` codec pair —
+    ``encode(result) -> dict`` and ``decode(dict) -> result`` (e.g.
+    ``ScaleResult.to_dict`` / ``ScaleResult.from_dict`` for the scale
+    harness) — without changing the on-disk entry shape.
     """
 
-    def __init__(self, root: str = DEFAULT_CACHE_DIR, fingerprint: Optional[str] = None):
+    def __init__(
+        self,
+        root: str = DEFAULT_CACHE_DIR,
+        fingerprint: Optional[str] = None,
+        encode=None,
+        decode=None,
+    ):
         self.root = Path(root)
         self._fingerprint = fingerprint
+        self._encode = encode if encode is not None else dataclasses.asdict
+        self._decode = decode if decode is not None else (lambda d: PCTPoint(**d))
         self.stats = CacheStats()
 
     @property
@@ -161,7 +194,7 @@ class ResultCache:
     def key(self, config, axis_rate: float, spec: Optional[RunSpec]) -> str:
         return point_key(config, axis_rate, spec)
 
-    def get(self, key: str) -> Optional[PCTPoint]:
+    def get(self, key: str) -> Optional[Any]:
         path = self._path(key)
         try:
             with open(path) as fp:
@@ -173,19 +206,19 @@ class ResultCache:
             self.stats.stale += 1
             return None
         try:
-            point = PCTPoint(**entry["point"])
+            point = self._decode(entry["point"])
         except (KeyError, TypeError):
             self.stats.misses += 1  # foreign/corrupt entry shape
             return None
         self.stats.hits += 1
         return point
 
-    def put(self, key: str, point: PCTPoint) -> None:
+    def put(self, key: str, point) -> None:
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         entry = {
             "fingerprint": self.fingerprint,
-            "point": dataclasses.asdict(point),
+            "point": self._encode(point),
         }
         tmp = path.with_suffix(".tmp.%d" % os.getpid())
         with open(tmp, "w") as fp:

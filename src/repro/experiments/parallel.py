@@ -41,6 +41,7 @@ __all__ = [
     "expand_grid",
     "run_jobs",
     "run_sweep",
+    "run_tasks",
 ]
 
 
@@ -95,19 +96,77 @@ def _pool_context():
     return multiprocessing.get_context()
 
 
-def _run_pool(jobs_list: List[SweepJob], workers: int, report: SweepReport) -> List[PCTPoint]:
+def _run_pool(jobs_list: List, workers: int, report: SweepReport, fn=_run_job) -> List:
     try:
         with concurrent.futures.ProcessPoolExecutor(
             max_workers=min(workers, len(jobs_list)), mp_context=_pool_context()
         ) as pool:
-            points = list(pool.map(_run_job, jobs_list))
+            points = list(pool.map(fn, jobs_list))
         report.parallel = True
         return points
     except (OSError, PermissionError, ImportError,
             concurrent.futures.process.BrokenProcessPool) as err:
         # sandboxes without working fork/semaphores: run where we are
         report.fallback_reason = "%s: %s" % (type(err).__name__, err)
-        return [_run_job(job) for job in jobs_list]
+        return [fn(job) for job in jobs_list]
+
+
+def run_tasks(
+    tasks: Sequence,
+    fn,
+    jobs: int = 1,
+    cache=None,
+    key_fn=None,
+    kind: str = "task",
+    report: Optional[SweepReport] = None,
+) -> List:
+    """Generic fan-out: run ``fn`` over ``tasks`` with cache + pool.
+
+    The task-shaped sibling of :func:`run_jobs` (which stays the sweep
+    entry point): ``fn`` must be a top-level picklable callable and each
+    task a pure function of its own value, so pool placement cannot
+    change results.  ``cache`` entries are addressed by
+    :func:`repro.experiments.cache.task_key` over ``key_fn(task)``
+    (default: the task itself), namespaced by ``kind``; the cache must
+    be constructed with an ``encode``/``decode`` codec matching ``fn``'s
+    result type.  Returns results positionally aligned with ``tasks``.
+    """
+    from .cache import task_key
+
+    tasks = list(tasks)
+    if jobs == 0:
+        jobs = default_jobs()
+    if report is None:
+        report = SweepReport()
+    report.total = len(tasks)
+
+    results: List = [None] * len(tasks)
+    pending: List[tuple] = []  # (index, cache key or None, task)
+    for i, task in enumerate(tasks):
+        if cache is not None:
+            key = task_key(kind, key_fn(task) if key_fn is not None else task)
+            hit = cache.get(key)
+            if hit is not None:
+                results[i] = hit
+                continue
+        else:
+            key = None
+        pending.append((i, key, task))
+    report.cached = report.total - len(pending)
+    report.executed = len(pending)
+
+    if pending:
+        run_list = [task for _i, _key, task in pending]
+        if jobs > 1 and len(run_list) > 1:
+            produced = _run_pool(run_list, jobs, report, fn=fn)
+        else:
+            report.fallback_reason = "jobs=1" if jobs <= 1 else "single task"
+            produced = [fn(task) for task in run_list]
+        for (i, key, _task), result in zip(pending, produced):
+            results[i] = result
+            if cache is not None and key is not None:
+                cache.put(key, result)
+    return results
 
 
 def run_jobs(

@@ -10,7 +10,14 @@ from __future__ import annotations
 
 from typing import Iterable, List, Tuple
 
-__all__ = ["encode", "decode_bounds", "parent", "neighbors_at_level", "covers"]
+__all__ = [
+    "encode",
+    "decode_bounds",
+    "parent",
+    "children",
+    "neighbors_at_level",
+    "covers",
+]
 
 #: Alphabet for 2-bit characters (values 0..3).
 _ALPHABET = "0123"
@@ -77,6 +84,18 @@ def parent(geohash: str) -> str:
     if len(geohash) < 2:
         raise ValueError("geo-hash %r has no parent" % geohash)
     return geohash[:-1]
+
+
+def children(geohash: str) -> List[str]:
+    """The four cells one level finer, in alphabet order.
+
+    Deriving child tiles by string extension (rather than re-encoding
+    coordinates near a cell edge) sidesteps the float boundary cases
+    where a point on a shared edge encodes into the neighbouring cell.
+    """
+    if not geohash:
+        raise ValueError("empty geo-hash")
+    return [geohash + c for c in _ALPHABET]
 
 
 def covers(prefix: str, geohash: str) -> bool:

@@ -47,34 +47,69 @@ class RegionMap:
 
     def __init__(self, regions: Iterable[Region], vnodes: int = 64):
         self.regions: Dict[str, Region] = {}
-        for region in regions:
-            if region.geohash in self.regions:
-                raise ValueError("duplicate region %s" % region.geohash)
-            if len(region.geohash) < 2:
-                raise ValueError(
-                    "region geo-hash %r too short for a level-2 parent" % region.geohash
-                )
-            self.regions[region.geohash] = region
-        if not self.regions:
-            raise ValueError("deployment needs at least one region")
         self.vnodes = vnodes
         self._level1_rings: Dict[str, HashRing] = {}
         self._level2_rings: Dict[str, HashRing] = {}
         self._bs_region: Dict[str, str] = {}
-        for region in self.regions.values():
-            self._level1_rings[region.geohash] = HashRing(region.cpfs, vnodes)
-            for bs in region.bss:
-                if bs in self._bs_region:
-                    raise ValueError("BS %s in two regions" % bs)
-                self._bs_region[bs] = region.geohash
-        for parent_hash in {r.level2 for r in self.regions.values()}:
-            members = [
-                cpf
-                for r in self.regions.values()
-                if r.level2 == parent_hash
-                for cpf in r.cpfs
-            ]
-            self._level2_rings[parent_hash] = HashRing(members, vnodes)
+        self._prefix_rings: Dict[str, HashRing] = {}
+        for region in regions:
+            self.add_region(region)
+        if not self.regions:
+            raise ValueError("deployment needs at least one region")
+
+    # -- membership churn (CTA add/remove, §4.3 ring maintenance) --------------
+
+    def add_region(self, region: Region) -> None:
+        """Admit a level-1 region (one CTA + its CPF pool) to the rings.
+
+        Consistent hashing keeps this cheap and local: level-1 lookups in
+        other regions are untouched, and on the level-2 ring only keys
+        that now hash to the new region's CPFs move (the monotonicity
+        property ``tests/geo/test_ring_properties.py`` pins).  Callers
+        owning live placements must re-place affected UEs themselves.
+        """
+        if region.geohash in self.regions:
+            raise ValueError("duplicate region %s" % region.geohash)
+        if len(region.geohash) < 2:
+            raise ValueError(
+                "region geo-hash %r too short for a level-2 parent" % region.geohash
+            )
+        for bs in region.bss:
+            if bs in self._bs_region:
+                raise ValueError("BS %s in two regions" % bs)
+        self.regions[region.geohash] = region
+        self._level1_rings[region.geohash] = HashRing(region.cpfs, self.vnodes)
+        for bs in region.bss:
+            self._bs_region[bs] = region.geohash
+        ring2 = self._level2_rings.get(region.level2)
+        if ring2 is None:
+            self._level2_rings[region.level2] = HashRing(region.cpfs, self.vnodes)
+        else:
+            for cpf in region.cpfs:
+                ring2.add(cpf)
+        # Wider rings are rebuilt lazily on next use.
+        self._prefix_rings.clear()
+
+    def remove_region(self, region_hash: str) -> Region:
+        """Retire a level-1 region from every ring; returns it.
+
+        The last region of the deployment cannot be removed.  As with
+        :meth:`add_region`, only keys owned by the removed CPFs move.
+        """
+        region = self.region(region_hash)
+        if len(self.regions) == 1:
+            raise ValueError("cannot remove the last region %s" % region_hash)
+        del self.regions[region_hash]
+        del self._level1_rings[region_hash]
+        for bs in region.bss:
+            self._bs_region.pop(bs, None)
+        ring2 = self._level2_rings[region.level2]
+        for cpf in region.cpfs:
+            ring2.remove(cpf)
+        if not len(ring2):
+            del self._level2_rings[region.level2]
+        self._prefix_rings.clear()
+        return region
 
     # -- lookups -----------------------------------------------------------
 
@@ -127,10 +162,7 @@ class RegionMap:
         prefix = region.geohash[: -(level - 1)]
         if not prefix:
             prefix = ""  # whole deployment
-        cache = getattr(self, "_prefix_rings", None)
-        if cache is None:
-            cache = {}
-            self._prefix_rings = cache
+        cache = self._prefix_rings
         ring = cache.get(prefix)
         if ring is None:
             members = [
@@ -166,14 +198,26 @@ class RegionMap:
 
         ``level=2`` is the paper's placement; higher levels spread the
         replicas over a wider geography (more handovers become Fast
-        Handovers at the cost of longer checkpoint paths).  If the ring
-        has no CPFs outside this region (single-region deployments),
-        fall back to level-1 members other than the primary so
-        replication still works, mirroring a degenerate deployment.
+        Handovers at the cost of longer checkpoint paths).  If the
+        level-``k`` ring has too few CPFs outside this region (a region
+        that is the lone child of its parent tile, or a sparse edge of
+        the deployment), escalate through successively wider rings up to
+        the whole deployment before falling back to level-1 members
+        other than the primary — a lone region under a parent must not
+        silently lose all geo-replication while other regions exist.
         """
         region = self.region(region_hash)
-        ring2 = self.level_ring(region_hash, max(level, 2))
-        replicas = ring2.successors(ue_key, n, exclude=region.cpfs)
+        deepest = len(region.geohash)  # level whose prefix is "" (all regions)
+        eff_level = max(level, 2)
+        replicas = self.level_ring(region_hash, eff_level).successors(
+            ue_key, n, exclude=region.cpfs
+        )
+        while len(replicas) < n and eff_level < deepest + 1:
+            eff_level += 1
+            wider = self.level_ring(region_hash, eff_level).successors(
+                ue_key, n - len(replicas), exclude=list(region.cpfs) + replicas
+            )
+            replicas.extend(wider)
         if len(replicas) < n:
             primary = self.primary_for(ue_key, region_hash)
             extra = self.level1_ring(region_hash).successors(

@@ -1,0 +1,159 @@
+"""Aggregated-UE cohort: population state in arrays, UEs as flyweights.
+
+Simulating 100k+ UEs as long-lived :class:`~repro.core.ue.UE` objects
+costs an object (plus dict) per UE for state that is four scalars.  The
+cohort keeps the whole population in flat arrays — attached flag,
+completed write version (the RYW reader version), serving-BS index,
+busy flag, procedures-run counter — and materialises a UE object only
+while one of its procedures is in flight, hydrating it from the arrays
+and writing the scalars back on completion.
+
+The hydrated shell runs the *identical* ``UE.execute`` code path, and
+neither hydration nor write-back touches the simulator, so a cohort run
+is bit-identical (EventTrace digest) to the same schedule driven
+through N persistent UE objects — ``IndividualDriver`` exists so the
+conformance test can prove exactly that.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Dict, Generator, List, Optional
+
+from ..core.ue import UE, ProcedureAborted
+from ..sim.node import NodeFailed
+
+__all__ = ["CohortDriver", "IndividualDriver"]
+
+
+class CohortDriver:
+    """Array-backed population of ``n`` UEs over a deployment.
+
+    ``bs_names`` is the (growable) list of base stations UEs may be
+    assigned to; per-UE state references it by index so 100k UEs don't
+    hold 100k name strings.
+    """
+
+    mode = "cohort"
+
+    def __init__(self, dep, bs_names: List[str], n: int, prefix: str = "c"):
+        self.dep = dep
+        self.n = n
+        self.prefix = prefix
+        self.bs_names: List[str] = list(bs_names)
+        self._bs_index: Dict[str, int] = {b: i for i, b in enumerate(self.bs_names)}
+        self.attached = bytearray(n)
+        self.busy = bytearray(n)
+        self.version = array("q", [0]) * n
+        self.bs_idx = array("l", [0]) * n
+        self.runs = array("l", [0]) * n
+        # outcome counters (bounded; the per-outcome objects are not kept)
+        self.completed = 0
+        self.aborted = 0
+        self.recovered = 0
+        self.reattached = 0
+
+    # -- identity ----------------------------------------------------------
+
+    def ue_id(self, i: int) -> str:
+        return "%s-%07d" % (self.prefix, i)
+
+    def bs_of(self, i: int) -> str:
+        return self.bs_names[self.bs_idx[i]]
+
+    def bs_index(self, bs_name: str) -> int:
+        """Index of ``bs_name``, registering it if new (ring churn)."""
+        idx = self._bs_index.get(bs_name)
+        if idx is None:
+            idx = len(self.bs_names)
+            self.bs_names.append(bs_name)
+            self._bs_index[bs_name] = idx
+        return idx
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def bootstrap(self, i: int, bs_name: str) -> None:
+        """Warm-attach UE ``i`` at ``bs_name`` (state only, no sim events)."""
+        self.version[i] = self.dep.bootstrap_state(self.ue_id(i), bs_name)
+        self.attached[i] = 1
+        self.bs_idx[i] = self.bs_index(bs_name)
+
+    def _hydrate(self, i: int) -> UE:
+        ue = UE(self.dep, self.ue_id(i), self.bs_of(i))
+        ue.attached = bool(self.attached[i])
+        ue.completed_version = self.version[i]
+        ue.procedures_run = self.runs[i]
+        self.dep.adopt_ue(ue)
+        return ue
+
+    def _writeback(self, i: int, ue: UE) -> None:
+        self.attached[i] = 1 if ue.attached else 0
+        self.version[i] = ue.completed_version
+        self.runs[i] = ue.procedures_run
+        self.bs_idx[i] = self.bs_index(ue.bs_name)
+        self.dep.release_ue(ue.ue_id)
+
+    # -- procedures --------------------------------------------------------
+
+    def run_procedure(
+        self, i: int, proc: str, target_bs: Optional[str] = None
+    ) -> Generator:
+        """Process body: run one procedure for UE ``i``.
+
+        Marks the UE busy in the cohort for the duration (the scenario
+        driver skips arrivals to busy UEs), counts the outcome, and
+        never raises — aborts are a counter, not a crash.
+        """
+        self.busy[i] = 1
+        ue = self._hydrate(i)
+        try:
+            outcome = yield from ue.execute(proc, target_bs=target_bs)
+        except (ProcedureAborted, NodeFailed, LookupError):
+            self.aborted += 1
+        else:
+            if outcome.completed:
+                self.completed += 1
+            if outcome.recovered:
+                self.recovered += 1
+            if outcome.reattached:
+                self.reattached += 1
+        finally:
+            self._writeback(i, ue)
+            self.busy[i] = 0
+
+
+class IndividualDriver(CohortDriver):
+    """Same schedule, but N persistent UE objects (conformance witness).
+
+    Keeps every :class:`UE` alive for the whole run the way the small
+    experiment harnesses do.  Shares the cohort's arrays for busy
+    bookkeeping so the scenario driver code is byte-for-byte the same;
+    the only difference is where UE scalar state lives between
+    procedures.
+    """
+
+    mode = "individual"
+
+    def __init__(self, dep, bs_names: List[str], n: int, prefix: str = "c"):
+        super().__init__(dep, bs_names, n, prefix)
+        self._ues: Dict[int, UE] = {}
+
+    def bootstrap(self, i: int, bs_name: str) -> None:
+        ue = self.dep.new_ue(self.ue_id(i), bs_name)
+        ue.attached = True
+        ue.completed_version = self.dep.bootstrap_state(self.ue_id(i), bs_name)
+        self._ues[i] = ue
+        self.attached[i] = 1
+        self.version[i] = ue.completed_version
+        self.bs_idx[i] = self.bs_index(bs_name)
+
+    def _hydrate(self, i: int) -> UE:
+        return self._ues[i]
+
+    def _writeback(self, i: int, ue: UE) -> None:
+        # mirror the scalars so driver-side reads (busy checks, tile
+        # lookups) see the same values in both modes
+        self.attached[i] = 1 if ue.attached else 0
+        self.version[i] = ue.completed_version
+        self.runs[i] = ue.procedures_run
+        self.bs_idx[i] = self.bs_index(ue.bs_name)

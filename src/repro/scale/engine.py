@@ -1,0 +1,743 @@
+"""The city-scale scenario engine.
+
+:func:`run_scenario` turns one :class:`~repro.scale.scenarios.ScenarioSpec`
+into a deterministic simulated run:
+
+* the city topology comes from geo-hash tiles (``repro.scale.topology``),
+  so placement is entirely ring-driven;
+* the population is an aggregated-UE cohort (``repro.scale.cohort``) —
+  one driver process plays merged Poisson arrival streams (service,
+  mobility, TAU) whose aggregate rates are ``n_ue`` times the per-UE
+  rates, picking the affected UE uniformly per arrival (superposition
+  of n independent Poisson processes);
+* every mobility arrival consults the scenario's mobility model; a
+  tile transition becomes an intra-region reselection, a Fast Handover
+  (shared level-2 parent, §4.3) or a full handover;
+* timed faults run through the standard :class:`FaultInjector`, ring
+  churn through :meth:`Deployment.add_region` / ``retire_region`` with
+  staggered replica re-placement fetches and drain-then-retire
+  evacuation handovers;
+* measurements stream into bounded-memory
+  :class:`~repro.sim.monitor.QuantileSketch` objects keyed by
+  ``(region, procedure)`` — no per-procedure list survives the run, so
+  100k+ UE populations hold memory flat.
+
+Everything is a pure function of the spec (seed included): the
+:class:`EventTrace` digest is the determinism witness, and the
+cohort-vs-individual conformance test pins that the flyweight model is
+bit-identical to N persistent UE objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..core.deployment import Deployment
+from ..faults.injector import FaultInjector
+from ..faults.plan import FaultEvent, FaultPlan, LinkPerturbation
+from ..faults.runner import config_from_name
+from ..faults.trace import EventTrace
+from ..sim.core import Simulator
+from ..sim.monitor import QuantileSketch
+from ..sim.rng import RngRegistry
+from ..traffic.mobility import (
+    CommuteWaveMobility,
+    FlashCrowdMobility,
+    MobilityModel,
+    RandomWalkMobility,
+)
+from .cohort import CohortDriver, IndividualDriver
+from .scenarios import ScenarioSpec, get_scenario
+from .topology import (
+    CHILD_ORDER,
+    CityTopology,
+    build_city,
+    region_for_tile,
+    tile_adjacency,
+)
+
+__all__ = ["ScaleResult", "run_scenario", "run_replicates"]
+
+#: when a re-placement / evacuation finds the UE mid-procedure it polls
+#: the busy flag at this interval, giving up after ``_BUSY_TRIES``.
+_BUSY_POLL_S = 0.002
+_BUSY_TRIES = 250
+
+#: populations at or below this keep the auditor's per-UE causal
+#: history (diagnostics); above it, detection-only mode (bounded memory).
+_HISTORY_MAX_UES = 5000
+
+
+# --------------------------------------------------------------------------- result
+
+
+@dataclass
+class ScaleResult:
+    """Everything one scale run produced (JSON/cache-round-trippable)."""
+
+    scenario: str
+    mode: str
+    n_ue: int
+    duration_s: float
+    seed: int
+    end_time_s: float
+    regions_final: int
+    serves: int
+    writes: int
+    violations: int
+    completed: int
+    aborted: int
+    recovered: int
+    reattached: int
+    counters: Dict[str, int] = field(default_factory=dict)
+    fault_counters: Dict[str, int] = field(default_factory=dict)
+    #: region -> procedure -> {count, mean, min, max, p50, p95, p99} (ms)
+    region_pct_ms: Dict[str, Dict[str, Dict[str, Optional[float]]]] = field(
+        default_factory=dict
+    )
+    digest: str = ""
+    trace_events: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return self.violations == 0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ScaleResult":
+        return cls(**data)
+
+    def format_report(self) -> str:
+        lines = [
+            "scenario %s  mode=%s  n_ue=%d  duration=%.3fs  seed=%d"
+            % (self.scenario, self.mode, self.n_ue, self.duration_s, self.seed),
+            "consistency: serves=%d writes=%d violations=%d"
+            % (self.serves, self.writes, self.violations),
+            "procedures: completed=%d aborted=%d recovered=%d reattached=%d"
+            % (self.completed, self.aborted, self.recovered, self.reattached),
+            "regions at end: %d   trace: %d events, digest %s"
+            % (self.regions_final, self.trace_events, self.digest),
+        ]
+        if self.counters:
+            lines.append(
+                "engine: "
+                + " ".join(
+                    "%s=%d" % (k, v) for k, v in sorted(self.counters.items())
+                )
+            )
+        if any(self.fault_counters.values()):
+            lines.append(
+                "faults: "
+                + " ".join(
+                    "%s=%s" % (k, v) for k, v in sorted(self.fault_counters.items())
+                )
+            )
+        lines.append(
+            "%-10s %-16s %8s %9s %9s %9s"
+            % ("region", "procedure", "count", "p50 ms", "p95 ms", "p99 ms")
+        )
+        for region in sorted(self.region_pct_ms):
+            for proc in sorted(self.region_pct_ms[region]):
+                s = self.region_pct_ms[region][proc]
+                lines.append(
+                    "%-10s %-16s %8d %9s %9s %9s"
+                    % (
+                        region,
+                        proc,
+                        int(s.get("count", 0)),
+                        _fmt_ms(s.get("p50")),
+                        _fmt_ms(s.get("p95")),
+                        _fmt_ms(s.get("p99")),
+                    )
+                )
+        return "\n".join(lines)
+
+
+def _fmt_ms(value: Optional[float]) -> str:
+    return "-" if value is None else "%.3f" % value
+
+
+# --------------------------------------------------------------------------- engine
+
+
+def _mobility_for(spec: ScenarioSpec, topo: CityTopology) -> MobilityModel:
+    w0 = spec.wave_window[0] * spec.duration_s
+    w1 = spec.wave_window[1] * spec.duration_s
+    if spec.mobility_model == "random_walk":
+        return RandomWalkMobility(topo.adjacency)
+    if spec.mobility_model == "commute":
+        downtown_parent = sorted({t[:-1] for t in topo.tiles})[0]
+        downtown = [t for t in topo.tiles if t.startswith(downtown_parent)]
+        return CommuteWaveMobility(topo.adjacency, downtown, w0, w1)
+    if spec.mobility_model == "flash_crowd":
+        ordered = sorted(topo.tiles)
+        venue = ordered[len(ordered) // 2]
+        return FlashCrowdMobility(topo.adjacency, venue, w0, w1)
+    raise ValueError("unknown mobility model %r" % (spec.mobility_model,))
+
+
+def _expand_fault_events(
+    spec: ScenarioSpec, topo: CityTopology
+) -> List[FaultEvent]:
+    """Timed FaultEvents from the spec's fractional schedule.
+
+    ``target`` forms: a plain node/hop name (passed through with the
+    spec's op verbatim), or ``region:index:<k>`` / ``region:<tile>`` with
+    op ``fail``/``recover`` — expanded to the tile's CTA plus every CPF.
+    """
+    tiles = sorted(topo.tiles)
+    events: List[FaultEvent] = []
+    for frac, op, target in spec.fault_events:
+        at = frac * spec.duration_s
+        if not target.startswith("region:"):
+            events.append(FaultEvent(op=op, target=target, at=at))
+            continue
+        parts = target.split(":")
+        if len(parts) == 3 and parts[1] == "index":
+            tile = tiles[int(parts[2])]
+        else:
+            tile = parts[1]
+        region = region_for_tile(tile, spec.cpfs_per_region, spec.bss_per_region)
+        if op not in ("fail", "recover"):
+            raise ValueError("region fault op must be fail/recover, got %r" % op)
+        for cpf in region.cpfs:
+            events.append(FaultEvent(op=op + "_cpf", target=cpf, at=at))
+        events.append(FaultEvent(op=op + "_cta", target=region.cta, at=at))
+    return events
+
+
+class _Engine:
+    """One scenario run's mutable state (drivers, churn, sinks)."""
+
+    def __init__(
+        self,
+        spec: ScenarioSpec,
+        mode: str = "cohort",
+        obs=None,
+        verbose_trace: bool = False,
+    ):
+        if mode not in ("cohort", "individual"):
+            raise ValueError("mode must be 'cohort' or 'individual'")
+        self.spec = spec
+        self.mode = mode
+        self.duration = spec.duration_s
+        self.sim = Simulator()
+        self.rngs = RngRegistry(spec.seed)
+        self.topo = build_city(
+            l2_regions=spec.l2_regions,
+            l1_per_l2=spec.l1_per_l2,
+            cpfs_per_region=spec.cpfs_per_region,
+            bss_per_region=spec.bss_per_region,
+            precision=spec.precision,
+        )
+        self.dep = Deployment(
+            self.sim,
+            config_from_name(spec.config),
+            self.topo.region_map(),
+            rng=self.rngs.fork("dep"),
+        )
+        keep = spec.audit_history
+        if keep is None:
+            keep = spec.n_ue <= _HISTORY_MAX_UES
+        self.dep.auditor.keep_history = keep
+        if obs is not None:
+            obs.install(self.dep)
+
+        self.trace = EventTrace(verbose=verbose_trace)
+        plan = FaultPlan(
+            seed=spec.seed,
+            note="scale:" + spec.name,
+            config=spec.config,
+            events=_expand_fault_events(spec, self.topo),
+            perturbations=[
+                LinkPerturbation(hop, drop_p=drop_p)
+                for hop, drop_p in spec.link_faults
+            ],
+        )
+        self.injector = FaultInjector(self.dep, plan, trace=self.trace)
+
+        self.mobility = _mobility_for(spec, self.topo)
+        driver_cls = CohortDriver if mode == "cohort" else IndividualDriver
+        bs_names = [b for r in self.topo.regions for b in r.bss]
+        self.driver = driver_cls(self.dep, bs_names, spec.n_ue)
+        self.counters: Dict[str, int] = {}
+        self.sketches: Dict[Tuple[str, str], QuantileSketch] = {}
+        self.dep.outcome_sink = self._observe_outcome
+
+    # -- bounded-memory measurement ---------------------------------------
+
+    def _observe_outcome(self, outcome) -> None:
+        if outcome.pct is None:
+            return
+        placement = self.dep.placement_of(outcome.ue_id)
+        region = placement.region if placement is not None else "?"
+        key = (region, outcome.name)
+        sketch = self.sketches.get(key)
+        if sketch is None:
+            sketch = self.sketches[key] = QuantileSketch(
+                "%s/%s" % key, qs=(0.50, 0.95, 0.99)
+            )
+        sketch.observe(outcome.pct)
+
+    def _count(self, name: str, delta: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + delta
+
+    # -- population --------------------------------------------------------
+
+    def _bootstrap_population(self) -> None:
+        rng = self.rngs.stream("scale.place")
+        bss = self.spec.bss_per_region
+        for i in range(self.spec.n_ue):
+            tile = self.mobility.initial_tile(rng)
+            self.driver.bootstrap(i, "bs-%s-%d" % (tile, rng.randrange(bss)))
+
+    def _spawn(self, i: int, proc: str, target_bs: Optional[str]) -> None:
+        self._count("procedures_started")
+        self.sim.process(
+            self.driver.run_procedure(i, proc, target_bs), name="scale." + proc
+        )
+
+    # -- the merged aggregated-Poisson arrival driver ----------------------
+
+    def _traffic(self):
+        spec, sim, n = self.spec, self.sim, self.spec.n_ue
+        svc_rng = self.rngs.stream("scale.svc")
+        move_rng = self.rngs.stream("scale.move")
+        tau_rng = self.rngs.stream("scale.tau")
+        pick_rng = self.rngs.stream("scale.pick")
+        svc_rate = n * spec.service_rate_per_ue
+        tau_rate = n * spec.tau_rate_per_ue
+        move_base = n * spec.mobility_rate_per_ue
+        # mobility models with a wave window get a boosted rate inside
+        # it; sample at the peak rate and thin outside the window so one
+        # exponential stream covers the piecewise-constant intensity.
+        windowed = spec.mobility_model in ("commute", "flash_crowd")
+        boost = spec.wave_mobility_boost if windowed else 1.0
+        move_peak = move_base * boost
+        w0 = spec.wave_window[0] * self.duration
+        w1 = spec.wave_window[1] * self.duration
+
+        inf = float("inf")
+
+        def draw(rng, rate: float) -> float:
+            return rng.expovariate(rate) if rate > 0.0 else inf
+
+        t_svc = draw(svc_rng, svc_rate)
+        t_move = draw(move_rng, move_peak)
+        t_tau = draw(tau_rng, tau_rate)
+        while True:
+            t = min(t_svc, t_move, t_tau)
+            if t >= self.duration:
+                return
+            if t > sim.now:
+                yield sim.timeout(t - sim.now)
+            if t == t_svc:
+                self._arrival_service(pick_rng)
+                t_svc = t + draw(svc_rng, svc_rate)
+            elif t == t_move:
+                accept = boost <= 1.0 or w0 <= t < w1 or (
+                    move_rng.random() * boost < 1.0
+                )
+                if accept:
+                    self._arrival_move(pick_rng, move_rng)
+                else:
+                    self._count("moves_thinned")
+                t_move = t + draw(move_rng, move_peak)
+            else:
+                self._arrival_tau(pick_rng)
+                t_tau = t + draw(tau_rng, tau_rate)
+
+    def _pick_idle(self, pick_rng) -> Optional[int]:
+        i = pick_rng.randrange(self.spec.n_ue)
+        if self.driver.busy[i]:
+            self._count("arrivals_skipped_busy")
+            return None
+        return i
+
+    def _arrival_service(self, pick_rng) -> None:
+        i = self._pick_idle(pick_rng)
+        if i is None:
+            return
+        if not self.driver.attached[i]:
+            # a previously aborted UE re-enters via attach
+            self._count("reattach_arrivals")
+            self._spawn(i, "attach", None)
+            return
+        self._spawn(i, "service_request", None)
+
+    def _arrival_tau(self, pick_rng) -> None:
+        i = self._pick_idle(pick_rng)
+        if i is None or not self.driver.attached[i]:
+            if i is not None:
+                self._count("arrivals_skipped_detached")
+            return
+        self._spawn(i, "tau", None)
+
+    def _arrival_move(self, pick_rng, move_rng) -> None:
+        i = self._pick_idle(pick_rng)
+        if i is None or not self.driver.attached[i]:
+            if i is not None:
+                self._count("arrivals_skipped_detached")
+            return
+        bs_name = self.driver.bs_of(i)
+        cur = bs_name.split("-")[1]
+        nxt = self.mobility.next_tile(move_rng, cur, self.sim.now)
+        bss = self.spec.bss_per_region
+        if nxt is None or nxt == cur:
+            if bss < 2:
+                self._count("moves_no_target")
+                return
+            cur_k = int(bs_name.split("-")[2])
+            k = (cur_k + 1 + pick_rng.randrange(bss - 1)) % bss
+            self._count("moves_intra")
+            self._spawn(i, "intra_handover", "bs-%s-%d" % (cur, k))
+            return
+        target_bs = "bs-%s-%d" % (nxt, pick_rng.randrange(bss))
+        if target_bs not in self.dep.bss:  # pragma: no cover - defensive
+            self._count("moves_no_target")
+            return
+        try:
+            fast = self.dep.region_map.shares_level2(cur, nxt)
+        except KeyError:
+            fast = False
+        if fast:
+            self._count("moves_fast_handover")
+            self._spawn(i, "fast_handover", target_bs)
+        else:
+            self._count("moves_handover")
+            self._spawn(i, "handover", target_bs)
+
+    # -- ring churn --------------------------------------------------------
+
+    def _refresh_mobility(self) -> None:
+        self.mobility.set_adjacency(
+            tile_adjacency(sorted(self.dep.region_map.regions))
+        )
+
+    def _resolve_churn_tile(self, tile_spec: str) -> str:
+        if tile_spec == "spare":
+            if self.topo.spare_tile is None:
+                raise ValueError("scenario churns 'spare' but city has none")
+            return self.topo.spare_tile
+        if tile_spec.startswith("fill:"):
+            parents = sorted({t[:-1] for t in self.topo.tiles})
+            parent = parents[int(tile_spec.split(":")[1])]
+            used = {t for t in self.topo.tiles if t[:-1] == parent}
+            for child in CHILD_ORDER:
+                if parent + child not in used:
+                    return parent + child
+            raise ValueError("level-2 parent %s has no free child tile" % parent)
+        return tile_spec
+
+    def _churn(self):
+        for frac, kind, tile_spec in sorted(self.spec.churn_events):
+            at = frac * self.duration
+            if at > self.sim.now:
+                yield self.sim.timeout(at - self.sim.now)
+            tile = self._resolve_churn_tile(tile_spec)
+            if kind == "add":
+                yield from self._churn_add(tile)
+            elif kind == "remove":
+                yield from self._churn_remove(tile)
+            else:
+                raise ValueError("unknown churn kind %r" % (kind,))
+
+    def _churn_add(self, tile: str):
+        if tile in self.dep.region_map.regions:
+            self._count("churn_add_skipped")
+            return
+        self.dep.add_region(
+            region_for_tile(
+                tile, self.spec.cpfs_per_region, self.spec.bss_per_region
+            )
+        )
+        self._count("regions_added")
+        self._refresh_mobility()
+        yield from self._rebalance()
+
+    def _churn_remove(self, tile: str):
+        if tile not in self.dep.region_map.regions:
+            self._count("churn_remove_skipped")
+            return
+        # Stop steering traffic into the tile before draining it.
+        remaining = [t for t in self.dep.region_map.regions if t != tile]
+        self.mobility.set_adjacency(tile_adjacency(remaining))
+        exits = [t for t in remaining if t != tile] or remaining
+        full = tile_adjacency(sorted(self.dep.region_map.regions))
+        neighbours = [t for t in full.get(tile, ()) if t in set(remaining)]
+        if neighbours:
+            exits = neighbours
+        yield from self._evacuate(tile, exits)
+        # Detached UEs have no serving region to hand over from; their
+        # placements just dissolve (a later attach re-derives them).
+        for ue_id, placement in list(self.dep.placements_items()):
+            if placement.region == tile:
+                self.dep.drop_placement(ue_id)
+                self._count("placements_dropped")
+        self.dep.retire_region(tile)
+        self._count("regions_removed")
+        yield from self._rebalance()
+
+    def _evacuate(self, tile: str, exits: List[str]):
+        """Re-home every UE served in ``tile`` via real handovers."""
+        for attempt in range(3):
+            evacuees = [
+                i
+                for i in range(self.driver.n)
+                if self.driver.attached[i]
+                and self.driver.bs_of(i).split("-")[1] == tile
+            ]
+            if not evacuees:
+                return
+            window = self.spec.rebalance_window_s
+            procs = [
+                self.sim.process(
+                    self._rehome_one(i, tile, exits, window * j / len(evacuees)),
+                    name="scale.rehome",
+                )
+                for j, i in enumerate(evacuees)
+            ]
+            for p in procs:
+                yield p
+        leftovers = [
+            i
+            for i in range(self.driver.n)
+            if self.driver.attached[i]
+            and self.driver.bs_of(i).split("-")[1] == tile
+        ]
+        if leftovers:  # pragma: no cover - three passes always drain
+            self._count("evacuation_incomplete", len(leftovers))
+
+    def _rehome_one(self, i: int, tile: str, exits: List[str], delay: float):
+        try:
+            if delay > 0.0:
+                yield self.sim.timeout(delay)
+            for _ in range(_BUSY_TRIES):
+                if not self.driver.busy[i]:
+                    break
+                yield self.sim.timeout(_BUSY_POLL_S)
+            else:
+                self._count("rehome_busy_skipped")
+                return
+            if not self.driver.attached[i]:
+                return
+            cur = self.driver.bs_of(i).split("-")[1]
+            if cur != tile:  # wandered out on its own
+                return
+            target_tile = exits[i % len(exits)]
+            target_bs = "bs-%s-%d" % (
+                target_tile,
+                i % self.spec.bss_per_region,
+            )
+            try:
+                fast = self.dep.region_map.shares_level2(cur, target_tile)
+            except KeyError:
+                fast = False
+            proc = "fast_handover" if fast else "handover"
+            yield from self.driver.run_procedure(i, proc, target_bs)
+            self._count("rehomed")
+        except Exception:  # pragma: no cover - evacuation must not wedge
+            self._count("rehome_errors")
+
+    # -- replica re-placement after ring churn -----------------------------
+
+    def _rebalance(self):
+        """Move the (consistent-hashing-small) set of re-owned keys.
+
+        Fetches are staggered over ``rebalance_window_s`` so a churned-in
+        CTA warms up without a stampede; each UE is re-placed atomically
+        while marked busy so no procedure interleaves with the copy.
+        """
+        changed = self.dep.stale_placements()
+        self._count("replacements_planned", len(changed))
+        if not changed:
+            return
+        window = self.spec.rebalance_window_s
+        procs = [
+            self.sim.process(
+                self._replace_one(ue_id, window * j / len(changed)),
+                name="scale.replace",
+            )
+            for j, (ue_id, _p, _prim, _bkps) in enumerate(changed)
+        ]
+        for p in procs:
+            yield p
+
+    def _replace_one(self, ue_id: str, delay: float):
+        try:
+            if delay > 0.0:
+                yield self.sim.timeout(delay)
+            i = int(ue_id.split("-")[-1])
+            for _ in range(_BUSY_TRIES):
+                if not self.driver.busy[i]:
+                    break
+                yield self.sim.timeout(_BUSY_POLL_S)
+            else:
+                self._count("replace_busy_skipped")
+                return
+            placement = self.dep.placement_of(ue_id)
+            if placement is None:
+                return
+            try:
+                primary = self.dep.region_map.primary_for(ue_id, placement.region)
+            except KeyError:
+                return  # region itself went away; evacuation owns this UE
+            backups = self.dep.region_map.replicas_for(
+                ue_id,
+                placement.region,
+                self.dep.config.n_backups,
+                self.dep.config.georep_level,
+            )
+            if primary == placement.primary and backups == placement.backups:
+                return  # already converged (re-checked after the stagger)
+            self.driver.busy[i] = 1
+            try:
+                ok = yield from self._copy_state(ue_id, placement, primary, backups)
+                if not ok:
+                    self._count("replace_fetch_failed")
+                    return  # keep the old placement; nothing was torn down
+                self.dep.apply_placement(ue_id, placement.region, primary, backups)
+                for name, is_primary in [(primary, True)] + [
+                    (b, False) for b in backups
+                ]:
+                    entry = self.dep.cpfs[name].store.get(ue_id)
+                    if entry is not None:
+                        entry.is_primary = is_primary
+                self._count("replaced")
+            finally:
+                self.driver.busy[i] = 0
+        except Exception:  # pragma: no cover - re-placement must not wedge
+            self._count("replace_errors")
+
+    def _copy_state(self, ue_id: str, placement, primary: str, backups: List[str]):
+        """Repair-fetch up-to-date state onto every new holder."""
+        need_version = self.driver.version[int(ue_id.split("-")[-1])]
+        sources = [placement.primary] + list(placement.backups)
+        for target in [primary] + list(backups):
+            cpf = self.dep.cpfs.get(target)
+            if cpf is None or not cpf.up:
+                return False
+            entry = cpf.store.get(ue_id)
+            if (
+                entry is not None
+                and entry.up_to_date
+                and entry.state.version >= need_version
+            ):
+                continue
+            fetched = False
+            for source in sources:
+                if source == target:
+                    continue
+                src_cpf = self.dep.cpfs.get(source)
+                if src_cpf is None or not src_cpf.up:
+                    continue
+                ok = yield from cpf.fetch_state_from(ue_id, source)
+                if ok:
+                    entry = cpf.store.get(ue_id)
+                    if entry is not None and entry.state.version >= need_version:
+                        fetched = True
+                        break
+            if not fetched:
+                return False
+        return True
+
+    # -- run ---------------------------------------------------------------
+
+    def run(self) -> ScaleResult:
+        self._bootstrap_population()
+        self.injector.install()
+        self.sim.process(self._traffic(), name="scale.traffic")
+        if self.spec.churn_events:
+            self.sim.process(self._churn(), name="scale.churn")
+        end = self.sim.run()
+        region_pct_ms: Dict[str, Dict[str, Dict[str, Optional[float]]]] = {}
+        for (region, proc), sketch in sorted(self.sketches.items()):
+            summary = sketch.summary()
+            out = {"count": summary.get("count", 0.0)}
+            for key, value in summary.items():
+                if key != "count":
+                    out[key] = None if value is None else value * 1e3
+            region_pct_ms.setdefault(region, {})[proc] = out
+        auditor = self.dep.auditor
+        return ScaleResult(
+            scenario=self.spec.name,
+            mode=self.mode,
+            n_ue=self.spec.n_ue,
+            duration_s=self.duration,
+            seed=self.spec.seed,
+            end_time_s=end,
+            regions_final=len(self.dep.region_map.regions),
+            serves=auditor.serves,
+            writes=auditor.writes,
+            violations=len(auditor.violations),
+            completed=self.driver.completed,
+            aborted=self.driver.aborted,
+            recovered=self.driver.recovered,
+            reattached=self.driver.reattached,
+            counters=dict(self.counters),
+            fault_counters=dict(self.injector.fault_counters()),
+            region_pct_ms=region_pct_ms,
+            digest=self.trace.digest(),
+            trace_events=len(self.trace),
+        )
+
+
+# --------------------------------------------------------------------------- api
+
+
+def run_scenario(
+    scenario,
+    n_ue: Optional[int] = None,
+    duration_s: Optional[float] = None,
+    seed: Optional[int] = None,
+    mode: str = "cohort",
+    obs=None,
+    verbose_trace: bool = False,
+) -> ScaleResult:
+    """Run one scenario (by name or :class:`ScenarioSpec`) to completion."""
+    spec = get_scenario(scenario) if isinstance(scenario, str) else scenario
+    spec = spec.with_overrides(n_ue=n_ue, duration_s=duration_s, seed=seed)
+    return _Engine(spec, mode=mode, obs=obs, verbose_trace=verbose_trace).run()
+
+
+def _replicate_task(task: Tuple[ScenarioSpec, str]) -> ScaleResult:
+    """Module-level so process pools can pickle it."""
+    spec, mode = task
+    return _Engine(spec, mode=mode).run()
+
+
+def replicate_key(task: Tuple[ScenarioSpec, str]) -> Dict[str, Any]:
+    spec, mode = task
+    payload = asdict(spec)
+    payload["mode"] = mode
+    return payload
+
+
+def run_replicates(
+    scenario,
+    seeds: List[int],
+    n_ue: Optional[int] = None,
+    duration_s: Optional[float] = None,
+    mode: str = "cohort",
+    jobs: int = 1,
+    cache=None,
+    report=None,
+) -> List[ScaleResult]:
+    """One run per seed, through the generic parallel runner + cache."""
+    from ..experiments.parallel import run_tasks
+
+    spec = get_scenario(scenario) if isinstance(scenario, str) else scenario
+    spec = spec.with_overrides(n_ue=n_ue, duration_s=duration_s)
+    tasks = [(spec.with_overrides(seed=s), mode) for s in seeds]
+    return run_tasks(
+        tasks,
+        _replicate_task,
+        jobs=jobs,
+        cache=cache,
+        key_fn=replicate_key,
+        kind="scale.replicate",
+        report=report,
+    )

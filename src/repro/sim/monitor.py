@@ -8,9 +8,18 @@ summarize them as the percentiles the paper plots.
 from __future__ import annotations
 
 import math
+from bisect import insort as bisect_insort
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
-__all__ = ["Tally", "Counter", "TimeWeighted", "percentile", "summarize"]
+__all__ = [
+    "Tally",
+    "Counter",
+    "TimeWeighted",
+    "percentile",
+    "summarize",
+    "P2Quantile",
+    "QuantileSketch",
+]
 
 
 _RAISE = object()  # sentinel: distinguish "no default" from default=None
@@ -109,6 +118,159 @@ class Tally:
             out["max"] = ordered[-1]
             for q in qs:
                 out["p%g" % q] = percentile(ordered, q)
+        return out
+
+
+class P2Quantile:
+    """One streaming quantile via the P² algorithm (Jain & Chlamtac 1985).
+
+    Five markers track the running estimate in O(1) memory and O(1)
+    time per observation — no sample list ever exists, which is what
+    lets a city-scale run observe millions of procedure completions
+    without the per-UE :class:`Tally` lists the small sweeps use.  The
+    first five observations are stored exactly; afterwards marker
+    heights move by the piecewise-parabolic (P²) update.
+    """
+
+    __slots__ = ("q", "_n", "_heights", "_positions", "_desired", "_rate", "count")
+
+    def __init__(self, q: float):
+        if not 0.0 < q < 1.0:
+            raise ValueError("quantile must be in (0, 1), got %r" % (q,))
+        self.q = q
+        self.count = 0
+        self._heights: List[float] = []
+        self._positions = [1.0, 2.0, 3.0, 4.0, 5.0]
+        self._desired = [1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0]
+        self._rate = [0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0]
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        heights = self._heights
+        if len(heights) < 5:
+            bisect_insort(heights, value)
+            return
+        positions = self._positions
+        # Locate the cell and clamp the extremes.
+        if value < heights[0]:
+            heights[0] = value
+            k = 0
+        elif value >= heights[4]:
+            heights[4] = value
+            k = 3
+        else:
+            k = 0
+            while k < 3 and value >= heights[k + 1]:
+                k += 1
+        for i in range(k + 1, 5):
+            positions[i] += 1.0
+        desired = self._desired
+        rate = self._rate
+        for i in range(5):
+            desired[i] += rate[i]
+        # Adjust the three interior markers toward their desired spots.
+        for i in (1, 2, 3):
+            d = desired[i] - positions[i]
+            below, above = positions[i] - positions[i - 1], positions[i + 1] - positions[i]
+            if (d >= 1.0 and above > 1.0) or (d <= -1.0 and below > 1.0):
+                step = 1.0 if d >= 1.0 else -1.0
+                candidate = self._parabolic(i, step)
+                if heights[i - 1] < candidate < heights[i + 1]:
+                    heights[i] = candidate
+                else:
+                    heights[i] = self._linear(i, step)
+                positions[i] += step
+
+    def _parabolic(self, i: int, step: float) -> float:
+        h, pos = self._heights, self._positions
+        return h[i] + step / (pos[i + 1] - pos[i - 1]) * (
+            (pos[i] - pos[i - 1] + step) * (h[i + 1] - h[i]) / (pos[i + 1] - pos[i])
+            + (pos[i + 1] - pos[i] - step) * (h[i] - h[i - 1]) / (pos[i] - pos[i - 1])
+        )
+
+    def _linear(self, i: int, step: float) -> float:
+        h, pos = self._heights, self._positions
+        j = i + int(step)
+        return h[i] + step * (h[j] - h[i]) / (pos[j] - pos[i])
+
+    def value(self) -> Optional[float]:
+        """The current estimate, or ``None`` before any observation."""
+        heights = self._heights
+        if not heights:
+            return None
+        if len(heights) < 5 or self.count <= 5:
+            # Exact while the sample fits in the marker buffer.
+            return percentile(heights, self.q * 100.0)
+        return heights[2]
+
+
+class QuantileSketch:
+    """Bounded-memory replacement for :class:`Tally` at population scale.
+
+    Tracks count/mean/min/max exactly and a fixed set of quantiles
+    approximately (one :class:`P2Quantile` each).  Memory is O(1) per
+    sketch regardless of how many observations stream through, so a
+    100k-UE scenario can keep one per (region, procedure) pair.
+    """
+
+    __slots__ = ("name", "count", "_sum", "_min", "_max", "_quantiles")
+
+    DEFAULT_QS = (0.50, 0.95, 0.99)
+
+    def __init__(self, name: str = "", qs: Iterable[float] = DEFAULT_QS):
+        self.name = name
+        self.count = 0
+        self._sum = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+        self._quantiles = {q: P2Quantile(q) for q in qs}
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self._sum += value
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
+        for est in self._quantiles.values():
+            est.observe(value)
+
+    @property
+    def mean(self) -> Optional[float]:
+        return self._sum / self.count if self.count else None
+
+    @property
+    def min(self) -> Optional[float]:
+        return self._min if self.count else None
+
+    @property
+    def max(self) -> Optional[float]:
+        return self._max if self.count else None
+
+    def quantile(self, q: float) -> Optional[float]:
+        """Estimate for ``q`` in (0,1); the sketch must track it."""
+        try:
+            return self._quantiles[q].value()
+        except KeyError:
+            raise KeyError(
+                "sketch %r does not track q=%r (has: %s)"
+                % (self.name, q, sorted(self._quantiles))
+            )
+
+    def percentile(self, q: float) -> Optional[float]:
+        """Tally-compatible accessor; ``q`` in [0, 100]."""
+        return self.quantile(q / 100.0)
+
+    def summary(self) -> Dict[str, Optional[float]]:
+        out: Dict[str, Optional[float]] = {"count": float(self.count)}
+        if self.count:
+            out["mean"] = self.mean
+            out["min"] = self._min
+            out["max"] = self._max
+            for q, est in sorted(self._quantiles.items()):
+                out["p%g" % (q * 100.0)] = est.value()
         return out
 
 

@@ -2,6 +2,12 @@
 and the workload driver that plays them onto a deployment."""
 
 from .arrivals import bursty_arrivals, poisson_arrivals, uniform_arrivals
+from .mobility import (
+    CommuteWaveMobility,
+    FlashCrowdMobility,
+    MobilityModel,
+    RandomWalkMobility,
+)
 from .traces import TraceConfig, TraceRecord, generate_trace, load_trace, save_trace
 from .workload import WorkloadDriver
 
@@ -15,4 +21,8 @@ __all__ = [
     "save_trace",
     "load_trace",
     "WorkloadDriver",
+    "MobilityModel",
+    "RandomWalkMobility",
+    "CommuteWaveMobility",
+    "FlashCrowdMobility",
 ]

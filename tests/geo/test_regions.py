@@ -123,3 +123,109 @@ class TestReplicaPlacement:
         assert grid().replicas_for("ue-9", "21", 2) == grid().replicas_for(
             "ue-9", "21", 2
         )
+
+    def test_lone_region_under_fresh_parent_still_gets_backups(self):
+        """Reproducer for the latent edge case PR 5 fixed.
+
+        Region "30" is the only child of level-2 parent "3", so its
+        level-2 ring holds nothing but its own CPFs and the §4.3 rule
+        ("successors excluding the level-1 members") used to yield [] —
+        silently no geo-replication, every handover into the region a
+        slow-path recovery.  The fix escalates through wider rings, so
+        the backups must land on the "2" parent's CPFs.
+        """
+        m = RegionMap(
+            [
+                Region(
+                    geohash="2" + c,
+                    cta="cta-2" + c,
+                    cpfs=["cpf-2%s-0" % c],
+                    bss=["bs-2%s-0" % c],
+                )
+                for c in "01"
+            ]
+            + [
+                Region(
+                    geohash="30",
+                    cta="cta-30",
+                    cpfs=["cpf-30-0", "cpf-30-1"],
+                    bss=["bs-30-0"],
+                )
+            ]
+        )
+        replicas = m.replicas_for("ue-1", "30", 2)
+        assert replicas, "lone region under a fresh parent lost geo-replication"
+        assert set(replicas) == {"cpf-20-0", "cpf-21-0"}
+        assert not set(replicas) & set(m.region("30").cpfs)
+
+
+class TestMembershipChurn:
+    def test_add_region_leaves_other_level1_lookups_alone(self):
+        m = grid()
+        keys = ["ue-%d" % i for i in range(64)]
+        before = {
+            (k, rh): m.primary_for(k, rh) for k in keys for rh in ("20", "21")
+        }
+        m.add_region(Region(geohash="30", cta="cta-30", cpfs=["cpf-30-0"], bss=[]))
+        after = {
+            (k, rh): m.primary_for(k, rh) for k in keys for rh in ("20", "21")
+        }
+        assert before == after
+
+    def test_sibling_join_moves_replicas_only_onto_joiner(self):
+        # The minimal-movement property the ring-churn scenario leans on:
+        # a sibling region joining parent "2" may steal level-2 replica
+        # slots, but keys never shuffle between pre-existing CPFs.
+        m = RegionMap(
+            [
+                Region(
+                    geohash="2" + c,
+                    cta="cta-2" + c,
+                    cpfs=["cpf-2%s-%d" % (c, k) for k in range(2)],
+                    bss=["bs-2%s-0" % c],
+                )
+                for c in "012"
+            ]
+        )
+        keys = ["ue-%d" % i for i in range(128)]
+        before = {k: m.replicas_for(k, "20", 2) for k in keys}
+        joiner = Region(
+            geohash="23",
+            cta="cta-23",
+            cpfs=["cpf-23-0", "cpf-23-1"],
+            bss=["bs-23-0"],
+        )
+        m.add_region(joiner)
+        moved = 0
+        for k in keys:
+            after = m.replicas_for(k, "20", 2)
+            gained = set(after) - set(before[k])
+            assert gained <= set(joiner.cpfs), (
+                "key %s re-placed onto pre-existing CPFs %s" % (k, gained)
+            )
+            if gained:
+                moved += 1
+        assert 0 < moved < len(keys)
+
+    def test_remove_region_restores_prior_placement(self):
+        m = grid()
+        keys = ["ue-%d" % i for i in range(64)]
+        before = {k: m.replicas_for(k, "20", 2) for k in keys}
+        removed = m.remove_region("23")
+        m.add_region(removed)
+        assert {k: m.replicas_for(k, "20", 2) for k in keys} == before
+
+    def test_cannot_remove_last_region(self):
+        m = RegionMap([Region(geohash="20", cta="c", cpfs=["a"], bss=[])])
+        with pytest.raises(ValueError):
+            m.remove_region("20")
+
+    def test_remove_unknown_region_raises(self):
+        with pytest.raises(KeyError):
+            grid().remove_region("99")
+
+    def test_removed_region_bs_lookup_fails(self):
+        m = grid()
+        m.remove_region("23")
+        with pytest.raises(KeyError):
+            m.region_of_bs("bs-23-0")

@@ -1,0 +1,290 @@
+"""Property-test campaign over the consistent-hash ring and the
+level-1/level-2 placement derived from it (paper §4.3).
+
+Three invariant families, each over randomized member sets and keys:
+
+* **Monotonicity** — adding a member moves keys only *onto* it;
+  removing one moves only the keys it owned.  This is what bounds
+  replica re-placement work during ring churn, so a deliberately broken
+  ring (rehash-everything) must *fail* the property — the mutation
+  check below proves the test has teeth.
+* **Balance** — with the default 64 vnodes no member owns a grossly
+  disproportionate key share.
+* **Level-1 / level-2 agreement** — for any UE and region, the level-1
+  primary is a CPF of that region, the level-2 backups never overlap
+  the level-1 members, and both answers are stable across RegionMap
+  instances.
+
+``regression_rings/`` pins previously-computed ownership maps the way
+``tests/core/regression_schedules/`` pins chaos schedules: any change
+to the hash, vnode expansion, or ring walk shows up as a diff against
+the pinned owners, never as a silent re-placement storm in production
+topologies.
+"""
+
+import json
+import pathlib
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.geo import HashRing, Region, RegionMap
+from repro.geo.ring import _hash64
+
+_SETTINGS = dict(deadline=None)
+
+
+def members_strategy(min_size=2, max_size=8):
+    return st.lists(
+        st.sampled_from(["cpf-%d" % i for i in range(12)]),
+        min_size=min_size,
+        max_size=max_size,
+        unique=True,
+    )
+
+
+keys_strategy = st.lists(
+    st.text(
+        alphabet="abcdefghijklmnopqrstuvwxyz0123456789-", min_size=1, max_size=12
+    ),
+    min_size=1,
+    max_size=40,
+    unique=True,
+)
+
+
+# ---------------------------------------------------------------------------
+# Monotonicity
+# ---------------------------------------------------------------------------
+
+
+@given(members=members_strategy(), keys=keys_strategy, joiner=st.integers(0, 3))
+@settings(max_examples=80, **_SETTINGS)
+def test_add_moves_keys_only_onto_the_new_member(members, keys, joiner):
+    new = "cpf-new-%d" % joiner
+    ring = HashRing(members)
+    before = {k: ring.lookup(k) for k in keys}
+    ring.add(new)
+    for key in keys:
+        after = ring.lookup(key)
+        assert after == before[key] or after == new, (
+            "key %r moved %r -> %r, not onto the joining member %r"
+            % (key, before[key], after, new)
+        )
+
+
+@given(members=members_strategy(min_size=3), keys=keys_strategy, victim=st.integers(0, 11))
+@settings(max_examples=80, **_SETTINGS)
+def test_remove_moves_only_the_removed_members_keys(members, keys, victim):
+    ring = HashRing(members)
+    gone = members[victim % len(members)]
+    before = {k: ring.lookup(k) for k in keys}
+    ring.remove(gone)
+    for key in keys:
+        after = ring.lookup(key)
+        if before[key] == gone:
+            assert after != gone
+        else:
+            assert after == before[key], (
+                "key %r owned by surviving %r re-placed to %r when %r left"
+                % (key, before[key], after, gone)
+            )
+
+
+@given(members=members_strategy(min_size=3), keys=keys_strategy)
+@settings(max_examples=40, **_SETTINGS)
+def test_add_then_remove_is_identity(members, keys):
+    ring = HashRing(members)
+    before = {k: ring.lookup(k) for k in keys}
+    ring.add("cpf-transient")
+    ring.remove("cpf-transient")
+    assert {k: ring.lookup(k) for k in keys} == before
+
+
+class _BrokenRing(HashRing):
+    """Deliberately non-consistent 'ring': owner = hash(key) % len.
+
+    Every membership change re-shuffles nearly the whole key space —
+    exactly the behaviour consistent hashing exists to avoid.  The
+    mutation check asserts the monotonicity property *rejects* this
+    implementation, proving the tests above can actually fail.
+    """
+
+    def lookup(self, key):
+        ordered = sorted(self._members)
+        if not ordered:
+            raise LookupError("empty ring")
+        return ordered[_hash64(key) % len(ordered)]
+
+
+def test_monotonicity_rejects_broken_ring():
+    members = ["cpf-%d" % i for i in range(5)]
+    keys = ["ue-%04d" % i for i in range(300)]
+    ring = _BrokenRing(members)
+    before = {k: ring.lookup(k) for k in keys}
+    ring.add("cpf-new")
+    illegally_moved = [
+        k
+        for k in keys
+        if ring.lookup(k) != before[k] and ring.lookup(k) != "cpf-new"
+    ]
+    assert illegally_moved, (
+        "the mutation check lost its teeth: a rehash-everything ring "
+        "passed the monotonicity property"
+    )
+
+
+# ---------------------------------------------------------------------------
+# Balance
+# ---------------------------------------------------------------------------
+
+
+@given(n_members=st.integers(2, 8), seed=st.integers(0, 2**16))
+@settings(max_examples=25, **_SETTINGS)
+def test_no_member_owns_a_grossly_disproportionate_share(n_members, seed):
+    ring = HashRing(["cpf-%d-%d" % (seed, i) for i in range(n_members)])
+    counts = ring.spread("ue-%d-%d" % (seed, i) for i in range(2000))
+    assert all(count > 0 for count in counts.values())
+    fair = 2000 / n_members
+    assert max(counts.values()) <= 3.5 * fair
+
+
+# ---------------------------------------------------------------------------
+# Level-1 / level-2 agreement
+# ---------------------------------------------------------------------------
+
+
+def _random_map(parents, l1_per_l2, cpfs_per_region):
+    regions = []
+    for parent in parents:
+        for child in "0123"[:l1_per_l2]:
+            gh = parent + child
+            regions.append(
+                Region(
+                    geohash=gh,
+                    cta="cta-" + gh,
+                    cpfs=["cpf-%s-%d" % (gh, k) for k in range(cpfs_per_region)],
+                    bss=["bs-%s-0" % gh],
+                )
+            )
+    return RegionMap(regions)
+
+
+region_maps = st.builds(
+    _random_map,
+    parents=st.lists(
+        st.sampled_from(["20", "21", "22", "23", "30", "31"]),
+        min_size=1,
+        max_size=4,
+        unique=True,
+    ),
+    l1_per_l2=st.integers(1, 4),
+    cpfs_per_region=st.integers(1, 3),
+)
+
+
+@given(rmap=region_maps, ue=st.text(min_size=1, max_size=10))
+@settings(max_examples=60, **_SETTINGS)
+def test_primary_is_always_a_level1_member(rmap, ue):
+    for region_hash, region in rmap.regions.items():
+        assert rmap.primary_for(ue, region_hash) in region.cpfs
+
+
+@given(rmap=region_maps, ue=st.text(min_size=1, max_size=10), n=st.integers(1, 3))
+@settings(max_examples=60, **_SETTINGS)
+def test_replicas_never_overlap_level1_members(rmap, ue, n):
+    for region_hash, region in rmap.regions.items():
+        replicas = rmap.replicas_for(ue, region_hash, n, level=2)
+        overlap = set(replicas) & set(region.cpfs)
+        # when enough foreign CPFs exist to cover n, backups must all be
+        # outside the level-1 ring; with less foreign capacity the
+        # documented fallback backfills from level-1 (minus the primary)
+        foreign = sum(
+            len(r.cpfs) for h, r in rmap.regions.items() if h != region_hash
+        )
+        if foreign >= n:
+            assert not overlap, (region_hash, replicas)
+        assert len(replicas) == len(set(replicas))
+        assert rmap.primary_for(ue, region_hash) not in replicas
+
+
+@given(rmap=region_maps, ue=st.text(min_size=1, max_size=10))
+@settings(max_examples=40, **_SETTINGS)
+def test_placement_stable_across_instances(rmap, ue):
+    clone = RegionMap(
+        [
+            Region(r.geohash, r.cta, list(r.cpfs), list(r.bss))
+            for r in rmap.regions.values()
+        ]
+    )
+    for region_hash in rmap.regions:
+        assert rmap.primary_for(ue, region_hash) == clone.primary_for(
+            ue, region_hash
+        )
+        assert rmap.replicas_for(ue, region_hash, 2, level=2) == clone.replicas_for(
+            ue, region_hash, 2, level=2
+        )
+
+
+@given(
+    rmap=region_maps,
+    ue=st.text(min_size=1, max_size=10),
+    n=st.integers(1, 8),
+)
+@settings(max_examples=40, **_SETTINGS)
+def test_replica_escalation_finds_capacity_when_it_exists(rmap, ue, n):
+    """If the deployment holds enough non-level-1 CPFs anywhere, asking
+    for n backups returns min(n, capacity) — a lone region under a fresh
+    level-2 parent must escalate rather than return [] (the latent bug
+    PR 5 fixed; see test_regions.py for the minimal reproducer)."""
+    for region_hash, region in rmap.regions.items():
+        foreign = sum(
+            len(r.cpfs) for h, r in rmap.regions.items() if h != region_hash
+        )
+        replicas = rmap.replicas_for(ue, region_hash, n, level=2)
+        assert len(replicas) >= min(n, foreign) if foreign else True
+
+
+# ---------------------------------------------------------------------------
+# Pinned regression corpus (the ring analogue of regression_schedules/)
+# ---------------------------------------------------------------------------
+
+CORPUS_DIR = pathlib.Path(__file__).parent / "regression_rings"
+CORPUS = sorted(CORPUS_DIR.glob("*.json"))
+
+
+def test_ring_corpus_present():
+    assert len(CORPUS) >= 3, "regression_rings corpus went missing"
+
+
+@pytest.mark.parametrize("path", CORPUS, ids=lambda p: p.stem)
+def test_pinned_ownership_map(path):
+    entry = json.loads(path.read_text())
+    if entry["kind"] == "ring":
+        ring = HashRing(entry["members"], vnodes=entry["vnodes"])
+        for key, owner in entry["owners"].items():
+            assert ring.lookup(key) == owner, (
+                "pinned owner of %r changed: ring hashing is no longer "
+                "stable (every deployed placement would move)" % key
+            )
+    elif entry["kind"] == "regionmap":
+        regions = [
+            Region(
+                geohash=tile,
+                cta="cta-" + tile,
+                cpfs=["cpf-%s-%d" % (tile, k) for k in range(entry["cpfs_per_region"])],
+                bss=["bs-%s-0" % tile],
+            )
+            for tile in entry["tiles"]
+        ]
+        rmap = RegionMap(regions, vnodes=entry["vnodes"])
+        for ue, pinned in entry["placements"].items():
+            assert rmap.primary_for(ue, pinned["region"]) == pinned["primary"]
+            assert (
+                rmap.replicas_for(
+                    ue, pinned["region"], entry["n_backups"], level=2
+                )
+                == pinned["backups"]
+            )
+    else:  # pragma: no cover - corpus files are hand-managed
+        raise AssertionError("unknown corpus kind %r" % entry["kind"])

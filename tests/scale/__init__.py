@@ -1,0 +1,1 @@
+"""Tests for the city-scale harness (repro.scale)."""

@@ -1,0 +1,137 @@
+"""Tests for the flyweight cohort driver (repro.scale.cohort)."""
+
+import pytest
+
+from repro.core.deployment import Deployment
+from repro.faults.runner import config_from_name
+from repro.scale.cohort import CohortDriver, IndividualDriver
+from repro.scale.topology import build_city
+from repro.sim.core import Simulator
+from repro.sim.rng import RngRegistry
+
+
+def make_dep(seed=1, l2_regions=2, l1_per_l2=2):
+    sim = Simulator()
+    topo = build_city(l2_regions=l2_regions, l1_per_l2=l1_per_l2)
+    dep = Deployment(
+        sim,
+        config_from_name("neutrino"),
+        topo.region_map(),
+        rng=RngRegistry(seed).fork("dep"),
+    )
+    return sim, topo, dep
+
+
+def make_driver(cls=CohortDriver, n=4, seed=1):
+    sim, topo, dep = make_dep(seed=seed)
+    bs_names = [b for r in topo.regions for b in r.bss]
+    return sim, topo, dep, cls(dep, bs_names, n)
+
+
+class TestBookkeeping:
+    def test_ue_ids_are_stable_and_indexed(self):
+        _sim, _topo, _dep, driver = make_driver()
+        assert driver.ue_id(0) == "c-0000000"
+        assert driver.ue_id(3) == "c-0000003"
+        assert int(driver.ue_id(3).split("-")[-1]) == 3  # engine relies on this
+
+    def test_bootstrap_sets_arrays(self):
+        _sim, topo, dep, driver = make_driver()
+        bs = topo.regions[0].bss[0]
+        driver.bootstrap(0, bs)
+        assert driver.attached[0] == 1
+        assert driver.busy[0] == 0
+        assert driver.bs_of(0) == bs
+        assert driver.version[0] >= 1
+        assert dep.placement_of("c-0000000") is not None
+
+    def test_bs_index_registers_new_names(self):
+        _sim, _topo, _dep, driver = make_driver()
+        before = len(driver.bs_names)
+        idx = driver.bs_index("bs-zzzzz9-0")
+        assert idx == before
+        assert driver.bs_index("bs-zzzzz9-0") == idx  # idempotent
+        assert driver.bs_of is not None
+
+    def test_no_per_ue_objects_at_rest(self):
+        _sim, topo, dep, driver = make_driver(n=50)
+        for i in range(50):
+            driver.bootstrap(i, topo.regions[0].bss[0])
+        # the cohort holds arrays only; the deployment UE registry stays
+        # empty until a procedure hydrates a flyweight
+        assert dep.ues() == []
+
+
+class TestProcedures:
+    def test_service_request_completes_and_writes_back(self):
+        sim, topo, dep, driver = make_driver()
+        driver.bootstrap(0, topo.regions[0].bss[0])
+        v0 = driver.version[0]
+        sim.process(driver.run_procedure(0, "service_request"), name="t")
+        sim.run()
+        assert driver.completed == 1
+        assert driver.aborted == 0
+        assert driver.busy[0] == 0
+        assert driver.version[0] > v0
+        assert dep.ues() == [], "flyweight leaked after writeback"
+
+    def test_handover_moves_bs(self):
+        sim, topo, dep, driver = make_driver()
+        src = topo.regions[0].bss[0]
+        dst = topo.regions[1].bss[0]
+        driver.bootstrap(0, src)
+        sim.process(driver.run_procedure(0, "handover", dst), name="t")
+        sim.run()
+        assert driver.completed == 1
+        assert driver.bs_of(0) == dst
+
+    def test_abort_counts_instead_of_raising(self):
+        sim, topo, dep, driver = make_driver()
+        driver.bootstrap(0, topo.regions[0].bss[0])
+        # fail every CPF that could serve the UE: the procedure aborts
+        for cpf in dep.cpfs.values():
+            cpf.fail()
+        sim.process(driver.run_procedure(0, "service_request"), name="t")
+        sim.run()
+        assert driver.aborted == 1
+        assert driver.busy[0] == 0  # busy flag released even on abort
+
+    def test_busy_flag_spans_the_procedure(self):
+        sim, topo, dep, driver = make_driver()
+        driver.bootstrap(0, topo.regions[0].bss[0])
+        observed = []
+
+        def watcher():
+            observed.append(driver.busy[0])
+            yield sim.timeout(1e-6)
+            observed.append(driver.busy[0])
+
+        sim.process(driver.run_procedure(0, "service_request"), name="t")
+        sim.process(watcher(), name="w")
+        sim.run()
+        assert observed[0] == 1  # mid-procedure
+        assert driver.busy[0] == 0
+
+
+class TestIndividualDriver:
+    def test_persistent_ues_live_in_registry(self):
+        sim, topo, dep, driver = make_driver(cls=IndividualDriver, n=3)
+        for i in range(3):
+            driver.bootstrap(i, topo.regions[0].bss[0])
+        assert len(dep.ues()) == 3
+
+    def test_same_scalars_as_cohort_after_procedure(self):
+        results = {}
+        for cls in (CohortDriver, IndividualDriver):
+            sim, topo, dep, driver = make_driver(cls=cls, seed=5)
+            driver.bootstrap(0, topo.regions[0].bss[0])
+            sim.process(driver.run_procedure(0, "service_request"), name="t")
+            sim.run()
+            results[cls.mode] = (
+                driver.attached[0],
+                driver.version[0],
+                driver.runs[0],
+                driver.bs_of(0),
+                driver.completed,
+            )
+        assert results["cohort"] == results["individual"]

@@ -1,0 +1,61 @@
+"""Scale-conformance: the flyweight cohort is bit-identical to N UEs.
+
+The aggregated cohort keeps per-UE state in flat arrays and hydrates a
+UE object only while a procedure is in flight; ``IndividualDriver``
+runs the very same schedule with N persistent UE objects.  If the
+flyweight model is faithful, the two runs are indistinguishable *at the
+message level* — the verbose EventTrace digest (every message of every
+procedure, in order) must match bit for bit, not just the summary
+counters.  Seeds are pinned so a conformance break bisects cleanly.
+"""
+
+import pytest
+
+from repro.scale.engine import run_scenario
+
+N = 50
+SEEDS = (11, 23)
+SCENARIOS = ("steady-city", "ring-churn", "region-failover")
+
+
+def run(scenario, seed, mode):
+    return run_scenario(
+        scenario,
+        n_ue=N,
+        duration_s=2.0,
+        seed=seed,
+        mode=mode,
+        verbose_trace=True,
+    )
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("scenario", SCENARIOS)
+def test_cohort_digest_matches_individual(scenario, seed):
+    cohort = run(scenario, seed, "cohort")
+    individual = run(scenario, seed, "individual")
+    assert cohort.trace_events > 0, "verbose trace recorded nothing"
+    assert cohort.trace_events == individual.trace_events
+    assert cohort.digest == individual.digest, (
+        "flyweight cohort diverged from persistent UEs on %s seed %d"
+        % (scenario, seed)
+    )
+    # identical messages must imply identical outcomes and measurements
+    assert cohort.violations == individual.violations == 0
+    for field in ("completed", "aborted", "recovered", "reattached",
+                  "serves", "writes", "end_time_s", "regions_final"):
+        assert getattr(cohort, field) == getattr(individual, field), field
+    assert cohort.region_pct_ms == individual.region_pct_ms
+
+
+def test_conformance_digests_are_pinned():
+    """The witness itself is pinned: silent co-drift of both drivers
+    (same bug in a shared code path) can't masquerade as conformance."""
+    res = run("steady-city", 11, "cohort")
+    assert res.digest == "e9e69136042bed05ecfba57ebba94154"
+
+
+def test_mode_is_recorded_on_the_result():
+    a = run_scenario("steady-city", n_ue=10, duration_s=0.2, seed=1,
+                     mode="individual")
+    assert a.mode == "individual"

@@ -1,0 +1,136 @@
+"""Scenario-catalog and engine smoke tests at reduced population.
+
+Each catalog scenario runs end to end at small N with the RYW auditor
+on; beyond "no violations" the tests pin the scenario-specific effects:
+ring churn really re-places replicas, the failover scenario really
+applies its fault ops, windowed mobility really thins off-window
+arrivals.
+"""
+
+import pytest
+
+from repro.scale.engine import ScaleResult, run_replicates, run_scenario
+from repro.scale.scenarios import SCENARIOS, get_scenario, scenario_names
+
+_SMALL = dict(n_ue=300, duration_s=1.0, seed=11)
+
+
+@pytest.fixture(scope="module")
+def results():
+    return {
+        name: run_scenario(name, **_SMALL) for name in scenario_names()
+    }
+
+
+class TestCatalog:
+    def test_names_sorted_and_known(self):
+        names = scenario_names()
+        assert names == sorted(names)
+        assert {"steady-city", "commute-wave", "stadium-flash-crowd",
+                "region-failover", "ring-churn"} <= set(names)
+
+    def test_unknown_scenario_raises(self):
+        with pytest.raises(KeyError, match="unknown scenario"):
+            get_scenario("nope")
+
+    def test_with_overrides_replaces_only_given_fields(self):
+        spec = get_scenario("steady-city")
+        same = spec.with_overrides()
+        assert same is spec
+        other = spec.with_overrides(n_ue=7, seed=9)
+        assert (other.n_ue, other.seed) == (7, 9)
+        assert other.duration_s == spec.duration_s
+
+
+class TestEveryScenario:
+    def test_zero_ryw_violations(self, results):
+        for name, res in results.items():
+            assert res.violations == 0, "%s violated RYW" % name
+            assert res.ok
+
+    def test_work_actually_happened(self, results):
+        for name, res in results.items():
+            assert res.completed > 0, name
+            assert res.serves > 0 and res.writes > 0, name
+            # non-verbose runs stay lean: the trace holds only applied
+            # fault ops, never per-message records
+            assert res.trace_events == res.fault_counters.get("ops_applied", 0)
+            assert res.digest  # ... but still produce a digest
+
+    def test_latency_sketches_cover_regions(self, results):
+        res = results["steady-city"]
+        assert res.region_pct_ms, "no per-region percentiles recorded"
+        some = next(iter(res.region_pct_ms.values()))
+        proc_summary = next(iter(some.values()))
+        assert {"count", "p50", "p95", "p99"} <= set(proc_summary)
+
+    def test_report_renders(self, results):
+        for res in results.values():
+            text = res.format_report()
+            assert "violations=0" in text
+            assert res.scenario in text
+
+    def test_round_trips_through_dict(self, results):
+        for res in results.values():
+            clone = ScaleResult.from_dict(res.to_dict())
+            assert clone == res
+
+
+class TestScenarioEffects:
+    def test_ring_churn_re_places_replicas(self, results):
+        counters = results["ring-churn"].counters
+        assert counters.get("regions_added") == 1
+        assert counters.get("regions_removed") == 1
+        assert counters.get("replacements_planned", 0) > 0
+        assert counters.get("replaced", 0) > 0
+        assert counters.get("replace_fetch_failed", 0) == 0
+        assert counters.get("replace_errors", 0) == 0
+        assert counters.get("rehome_errors", 0) == 0
+        assert results["ring-churn"].regions_final == 12  # 4x3 city restored
+
+    def test_region_failover_applies_fault_ops(self, results):
+        res = results["region-failover"]
+        applied = res.fault_counters.get("ops_applied", 0)
+        # 2 CPFs + 1 CTA failed, then recovered
+        assert applied == 6
+
+    def test_windowed_mobility_thins_off_window(self, results):
+        for name in ("commute-wave", "stadium-flash-crowd"):
+            counters = results[name].counters
+            assert counters.get("moves_thinned", 0) > 0, name
+
+    def test_cross_region_handovers_occur(self, results):
+        for name, res in results.items():
+            moves = res.counters.get("moves_fast_handover", 0) + res.counters.get(
+                "moves_handover", 0
+            )
+            assert moves > 0, "%s never crossed a region boundary" % name
+
+
+class TestDeterminism:
+    def test_same_seed_same_digest(self):
+        a = run_scenario("steady-city", n_ue=200, duration_s=0.5, seed=3,
+                         verbose_trace=True)
+        b = run_scenario("steady-city", n_ue=200, duration_s=0.5, seed=3,
+                         verbose_trace=True)
+        assert a.digest == b.digest
+        assert a.to_dict() == b.to_dict()
+
+    def test_different_seed_different_digest(self):
+        a = run_scenario("steady-city", n_ue=200, duration_s=0.5, seed=3,
+                         verbose_trace=True)
+        b = run_scenario("steady-city", n_ue=200, duration_s=0.5, seed=4,
+                         verbose_trace=True)
+        assert a.digest != b.digest
+
+
+class TestReplicates:
+    def test_run_replicates_one_result_per_seed(self):
+        out = run_replicates("steady-city", seeds=[1, 2], n_ue=150,
+                             duration_s=0.5)
+        assert [r.seed for r in out] == [1, 2]
+        assert all(r.ok for r in out)
+
+    def test_engine_rejects_unknown_mode(self):
+        with pytest.raises(ValueError, match="mode"):
+            run_scenario("steady-city", n_ue=10, duration_s=0.1, mode="bogus")

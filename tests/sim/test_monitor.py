@@ -181,3 +181,97 @@ class TestTallySubclassing:
         tally = Bare()
         tally.observe(2.0)
         assert tally.values == [2.0]
+
+
+class TestP2Quantile:
+    def test_exact_while_buffer_fits(self):
+        from repro.sim.monitor import P2Quantile
+
+        est = P2Quantile(0.5)
+        for v in [9.0, 1.0, 5.0]:
+            est.observe(v)
+        assert est.value() == 5.0
+
+    def test_empty_is_none(self):
+        from repro.sim.monitor import P2Quantile
+
+        assert P2Quantile(0.9).value() is None
+
+    def test_tracks_exact_percentile_on_uniform_stream(self):
+        import random
+
+        from repro.sim.monitor import P2Quantile, percentile
+
+        rng = random.Random(7)
+        values = [rng.random() * 100.0 for _ in range(5000)]
+        for q in (0.5, 0.95, 0.99):
+            est = P2Quantile(q)
+            for v in values:
+                est.observe(v)
+            exact = percentile(sorted(values), q * 100.0)
+            assert abs(est.value() - exact) < 3.0, (q, est.value(), exact)
+
+    def test_monotone_stream(self):
+        from repro.sim.monitor import P2Quantile
+
+        est = P2Quantile(0.5)
+        for v in range(1, 1001):
+            est.observe(float(v))
+        assert abs(est.value() - 500.0) < 25.0
+
+
+class TestQuantileSketch:
+    def test_exact_moments_and_bounded_memory(self):
+        import random
+
+        from repro.sim.monitor import QuantileSketch
+
+        rng = random.Random(3)
+        sketch = QuantileSketch("lat")
+        values = [rng.expovariate(1.0) for _ in range(20000)]
+        for v in values:
+            sketch.observe(v)
+        assert sketch.count == len(values)
+        assert sketch.min == min(values)
+        assert sketch.max == max(values)
+        assert abs(sketch.mean - sum(values) / len(values)) < 1e-9
+        # O(1) state: slots only, no growing list of samples
+        assert not hasattr(sketch, "__dict__")
+
+    def test_summary_shape_matches_engine_expectations(self):
+        from repro.sim.monitor import QuantileSketch
+
+        sketch = QuantileSketch("x", qs=(0.50, 0.95, 0.99))
+        assert sketch.summary() == {"count": 0.0}
+        for v in (1.0, 2.0, 3.0):
+            sketch.observe(v)
+        summary = sketch.summary()
+        assert set(summary) == {"count", "mean", "min", "max", "p50", "p95", "p99"}
+        assert summary["count"] == 3.0
+        assert summary["p50"] == 2.0
+
+    def test_untracked_quantile_raises(self):
+        from repro.sim.monitor import QuantileSketch
+
+        sketch = QuantileSketch("x", qs=(0.5,))
+        sketch.observe(1.0)
+        with pytest.raises(KeyError):
+            sketch.quantile(0.99)
+        assert sketch.percentile(50) == 1.0
+
+    def test_accuracy_against_tally(self):
+        import random
+
+        from repro.sim.monitor import QuantileSketch
+
+        rng = random.Random(11)
+        sketch = QuantileSketch("lat")
+        tally = Tally("lat")
+        for _ in range(8000):
+            v = rng.lognormvariate(0.0, 1.0)
+            sketch.observe(v)
+            tally.observe(v)
+        for q in (50, 95, 99):
+            exact = tally.percentile(q)
+            approx = sketch.percentile(q)
+            assert abs(approx - exact) <= max(0.15 * exact, 0.05), (q, approx, exact)

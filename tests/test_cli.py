@@ -138,3 +138,44 @@ class TestTrace:
         lines = out_file.read_text().strip().splitlines()
         assert len(lines) >= 5  # at least one attach per device
         assert "wrote" in capsys.readouterr().out
+
+
+class TestScale:
+    ARGS = ["scale", "steady-city", "--n-ue", "200", "--duration", "0.5"]
+
+    def test_single_run_reports(self, capsys):
+        assert main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "scenario steady-city" in out
+        assert "violations=0" in out
+
+    def test_json_output(self, capsys):
+        import json
+
+        assert main(self.ARGS + ["--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["scenario"] == "steady-city"
+        assert data["violations"] == 0
+
+    def test_individual_mode(self, capsys):
+        assert main(self.ARGS + ["--mode", "individual"]) == 0
+        assert "mode=individual" in capsys.readouterr().out
+
+    def test_obs_summary_line(self, capsys):
+        assert main(self.ARGS + ["--obs"]) == 0
+        out = capsys.readouterr().out
+        assert "obs: spans=" in out and "mode=metrics" in out
+
+    def test_replicates_cache_round_trip(self, tmp_path, capsys):
+        argv = self.ARGS + ["--seeds", "1,2", "--cache-dir", str(tmp_path)]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "executed=2" in first and "cached=0" in first
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert "executed=0" in second and "cached=2" in second
+        assert "replicates=2 violations=0" in second
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["scale", "not-a-city"])

@@ -1,0 +1,149 @@
+"""Tests for the tile-graph mobility models feeding the scale engine."""
+
+import random
+
+import pytest
+
+from repro.traffic.mobility import (
+    CommuteWaveMobility,
+    FlashCrowdMobility,
+    MobilityModel,
+    RandomWalkMobility,
+    bfs_distances,
+)
+
+#: a 2x3 grid of tiles:  a-b-c
+#:                       |   |   (d only connects to a, f only to c)
+#:                       d   f
+GRID = {
+    "a": ["b", "d"],
+    "b": ["a", "c"],
+    "c": ["b", "f"],
+    "d": ["a"],
+    "f": ["c"],
+}
+
+
+class TestBfsDistances:
+    def test_single_target(self):
+        dist = bfs_distances(GRID, ["a"])
+        assert dist == {"a": 0, "b": 1, "d": 1, "c": 2, "f": 3}
+
+    def test_multiple_targets_take_nearest(self):
+        dist = bfs_distances(GRID, ["a", "f"])
+        assert dist["c"] == 1 and dist["b"] == 1
+
+    def test_disconnected_tiles_absent(self):
+        graph = dict(GRID, z=[])
+        dist = bfs_distances(graph, ["a"])
+        assert "z" not in dist
+
+    def test_unknown_target_ignored(self):
+        assert bfs_distances(GRID, ["nope"]) == {}
+
+
+class TestRandomWalk:
+    def test_steps_stay_on_edges(self):
+        model = RandomWalkMobility(GRID)
+        rng = random.Random(1)
+        tile = "a"
+        for _ in range(200):
+            nxt = model.next_tile(rng, tile, 0.0)
+            assert nxt in GRID[tile]
+            tile = nxt
+
+    def test_isolated_tile_stays(self):
+        model = RandomWalkMobility({"lone": []})
+        assert model.next_tile(random.Random(1), "lone", 0.0) is None
+
+    def test_initial_tile_uniformish(self):
+        model = RandomWalkMobility(GRID)
+        rng = random.Random(5)
+        seen = {model.initial_tile(rng) for _ in range(200)}
+        assert seen == set(GRID)
+
+    def test_deterministic_given_seed(self):
+        walk = lambda: [
+            RandomWalkMobility(GRID).next_tile(random.Random(9), "b", 0.0)
+            for _ in range(5)
+        ]
+        assert walk() == walk()
+
+
+class TestCommuteWave:
+    def test_moves_toward_downtown_inside_window(self):
+        model = CommuteWaveMobility(GRID, ["f"], wave_start=1.0, wave_end=2.0)
+        rng = random.Random(2)
+        dist = bfs_distances(GRID, ["f"])
+        for tile in ("a", "b", "d"):
+            nxt = model.next_tile(rng, tile, 1.5)
+            assert dist[nxt] < dist[tile], (tile, nxt)
+
+    def test_random_walk_outside_window(self):
+        model = CommuteWaveMobility(GRID, ["f"], wave_start=1.0, wave_end=2.0)
+        rng = random.Random(3)
+        for now in (0.5, 2.5):
+            assert model.next_tile(rng, "a", now) in GRID["a"]
+
+    def test_initial_placement_avoids_downtown(self):
+        model = CommuteWaveMobility(GRID, ["f"], 0.0, 1.0)
+        rng = random.Random(4)
+        for _ in range(100):
+            assert model.initial_tile(rng) != "f"
+
+    def test_at_downtown_wanders(self):
+        model = CommuteWaveMobility(GRID, ["f"], 0.0, 10.0)
+        assert model.next_tile(random.Random(1), "f", 5.0) in GRID["f"]
+
+    def test_set_adjacency_rebuilds_distance_field(self):
+        model = CommuteWaveMobility(GRID, ["f"], 0.0, 10.0)
+        # retire "f": the downtown disappears from the graph, so the wave
+        # degrades to a random walk instead of chasing a ghost tile
+        pruned = {t: [n for n in ns if n != "f"] for t, ns in GRID.items() if t != "f"}
+        model.set_adjacency(pruned)
+        rng = random.Random(6)
+        for _ in range(50):
+            nxt = model.next_tile(rng, "c", 5.0)
+            assert nxt in pruned["c"]
+
+
+class TestFlashCrowd:
+    def test_converges_during_event(self):
+        model = FlashCrowdMobility(GRID, "b", flash_start=1.0, flash_end=2.0)
+        rng = random.Random(7)
+        dist = bfs_distances(GRID, ["b"])
+        for tile in ("d", "f", "a", "c"):
+            nxt = model.next_tile(rng, tile, 1.5)
+            assert dist[nxt] < dist[tile]
+
+    def test_disperses_after_event(self):
+        model = FlashCrowdMobility(GRID, "b", flash_start=0.0, flash_end=1.0)
+        rng = random.Random(8)
+        dist = bfs_distances(GRID, ["b"])
+        for _ in range(50):
+            nxt = model.next_tile(rng, "b", 2.0)
+            assert dist[nxt] > dist["b"]
+
+    def test_random_walk_before_event(self):
+        model = FlashCrowdMobility(GRID, "b", flash_start=5.0, flash_end=6.0)
+        rng = random.Random(9)
+        assert model.next_tile(rng, "a", 1.0) in GRID["a"]
+
+    def test_edge_of_map_after_event_wanders(self):
+        # d is already maximally far on its branch; no strictly-farther
+        # neighbour exists, so the model falls back to a random step
+        model = FlashCrowdMobility(GRID, "b", flash_start=0.0, flash_end=1.0)
+        rng = random.Random(10)
+        assert model.next_tile(rng, "d", 2.0) in GRID["d"]
+
+
+class TestBaseModel:
+    def test_static_base_never_moves(self):
+        model = MobilityModel(GRID)
+        assert model.next_tile(random.Random(1), "a", 0.0) is None
+
+    def test_tiles_and_neighbors(self):
+        model = MobilityModel(GRID)
+        assert model.tiles == sorted(GRID)
+        assert model.neighbors("a") == ["b", "d"]
+        assert model.neighbors("unknown") == []
