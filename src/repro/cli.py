@@ -396,7 +396,8 @@ def main(argv: List[str] = None) -> int:
             "drive mobility-model traffic over an aggregated-UE cohort, and "
             "report per-region latency percentiles plus the RYW audit. "
             "Scenarios: steady-city, commute-wave, stadium-flash-crowd, "
-            "region-failover, ring-churn."
+            "region-failover, ring-churn, plus the measured-model signaling "
+            "storms iot-reattach-storm, paging-storm, midnight-tau-spike."
         ),
     )
     from .scale.scenarios import scenario_names
@@ -436,6 +437,39 @@ def main(argv: List[str] = None) -> int:
     )
     add_runner_flags(scale_parser)
 
+    cal_parser = sub.add_parser(
+        "calibrate",
+        help="statistically calibrate a measured traffic model",
+        description=(
+            "Replay a traffic model's generators on a pinned seed and run "
+            "every goodness-of-fit check its claims admit (KS on "
+            "inter-arrivals per device class and procedure, diurnal "
+            "rate-envelope checks, storm size/intensity/shape). Exit 0 iff "
+            "every check passes — the same suite CI runs in "
+            "tests/traffic/test_calibration.py."
+        ),
+    )
+    from .traffic.models import model_names
+
+    cal_parser.add_argument("model", choices=model_names())
+    cal_parser.add_argument(
+        "--n-ue", type=int, default=20000, metavar="N",
+        help="population the aggregate processes scale to (default: %(default)s)",
+    )
+    cal_parser.add_argument(
+        "--duration", type=float, default=600.0, metavar="SECONDS",
+        help="emitted stream length (default: %(default)s)",
+    )
+    cal_parser.add_argument("--seed", type=int, default=1)
+    cal_parser.add_argument(
+        "--rate-scale", type=float, default=1.0, metavar="X",
+        help="rate multiplier, as ScenarioSpec.traffic_rate_scale",
+    )
+    cal_parser.add_argument(
+        "--alpha", type=float, default=None, metavar="P",
+        help="significance level (default: calibration.DEFAULT_ALPHA)",
+    )
+
     trace_parser = sub.add_parser("trace", help="generate a synthetic trace")
     trace_parser.add_argument("output")
     trace_parser.add_argument("--devices", type=int, default=100)
@@ -469,9 +503,13 @@ def main(argv: List[str] = None) -> int:
 
     args = parser.parse_args(argv)
     if args.command == "list":
+        from .traffic.models import model_names as _model_names
+
         print("figures  :", " ".join(_FIGURES))
         print("ablations:", " ".join(sorted(_ABLATIONS)))
         print("sweep    : custom config x rate sweeps (see sweep --help)")
+        print("scenarios:", " ".join(scenario_names()))
+        print("models   :", " ".join(_model_names()))
         return 0
     if args.command == "figure":
         cache = _make_cache(args) if args.id in _SWEEP_FIGURES else None
@@ -506,6 +544,8 @@ def main(argv: List[str] = None) -> int:
         return _run_obs(args)
     if args.command == "scale":
         return _run_scale(args)
+    if args.command == "calibrate":
+        return _run_calibrate(args)
     parser.print_help()
     return 1
 
@@ -514,6 +554,23 @@ def _make_cache(args):
     if args.no_cache:
         return None
     return ResultCache(args.cache_dir)
+
+
+def _run_calibrate(args) -> int:
+    from .traffic.calibration import DEFAULT_ALPHA, calibrate_model
+    from .traffic.models import get_model
+
+    alpha = DEFAULT_ALPHA if args.alpha is None else args.alpha
+    report = calibrate_model(
+        get_model(args.model),
+        n_ue=args.n_ue,
+        duration_s=args.duration,
+        seed=args.seed,
+        alpha=alpha,
+        rate_scale=args.rate_scale,
+    )
+    print(report.format_report())
+    return 0 if report.ok else 1
 
 
 def _run_scale(args) -> int:

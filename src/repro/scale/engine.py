@@ -30,6 +30,7 @@ bit-identical to N persistent UE objects.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import asdict, dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
@@ -46,6 +47,14 @@ from ..traffic.mobility import (
     FlashCrowdMobility,
     MobilityModel,
     RandomWalkMobility,
+)
+from ..traffic.arrivals import modulated_arrivals
+from ..traffic.models import (
+    Exponential,
+    class_ranges,
+    get_model,
+    process_stream,
+    storm_times,
 )
 from .cohort import CohortDriver, IndividualDriver
 from .scenarios import ScenarioSpec, get_scenario
@@ -67,6 +76,17 @@ _BUSY_TRIES = 250
 #: populations at or below this keep the auditor's per-UE causal
 #: history (diagnostics); above it, detection-only mode (bounded memory).
 _HISTORY_MAX_UES = 5000
+
+
+def _tag(times, idx: int):
+    """Tag a time stream with its index for a stable heapq.merge order."""
+    for t in times:
+        yield (t, idx)
+
+
+def _bounded_renewal(dist, duration_s: float, rng):
+    """Renewal arrival times of ``dist`` truncated to ``[0, duration)``."""
+    return modulated_arrivals(dist.sample, duration_s, rng)
 
 
 # --------------------------------------------------------------------------- result
@@ -312,11 +332,16 @@ class _Engine:
         tau_rate = n * spec.tau_rate_per_ue
         move_base = n * spec.mobility_rate_per_ue
         # mobility models with a wave window get a boosted rate inside
-        # it; sample at the peak rate and thin outside the window so one
-        # exponential stream covers the piecewise-constant intensity.
+        # it; sample at the peak of the piecewise-constant intensity and
+        # thin wherever the local rate sits below that peak (the
+        # Lewis-Shedler candidate rate must dominate the true rate
+        # everywhere — a boost < 1, a wave-window *lull*, therefore
+        # samples at the base rate and thins inside the window, where
+        # the old code under-sampled the whole run at base*boost).
         windowed = spec.mobility_model in ("commute", "flash_crowd")
         boost = spec.wave_mobility_boost if windowed else 1.0
-        move_peak = move_base * boost
+        peak_mult = max(boost, 1.0)
+        move_peak = move_base * peak_mult
         w0 = spec.wave_window[0] * self.duration
         w1 = spec.wave_window[1] * self.duration
 
@@ -338,10 +363,16 @@ class _Engine:
                 self._arrival_service(pick_rng)
                 t_svc = t + draw(svc_rng, svc_rate)
             elif t == t_move:
-                accept = boost <= 1.0 or w0 <= t < w1 or (
-                    move_rng.random() * boost < 1.0
+                mult = boost if w0 <= t < w1 else 1.0
+                # acceptance with probability mult/peak_mult; skip the
+                # draw entirely at probability 1 so the boost >= 1 RNG
+                # sequence (pinned by determinism witnesses) is
+                # untouched by the boost < 1 fix
+                accept = mult >= peak_mult or (
+                    move_rng.random() * peak_mult < mult
                 )
                 if accept:
+                    self._count("moves_accepted")
                     self._arrival_move(pick_rng, move_rng)
                 else:
                     self._count("moves_thinned")
@@ -350,15 +381,19 @@ class _Engine:
                 self._arrival_tau(pick_rng)
                 t_tau = t + draw(tau_rng, tau_rate)
 
-    def _pick_idle(self, pick_rng) -> Optional[int]:
-        i = pick_rng.randrange(self.spec.n_ue)
+    def _pick_idle(
+        self, pick_rng, lo: int = 0, hi: Optional[int] = None
+    ) -> Optional[int]:
+        # randrange(0, n) consumes exactly the same draw as randrange(n),
+        # so class-ranged picks leave the legacy RNG sequence untouched
+        i = pick_rng.randrange(lo, self.spec.n_ue if hi is None else hi)
         if self.driver.busy[i]:
             self._count("arrivals_skipped_busy")
             return None
         return i
 
-    def _arrival_service(self, pick_rng) -> None:
-        i = self._pick_idle(pick_rng)
+    def _arrival_service(self, pick_rng, lo: int = 0, hi: Optional[int] = None) -> None:
+        i = self._pick_idle(pick_rng, lo, hi)
         if i is None:
             return
         if not self.driver.attached[i]:
@@ -368,16 +403,18 @@ class _Engine:
             return
         self._spawn(i, "service_request", None)
 
-    def _arrival_tau(self, pick_rng) -> None:
-        i = self._pick_idle(pick_rng)
+    def _arrival_tau(self, pick_rng, lo: int = 0, hi: Optional[int] = None) -> None:
+        i = self._pick_idle(pick_rng, lo, hi)
         if i is None or not self.driver.attached[i]:
             if i is not None:
                 self._count("arrivals_skipped_detached")
             return
         self._spawn(i, "tau", None)
 
-    def _arrival_move(self, pick_rng, move_rng) -> None:
-        i = self._pick_idle(pick_rng)
+    def _arrival_move(
+        self, pick_rng, move_rng, lo: int = 0, hi: Optional[int] = None
+    ) -> None:
+        i = self._pick_idle(pick_rng, lo, hi)
         if i is None or not self.driver.attached[i]:
             if i is not None:
                 self._count("arrivals_skipped_detached")
@@ -409,6 +446,113 @@ class _Engine:
         else:
             self._count("moves_handover")
             self._spawn(i, "handover", target_bs)
+
+    # -- the measured traffic-model driver ---------------------------------
+
+    def _model_streams(self):
+        """Build every (arrival-times, handler) stream of the spec's model.
+
+        One named RNG stream per (class, procedure) / storm / mobility
+        process, so a stream's draw sequence never depends on how the
+        others interleave — the whole schedule is a pure function of
+        (model, spec).  The calibration suite consumes the identical
+        ``process_stream``/``storm_times`` emitters.
+        """
+        spec = self.spec
+        model = get_model(spec.traffic_model)
+        scale = spec.traffic_rate_scale
+        ranges = class_ranges(model, spec.n_ue)
+        streams = []
+        for cls in model.classes:
+            lo, hi = ranges[cls.name]
+            class_n = hi - lo
+            if class_n <= 0:
+                continue
+            pick_rng = self.rngs.stream("traffic.pick." + cls.name)
+            for proc in cls.processes:
+                rng = self.rngs.stream(
+                    "traffic.%s.%s" % (cls.name, proc.procedure)
+                )
+                times = process_stream(
+                    proc, class_n, self.duration, rng,
+                    model=model, rate_scale=scale,
+                )
+                if proc.procedure == "service_request":
+                    handler = self._handler_service(pick_rng, lo, hi)
+                else:
+                    handler = self._handler_tau(pick_rng, lo, hi)
+                streams.append((times, handler))
+            if cls.mobility_mean_s > 0:
+                move_rng = self.rngs.stream(
+                    "traffic.%s.mobility" % cls.name
+                )
+                move_dist = Exponential(
+                    cls.mobility_mean_s / (class_n * scale)
+                )
+                times = _bounded_renewal(move_dist, self.duration, move_rng)
+                streams.append(
+                    (times, self._handler_move(pick_rng, move_rng, lo, hi))
+                )
+        for storm in model.storms:
+            lo, hi = ranges[storm.device_class]
+            rng = self.rngs.stream("traffic.storm." + storm.name)
+            times = iter(storm_times(storm, hi - lo, self.duration, rng))
+            pick_rng = self.rngs.stream("traffic.pick." + storm.device_class)
+            streams.append(
+                (times, self._handler_storm(storm, pick_rng, lo, hi))
+            )
+        return streams
+
+    def _handler_service(self, pick_rng, lo, hi):
+        return lambda: self._arrival_service(pick_rng, lo, hi)
+
+    def _handler_tau(self, pick_rng, lo, hi):
+        return lambda: self._arrival_tau(pick_rng, lo, hi)
+
+    def _handler_move(self, pick_rng, move_rng, lo, hi):
+        return lambda: self._arrival_move(pick_rng, move_rng, lo, hi)
+
+    def _handler_storm(self, storm, pick_rng, lo, hi):
+        return lambda: self._arrival_storm(storm, pick_rng, lo, hi)
+
+    def _arrival_storm(self, storm, pick_rng, lo, hi) -> None:
+        self._count("storm_arrivals")
+        self._count("storm_arrivals." + storm.name)
+        i = self._pick_idle(pick_rng, lo, hi)
+        if i is None:
+            return
+        proc = storm.procedure
+        if proc == "attach":
+            # mass re-registration: detached devices re-enter, already
+            # attached ones re-register (the storm's whole point is the
+            # redundant synchronized signaling)
+            if not self.driver.attached[i]:
+                self._count("storm_reattach")
+            else:
+                self._count("storm_reregister")
+            self._spawn(i, "attach", None)
+            return
+        if not self.driver.attached[i]:
+            # paged / timer-fired while detached: re-registration first
+            self._count("reattach_arrivals")
+            self._spawn(i, "attach", None)
+            return
+        self._spawn(i, proc, None)
+
+    def _traffic_modeled(self):
+        """Merged measured-model arrival process (replaces ``_traffic``)."""
+        sim = self.sim
+        streams = self._model_streams()
+        handlers = [h for _t, h in streams]
+        merged = heapq.merge(
+            *[_tag(times, idx) for idx, (times, _h) in enumerate(streams)]
+        )
+        for t, idx in merged:
+            if t >= self.duration:
+                break
+            if t > sim.now:
+                yield sim.timeout(t - sim.now)
+            handlers[idx]()
 
     # -- ring churn --------------------------------------------------------
 
@@ -649,7 +793,12 @@ class _Engine:
     def run(self) -> ScaleResult:
         self._bootstrap_population()
         self.injector.install()
-        self.sim.process(self._traffic(), name="scale.traffic")
+        traffic = (
+            self._traffic_modeled()
+            if self.spec.traffic_model
+            else self._traffic()
+        )
+        self.sim.process(traffic, name="scale.traffic")
         if self.spec.churn_events:
             self.sim.process(self._churn(), name="scale.churn")
         end = self.sim.run()

@@ -12,6 +12,15 @@ morning-commute mobility (cross-region handovers, §4.3 / fig. 11), a
 stadium flash crowd (the localized overload that motivates per-region
 CPF pools), a region failover (§4.2.5 scenario 4 at city scale), and
 ring churn (CTA added and removed mid-run with replica re-placement).
+
+The signaling-storm trio (``iot-reattach-storm``, ``paging-storm``,
+``midnight-tau-spike``) swaps the Poisson superposition for a measured
+traffic model (``ScenarioSpec.traffic_model`` naming an entry in
+``repro.traffic.models.MODELS``): per-procedure inter-arrival
+distributions, smartphone-vs-IoT device classes, diurnal envelopes,
+and correlated-burst storms after Meng et al. — every generator backed
+by the statistical calibration suite in
+``tests/traffic/test_calibration.py``.
 """
 
 from __future__ import annotations
@@ -41,10 +50,17 @@ class ScenarioSpec:
     cpfs_per_region: int = 2
     bss_per_region: int = 2
     precision: int = 6
-    # per-UE rates (aggregated Poisson across the cohort)
+    # per-UE rates (aggregated Poisson across the cohort); ignored when
+    # a measured traffic model drives the run instead
     service_rate_per_ue: float = _SESSION_RATE
     mobility_rate_per_ue: float = 1.0 / 120.0
     tau_rate_per_ue: float = 1.0 / 600.0
+    #: measured traffic model (``repro.traffic.models`` name); None =
+    #: the legacy merged-Poisson superposition driver
+    traffic_model: Optional[str] = None
+    #: multiplier on every model process/mobility rate — lets small-N
+    #: test runs keep realistic per-device means but enough arrivals
+    traffic_rate_scale: float = 1.0
     # mobility model: random_walk | commute | flash_crowd
     mobility_model: str = "random_walk"
     #: (start_frac, end_frac) of the commute wave / flash-crowd window
@@ -119,6 +135,39 @@ def _catalog() -> Dict[str, ScenarioSpec]:
                 (0.40, "fail", "region:index:0"),
                 (0.75, "recover", "region:index:0"),
             ],
+        ),
+        ScenarioSpec(
+            name="iot-reattach-storm",
+            description="Region blackout + IoT mass re-registration: a "
+            "level-1 region (CTA + every CPF) goes dark mid-run; when it "
+            "recovers, the measured IoT classes re-register in an "
+            "exponential-drain storm that hammers the CTA log/replay and "
+            "attach paths while smartphones keep their diurnal session "
+            "load.",
+            traffic_model="metro-iot-reattach",
+            traffic_rate_scale=4.0,
+            fault_events=[
+                (0.30, "fail", "region:index:0"),
+                (0.50, "recover", "region:index:0"),
+            ],
+        ),
+        ScenarioSpec(
+            name="paging-storm",
+            description="Paging storm: a broadcast event pages 80% of the "
+            "smartphone class inside a short window, each paged UE "
+            "answering with a service request on top of the measured "
+            "diurnal background.",
+            traffic_model="metro-paging",
+            traffic_rate_scale=4.0,
+        ),
+        ScenarioSpec(
+            name="midnight-tau-spike",
+            description="Midnight TAU synchronization: IoT periodic-TAU "
+            "timers aligned to a wall-clock boundary fire in one tight "
+            "uniform window — the synchronized-signaling worst case of "
+            "Meng et al.",
+            traffic_model="metro-midnight-tau",
+            traffic_rate_scale=4.0,
         ),
         ScenarioSpec(
             name="ring-churn",

@@ -1,0 +1,590 @@
+"""Measured control-plane traffic models (after Meng et al.).
+
+Meng et al. (*Characterizing and Modeling Control-Plane Traffic for
+Mobile Core Network*, PAPERS.md) show that real control-plane load is
+not Poisson superposition: per-procedure inter-arrival distributions
+range from exponential through lognormal to Pareto tails, device
+classes (smartphones vs several IoT profiles) differ by orders of
+magnitude in procedure rates and registration behaviour, rates swing
+diurnally, and synchronized storms dwarf the steady state.  This module
+is that characterization as a declarative, deterministic model layer:
+
+* :class:`InterArrival` distributions (exponential / lognormal /
+  Pareto) parameterized by their mean, so a per-device model rescales
+  to any aggregate rate while keeping its shape;
+* :class:`DeviceClassSpec` — a population fraction plus per-procedure
+  arrival processes and a mobility rate;
+* piecewise-constant diurnal envelopes (``traffic.arrivals.RateEnvelope``)
+  applied by exact inversion, never thinning;
+* :class:`StormSpec` correlated-burst generators (mass re-registration
+  after a blackout, paging storms, synchronized periodic-TAU spikes).
+
+**Calibration contract.**  The model's published statistic is the
+*aggregate* per-(device-class, procedure) arrival process: inter-arrival
+gaps follow the named distribution with mean ``mean_interarrival_s /
+(class population × rate scale)``, diurnal classes obey their envelope's
+per-segment rate, and storms release ``round(participation × class
+population)`` arrivals whose offsets follow the declared burst shape.
+Everything the scenario engine plays is emitted by the same functions
+(:func:`process_stream`, :func:`storm_times`) the calibration suite
+measures (``tests/traffic/test_calibration.py``), so a generator cannot
+drift from its contract without failing KS / chi-square.
+
+All randomness comes from named ``sim.rng`` streams, so scenarios stay
+replayable and cache-keyable; a model is identified by name in
+:data:`MODELS` and referenced from ``ScenarioSpec.traffic_model``.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from .arrivals import RateEnvelope, modulated_arrivals
+
+__all__ = [
+    "InterArrival",
+    "Exponential",
+    "LogNormal",
+    "ParetoTail",
+    "make_distribution",
+    "ProcessSpec",
+    "DeviceClassSpec",
+    "StormSpec",
+    "TrafficModel",
+    "MODELS",
+    "get_model",
+    "model_names",
+    "class_ranges",
+    "process_stream",
+    "storm_times",
+    "storm_offset_cdf",
+]
+
+
+# ------------------------------------------------------------ distributions
+
+
+class InterArrival:
+    """A positive inter-arrival gap distribution, parameterized by mean."""
+
+    kind = "abstract"
+
+    def mean(self) -> float:
+        raise NotImplementedError
+
+    def sample(self, rng: random.Random) -> float:
+        raise NotImplementedError
+
+    def cdf(self, x: float) -> float:
+        raise NotImplementedError
+
+
+class Exponential(InterArrival):
+    """Memoryless gaps — the Poisson-process baseline."""
+
+    kind = "exponential"
+
+    def __init__(self, mean_s: float):
+        if mean_s <= 0:
+            raise ValueError("mean must be positive")
+        self.mean_s = mean_s
+        self._rate = 1.0 / mean_s
+
+    def mean(self) -> float:
+        return self.mean_s
+
+    def sample(self, rng: random.Random) -> float:
+        return rng.expovariate(self._rate)
+
+    def cdf(self, x: float) -> float:
+        if x <= 0:
+            return 0.0
+        return 1.0 - math.exp(-x * self._rate)
+
+
+class LogNormal(InterArrival):
+    """Lognormal gaps: multiplicative burstiness around a typical gap.
+
+    ``sigma`` is the shape (std-dev of ``ln gap``); ``mu`` is derived so
+    the distribution has exactly ``mean_s`` mean: ``mu = ln(mean) -
+    sigma^2 / 2``.
+    """
+
+    kind = "lognormal"
+
+    def __init__(self, mean_s: float, sigma: float):
+        if mean_s <= 0:
+            raise ValueError("mean must be positive")
+        if sigma <= 0:
+            raise ValueError("sigma must be positive")
+        self.mean_s = mean_s
+        self.sigma = sigma
+        self.mu = math.log(mean_s) - 0.5 * sigma * sigma
+
+    def mean(self) -> float:
+        return self.mean_s
+
+    def sample(self, rng: random.Random) -> float:
+        return rng.lognormvariate(self.mu, self.sigma)
+
+    def cdf(self, x: float) -> float:
+        if x <= 0:
+            return 0.0
+        z = (math.log(x) - self.mu) / self.sigma
+        return 0.5 * (1.0 + math.erf(z / math.sqrt(2.0)))
+
+
+class ParetoTail(InterArrival):
+    """Pareto gaps: the heavy tail of IoT reporting intervals.
+
+    ``alpha`` is the tail index (must exceed 1 for a finite mean); the
+    scale ``xm`` is derived from the target mean: ``xm = mean * (alpha
+    - 1) / alpha``.
+    """
+
+    kind = "pareto"
+
+    def __init__(self, mean_s: float, alpha: float):
+        if mean_s <= 0:
+            raise ValueError("mean must be positive")
+        if alpha <= 1.0:
+            raise ValueError("alpha must exceed 1 for a finite mean")
+        self.mean_s = mean_s
+        self.alpha = alpha
+        self.xm = mean_s * (alpha - 1.0) / alpha
+
+    def mean(self) -> float:
+        return self.mean_s
+
+    def sample(self, rng: random.Random) -> float:
+        return self.xm * rng.paretovariate(self.alpha)
+
+    def cdf(self, x: float) -> float:
+        if x <= self.xm:
+            return 0.0
+        return 1.0 - (self.xm / x) ** self.alpha
+
+
+def make_distribution(
+    kind: str, mean_s: float, sigma: float = 1.0, alpha: float = 2.5
+) -> InterArrival:
+    """Instantiate a distribution by name at the given mean."""
+    if kind == "exponential":
+        return Exponential(mean_s)
+    if kind == "lognormal":
+        return LogNormal(mean_s, sigma)
+    if kind == "pareto":
+        return ParetoTail(mean_s, alpha)
+    raise ValueError(
+        "unknown distribution %r (have: exponential, lognormal, pareto)" % kind
+    )
+
+
+# ------------------------------------------------------------- model specs
+
+
+@dataclass(frozen=True)
+class ProcessSpec:
+    """One per-device arrival process of a device class.
+
+    ``mean_interarrival_s`` is the *per-device* mean gap; the aggregate
+    class process keeps the distribution's shape at mean
+    ``mean_interarrival_s / class_population``.  ``envelope`` names a
+    diurnal profile in the model's envelope table ("" = constant rate).
+    """
+
+    procedure: str  # "service_request" | "tau"
+    dist: str  # "exponential" | "lognormal" | "pareto"
+    mean_interarrival_s: float
+    sigma: float = 1.0  # lognormal shape
+    alpha: float = 2.5  # pareto tail index
+    envelope: str = ""
+
+    def __post_init__(self):
+        if self.procedure not in ("service_request", "tau"):
+            raise ValueError(
+                "background processes drive service_request/tau, got %r"
+                % (self.procedure,)
+            )
+        if self.mean_interarrival_s <= 0:
+            raise ValueError("mean inter-arrival must be positive")
+
+
+@dataclass(frozen=True)
+class DeviceClassSpec:
+    """A device population slice with its procedure behaviour."""
+
+    name: str
+    fraction: float
+    processes: Tuple[ProcessSpec, ...] = ()
+    #: per-device mean seconds between mobility events (0 = static class)
+    mobility_mean_s: float = 0.0
+
+    def __post_init__(self):
+        if not 0.0 < self.fraction <= 1.0:
+            raise ValueError("class fraction must be in (0, 1]")
+        if self.mobility_mean_s < 0:
+            raise ValueError("mobility mean must be non-negative")
+
+
+@dataclass(frozen=True)
+class StormSpec:
+    """A correlated burst: a device cohort firing nearly simultaneously.
+
+    ``round(participation * class_population)`` arrivals are released
+    inside ``[trigger, trigger + window)`` (times as fractions of the
+    run duration).  ``shape`` controls the offset law inside the window:
+    ``expdecay`` is a truncated-exponential ramp-down with mean offset
+    ``window / decay`` (re-registration drains), ``uniform`` a flat
+    synchronized window (timer-aligned TAU).
+    """
+
+    name: str
+    procedure: str  # "attach" | "service_request" | "tau"
+    device_class: str
+    trigger_frac: float
+    window_frac: float
+    participation: float
+    shape: str = "expdecay"
+    decay: float = 4.0
+
+    def __post_init__(self):
+        if self.procedure not in ("attach", "service_request", "tau"):
+            raise ValueError("unsupported storm procedure %r" % (self.procedure,))
+        if not 0.0 <= self.trigger_frac < 1.0:
+            raise ValueError("trigger_frac must be in [0, 1)")
+        if not 0.0 < self.window_frac <= 1.0 - self.trigger_frac:
+            raise ValueError("window must fit inside the run")
+        if not 0.0 < self.participation <= 1.0:
+            raise ValueError("participation must be in (0, 1]")
+        if self.shape not in ("expdecay", "uniform"):
+            raise ValueError("shape must be expdecay or uniform")
+        if self.decay <= 0:
+            raise ValueError("decay must be positive")
+
+
+@dataclass(frozen=True)
+class TrafficModel:
+    """A complete measured workload: classes + envelopes + storms."""
+
+    name: str
+    description: str
+    classes: Tuple[DeviceClassSpec, ...]
+    #: name -> ((start_frac, multiplier), ...) piecewise diurnal profiles
+    envelopes: Tuple[Tuple[str, Tuple[Tuple[float, float], ...]], ...] = ()
+    storms: Tuple[StormSpec, ...] = ()
+
+    def __post_init__(self):
+        if not self.classes:
+            raise ValueError("model needs at least one device class")
+        total = sum(c.fraction for c in self.classes)
+        if not math.isclose(total, 1.0, rel_tol=0, abs_tol=1e-9):
+            raise ValueError(
+                "class fractions must sum to 1 (got %r)" % (total,)
+            )
+        names = [c.name for c in self.classes]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate device-class names")
+        table = dict(self.envelopes)
+        for cls in self.classes:
+            for proc in cls.processes:
+                if proc.envelope and proc.envelope not in table:
+                    raise ValueError(
+                        "process %s/%s names unknown envelope %r"
+                        % (cls.name, proc.procedure, proc.envelope)
+                    )
+        for storm in self.storms:
+            if storm.device_class not in names:
+                raise ValueError(
+                    "storm %r targets unknown class %r"
+                    % (storm.name, storm.device_class)
+                )
+
+    def envelope_points(self, name: str) -> Tuple[Tuple[float, float], ...]:
+        return dict(self.envelopes)[name]
+
+    def class_spec(self, name: str) -> DeviceClassSpec:
+        for cls in self.classes:
+            if cls.name == name:
+                return cls
+        raise KeyError("unknown device class %r" % (name,))
+
+
+# --------------------------------------------------------------- emission
+
+
+def class_ranges(model: TrafficModel, n_ue: int) -> Dict[str, Tuple[int, int]]:
+    """Partition ``[0, n_ue)`` into contiguous per-class index ranges.
+
+    Fractions are applied in declaration order with the last class
+    absorbing the rounding remainder, so every UE belongs to exactly
+    one class and the split is a pure function of (model, n_ue).
+    """
+    if n_ue < 1:
+        raise ValueError("need at least one UE")
+    ranges: Dict[str, Tuple[int, int]] = {}
+    lo = 0
+    for i, cls in enumerate(model.classes):
+        if i == len(model.classes) - 1:
+            hi = n_ue
+        else:
+            hi = min(n_ue, lo + int(round(cls.fraction * n_ue)))
+        ranges[cls.name] = (lo, hi)
+        lo = hi
+    return ranges
+
+
+def process_stream(
+    proc: ProcessSpec,
+    class_n: int,
+    duration_s: float,
+    rng: random.Random,
+    model: Optional[TrafficModel] = None,
+    rate_scale: float = 1.0,
+) -> Iterator[float]:
+    """Aggregate arrival times for one (class, procedure) process.
+
+    The aggregate keeps the per-device distribution's shape at mean
+    ``mean_interarrival_s / (class_n * rate_scale)`` — the model's
+    published statistic, which the calibration suite KS-tests.  A class
+    with zero devices (or zero rate) yields no events.
+    """
+    if class_n <= 0 or rate_scale <= 0.0:
+        return iter(())
+    aggregate_mean = proc.mean_interarrival_s / (class_n * rate_scale)
+    dist = make_distribution(proc.dist, aggregate_mean, proc.sigma, proc.alpha)
+    envelope = None
+    if proc.envelope and model is not None:
+        envelope = RateEnvelope(duration_s, model.envelope_points(proc.envelope))
+    return modulated_arrivals(dist.sample, duration_s, rng, envelope)
+
+
+def storm_offset_cdf(storm: StormSpec, duration_s: float):
+    """CDF of one storm arrival's offset inside its window (seconds)."""
+    window = storm.window_frac * duration_s
+
+    if storm.shape == "uniform":
+
+        def cdf(x: float) -> float:
+            if x <= 0:
+                return 0.0
+            if x >= window:
+                return 1.0
+            return x / window
+
+        return cdf
+
+    mean = window / storm.decay
+    norm = 1.0 - math.exp(-window / mean)
+
+    def cdf(x: float) -> float:
+        if x <= 0:
+            return 0.0
+        if x >= window:
+            return 1.0
+        return (1.0 - math.exp(-x / mean)) / norm
+
+    return cdf
+
+
+def storm_times(
+    storm: StormSpec, class_n: int, duration_s: float, rng: random.Random
+) -> List[float]:
+    """Sorted absolute arrival times of one storm's burst.
+
+    ``expdecay`` offsets come from the inverse CDF of the truncated
+    exponential (one uniform draw per arrival — no rejection, so the
+    draw count is a pure function of the burst size), ``uniform`` from
+    a flat window.
+    """
+    count = int(round(storm.participation * class_n))
+    if count <= 0:
+        return []
+    trigger = storm.trigger_frac * duration_s
+    window = storm.window_frac * duration_s
+    offsets: List[float] = []
+    if storm.shape == "uniform":
+        for _ in range(count):
+            offsets.append(rng.random() * window)
+    else:
+        mean = window / storm.decay
+        norm = 1.0 - math.exp(-window / mean)
+        for _ in range(count):
+            offsets.append(-mean * math.log1p(-rng.random() * norm))
+    times = sorted(trigger + off for off in offsets)
+    return [t for t in times if t < duration_s]
+
+
+# ---------------------------------------------------------------- catalog
+
+#: mean session inter-arrival from the DPCM measurement study (§2.2).
+_SESSION_MEAN_S = 106.9
+
+#: diurnal profile: overnight lull, morning ramp, midday peak, evening
+#: taper — mean multiplier exactly 1.0 so the envelope redistributes
+#: load without changing the total.
+_DIURNAL = (
+    ("diurnal", ((0.0, 0.6), (0.25, 1.5), (0.5, 1.2), (0.75, 0.7))),
+)
+
+#: the metro device mix: smartphones dominate sessions and mobility,
+#: stationary meters report on a heavy Pareto tail, fleet trackers are
+#: chatty and mobile.  Fractions follow the smartphone-majority /
+#: IoT-significant-minority split of the Meng et al. dataset.
+_METRO_CLASSES = (
+    DeviceClassSpec(
+        name="smartphone",
+        fraction=0.55,
+        processes=(
+            ProcessSpec(
+                procedure="service_request",
+                dist="lognormal",
+                mean_interarrival_s=_SESSION_MEAN_S,
+                sigma=1.2,
+                envelope="diurnal",
+            ),
+            ProcessSpec(
+                procedure="tau",
+                dist="exponential",
+                mean_interarrival_s=600.0,
+            ),
+        ),
+        mobility_mean_s=60.0,
+    ),
+    DeviceClassSpec(
+        name="iot-sensor",
+        fraction=0.30,
+        processes=(
+            ProcessSpec(
+                procedure="service_request",
+                dist="pareto",
+                mean_interarrival_s=240.0,
+                alpha=1.8,
+            ),
+            ProcessSpec(
+                procedure="tau",
+                dist="exponential",
+                mean_interarrival_s=1800.0,
+            ),
+        ),
+        mobility_mean_s=0.0,  # stationary meters
+    ),
+    DeviceClassSpec(
+        name="iot-tracker",
+        fraction=0.15,
+        processes=(
+            ProcessSpec(
+                procedure="service_request",
+                dist="exponential",
+                mean_interarrival_s=180.0,
+            ),
+        ),
+        mobility_mean_s=30.0,  # fleet trackers roam constantly
+    ),
+)
+
+
+def _catalog() -> Dict[str, TrafficModel]:
+    models = [
+        TrafficModel(
+            name="metro-mixed",
+            description="Measured metro mix: lognormal smartphone sessions "
+            "under a diurnal envelope, Pareto-tail IoT sensors, exponential "
+            "fleet trackers; no storms (the calibration baseline).",
+            classes=_METRO_CLASSES,
+            envelopes=_DIURNAL,
+        ),
+        TrafficModel(
+            name="metro-iot-reattach",
+            description="Metro mix + mass IoT re-registration: after a "
+            "region blackout clears, sensors and trackers re-register in "
+            "an exponential-drain burst.",
+            classes=_METRO_CLASSES,
+            envelopes=_DIURNAL,
+            storms=(
+                StormSpec(
+                    name="sensor-reattach",
+                    procedure="attach",
+                    device_class="iot-sensor",
+                    trigger_frac=0.52,
+                    window_frac=0.18,
+                    participation=0.60,
+                ),
+                StormSpec(
+                    name="tracker-reattach",
+                    procedure="attach",
+                    device_class="iot-tracker",
+                    trigger_frac=0.52,
+                    window_frac=0.12,
+                    participation=0.50,
+                ),
+            ),
+        ),
+        TrafficModel(
+            name="metro-paging",
+            description="Metro mix + paging storm: a broadcast event pages "
+            "most smartphones inside a short window, each answering with a "
+            "service request.",
+            classes=_METRO_CLASSES,
+            envelopes=_DIURNAL,
+            storms=(
+                StormSpec(
+                    name="paging-wave",
+                    procedure="service_request",
+                    device_class="smartphone",
+                    trigger_frac=0.45,
+                    window_frac=0.10,
+                    participation=0.80,
+                    decay=3.0,
+                ),
+            ),
+        ),
+        TrafficModel(
+            name="metro-midnight-tau",
+            description="Metro mix + synchronized periodic-TAU spike: IoT "
+            "registration timers aligned to a wall-clock boundary all fire "
+            "inside one tight uniform window.",
+            classes=_METRO_CLASSES,
+            envelopes=_DIURNAL,
+            storms=(
+                StormSpec(
+                    name="midnight-tau",
+                    procedure="tau",
+                    device_class="iot-sensor",
+                    trigger_frac=0.50,
+                    window_frac=0.06,
+                    participation=0.90,
+                    shape="uniform",
+                ),
+                StormSpec(
+                    name="midnight-tau-trackers",
+                    procedure="tau",
+                    device_class="iot-tracker",
+                    trigger_frac=0.50,
+                    window_frac=0.06,
+                    participation=0.90,
+                    shape="uniform",
+                ),
+            ),
+        ),
+    ]
+    return {m.name: m for m in models}
+
+
+MODELS: Dict[str, TrafficModel] = _catalog()
+
+
+def model_names() -> List[str]:
+    return sorted(MODELS)
+
+
+def get_model(name: str) -> TrafficModel:
+    try:
+        return MODELS[name]
+    except KeyError:
+        raise KeyError(
+            "unknown traffic model %r (have: %s)" % (name, ", ".join(model_names()))
+        )

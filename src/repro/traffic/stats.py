@@ -1,0 +1,202 @@
+"""Statistical tests for traffic-model calibration (stdlib only).
+
+The measured traffic models (``traffic.models``) are only credible if
+every generator ships with a goodness-of-fit proof that the emitted
+trace matches the model's published statistics.  This module provides
+the two classical tests the calibration suite needs — one-sample
+Kolmogorov–Smirnov for continuous inter-arrival distributions and
+Pearson chi-square for binned/categorical checks — implemented on the
+stdlib so CI needs no scipy.
+
+Numerics follow the standard Numerical-Recipes formulations: the KS
+tail probability uses the asymptotic Kolmogorov series with the
+Stephens small-sample correction, and the chi-square tail uses the
+regularized upper incomplete gamma function (series expansion below
+``a + 1``, Lentz continued fraction above).  Both are deterministic
+pure functions, so calibration tests pin seeds and compare p-values
+against fixed thresholds without flake.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, List, Sequence, Tuple
+
+__all__ = [
+    "ks_statistic",
+    "ks_pvalue",
+    "ks_test",
+    "chi_square_statistic",
+    "chi_square_pvalue",
+    "chi_square_test",
+    "normal_cdf",
+    "bin_counts",
+]
+
+
+# ----------------------------------------------------------------- KS test
+
+
+def ks_statistic(samples: Sequence[float], cdf: Callable[[float], float]) -> float:
+    """One-sample KS statistic D_n = sup_x |F_n(x) - F(x)|."""
+    n = len(samples)
+    if n == 0:
+        raise ValueError("need at least one sample")
+    ordered = sorted(samples)
+    d = 0.0
+    for i, x in enumerate(ordered):
+        fx = cdf(x)
+        if not 0.0 <= fx <= 1.0 + 1e-12:
+            raise ValueError("cdf(%r) = %r outside [0, 1]" % (x, fx))
+        d = max(d, fx - i / n, (i + 1) / n - fx)
+    return d
+
+
+def _kolmogorov_q(lam: float) -> float:
+    """Q_KS(lambda) = 2 sum_{k>=1} (-1)^(k-1) exp(-2 k^2 lambda^2)."""
+    if lam <= 0.0:
+        return 1.0
+    total = 0.0
+    sign = 1.0
+    for k in range(1, 101):
+        term = sign * math.exp(-2.0 * k * k * lam * lam)
+        total += term
+        if abs(term) < 1e-12 * abs(total) or abs(term) < 1e-300:
+            break
+        sign = -sign
+    return max(0.0, min(1.0, 2.0 * total))
+
+
+def ks_pvalue(d: float, n: int) -> float:
+    """Asymptotic p-value for KS statistic ``d`` over ``n`` samples.
+
+    Uses the Stephens correction ``(sqrt(n) + 0.12 + 0.11/sqrt(n)) d``,
+    accurate to a few percent for n >= 8 — the calibration suite uses
+    n in the hundreds to thousands.
+    """
+    if n < 1:
+        raise ValueError("need at least one sample")
+    sqrt_n = math.sqrt(n)
+    return _kolmogorov_q((sqrt_n + 0.12 + 0.11 / sqrt_n) * d)
+
+
+def ks_test(
+    samples: Sequence[float], cdf: Callable[[float], float]
+) -> Tuple[float, float]:
+    """(D, p-value) of the one-sample KS test of ``samples`` vs ``cdf``."""
+    d = ks_statistic(samples, cdf)
+    return d, ks_pvalue(d, len(samples))
+
+
+# ---------------------------------------------------------------- chi-square
+
+
+def chi_square_statistic(
+    observed: Sequence[float], expected: Sequence[float]
+) -> float:
+    """Pearson X^2 = sum (O-E)^2 / E over bins with E > 0."""
+    if len(observed) != len(expected):
+        raise ValueError("observed and expected must have equal length")
+    if not observed:
+        raise ValueError("need at least one bin")
+    stat = 0.0
+    for o, e in zip(observed, expected):
+        if e <= 0.0:
+            raise ValueError("expected counts must be positive (got %r)" % e)
+        diff = o - e
+        stat += diff * diff / e
+    return stat
+
+
+def _gamma_p_series(a: float, x: float) -> float:
+    """Lower regularized gamma P(a, x) by series (for x < a + 1)."""
+    term = 1.0 / a
+    total = term
+    ap = a
+    for _ in range(500):
+        ap += 1.0
+        term *= x / ap
+        total += term
+        if abs(term) < abs(total) * 1e-14:
+            break
+    return total * math.exp(-x + a * math.log(x) - math.lgamma(a))
+
+def _gamma_q_contfrac(a: float, x: float) -> float:
+    """Upper regularized gamma Q(a, x) by Lentz continued fraction."""
+    tiny = 1e-300
+    b = x + 1.0 - a
+    c = 1.0 / tiny
+    d = 1.0 / b
+    h = d
+    for i in range(1, 500):
+        an = -i * (i - a)
+        b += 2.0
+        d = an * d + b
+        if abs(d) < tiny:
+            d = tiny
+        c = b + an / c
+        if abs(c) < tiny:
+            c = tiny
+        d = 1.0 / d
+        delta = d * c
+        h *= delta
+        if abs(delta - 1.0) < 1e-14:
+            break
+    return h * math.exp(-x + a * math.log(x) - math.lgamma(a))
+
+
+def chi_square_pvalue(stat: float, dof: int) -> float:
+    """P(X^2 >= stat) for ``dof`` degrees of freedom."""
+    if dof < 1:
+        raise ValueError("dof must be >= 1")
+    if stat < 0.0:
+        raise ValueError("statistic must be non-negative")
+    if stat == 0.0:
+        return 1.0
+    a = dof / 2.0
+    x = stat / 2.0
+    if x < a + 1.0:
+        p = 1.0 - _gamma_p_series(a, x)
+    else:
+        p = _gamma_q_contfrac(a, x)
+    return max(0.0, min(1.0, p))
+
+
+def chi_square_test(
+    observed: Sequence[float], expected: Sequence[float], ddof: int = 0
+) -> Tuple[float, float]:
+    """(X^2, p-value); dof = bins - 1 - ddof."""
+    stat = chi_square_statistic(observed, expected)
+    dof = len(observed) - 1 - ddof
+    if dof < 1:
+        raise ValueError("not enough bins for %d estimated parameters" % ddof)
+    return stat, chi_square_pvalue(stat, dof)
+
+
+# ------------------------------------------------------------------ helpers
+
+
+def normal_cdf(z: float) -> float:
+    """Standard normal CDF via erf."""
+    return 0.5 * (1.0 + math.erf(z / math.sqrt(2.0)))
+
+
+def bin_counts(
+    samples: Sequence[float], edges: Sequence[float]
+) -> List[int]:
+    """Histogram counts for half-open bins [edges[i], edges[i+1])."""
+    if len(edges) < 2:
+        raise ValueError("need at least two bin edges")
+    counts = [0] * (len(edges) - 1)
+    for x in samples:
+        if x < edges[0] or x >= edges[-1]:
+            continue
+        lo, hi = 0, len(edges) - 1
+        while hi - lo > 1:  # rightmost edge <= x
+            mid = (lo + hi) // 2
+            if edges[mid] <= x:
+                lo = mid
+            else:
+                hi = mid
+        counts[lo] += 1
+    return counts

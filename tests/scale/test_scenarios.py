@@ -106,6 +106,68 @@ class TestScenarioEffects:
             )
             assert moves > 0, "%s never crossed a region boundary" % name
 
+    def test_storm_scenarios_fire_their_storms(self, results):
+        for name, storms in (
+            ("iot-reattach-storm", ("sensor-reattach", "tracker-reattach")),
+            ("paging-storm", ("paging-wave",)),
+            ("midnight-tau-spike", ("midnight-tau", "midnight-tau-trackers")),
+        ):
+            counters = results[name].counters
+            assert counters.get("storm_arrivals", 0) > 0, name
+            for storm in storms:
+                assert counters.get("storm_arrivals." + storm, 0) > 0, storm
+
+    def test_reattach_storm_rides_the_region_blackout(self, results):
+        res = results["iot-reattach-storm"]
+        # the blackout really fails and recovers CTA + 2 CPFs
+        assert res.fault_counters.get("ops_applied", 0) == 6
+        # the attach wave re-registers devices that were already attached
+        assert res.counters.get("storm_reregister", 0) > 0
+
+
+class TestThinningBias:
+    """Lewis-Shedler candidate rate must dominate the true rate.
+
+    With a wave *lull* (``wave_mobility_boost < 1``) the old driver
+    sampled the whole run at ``base * boost`` and never thinned —
+    under-sampling off-window mobility by the boost factor.  The fixed
+    driver samples at ``base * max(boost, 1)`` and thins inside the
+    window, so the accepted fraction equals the window-weighted mean
+    multiplier.
+    """
+
+    def _run(self, boost):
+        spec = get_scenario("commute-wave").with_overrides(
+            n_ue=200, duration_s=2.0, seed=5
+        )
+        import dataclasses
+
+        spec = dataclasses.replace(
+            spec,
+            name="thinning-regression",
+            mobility_rate_per_ue=1.0 / 5.0,
+            wave_mobility_boost=boost,
+        )
+        return run_scenario(spec)
+
+    def test_lull_thins_inside_the_window_only(self):
+        res = self._run(0.25)
+        accepted = res.counters.get("moves_accepted", 0)
+        thinned = res.counters.get("moves_thinned", 0)
+        assert thinned > 0, "a lull must thin in-window candidates"
+        candidates = accepted + thinned
+        # window covers half the run: E[accept] = 0.5*1 + 0.5*0.25
+        ratio = accepted / candidates
+        assert 0.55 < ratio < 0.70, (
+            "accepted %d of %d candidates (ratio %.3f, want ~0.625): "
+            "off-window mobility is biased" % (accepted, candidates, ratio)
+        )
+
+    def test_flat_boost_never_thins(self):
+        res = self._run(1.0)
+        assert res.counters.get("moves_thinned", 0) == 0
+        assert res.counters.get("moves_accepted", 0) > 0
+
 
 class TestDeterminism:
     def test_same_seed_same_digest(self):

@@ -1,0 +1,104 @@
+"""Determinism witnesses for the measured-model storm scenarios.
+
+Style of ``tests/core/test_kernel_witnesses.py``: the verbose EventTrace
+digest (every message of every procedure, in order) of each storm
+scenario at a small pinned population is recorded below.  If a change
+to the traffic-model layer, the stream merge, or the engine perturbs a
+single RNG draw or reorders one same-time arrival, a digest moves and
+the witness fails.  The expected values must NEVER be regenerated to
+make a refactor pass; they may only change when the *model* (traffic
+catalog, storm shapes, engine semantics) intentionally changes.
+
+Beyond the raw pins, the witnesses close the runner matrix:
+
+* flyweight cohort == N persistent UE objects (conformance extension);
+* serial ``run_replicates`` == parallel (``jobs=2``), dict for dict;
+* a result decoded from a ``ResultCache`` hit == the miss that wrote it.
+"""
+
+import pytest
+
+from repro.experiments.cache import ResultCache
+from repro.scale.engine import ScaleResult, run_replicates, run_scenario
+
+N = 120
+DURATION_S = 1.0
+SEED = 11
+
+#: verbose-trace digests recorded when the measured traffic models
+#: first shipped (cohort mode, N=120, duration=1.0, seed=11).
+EXPECTED_DIGESTS = {
+    "iot-reattach-storm": "88c5db9bead872670ff9e2e0a1bd8b64",
+    "paging-storm": "ba68783e1f40e48cf75b6ee9a75222f7",
+    "midnight-tau-spike": "55e2bfe22e91877570fd8c6b40f4db78",
+}
+
+
+def run(scenario, mode="cohort", seed=SEED):
+    return run_scenario(
+        scenario,
+        n_ue=N,
+        duration_s=DURATION_S,
+        seed=seed,
+        mode=mode,
+        verbose_trace=True,
+    )
+
+
+@pytest.mark.parametrize("scenario", sorted(EXPECTED_DIGESTS), ids=str)
+def test_storm_digest_is_pinned(scenario):
+    res = run(scenario)
+    assert res.trace_events > 0, "verbose trace recorded nothing"
+    assert res.counters.get("storm_arrivals", 0) > 0, "storm never fired"
+    assert res.digest == EXPECTED_DIGESTS[scenario], (
+        "trace digest moved for %s: the measured-model arrival schedule "
+        "is no longer bit-identical to the pinned witness" % scenario
+    )
+
+
+@pytest.mark.parametrize("scenario", sorted(EXPECTED_DIGESTS), ids=str)
+def test_cohort_matches_individual(scenario):
+    cohort = run(scenario, "cohort")
+    individual = run(scenario, "individual")
+    assert cohort.trace_events == individual.trace_events
+    assert cohort.digest == individual.digest, (
+        "flyweight cohort diverged from persistent UEs on %s" % scenario
+    )
+    assert cohort.violations == individual.violations == 0
+
+
+def test_storm_digests_differ_across_scenarios():
+    """Three scenarios, three schedules: identical digests would mean
+    the model layer is not actually reaching the trace."""
+    assert len(set(EXPECTED_DIGESTS.values())) == len(EXPECTED_DIGESTS)
+
+
+def test_parallel_replicates_match_serial():
+    serial = run_replicates(
+        "iot-reattach-storm", seeds=[11, 23], n_ue=N,
+        duration_s=DURATION_S, jobs=1,
+    )
+    parallel = run_replicates(
+        "iot-reattach-storm", seeds=[11, 23], n_ue=N,
+        duration_s=DURATION_S, jobs=2,
+    )
+    assert [r.to_dict() for r in serial] == [r.to_dict() for r in parallel]
+
+
+def test_cache_hit_replays_the_miss(tmp_path):
+    cache = ResultCache(
+        str(tmp_path),
+        encode=lambda r: r.to_dict(),
+        decode=ScaleResult.from_dict,
+    )
+    miss = run_replicates(
+        "midnight-tau-spike", seeds=[7], n_ue=N,
+        duration_s=DURATION_S, cache=cache,
+    )
+    assert cache.stats.misses == 1
+    hit = run_replicates(
+        "midnight-tau-spike", seeds=[7], n_ue=N,
+        duration_s=DURATION_S, cache=cache,
+    )
+    assert cache.stats.hits == 1
+    assert [r.to_dict() for r in miss] == [r.to_dict() for r in hit]

@@ -1,0 +1,272 @@
+"""Statistical calibration of the measured traffic models.
+
+The headline contract of ``repro.traffic.models``: every generator's
+emitted stream must pass goodness-of-fit against the statistics the
+model claims — KS on aggregate inter-arrivals per (device class,
+procedure), de-modulated KS plus per-segment rate checks for diurnal
+envelopes, and size/peak-intensity/shape checks for storms.  Seeds and
+tolerances are pinned, so the suite is deterministic in CI.
+
+The mutation half proves the suite has teeth: emitting traffic from a
+deliberately mis-parameterized model (wrong sigma, wrong mean, wrong
+distribution family, flattened envelope, wrong storm shape or
+participation) against the correct model's claims must FAIL the
+corresponding check, decisively (KS p-values below ``REJECT_P``).
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.traffic.calibration import (
+    DEFAULT_ALPHA,
+    MIN_BURST_INTENSITY,
+    MIN_KS_SAMPLES,
+    REJECT_P,
+    calibrate_model,
+)
+from repro.traffic.models import (
+    MODELS,
+    StormSpec,
+    get_model,
+    model_names,
+)
+
+# pinned calibration point: big enough for every process to clear
+# MIN_KS_SAMPLES, small enough to stay fast. Seed 1 is the contract —
+# a different seed is a different (still deterministic) experiment.
+N_UE = 20000
+DURATION_S = 600.0
+SEED = 1
+
+
+def _calibrate(model_name, emit_model=None, **kw):
+    return calibrate_model(
+        get_model(model_name),
+        n_ue=N_UE,
+        duration_s=DURATION_S,
+        seed=SEED,
+        emit_model=emit_model,
+        **kw
+    )
+
+
+def _mutate_process(model, class_name, proc_index, **changes):
+    """Model with one ProcessSpec field changed (frozen dataclasses)."""
+    classes = []
+    for cls in model.classes:
+        if cls.name == class_name:
+            procs = list(cls.processes)
+            procs[proc_index] = dataclasses.replace(procs[proc_index], **changes)
+            cls = dataclasses.replace(cls, processes=tuple(procs))
+        classes.append(cls)
+    return dataclasses.replace(model, classes=tuple(classes))
+
+
+def _mutate_storm(model, storm_name, **changes):
+    storms = tuple(
+        dataclasses.replace(s, **changes) if s.name == storm_name else s
+        for s in model.storms
+    )
+    return dataclasses.replace(model, storms=storms)
+
+
+def _check(report, name):
+    matches = [c for c in report.checks if c.name == name]
+    assert matches, "no check named %r in:\n%s" % (name, report.format_report())
+    return matches[0]
+
+
+# ------------------------------------------------------------ correctness
+
+
+class TestModelsCalibrate:
+    """Every catalog model passes its own calibration, deterministically."""
+
+    @pytest.mark.parametrize("name", sorted(MODELS))
+    def test_model_passes(self, name):
+        report = _calibrate(name)
+        assert report.ok, report.format_report()
+
+    def test_catalog_names(self):
+        assert model_names() == sorted(MODELS)
+        assert set(MODELS) == {
+            "metro-mixed",
+            "metro-iot-reattach",
+            "metro-paging",
+            "metro-midnight-tau",
+        }
+
+    def test_every_class_procedure_gets_a_ks_verdict(self):
+        """ISSUE headline: KS per procedure and device class — enveloped
+        processes via the de-modulated gaps, constant-rate ones direct."""
+        report = _calibrate("metro-mixed")
+        ks_names = {c.name for c in report.checks if c.kind == "ks"}
+        assert ks_names == {
+            "smartphone/service_request/demodulated",
+            "smartphone/tau",
+            "iot-sensor/service_request",
+            "iot-sensor/tau",
+            "iot-tracker/service_request",
+        }
+        for c in report.checks:
+            if c.kind == "ks":
+                assert c.p_value is not None and c.p_value > DEFAULT_ALPHA, c.row()
+
+    def test_envelope_rate_check_present_and_tight(self):
+        report = _calibrate("metro-mixed")
+        rate = _check(report, "smartphone/service_request/envelope-rate")
+        assert rate.kind == "rate" and rate.passed
+        assert rate.statistic < 0.10  # pinned seed sits well inside rtol
+
+    def test_storm_checks_cover_size_intensity_shape(self):
+        report = _calibrate("metro-iot-reattach")
+        for storm in ("sensor-reattach", "tracker-reattach"):
+            size = _check(report, "storm/%s/size" % storm)
+            assert size.passed and size.kind == "count"
+            intensity = _check(report, "storm/%s/intensity" % storm)
+            assert intensity.passed
+            assert intensity.statistic >= MIN_BURST_INTENSITY
+            shape = _check(report, "storm/%s/shape" % storm)
+            assert shape.passed and shape.kind == "ks"
+            chi2 = _check(report, "storm/%s/shape-chi2" % storm)
+            assert chi2.passed and chi2.kind == "chi2"
+
+    def test_deterministic_across_runs(self):
+        a, b = _calibrate("metro-iot-reattach"), _calibrate("metro-iot-reattach")
+        assert [(c.name, c.statistic, c.p_value) for c in a.checks] == [
+            (c.name, c.statistic, c.p_value) for c in b.checks
+        ]
+
+    def test_report_formatting(self):
+        report = _calibrate("metro-mixed")
+        text = report.format_report()
+        assert "metro-mixed" in text and "-> ok" in text
+        assert report.failed() == []
+
+    def test_min_samples_guard(self):
+        """Too little data is a failed check, not a silent pass."""
+        report = calibrate_model(
+            get_model("metro-mixed"), n_ue=50, duration_s=1.0, seed=SEED
+        )
+        starved = [
+            c for c in report.checks if c.kind == "ks" and c.p_value is None
+        ]
+        assert starved and not any(c.passed for c in starved)
+        assert all("%d" % MIN_KS_SAMPLES in c.detail for c in starved)
+
+
+# --------------------------------------------------------------- mutation
+
+
+class TestMutationsFail:
+    """A mis-parameterized emitter must fail the correct model's claims."""
+
+    def _failing(self, report, name):
+        check = _check(report, name)
+        assert not check.passed, "mutation survived: %s" % check.row()
+        return check
+
+    def test_wrong_lognormal_sigma(self):
+        mutant = _mutate_process(
+            get_model("metro-mixed"), "smartphone", 0, sigma=0.5
+        )
+        report = _calibrate("metro-mixed", emit_model=mutant)
+        check = self._failing(report, "smartphone/service_request/demodulated")
+        assert check.p_value < REJECT_P
+
+    def test_wrong_mean(self):
+        mutant = _mutate_process(
+            get_model("metro-mixed"), "iot-sensor", 0,
+            mean_interarrival_s=120.0,
+        )
+        report = _calibrate("metro-mixed", emit_model=mutant)
+        check = self._failing(report, "iot-sensor/service_request")
+        assert check.p_value < REJECT_P
+
+    def test_wrong_distribution_family(self):
+        mutant = _mutate_process(
+            get_model("metro-mixed"), "smartphone", 0, dist="exponential"
+        )
+        report = _calibrate("metro-mixed", emit_model=mutant)
+        check = self._failing(report, "smartphone/service_request/demodulated")
+        assert check.p_value < REJECT_P
+
+    def test_flattened_envelope(self):
+        """Emitting without the diurnal envelope misses the segment rates."""
+        mutant = _mutate_process(
+            get_model("metro-mixed"), "smartphone", 0, envelope=""
+        )
+        report = _calibrate("metro-mixed", emit_model=mutant)
+        self._failing(report, "smartphone/service_request/envelope-rate")
+
+    def test_wrong_storm_participation(self):
+        mutant = _mutate_storm(
+            get_model("metro-iot-reattach"), "sensor-reattach",
+            participation=0.30,
+        )
+        report = _calibrate("metro-iot-reattach", emit_model=mutant)
+        self._failing(report, "storm/sensor-reattach/size")
+
+    def test_wrong_storm_shape(self):
+        mutant = _mutate_storm(
+            get_model("metro-midnight-tau"), "midnight-tau", shape="expdecay"
+        )
+        report = _calibrate("metro-midnight-tau", emit_model=mutant)
+        check = self._failing(report, "storm/midnight-tau/shape")
+        assert check.p_value < REJECT_P
+        chi2 = self._failing(report, "storm/midnight-tau/shape-chi2")
+        assert chi2.p_value < REJECT_P
+
+    def test_missing_storm(self):
+        """An emitter that never fires the storm fails the size claim."""
+        base = get_model("metro-paging")
+        mutant = dataclasses.replace(base, storms=())
+        report = _calibrate("metro-paging", emit_model=mutant)
+        check = self._failing(report, "storm/paging-wave/size")
+        assert check.statistic == 0.0
+
+    def test_mutant_report_not_ok(self):
+        mutant = _mutate_process(
+            get_model("metro-mixed"), "smartphone", 0, sigma=0.5
+        )
+        report = _calibrate("metro-mixed", emit_model=mutant)
+        assert not report.ok
+
+
+class TestClassRanges:
+    def test_partition_is_contiguous_and_total(self):
+        from repro.traffic.models import class_ranges
+
+        model = get_model("metro-mixed")
+        for n in (1, 7, 300, 997, 20000):
+            ranges = class_ranges(model, n)
+            lo = 0
+            for cls in model.classes:  # declaration order, last absorbs
+                a, b = ranges[cls.name]
+                assert a == lo and b >= a
+                lo = b
+            assert lo == n
+
+    def test_empty_population_rejected(self):
+        from repro.traffic.models import class_ranges
+
+        with pytest.raises(ValueError):
+            class_ranges(get_model("metro-mixed"), 0)
+
+
+class TestStormSpecValidation:
+    def test_window_must_fit(self):
+        with pytest.raises(ValueError):
+            StormSpec(
+                name="x", procedure="tau", device_class="c",
+                trigger_frac=0.9, window_frac=0.2, participation=0.5,
+            )
+
+    def test_shape_checked(self):
+        with pytest.raises(ValueError):
+            StormSpec(
+                name="x", procedure="tau", device_class="c",
+                trigger_frac=0.1, window_frac=0.2, participation=0.5,
+                shape="gaussian",
+            )

@@ -1,0 +1,120 @@
+"""Unit tests for the stdlib statistics layer behind calibration.
+
+The KS and chi-square implementations are validated against published
+critical values and scipy-computed references (hard-coded — the
+container ships no scipy), plus the numerical branches: the gamma
+series below ``a + 1``, the Lentz continued fraction above it, and the
+Kolmogorov-series tail.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.traffic.stats import (
+    bin_counts,
+    chi_square_pvalue,
+    chi_square_statistic,
+    chi_square_test,
+    ks_pvalue,
+    ks_statistic,
+    ks_test,
+    normal_cdf,
+)
+
+
+def _uniform_cdf(x):
+    return min(1.0, max(0.0, x))
+
+
+class TestKS:
+    def test_statistic_exact_small_case(self):
+        # F_n steps by 0.25 per sample; vs the uniform CDF the largest
+        # gap is 0.3, just left of x=0.2 (F=0.5 empirical vs 0.2)
+        samples = [0.1, 0.2, 0.7, 0.9]
+        assert ks_statistic(samples, _uniform_cdf) == pytest.approx(0.3)
+
+    def test_statistic_perfect_fit_small(self):
+        samples = [(i + 0.5) / 100 for i in range(100)]
+        assert ks_statistic(samples, _uniform_cdf) == pytest.approx(0.005)
+
+    def test_pvalue_matches_published_critical_value(self):
+        # the 5% asymptotic critical value is D = 1.358 / sqrt(n)
+        n = 1000
+        d = 1.358 / (math.sqrt(n) + 0.12 + 0.11 / math.sqrt(n))
+        assert ks_pvalue(d, n) == pytest.approx(0.05, rel=0.01)
+
+    def test_pvalue_limits(self):
+        assert ks_pvalue(0.0, 100) == 1.0
+        assert ks_pvalue(0.9, 100) < 1e-12
+
+    def test_uniform_samples_pass_exponential_fail(self):
+        rng = random.Random(5)
+        samples = [rng.random() for _ in range(2000)]
+        _d, p_good = ks_test(samples, _uniform_cdf)
+        assert p_good > 0.01
+        exp_cdf = lambda x: 1.0 - math.exp(-x)  # noqa: E731
+        _d, p_bad = ks_test(samples, exp_cdf)
+        assert p_bad < 1e-10
+
+    def test_rejects_empty_and_bad_cdf(self):
+        with pytest.raises(ValueError):
+            ks_statistic([], _uniform_cdf)
+        with pytest.raises(ValueError):
+            ks_statistic([1.0], lambda x: 2.0)
+        with pytest.raises(ValueError):
+            ks_pvalue(0.1, 0)
+
+
+class TestChiSquare:
+    def test_statistic_by_hand(self):
+        assert chi_square_statistic([8, 12], [10, 10]) == pytest.approx(0.8)
+
+    def test_pvalue_published_quantiles(self):
+        # chi-square upper-tail quantiles: P(X^2 >= q) = 0.05
+        for dof, q in ((1, 3.841), (5, 11.070), (10, 18.307)):
+            assert chi_square_pvalue(q, dof) == pytest.approx(0.05, rel=1e-3)
+
+    def test_pvalue_covers_both_gamma_branches(self):
+        # x < a+1 -> series; x >= a+1 -> continued fraction
+        assert chi_square_pvalue(1.0, 10) == pytest.approx(0.9998, rel=1e-3)
+        assert chi_square_pvalue(40.0, 10) == pytest.approx(1.695e-5, rel=1e-2)
+
+    def test_zero_statistic_is_certain(self):
+        assert chi_square_pvalue(0.0, 3) == 1.0
+
+    def test_test_wrapper_dof(self):
+        stat, p = chi_square_test([10, 10, 10], [10.0, 10.0, 10.0])
+        assert stat == 0.0 and p == 1.0
+        with pytest.raises(ValueError):
+            chi_square_test([1, 2], [1.5, 1.5], ddof=1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            chi_square_statistic([1], [1, 2])
+        with pytest.raises(ValueError):
+            chi_square_statistic([], [])
+        with pytest.raises(ValueError):
+            chi_square_statistic([1.0], [0.0])
+        with pytest.raises(ValueError):
+            chi_square_pvalue(-1.0, 3)
+        with pytest.raises(ValueError):
+            chi_square_pvalue(1.0, 0)
+
+
+class TestHelpers:
+    def test_normal_cdf_known_points(self):
+        assert normal_cdf(0.0) == pytest.approx(0.5)
+        assert normal_cdf(1.96) == pytest.approx(0.975, abs=1e-4)
+        assert normal_cdf(-1.96) == pytest.approx(0.025, abs=1e-4)
+
+    def test_bin_counts_half_open(self):
+        edges = [0.0, 1.0, 2.0, 3.0]
+        # 1.0 lands in [1,2); 3.0 falls off the right edge; -1 off the left
+        counts = bin_counts([0.5, 1.0, 1.5, 2.999, 3.0, -1.0], edges)
+        assert counts == [1, 2, 1]
+
+    def test_bin_counts_needs_two_edges(self):
+        with pytest.raises(ValueError):
+            bin_counts([1.0], [0.0])
