@@ -418,9 +418,10 @@ def main(argv: List[str] = None) -> int:
         "(runs through the parallel runner + result cache)",
     )
     scale_parser.add_argument(
-        "--mode", choices=["cohort", "individual"], default="cohort",
+        "--mode", choices=["cohort", "individual", "batched"], default="cohort",
         help="population model (individual = N persistent UE objects, "
-        "the conformance witness; default: %(default)s)",
+        "the conformance witness; batched = analytic steady-state lane, "
+        "same results faster; default: %(default)s)",
     )
     scale_parser.add_argument(
         "--obs", nargs="?", const="metrics", default=None,

@@ -68,7 +68,22 @@ class SweepReport:
 
 
 def default_jobs() -> int:
-    """Worker count for ``--jobs 0`` ("use every core")."""
+    """Worker count for ``--jobs 0`` ("use every core").
+
+    "Every core" means every core *this process may run on*: CI
+    containers and cgroup-limited sandboxes routinely pin the process
+    to a subset of the machine, and ``os.cpu_count()`` still reports
+    the full machine, oversubscribing the pool.  The affinity mask is
+    the authoritative bound where the platform exposes it.
+    """
+    getaffinity = getattr(os, "sched_getaffinity", None)
+    if getaffinity is not None:
+        try:
+            affinity = len(getaffinity(0))
+        except OSError:  # pragma: no cover - exotic platforms only
+            affinity = 0
+        if affinity:
+            return affinity
     return os.cpu_count() or 1
 
 
@@ -96,19 +111,53 @@ def _pool_context():
     return multiprocessing.get_context()
 
 
-def _run_pool(jobs_list: List, workers: int, report: SweepReport, fn=_run_job) -> List:
+def _run_pool(
+    jobs_list: List,
+    workers: int,
+    report: SweepReport,
+    fn=_run_job,
+    keys: Optional[List] = None,
+    cache=None,
+) -> List:
+    """Run ``fn`` over ``jobs_list`` in a worker pool, in input order.
+
+    ``pool.map`` results are consumed incrementally so that a pool that
+    breaks mid-sweep (a worker segfault / OOM kill) loses only the
+    not-yet-delivered tail: already-delivered points are kept, and the
+    fallback re-executes just the remainder in-process.  ``keys`` and
+    ``cache`` (when the caller runs cached) let the fallback consult the
+    result cache for that remainder — a concurrent sweep may have
+    persisted a point between our initial cache pass and the crash —
+    and ``report.executed``/``cached`` are adjusted so the report
+    reflects what actually ran rather than what was scheduled.
+    """
+    results: List = [None] * len(jobs_list)
+    delivered = 0
     try:
         with concurrent.futures.ProcessPoolExecutor(
             max_workers=min(workers, len(jobs_list)), mp_context=_pool_context()
         ) as pool:
-            points = list(pool.map(fn, jobs_list))
+            for result in pool.map(fn, jobs_list):
+                results[delivered] = result
+                delivered += 1
         report.parallel = True
-        return points
+        return results
     except (OSError, PermissionError, ImportError,
             concurrent.futures.process.BrokenProcessPool) as err:
-        # sandboxes without working fork/semaphores: run where we are
+        # sandboxes without working fork/semaphores, or a pool that
+        # broke mid-map: finish where we are
         report.fallback_reason = "%s: %s" % (type(err).__name__, err)
-        return [fn(job) for job in jobs_list]
+    for i in range(delivered, len(jobs_list)):
+        hit = None
+        if cache is not None and keys is not None and keys[i] is not None:
+            hit = cache.get(keys[i])
+        if hit is not None:
+            results[i] = hit
+            report.cached += 1
+            report.executed -= 1
+        else:
+            results[i] = fn(jobs_list[i])
+    return results
 
 
 def run_tasks(
@@ -158,7 +207,10 @@ def run_tasks(
     if pending:
         run_list = [task for _i, _key, task in pending]
         if jobs > 1 and len(run_list) > 1:
-            produced = _run_pool(run_list, jobs, report, fn=fn)
+            produced = _run_pool(
+                run_list, jobs, report, fn=fn,
+                keys=[key for _i, key, _task in pending], cache=cache,
+            )
         else:
             report.fallback_reason = "jobs=1" if jobs <= 1 else "single task"
             produced = [fn(task) for task in run_list]
@@ -208,7 +260,10 @@ def run_jobs(
     if pending:
         run_list = [job for _i, _key, job in pending]
         if jobs > 1 and len(run_list) > 1:
-            results = _run_pool(run_list, jobs, report)
+            results = _run_pool(
+                run_list, jobs, report,
+                keys=[key for _i, key, _job in pending], cache=cache,
+            )
         else:
             report.fallback_reason = "jobs=1" if jobs <= 1 else "single point"
             results = [_run_job(job) for job in run_list]

@@ -16,10 +16,19 @@ from typing import Dict, Iterable, List, Optional, Tuple
 __all__ = ["HashRing"]
 
 
+_hash_cache: Dict[str, int] = {}
+
+
 def _hash64(data: str) -> int:
-    return int.from_bytes(
-        hashlib.blake2b(data.encode("utf-8"), digest_size=8).digest(), "big"
-    )
+    # Pure function over strings that repeat heavily (UE ids, member
+    # vnode labels) — memoised; at city scale the cache tops out at one
+    # entry per UE plus one per vnode.
+    h = _hash_cache.get(data)
+    if h is None:
+        h = _hash_cache[data] = int.from_bytes(
+            hashlib.blake2b(data.encode("utf-8"), digest_size=8).digest(), "big"
+        )
+    return h
 
 
 class HashRing:

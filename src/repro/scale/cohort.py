@@ -18,12 +18,13 @@ conformance test can prove exactly that.
 from __future__ import annotations
 
 from array import array
-from typing import Dict, Generator, List, Optional
+from typing import Dict, Generator, List, Optional, Tuple
 
-from ..core.ue import UE, ProcedureAborted
+from ..core.ue import UE, ProcedureAborted, ProcedureOutcome
 from ..sim.node import NodeFailed
+from .lane import SAFE_FAULT_OPS, LaneRuntime, _Walk, hazard_windows
 
-__all__ = ["CohortDriver", "IndividualDriver"]
+__all__ = ["CohortDriver", "IndividualDriver", "BatchedDriver"]
 
 
 class CohortDriver:
@@ -157,3 +158,289 @@ class IndividualDriver(CohortDriver):
         self.version[i] = ue.completed_version
         self.runs[i] = ue.procedures_run
         self.bs_idx[i] = self.bs_index(ue.bs_name)
+
+
+class BatchedDriver(CohortDriver):
+    """Cohort driver with the batched analytic lane for steady-state load.
+
+    Behaviour contract: identical :class:`~repro.scale.engine.ScaleResult`
+    (counters, auditor verdict, PCT sketches, verbose EventTrace digest)
+    as ``CohortDriver`` for the same spec and seed — the lane is a pure
+    execution-speed optimisation.  Three mechanisms keep it exact:
+
+    * **admission gates** — a procedure enters the lane only when its
+      whole timeline is provably deterministic (see :meth:`_admit`);
+      everything else runs through the unchanged discrete path;
+    * **hazard windows** — no lane admissions near fault/churn instants,
+      so no lane walk is ever in flight when node state flips;
+    * **spill-on-contention** — a lane walk arriving at a genuinely busy
+      server falls onto the ordinary queued path for that service and
+      resumes at the true completion, so storm backlogs queue exactly.
+
+    When the scenario has no faults, no churn, and no auditor history,
+    population bootstrap is also deferred per-UE to first use (the
+    arrays are filled eagerly; CPF store entries and placements
+    materialise lazily) — invisible to results because bootstrap makes
+    no simulator events and per-UE clocks are independent.
+    """
+
+    mode = "batched"
+
+    def __init__(self, dep, bs_names: List[str], n: int, prefix: str = "c"):
+        super().__init__(dep, bs_names, n, prefix)
+        self.lane: Optional[LaneRuntime] = None
+        self.stats: Dict[str, int] = {
+            "admitted": 0,
+            "fallback": 0,
+            "walk_aborts": 0,
+            "gate_misses": 0,
+        }
+        self._lazy = False
+        self._booted = bytearray(n)
+        self._hazards: List[Tuple[float, float]] = []
+
+    # -- wiring -------------------------------------------------------------
+
+    def setup_lane(self, engine) -> None:
+        """Decide lane eligibility and lazy bootstrap for this run."""
+        dep, spec = self.dep, engine.spec
+        cfg = dep.config
+        plan = engine.injector.plan
+        self._lazy = (
+            not dep.auditor.keep_history
+            and not spec.fault_events
+            and not spec.churn_events
+            and cfg.heartbeat_interval_s == 0.0
+        )
+        if self._lazy:
+            # Every bootstrap() call would set these same values; fill
+            # them wholesale and pre-count the attach writes so
+            # auditor.writes matches the eager path even for UEs never
+            # touched by traffic.
+            self.version[:] = array("q", [1]) * self.n
+            self.attached[:] = b"\x01" * self.n
+            dep.auditor.writes += self.n
+        eligible = (
+            cfg.sync_mode == "per_procedure"
+            and not cfg.dpcm_mode
+            and cfg.message_logging
+            and not cfg.broadcast_replication
+            and cfg.heartbeat_interval_s == 0.0
+            and dep.obs is None
+            and not plan.perturbations
+            and all(e.op in SAFE_FAULT_OPS for e in plan.events)
+            # a storm backlog could still be draining when a fault
+            # fires, outliving any admission window — run such
+            # scenarios fully discrete
+            and not (spec.traffic_model and plan.events)
+            and all(
+                not link.bandwidth_bps and not link.jitter_frac
+                for link in dep.links.values()
+            )
+        )
+        if eligible:
+            self.lane = LaneRuntime(dep, engine.trace)
+            self.lane.driver = self
+            self._hazards = hazard_windows(spec, plan.events)
+
+    def placement_sink(self):
+        """Population-loop fast path: ``(name_to_index, set_index)``.
+
+        Only in lazy mode, where ``bootstrap()`` degenerates to a bare
+        index write (everything else was prefilled in ``setup_lane``);
+        ``None`` tells callers to go through ``bootstrap()`` per UE.
+        """
+        if not self._lazy:
+            return None
+        return self.bs_index, self.bs_idx.__setitem__
+
+    def lane_stats(self) -> Dict[str, int]:
+        out = dict(self.stats)
+        out["enabled"] = 1 if self.lane is not None else 0
+        out["lazy_bootstrap"] = 1 if self._lazy else 0
+        if self.lane is not None:
+            out["spills"] = self.lane.spills
+        return out
+
+    def flush_trace(self) -> None:
+        if self.lane is not None:
+            self.lane.flush_trace()
+
+    # -- lazy population bootstrap -----------------------------------------
+
+    def bootstrap(self, i: int, bs_name: str) -> None:
+        if self._lazy:
+            # bs assignment only; version/attached/auditor.writes were
+            # prefilled wholesale in setup_lane, and CPF store entries,
+            # placement, and the per-UE clock materialise on first use
+            # via _ensure_boot.
+            self.bs_idx[i] = self.bs_index(bs_name)
+        else:
+            super().bootstrap(i, bs_name)
+            self._booted[i] = 1
+
+    def _ensure_boot(self, i: int) -> None:
+        if self._booted[i]:
+            return
+        # bootstrap_state re-counts the write that bootstrap() pre-counted
+        self.dep.auditor.writes -= 1
+        self.dep.bootstrap_state(self.ue_id(i), self.bs_of(i))
+        self._booted[i] = 1
+
+    # -- arrivals -----------------------------------------------------------
+
+    def start_procedure(
+        self, i: int, proc: str, target_bs: Optional[str] = None
+    ) -> None:
+        """Route one arrival: lane when provably exact, discrete otherwise."""
+        self._ensure_boot(i)
+        if (
+            self.lane is not None
+            and proc in self.lane.compiled
+            and not self._in_hazard()
+            and self._admit(i, proc, target_bs)
+        ):
+            return
+        self.stats["fallback"] += 1
+        self.dep.sim.process(
+            self.run_procedure(i, proc, target_bs), name="scale." + proc
+        )
+
+    def _in_hazard(self) -> bool:
+        now = self.dep.sim.now
+        for lo, hi in self._hazards:
+            if lo > now:
+                return False  # sorted; nothing earlier can match
+            if now <= hi:
+                return True
+        return False
+
+    def _admit(self, i: int, proc: str, target_bs: Optional[str]) -> bool:
+        """Try to start ``proc`` on the lane; False -> discrete fallback.
+
+        The gates only need to be *sound* (admit nothing the lane cannot
+        replay exactly); a False is never wrong, just slower.  A UE with
+        unacked checkpoint records never enters the lane, so the
+        concurrent-procedure flag below is a no-op for admitted walks
+        and the replica-state gates see the same store the walk will.
+        """
+        dep = self.dep
+        if self.busy[i] or not self.attached[i]:
+            return False
+        ue_id = self.ue_id(i)
+        bs = dep.bss.get(self.bs_of(i))
+        if bs is None:
+            return False
+        dep.ensure_placement(ue_id, bs.region)
+        cta = dep.cta_of(ue_id)
+        if cta is None or not cta.up:
+            return False
+        if cta.log.unacked_for(ue_id):
+            # Starting now would make flag_concurrent_procedure spawn
+            # repair traffic that interleaves event-by-event with this
+            # procedure's own hops (the verbose trace records them in
+            # event order); only the discrete path reproduces that.
+            return False
+        cta.flag_concurrent_procedure(ue_id)
+        primary = dep.primary_of(ue_id)
+        if primary is None:
+            return False
+        cpf = dep.cpfs.get(primary)
+        if cpf is None or not cpf.up:
+            return False
+        entry = cpf.store.get(ue_id)
+        if (
+            entry is None
+            or not entry.up_to_date
+            or entry.state.version < self.version[i]
+        ):
+            return False
+        steps, changes_cpf = self.lane.compiled[proc]
+        tgt_bs = None
+        if proc == "fast_handover":
+            if target_bs is None:
+                return False
+            tgt_bs = dep.bss.get(target_bs)
+            if tgt_bs is None or not self._upf_up(tgt_bs.region):
+                return False
+            try:
+                tgt_name, fetch_from = dep.fast_target(
+                    ue_id, tgt_bs.region, min_version=self.version[i]
+                )
+            except LookupError:
+                return False
+            if not dep.cpfs[tgt_name].up:
+                return False
+            if fetch_from is not None:
+                # The lane replays the intra-level-2 fetch leg too, but
+                # only when it provably succeeds: source alive and its
+                # entry at least as new as the UE's last write.
+                src = dep.cpfs.get(fetch_from)
+                if src is None or not src.up:
+                    return False
+                sentry = src.store.get(ue_id)
+                if (
+                    sentry is None
+                    or not sentry.up_to_date
+                    or sentry.state.version < self.version[i]
+                ):
+                    return False
+        else:
+            if proc in ("service_request", "intra_handover") and not self._upf_up(
+                bs.region
+            ):
+                return False
+            if proc == "intra_handover":
+                if target_bs is None:
+                    return False
+                tgt_bs = dep.bss.get(target_bs)
+                if tgt_bs is None:
+                    return False
+        self.busy[i] = 1
+        self.runs[i] += 1
+        self.stats["admitted"] += 1
+        walk = _Walk(
+            i,
+            ue_id,
+            proc,
+            steps,
+            changes_cpf,
+            target_bs,
+            bs,
+            tgt_bs,
+            cta,
+            cpf,
+            self.version[i],
+            ProcedureOutcome(proc, dep.sim.now, ue_id),
+        )
+        if proc == "fast_handover":
+            walk.fast_tgt = tgt_name
+            walk.fetch_from = fetch_from
+        self.lane.launch(
+            self.lane.walk(walk), on_abort=lambda: self._lane_abort(walk)
+        )
+        return True
+
+    def _upf_up(self, region: str) -> bool:
+        try:
+            return self.dep.upf_for_region(region).server.up
+        except KeyError:
+            return False
+
+    # -- lane completion hooks ---------------------------------------------
+
+    def _lane_finish(self, w: _Walk) -> None:
+        i = w.i
+        version = self.version[i] + 1
+        self.version[i] = version
+        self.dep.auditor.record_write_completion(w.ue_id, version)
+        w.outcome.completed = True
+        self.completed += 1
+        if w.changes_cpf and w.target_bs is not None:
+            self.bs_idx[i] = self.bs_index(w.target_bs)
+        self.busy[i] = 0
+
+    def _lane_abort(self, w: _Walk) -> None:
+        self.aborted += 1
+        self.stats["walk_aborts"] += 1
+        self.busy[w.i] = 0

@@ -56,7 +56,7 @@ from ..traffic.models import (
     process_stream,
     storm_times,
 )
-from .cohort import CohortDriver, IndividualDriver
+from .cohort import BatchedDriver, CohortDriver, IndividualDriver
 from .scenarios import ScenarioSpec, get_scenario
 from .topology import (
     CHILD_ORDER,
@@ -118,6 +118,10 @@ class ScaleResult:
     )
     digest: str = ""
     trace_events: int = 0
+    #: batched-lane execution stats (admitted/fallback/spills/...).
+    #: compare=False: the lane is an execution strategy, not a result —
+    #: cohort-vs-batched conformance compares everything else.
+    lane: Dict[str, int] = field(default_factory=dict, compare=False)
 
     @property
     def ok(self) -> bool:
@@ -239,8 +243,8 @@ class _Engine:
         obs=None,
         verbose_trace: bool = False,
     ):
-        if mode not in ("cohort", "individual"):
-            raise ValueError("mode must be 'cohort' or 'individual'")
+        if mode not in ("cohort", "individual", "batched"):
+            raise ValueError("mode must be 'cohort', 'individual', or 'batched'")
         self.spec = spec
         self.mode = mode
         self.duration = spec.duration_s
@@ -280,9 +284,15 @@ class _Engine:
         self.injector = FaultInjector(self.dep, plan, trace=self.trace)
 
         self.mobility = _mobility_for(spec, self.topo)
-        driver_cls = CohortDriver if mode == "cohort" else IndividualDriver
+        driver_cls = {
+            "cohort": CohortDriver,
+            "individual": IndividualDriver,
+            "batched": BatchedDriver,
+        }[mode]
         bs_names = [b for r in self.topo.regions for b in r.bss]
         self.driver = driver_cls(self.dep, bs_names, spec.n_ue)
+        if mode == "batched":
+            self.driver.setup_lane(self)
         self.counters: Dict[str, int] = {}
         self.sketches: Dict[Tuple[str, str], QuantileSketch] = {}
         self.dep.outcome_sink = self._observe_outcome
@@ -310,12 +320,68 @@ class _Engine:
     def _bootstrap_population(self) -> None:
         rng = self.rngs.stream("scale.place")
         bss = self.spec.bss_per_region
+        names: Dict[Tuple[str, int], str] = {}
+        bootstrap = self.driver.bootstrap
+        mobility = self.mobility
+        if type(mobility).initial_tile is MobilityModel.initial_tile:
+            # Hot path for the base uniform pick: inline both
+            # ``Random.randrange`` rejection loops (bit-identical draw
+            # sequence to ``_randbelow_with_getrandbits``) and cache the
+            # name strings — this loop runs once per UE.
+            tiles = mobility.tiles
+            nt, kt = len(tiles), len(tiles).bit_length()
+            kb = bss.bit_length()
+            grb = rng.getrandbits
+            sink = getattr(self.driver, "placement_sink", None)
+            sink = sink() if sink is not None else None
+            if sink is not None:
+                # Lazy drivers take the index directly: same names
+                # registered in the same first-appearance order, minus
+                # a method call and a string-keyed lookup per UE.
+                to_index, set_index = sink
+                idxs: Dict[int, int] = {}
+                for i in range(self.spec.n_ue):
+                    r = grb(kt)
+                    while r >= nt:
+                        r = grb(kt)
+                    b = grb(kb)
+                    while b >= bss:
+                        b = grb(kb)
+                    key = r * bss + b
+                    idx = idxs.get(key)
+                    if idx is None:
+                        idx = idxs[key] = to_index("bs-%s-%d" % (tiles[r], b))
+                    set_index(i, idx)
+                return
+            inames: Dict[int, str] = {}
+            for i in range(self.spec.n_ue):
+                r = grb(kt)
+                while r >= nt:
+                    r = grb(kt)
+                b = grb(kb)
+                while b >= bss:
+                    b = grb(kb)
+                key = r * bss + b
+                name = inames.get(key)
+                if name is None:
+                    name = inames[key] = "bs-%s-%d" % (tiles[r], b)
+                bootstrap(i, name)
+            return
+        initial_tile = mobility.initial_tile
+        randrange = rng.randrange
         for i in range(self.spec.n_ue):
-            tile = self.mobility.initial_tile(rng)
-            self.driver.bootstrap(i, "bs-%s-%d" % (tile, rng.randrange(bss)))
+            key = (initial_tile(rng), randrange(bss))
+            name = names.get(key)
+            if name is None:
+                name = names[key] = "bs-%s-%d" % key
+            bootstrap(i, name)
 
     def _spawn(self, i: int, proc: str, target_bs: Optional[str]) -> None:
         self._count("procedures_started")
+        start = getattr(self.driver, "start_procedure", None)
+        if start is not None:
+            start(i, proc, target_bs)
+            return
         self.sim.process(
             self.driver.run_procedure(i, proc, target_bs), name="scale." + proc
         )
@@ -802,6 +868,9 @@ class _Engine:
         if self.spec.churn_events:
             self.sim.process(self._churn(), name="scale.churn")
         end = self.sim.run()
+        flush = getattr(self.driver, "flush_trace", None)
+        if flush is not None:
+            flush()
         region_pct_ms: Dict[str, Dict[str, Dict[str, Optional[float]]]] = {}
         for (region, proc), sketch in sorted(self.sketches.items()):
             summary = sketch.summary()
@@ -831,6 +900,11 @@ class _Engine:
             region_pct_ms=region_pct_ms,
             digest=self.trace.digest(),
             trace_events=len(self.trace),
+            lane=(
+                self.driver.lane_stats()
+                if hasattr(self.driver, "lane_stats")
+                else {}
+            ),
         )
 
 

@@ -1,0 +1,681 @@
+"""Batched cohort lane: analytic advancement of steady-state procedures.
+
+At city scale the discrete-event path spends most of its wall-clock on
+the machinery of idle-load procedures whose timing is fully
+deterministic: with the Neutrino config every hop latency is a constant
+(no jitter, no bandwidth term), every service time is a pure function
+of ``(message, codec)``, and — whenever the servers involved are
+uncontended — completion instants can be computed in closed form.
+
+The lane compiles the four steady-state procedures (``service_request``,
+``tau``, ``intra_handover``, ``fast_handover``) into *timed command
+streams*: plain generators that yield
+
+* ``("srv", t, server, service, pre)`` — at simulated time ``t`` run the
+  optional ``pre`` mutation hook, then either book the service interval
+  analytically (:meth:`~repro.sim.node.Server.reserve`, when the server
+  is idle or already express-reserved) and resume the generator inline
+  with the completion instant, or **spill** onto the ordinary queued
+  path (``Server.submit``) and resume at the real completion — so
+  contention, storm backlogs, and FIFO ordering behave exactly like the
+  discrete path;
+* ``("at", t)`` — resume at exactly simulated time ``t`` (state
+  mutations that are externally observable at a precise instant: log
+  appends and pruning, snapshot installs, ACKs, PCT marks, the
+  completion commit).
+
+Exactness contract: a lane walk performs the same state mutations as
+``UE.execute`` at the same simulated instants, bumps the same counters,
+and buffers the same verbose-trace hop records (merged and time-sorted
+before the digest is taken).  Anything the lane cannot prove safe —
+arrivals near a fault/churn window, missing or outdated state, fast
+handovers that would need a fetch, every other procedure — is simply
+not admitted and runs through the unchanged discrete driver.  The
+cohort-vs-batched conformance tests pin full-result equality including
+the verbose EventTrace digest.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..core.cpf import SNAPSHOT_WIRE_BYTES
+from ..core.ue import ProcedureOutcome
+from ..core.upf import Session
+from ..faults.trace import TraceRecord
+from ..messages.registry import CATALOG
+
+__all__ = ["LaneRuntime", "LANE_PROCS"]
+
+#: procedures the lane knows how to compile (never attach/re_attach —
+#: those create state — and never the full cross-level-2 handover,
+#: whose migration leg negotiates target CPFs dynamically).
+LANE_PROCS = ("service_request", "tau", "intra_handover", "fast_handover")
+
+#: fault ops the lane can coexist with (admissions are hazard-gated
+#: around their firing times; every other op disables the lane).
+SAFE_FAULT_OPS = frozenset(
+    ("fail_cpf", "recover_cpf", "fail_cta", "recover_cta")
+)
+
+#: half-width of the admission exclusion window around a fault op.
+FAULT_SLACK_S = 0.25
+#: admission exclusion lead-in before a churn event.
+CHURN_PRE_S = 0.05
+#: extra tail after a churn "add" rebalance window.
+CHURN_POST_S = 1.0
+
+_SUSPENDED = object()
+
+
+class _WalkAbort(Exception):
+    """A lane walk hit a condition the discrete path treats as abort."""
+
+
+class _Walk:
+    """Mutable per-procedure walk state threaded through the step code."""
+
+    __slots__ = (
+        "i",
+        "ue_id",
+        "proc",
+        "steps",
+        "changes_cpf",
+        "target_bs",
+        "bs",
+        "tgt_bs",
+        "cta",
+        "cpf",
+        "serving",
+        "migrated_to",
+        "last_clock",
+        "clock",
+        "reader_version",
+        "outcome",
+        "fast_tgt",
+        "fetch_from",
+    )
+
+    def __init__(self, i, ue_id, proc, steps, changes_cpf, target_bs,
+                 bs, tgt_bs, cta, cpf, reader_version, outcome):
+        self.i = i
+        self.ue_id = ue_id
+        self.proc = proc
+        self.steps = steps
+        self.changes_cpf = changes_cpf
+        self.target_bs = target_bs
+        self.bs = bs
+        self.tgt_bs = tgt_bs
+        self.cta = cta
+        self.cpf = cpf
+        self.serving = None
+        self.migrated_to = None
+        self.last_clock = 0
+        self.clock = 0
+        self.reader_version = reader_version
+        self.outcome = outcome
+        self.fast_tgt = None
+        self.fetch_from = None
+
+
+class _StepC:
+    """Per-step compile-time constants (sizes and service times)."""
+
+    __slots__ = (
+        "kind",
+        "at_target",
+        "ends_pct",
+        "req",
+        "resp",
+        "req_size",
+        "resp_size",
+        "up_req",
+        "dn_req",
+        "up_resp",
+        "dn_resp",
+        "svc_cpf",
+        "svc_cpf_resp",
+        "svc_encode",
+        "svc_decode",
+    )
+
+    def __init__(self):
+        for name in self.__slots__:
+            setattr(self, name, None)
+
+
+class LaneRuntime:
+    """Compiled timelines + the trampoline that drives lane generators."""
+
+    def __init__(self, dep, trace):
+        self.dep = dep
+        self.sim = dep.sim
+        self.trace = trace
+        self.verbose = trace.verbose
+        self.buffered: List[TraceRecord] = []
+        self.spills = 0
+        self.driver = None  # set by BatchedDriver
+        self._eh = None  # lazily: CPF-serve steps are time-free iff
+        # the auditor keeps no history (resolved on first walk; the
+        # engine sets keep_history after deployment construction)
+        cfg = dep.config
+        cost = cfg.cost_model
+        codec = cfg.codec
+        self._codec = codec
+        self._cost = cost
+        self.links = dep.links
+        lat = cfg.latency
+        self.l_ue_bs = lat.ue_bs
+        self.l_bs_cta = lat.bs_cta
+        self.l_cta_cpf = lat.cta_cpf
+        self.l_cpf_upf = lat.cpf_upf
+        self._lat: Dict[str, float] = {
+            name: link.latency_s for name, link in dep.links.items()
+        }
+        self.svc_ingest = cfg.cta_forward_s + cfg.log_append_s
+        self.svc_respond = cfg.cta_forward_s
+        self.checkpoint_lock = cfg.checkpoint_lock_s
+        self.replica_apply = cfg.replica_apply_s
+        self.ship_serialize = cost.serialize_cost(codec, 16)
+        self.compiled: Dict[str, Tuple[Tuple[_StepC, ...], bool]] = {}
+        for name in LANE_PROCS:
+            compiled = self._compile(dep.spec(name))
+            if compiled is not None:
+                self.compiled[name] = compiled
+
+    # -- compile ------------------------------------------------------------
+
+    def _compile(self, spec) -> Optional[Tuple[Tuple[_StepC, ...], bool]]:
+        cost, codec = self._cost, self._codec
+        ser = lambda m: cost.serialize_cost(codec, CATALOG.element_count(m))
+        deser = lambda m: cost.deserialize_cost(codec, CATALOG.element_count(m))
+        out: List[_StepC] = []
+        for step in spec.steps:
+            c = _StepC()
+            c.at_target = step.at_target
+            c.ends_pct = step.ends_pct
+            c.req, c.resp = step.request, step.response
+            if step.kind in ("ue_message", "ue_exchange"):
+                c.kind = 0
+                c.req_size = CATALOG.composed_wire_size(
+                    c.req, step.request_nas, codec
+                )
+                c.up_req = ser(c.req)
+                # handle_uplink service (per_procedure mode: no lock term)
+                c.svc_cpf = cost.base_process_s + deser(c.req)
+                if c.resp is not None:
+                    c.svc_cpf += ser(c.resp)
+                    c.resp_size = CATALOG.composed_wire_size(
+                        c.resp, step.response_nas, codec
+                    )
+                    c.dn_resp = deser(c.resp)
+            elif step.kind == "cpf_bs":
+                c.kind = 1
+                c.req_size = CATALOG.composed_wire_size(
+                    c.req, step.request_nas, codec
+                )
+                c.svc_encode = cost.base_process_s * 0.5 + ser(c.req)
+                c.dn_req = deser(c.req)
+                if c.resp is not None:
+                    c.resp_size = CATALOG.wire_size(c.resp, codec)
+                    c.up_resp = ser(c.resp)
+                    c.svc_cpf_resp = cost.base_process_s + deser(c.resp)
+            elif step.kind == "cpf_upf":
+                if c.req != "ModifyBearerRequest":
+                    return None  # only bearer updates have a known effect
+                c.kind = 2
+                c.req_size = CATALOG.wire_size(c.req, codec)
+                c.svc_encode = cost.base_process_s * 0.5 + ser(c.req)
+                if c.resp is not None:
+                    c.resp_size = CATALOG.wire_size(c.resp, codec)
+                    c.svc_decode = deser(c.resp)
+            else:
+                return None  # cpf_cpf migration legs stay discrete
+            out.append(c)
+        return tuple(out), spec.changes_cpf
+
+    # -- trampoline ---------------------------------------------------------
+
+    def launch(self, gen, on_abort=None) -> None:
+        self._advance(gen, None, on_abort)
+
+    def _advance(self, gen, value, on_abort) -> None:
+        # Quiet-window fast path, used throughout the loop: when no
+        # other callback can run before a future instant ``t`` (the
+        # immediate queue is empty and the heap head is strictly later)
+        # and the yield site flagged itself time-free (no submit hook,
+        # resume code stamps no wall clock), whatever a scheduled
+        # dispatch would do at ``t`` can be done now — world state is
+        # frozen until ``t``, so every gate reads the exact state it
+        # would read then, and nothing can observe the early effects.
+        sim = self.sim
+        imm = sim._immediate
+        heap = sim._heap
+        send = gen.send
+        while True:
+            try:
+                cmd = send(value)
+            except StopIteration:
+                return
+            except _WalkAbort:
+                if on_abort is not None:
+                    on_abort()
+                return
+            t = cmd[1]
+            if cmd[0] == "at":
+                if t <= sim.now:
+                    value = None
+                    continue
+                if (
+                    len(cmd) == 3
+                    and cmd[2]
+                    and not imm
+                    and (not heap or heap[0][0] > t)
+                ):
+                    value = None
+                    continue
+                sim.schedule_at(t, self._advance, gen, None, on_abort)
+                return
+            if t > sim.now:
+                if (
+                    len(cmd) == 6
+                    and cmd[5]
+                    and not imm
+                    and (not heap or heap[0][0] > t)
+                ):
+                    server = cmd[2]
+                    if server.up and (
+                        server._reserved_until > sim.now
+                        or len(server.queue._getters) == server.cores
+                    ):
+                        value = server.reserve(cmd[3], at=t)
+                        continue
+                sim.schedule_at(t, self._dispatch, gen, cmd, on_abort)
+                return
+            value = self._dispatch_inline(gen, cmd, on_abort)
+            if value is _SUSPENDED:
+                return
+
+    def _dispatch(self, gen, cmd, on_abort) -> None:
+        value = self._dispatch_inline(gen, cmd, on_abort)
+        if value is not _SUSPENDED:
+            self._advance(gen, value, on_abort)
+
+    def _dispatch_inline(self, gen, cmd, on_abort):
+        # ("srv", t, server, service, pre); wall clock == t here.
+        server, service, pre = cmd[2], cmd[3], cmd[4]
+        if not server.up:
+            self._abort(gen, on_abort)
+            return _SUSPENDED
+        if pre is not None:
+            pre()
+        # Truly idle == every worker parked on queue.get().  Checking
+        # ``busy``/queue length instead would cut in line at a completion
+        # instant: the freed worker has already popped its next job but
+        # not yet resumed (busy == 0, queue empty), and the cohort path
+        # FIFOs behind that in-limbo job.
+        if (
+            server._reserved_until > self.sim.now
+            or len(server.queue._getters) == server.cores
+        ):
+            return server.reserve(service)
+        # Real contention: fall onto the queued path and resume at the
+        # true completion instant.
+        self.spills += 1
+        ev = server.submit(service)
+
+        def _resume(ev):
+            if ev.ok:
+                self._advance(gen, self.sim.now, on_abort)
+            else:
+                self._abort(gen, on_abort)
+
+        ev.add_callback(_resume)
+        return _SUSPENDED
+
+    def _abort(self, gen, on_abort) -> None:
+        gen.close()
+        if on_abort is not None:
+            on_abort()
+
+    # -- hop accounting -----------------------------------------------------
+
+    def _hop(self, name: str, nbytes: int, t: float) -> None:
+        """Clean-path link traversal: counters now, trace at send time.
+
+        Matches ``FaultInjector.transit_event``'s clean path exactly
+        (the lane is only enabled with no perturbations/partitions and
+        all links up); the record's *time* field is the logical send
+        instant, records are merged and time-sorted before digesting.
+        """
+        link = self.links[name]
+        link.messages_sent += 1
+        link.bytes_sent += nbytes
+        if self.verbose:
+            self.buffered.append(
+                TraceRecord(t, "msg", (("hop", link.name), ("nbytes", nbytes)))
+            )
+
+    def flush_trace(self) -> None:
+        """Merge buffered lane records into the trace, time-ordered."""
+        if self.buffered:
+            self.trace.records.extend(self.buffered)
+            self.trace.records.sort(key=lambda r: r.time)
+            self.buffered = []
+
+    # -- walk body ----------------------------------------------------------
+
+    def walk(self, w: _Walk):
+        """Generator mirroring ``UE._run_steps_inner`` for one procedure."""
+        dep = self.dep
+        if self._eh is None:
+            self._eh = not dep.auditor.keep_history
+        t = self.sim.now
+        for c in w.steps:
+            if c.at_target and w.migrated_to is None and w.proc == "fast_handover":
+                # The Fast Handover target (§4.3) was resolved at
+                # admission; the answer cannot change by the time the
+                # discrete path would resolve it: the UE's own entries
+                # only move through its own (serialized) procedures and
+                # its fully-ACKed checkpoints — the unacked-record gate
+                # rules out in-flight ships and repairs — and node/ring
+                # state is pinned by the hazard windows.
+                tgt_name = w.fast_tgt
+                if w.fetch_from is not None:
+                    t = yield from self._fetch_state(w, tgt_name, w.fetch_from, t)
+                w.migrated_to = tgt_name
+                w.serving = dep.cpfs[tgt_name]
+            if c.kind == 0:
+                t = yield from self._step_uplink(w, c, t)
+            elif c.kind == 1:
+                t = yield from self._step_cpf_bs(w, c, t)
+            else:
+                t = yield from self._step_cpf_upf(w, c, t)
+        yield from self._tail(w, t)
+
+    def _gate_miss(self, why: str):
+        if self.driver is not None:
+            self.driver.stats["gate_misses"] += 1
+        raise _WalkAbort(why)
+
+    def _fetch_state(self, w: _Walk, tgt_name: str, fetch_from: str, t: float):
+        """``CPF.fetch_state_from`` replayed analytically (§4.3 fetch leg).
+
+        Admission verified the source CPF held an up-to-date entry at
+        least as new as the UE's last write, and only the UE's own
+        (serialized) procedures mutate that entry — so the re-checks
+        below can only fail if a gate was unsound, which the witnesses
+        pin via ``gate_misses == 0``.
+        """
+        dep = self.dep
+        tgt = dep.cpfs.get(tgt_name)
+        src = dep.cpfs.get(fetch_from)
+        if tgt is None or not tgt.up or src is None or not src.up:
+            self._gate_miss("fetch target regressed")
+        hop = dep.cpf_hop(tgt_name, fetch_from)
+        lat = self._lat[hop]
+        self._hop(hop, 64, t)  # request
+        t += lat
+        # The source entry is read here, before the request's logical
+        # arrival at ``t``; stable for the same reason the admission-time
+        # fast-target resolution is (see walk()).
+        entry = src.store.get(w.ue_id)
+        if (
+            entry is None
+            or not entry.up_to_date
+            or entry.state.version < w.reader_version
+        ):
+            self._gate_miss("fetch source stale")
+        snapshot = entry.state.copy()
+        clock = entry.synced_clock
+        self._hop(hop, SNAPSHOT_WIRE_BYTES, t)
+        t += lat
+        if not tgt.up:
+            self._gate_miss("fetch target died")
+        t = yield ("srv", t, tgt.sync_server, self.replica_apply, None, True)
+        # Early at resume: the entry is per-UE and the UE is busy for
+        # the whole walk; install_snapshot ignores strictly-older clocks.
+        tgt.store.install_snapshot(w.ue_id, snapshot, clock)
+        tgt.snapshots_applied += 1
+        return t
+
+    def _ingest_pre(self, w: _Walk, cta, msg: str, size: int):
+        """CTA ingest mutations, run at the exact submit instant."""
+        dep = self.dep
+
+        def pre():
+            clock = dep.next_clock(w.ue_id)
+            cta.clock.tick()
+            cta.log.append(clock, w.ue_id, msg, size)
+            w.clock = clock
+
+        return pre
+
+    def _serve(self, w: _Walk, cpf) -> None:
+        """CPF uplink-handling mutations (``CPF.handle_uplink``'s body).
+
+        Safe to run at the submit instant rather than job completion:
+        every touched field is per-UE and the UE is busy for the whole
+        walk, and ``install_snapshot`` ignores strictly-older clocks so
+        the early ``synced_clock`` bump cannot shadow a later one.
+        """
+        cpf.messages_handled += 1
+        entry = cpf.store.get(w.ue_id)
+        if (
+            entry is None
+            or not entry.up_to_date
+            or entry.state.version < w.reader_version
+        ):
+            # admission guaranteed this cannot happen; divergence is
+            # surfaced via the gate_misses stat the witnesses pin at 0.
+            self.dep.auditor.record_reattach_forced(w.ue_id, cpf.name)
+            if self.driver is not None:
+                self.driver.stats["gate_misses"] += 1
+            raise _WalkAbort("stale entry")
+        entry.is_primary = True
+        self.dep.auditor.record_serve(
+            w.ue_id, w.reader_version, entry.state.version, cpf.name
+        )
+        entry.state.apply_message()
+        if w.clock > entry.synced_clock:
+            entry.synced_clock = w.clock
+
+    def _mark_pct(self, w: _Walk, t: float) -> None:
+        outcome = w.outcome
+        if outcome.pct is None:
+            outcome.pct = t - outcome.started_at
+            self.dep.record_pct(outcome)
+
+    def _step_uplink(self, w: _Walk, c: _StepC, t: float):
+        bs = w.tgt_bs if c.at_target else w.bs
+        cpf = w.serving if c.at_target else w.cpf
+        cta = w.cta
+        self._hop("ue_bs", c.req_size, t)
+        t += self.l_ue_bs
+        bs.uplink_messages += 1
+        t += c.up_req
+        self._hop("bs_cta", c.req_size, t)
+        t += self.l_bs_cta
+        t = yield ("srv", t, cta.server, self.svc_ingest,
+                   self._ingest_pre(w, cta, c.req, c.req_size))
+        if w.clock > w.last_clock:
+            w.last_clock = w.clock
+        self._hop("cta_cpf", c.req_size, t)
+        t += self.l_cta_cpf
+        # _serve stamps wall clock only into the causal history; with
+        # history off the resume is time-free (quiet-window eligible)
+        t = yield ("srv", t, cpf.server, c.svc_cpf, None, self._eh)
+        self._serve(w, cpf)
+        if c.resp is not None:
+            self._hop("cta_cpf", c.resp_size, t)
+            t += self.l_cta_cpf
+            t = yield ("srv", t, cta.server, self.svc_respond, None, True)
+            self._hop("bs_cta", c.resp_size, t)
+            t += self.l_bs_cta
+            bs.downlink_messages += 1
+            t += c.dn_resp
+            self._hop("ue_bs", c.resp_size, t)
+            t += self.l_ue_bs
+        if c.ends_pct:
+            # resume only feeds the quantile sketches (time-free)
+            yield ("at", t, True)
+            self._mark_pct(w, t)
+        return t
+
+    def _step_cpf_bs(self, w: _Walk, c: _StepC, t: float):
+        bs = w.tgt_bs if c.at_target else w.bs
+        cpf = w.serving if c.at_target else w.cpf
+        cta = w.cta
+        t = yield ("srv", t, cpf.server, c.svc_encode, None, True)
+        self._hop("cta_cpf", c.req_size, t)
+        t += self.l_cta_cpf
+        t = yield ("srv", t, cta.server, self.svc_respond, None, True)
+        self._hop("bs_cta", c.req_size, t)
+        t += self.l_bs_cta
+        bs.downlink_messages += 1
+        t += c.dn_req
+        self._hop("ue_bs", c.req_size, t)
+        t += self.l_ue_bs
+        if c.ends_pct:
+            # resume only feeds the quantile sketches (time-free)
+            yield ("at", t, True)
+            self._mark_pct(w, t)
+        if c.resp is not None:
+            bs.uplink_messages += 1
+            t += c.up_resp
+            self._hop("bs_cta", c.resp_size, t)
+            t += self.l_bs_cta
+            t = yield ("srv", t, cta.server, self.svc_ingest,
+                       self._ingest_pre(w, cta, c.resp, c.resp_size))
+            if w.clock > w.last_clock:
+                w.last_clock = w.clock
+            self._hop("cta_cpf", c.resp_size, t)
+            t += self.l_cta_cpf
+            t = yield ("srv", t, cpf.server, c.svc_cpf_resp, None, self._eh)
+            self._serve(w, cpf)
+        return t
+
+    def _step_cpf_upf(self, w: _Walk, c: _StepC, t: float):
+        bs = w.tgt_bs if c.at_target else w.bs
+        cpf = w.serving if c.at_target else w.cpf
+        upf = self.dep.upf_for_region(bs.region)
+        t = yield ("srv", t, cpf.server, c.svc_encode, None, True)
+        self._hop("cpf_upf", c.req_size, t)
+        t += self.l_cpf_upf
+        t = yield ("srv", t, upf.server, upf.service_s, None, True)
+        # ModifyBearerRequest effect (UPF.program); per-UE-private state,
+        # so applying it at the submit instant is unobservable.
+        session = upf.sessions.get(w.ue_id)
+        if session is None:
+            upf._next_teid += 1
+            session = Session(w.ue_id, upf._next_teid, bs.name)
+            upf.sessions[w.ue_id] = session
+        session.bs_id = bs.name
+        session.active = True
+        if c.resp is not None:
+            self._hop("cpf_upf", c.resp_size, t)
+            t += self.l_cpf_upf
+            t = yield ("srv", t, cpf.server, c.svc_decode, None, True)
+        if c.ends_pct:
+            # resume only feeds the quantile sketches (time-free)
+            yield ("at", t, True)
+            self._mark_pct(w, t)
+        return t
+
+    def _tail(self, w: _Walk, t: float):
+        """Completion commit: switch, lock, checkpoint, version, ACKs."""
+        dep = self.dep
+        yield ("at", t)
+        serving_name = w.migrated_to or dep.primary_of(w.ue_id)
+        if w.changes_cpf and w.target_bs is not None:
+            dep.switch_region(w.ue_id, w.migrated_to, w.target_bs)
+        serving = dep.cpfs.get(serving_name) if serving_name else None
+        if serving is not None and serving.up:
+            t = yield ("srv", t, serving.server, self.checkpoint_lock, None)
+            yield ("at", t)
+            replicas: List[str] = []
+            entry = serving.store.get(w.ue_id)
+            if entry is not None:
+                entry.state.complete_procedure(w.proc)
+                if w.last_clock > entry.synced_clock:
+                    entry.synced_clock = w.last_clock
+                replicas = [
+                    r for r in dep.replicas_of(w.ue_id) if r != serving.name
+                ]
+                if replicas:
+                    snapshot = entry.state.copy()
+                    serving.checkpoints_sent += 1
+                    for replica_name in replicas:
+                        self.launch(self._ship(
+                            serving, replica_name, w.ue_id, snapshot,
+                            w.last_clock, t,
+                        ))
+            cta = dep.cta_of(w.ue_id)
+            if cta is not None and cta.up:
+                cta.procedure_completed(w.ue_id, w.last_clock, replicas)
+        self.driver._lane_finish(w)
+
+    def _ship(self, serving, replica_name, ue_id, snapshot, last_clock, t0):
+        """One checkpoint shipment (``CPF._ship_inner``); aborts silent.
+
+        All legs except the final ACK are flagged time-free for the
+        quiet-window fast path: their resume code only reads frozen
+        state and installs a per-UE snapshot nothing can observe before
+        its instant.  The ACK stays scheduled — ``log.ack`` prunes and
+        re-samples the time-weighted log-size probe at the wall clock.
+        """
+        dep = self.dep
+        t = yield ("srv", t0, serving.sync_server, self.ship_serialize, None,
+                   True)
+        hop = dep.cpf_hop(serving.name, replica_name)
+        self._hop(hop, SNAPSHOT_WIRE_BYTES, t)
+        t += self._lat[hop]
+        yield ("at", t, True)
+        replica = dep.cpfs.get(replica_name)
+        if replica is None or not replica.up:
+            return  # replica down; its ACK never arrives (§4.2.4)
+        t = yield ("srv", t, replica.sync_server, self.replica_apply, None,
+                   True)
+        yield ("at", t, True)
+        replica.store.install_snapshot(ue_id, snapshot, last_clock)
+        replica.snapshots_applied += 1
+        # ACK back to the UE's CTA, bound after the apply like the
+        # discrete path (a concurrent switch_region retargets it).
+        cta = dep.cta_of(ue_id)
+        self._hop("cta_cpf", 64, t)
+        t += self.l_cta_cpf
+        yield ("at", t)
+        if cta is not None and cta.up:
+            cta.log.ack(ue_id, last_clock, replica_name)
+
+
+def hazard_windows(spec, plan_events) -> List[Tuple[float, float]]:
+    """Admission exclusion intervals from fault + churn schedules.
+
+    Lane walks complete within microseconds-to-milliseconds of their
+    admission (no storm contention can extend them past the slack:
+    storm-plus-fault scenarios disable the lane entirely), so excluding
+    admissions in a generous window around every state-mutating op
+    guarantees no lane walk is in flight when one fires.
+    """
+    windows: List[Tuple[float, float]] = []
+    for event in plan_events:
+        windows.append((event.at - FAULT_SLACK_S, event.at + FAULT_SLACK_S))
+    for frac, kind, _tile in spec.churn_events:
+        at = frac * spec.duration_s
+        if kind == "remove":
+            # retire time depends on evacuation progress; exclude the
+            # whole remainder of the run rather than guess it.
+            windows.append((at - CHURN_PRE_S, float("inf")))
+        else:
+            windows.append(
+                (at - CHURN_PRE_S, at + spec.rebalance_window_s + CHURN_POST_S)
+            )
+    windows.sort()
+    merged: List[Tuple[float, float]] = []
+    for lo, hi in windows:
+        if merged and lo <= merged[-1][1]:
+            merged[-1] = (merged[-1][0], max(merged[-1][1], hi))
+        else:
+            merged.append((lo, hi))
+    return merged

@@ -90,6 +90,7 @@ class ScenarioSpec:
         n_ue: Optional[int] = None,
         duration_s: Optional[float] = None,
         seed: Optional[int] = None,
+        audit_history: Optional[bool] = None,
     ) -> "ScenarioSpec":
         kwargs = {}
         if n_ue is not None:
@@ -98,6 +99,8 @@ class ScenarioSpec:
             kwargs["duration_s"] = duration_s
         if seed is not None:
             kwargs["seed"] = seed
+        if audit_history is not None:
+            kwargs["audit_history"] = audit_history
         return replace(self, **kwargs) if kwargs else self
 
 

@@ -393,6 +393,31 @@ class Simulator:
         self._seq += 1
         heapq.heappush(self._heap, (self._now + delay, self._seq, fn, args))
 
+    def schedule_at(self, time: float, fn: Callable, *args: Any) -> None:
+        """Run ``fn(*args)`` at the absolute instant ``time``.
+
+        Compiled timelines (the batched cohort lane) pre-compute event
+        times as running sums of individual delays.  Rescheduling those
+        relatively (``schedule(time - now, ...)``) would not round-trip
+        in floats — ``now + (time - now) != time`` in general — so
+        absolute scheduling is the only way a pre-computed timeline can
+        fire at exactly the instants the step-by-step path produces.
+        ``time == now`` lands on the immediate queue, matching
+        ``schedule(0.0, ...)``'s ordering semantics.
+        """
+        if time == self._now:
+            seq = self._seq + 1
+            self._seq = seq
+            self._imm_append((seq, fn, args))
+            return
+        if time < self._now:
+            raise ValueError(
+                "cannot schedule into the past (time=%r < now=%r)"
+                % (time, self._now)
+            )
+        self._seq += 1
+        heapq.heappush(self._heap, (time, self._seq, fn, args))
+
     def _push_immediate(self, fn: Callable, *args: Any) -> None:
         """Internal zero-delay schedule without the delay check."""
         seq = self._seq + 1

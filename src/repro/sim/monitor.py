@@ -250,14 +250,34 @@ class QuantileSketch:
         return self._max if self.count else None
 
     def quantile(self, q: float) -> Optional[float]:
-        """Estimate for ``q`` in (0,1); the sketch must track it."""
+        """Estimate for ``q`` in (0,1); the sketch must track it.
+
+        Each tracked quantile runs its own independent P² estimator,
+        and independent approximations can cross on adversarial streams
+        (heavy duplicates punctuated by rare spikes drive the p95
+        marker above p99's).  Reads are therefore isotonically clamped:
+        the estimate for ``q`` is the running max of the raw estimates
+        over all tracked ``q' <= q``, so reported quantiles are always
+        monotone in ``q``.  Every raw estimate already lies in
+        ``[min, max]`` (the extreme markers track them exactly), so the
+        clamped value does too.
+        """
         try:
-            return self._quantiles[q].value()
+            est = self._quantiles[q]
         except KeyError:
             raise KeyError(
                 "sketch %r does not track q=%r (has: %s)"
                 % (self.name, q, sorted(self._quantiles))
             )
+        value = est.value()
+        if value is None:
+            return None
+        for other_q, other in self._quantiles.items():
+            if other_q < q:
+                low = other.value()
+                if low is not None and low > value:
+                    value = low
+        return value
 
     def percentile(self, q: float) -> Optional[float]:
         """Tally-compatible accessor; ``q`` in [0, 100]."""
@@ -269,8 +289,15 @@ class QuantileSketch:
             out["mean"] = self.mean
             out["min"] = self._min
             out["max"] = self._max
+            floor = -math.inf
             for q, est in sorted(self._quantiles.items()):
-                out["p%g" % (q * 100.0)] = est.value()
+                value = est.value()
+                if value is not None:
+                    # same isotonic clamp as quantile(): running max
+                    if value < floor:
+                        value = floor
+                    floor = value
+                out["p%g" % (q * 100.0)] = value
         return out
 
 

@@ -107,6 +107,12 @@ class Server:
         self.jobs_done = 0
         self.jobs_dropped = 0
         self.busy_time = 0.0
+        # Express-reservation state (batched cohort lane): the end of the
+        # last analytically-reserved service chain, and the pending jobs
+        # that were rerouted onto it by submit().  A stale reservation
+        # (``_reserved_until <= now``) simply expires by comparison.
+        self._reserved_until = 0.0
+        self._analytic: List[_Job] = []
         self._workers: List[Process] = []
         self._generation = 0
         self._start_workers()
@@ -142,10 +148,59 @@ class Server:
         if not self.up:
             done.fail(NodeFailed(self.name))
             return done
+        if self._reserved_until > self.sim.now:
+            # An express chain holds the server: a worker picking this
+            # job up would start exactly when the chain ends, so route it
+            # analytically behind the chain.  FIFO order and completion
+            # times match the queued path bit for bit (every reservation
+            # also computed ``start + service`` in floats).
+            start = self._reserved_until
+            end = start + service_time
+            self._reserved_until = end
+            job = _Job(service_time, done, value, self.sim.now)
+            self._analytic.append(job)
+            self.sim.schedule_at(end, self._finish_analytic, job)
+            return done
         job = _Job(service_time, done, value, self.sim.now)
         self.queue.put(job)
         self.queue_depth.set(len(self.queue) + self.busy)
         return done
+
+    def reserve(self, service_time: float, at: Optional[float] = None) -> float:
+        """Occupy the server analytically; returns the completion time.
+
+        The express path for pre-compiled timelines (the batched cohort
+        lane): instead of enqueueing a job and waking a worker, the
+        caller — who has already verified the server is ``up`` and
+        either idle or express-reserved — books the service interval
+        directly.  Accounting (``jobs_done``/``busy_time``) happens
+        immediately; there is no completion event, the caller resumes
+        its own timeline at the returned instant.  ``queue_depth`` is
+        deliberately not updated (it is a measurement probe the batched
+        lane does not report).
+
+        ``at`` books the interval as of a *future* instant without
+        advancing the clock — callers use it only when they have proven
+        nothing else can run before ``at`` (see the lane's quiet-window
+        fast path), so the booking is identical to one made at ``at``.
+        """
+        now = self.sim.now if at is None else at
+        start = self._reserved_until if self._reserved_until > now else now
+        end = start + service_time
+        self._reserved_until = end
+        self.jobs_done += 1
+        self.busy_time += service_time
+        return end
+
+    def _finish_analytic(self, job: _Job) -> None:
+        try:
+            self._analytic.remove(job)
+        except ValueError:
+            return  # failed and cleared by fail() before completion
+        self.jobs_done += 1
+        self.busy_time += job.service
+        if not job.done.fired:
+            job.done.succeed(job.value)
 
     def _worker(self, generation: int):
         while generation == self._generation and self.up:
@@ -192,6 +247,12 @@ class Server:
             self.jobs_dropped += 1
             if not job.done.fired:
                 job.done.fail(NodeFailed(self.name))
+        for job in self._analytic:
+            self.jobs_dropped += 1
+            if not job.done.fired:
+                job.done.fail(NodeFailed(self.name))
+        del self._analytic[:]
+        self._reserved_until = 0.0
         self.queue_depth.set(0)
 
     def recover(self) -> None:

@@ -476,3 +476,53 @@ class TestProcess:
         sim.run()
         assert done == sorted(done)
         assert len(done) == 100
+
+
+class TestScheduleAt:
+    """Absolute-time scheduling used by pre-compiled timelines."""
+
+    def test_runs_in_time_order(self, sim):
+        seen = []
+        sim.schedule_at(2.0, seen.append, "b")
+        sim.schedule_at(1.0, seen.append, "a")
+        sim.schedule_at(3.0, seen.append, "c")
+        sim.run()
+        assert seen == ["a", "b", "c"]
+
+    def test_at_now_lands_on_immediate_queue(self, sim):
+        # time == now must match schedule(0.0, ...)'s ordering exactly:
+        # interleaved zero-delay and at-now callbacks created inside a
+        # callback run in insertion order, before the clock advances.
+        seen = []
+
+        def fire():
+            sim.schedule(0.0, seen.append, "zero-1")
+            sim.schedule_at(sim.now, seen.append, "at-now")
+            sim.schedule(0.0, seen.append, "zero-2")
+            sim.schedule(0.5, seen.append, "later")
+
+        sim.schedule(1.0, fire)
+        sim.run()
+        assert seen == ["zero-1", "at-now", "zero-2", "later"]
+
+    def test_into_the_past_rejected(self, sim):
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(ValueError):
+            sim.schedule_at(0.5, lambda: None)
+
+    def test_roundtrips_precomputed_floats_exactly(self, sim):
+        # The reason schedule_at exists: now + (t - now) != t in floats.
+        # A pre-computed timeline instant must fire at exactly t.
+        t = 0.1 + 0.2 + 0.3  # 0.6000000000000001
+        fired = []
+        sim.schedule(0.1, lambda: sim.schedule_at(t, lambda: fired.append(sim.now)))
+        sim.run()
+        assert fired == [t]
+
+    def test_same_time_preserves_insertion_order(self, sim):
+        seen = []
+        for tag in "abc":
+            sim.schedule_at(1.0, seen.append, tag)
+        sim.run()
+        assert seen == ["a", "b", "c"]

@@ -275,3 +275,105 @@ class TestQuantileSketch:
             exact = tally.percentile(q)
             approx = sketch.percentile(q)
             assert abs(approx - exact) <= max(0.15 * exact, 0.05), (q, approx, exact)
+
+
+class TestQuantileMonotonicity:
+    """Regression pins for the PR-7 sketch audit: independent P² markers
+    can cross on adversarial streams; reads are isotonically clamped."""
+
+    # Heavy-duplicate stream (generated with random.Random(1): 60% exact
+    # 1.0, 30% 1.0+tiny jitter, 10% large spikes) on which the raw p95
+    # marker overtakes the raw p99 marker at observation 33.  Pinned so
+    # the clamp's trigger case can never silently regress.
+    CROSSING_STREAM = [
+        1.0, 1.0000007637746189, 1.0, 1.0, 1.0, 1.000000788723351, 1.0,
+        1.0, 1.000000432767068, 1.0000000021060533, 1.0,
+        1.0000002287622212, 90.14274576114836, 1.0, 1.0, 1.0,
+        38.12042376882124, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0,
+        1.0, 1.0, 1.0, 1.0000005564543226, 1.000000185906266,
+        85.99465287952899, 1.0,
+    ]
+
+    def test_pinned_crossing_stream_reads_monotone(self):
+        from repro.sim.monitor import QuantileSketch
+
+        sketch = QuantileSketch("pinned")
+        for v in self.CROSSING_STREAM:
+            sketch.observe(v)
+        # The defect is real on this stream: the raw estimators cross.
+        raw = {q: est.value() for q, est in sketch._quantiles.items()}
+        assert raw[0.95] > raw[0.99], "stream no longer triggers the defect"
+        # The read API must clamp it away.
+        assert sketch.quantile(0.50) <= sketch.quantile(0.95) <= sketch.quantile(0.99)
+        summary = sketch.summary()
+        assert summary["p50"] <= summary["p95"] <= summary["p99"]
+        # quantile() and summary() agree on the clamped values.
+        for q in (0.50, 0.95, 0.99):
+            assert summary["p%g" % (q * 100.0)] == sketch.quantile(q)
+
+    def test_reads_monotone_and_bounded_on_random_streams(self):
+        import random
+
+        from repro.sim.monitor import QuantileSketch
+
+        for seed in range(40):
+            rng = random.Random(seed)
+            sketch = QuantileSketch("fuzz")
+            for i in range(300):
+                r = rng.random()
+                if r < 0.6:
+                    v = 1.0
+                elif r < 0.9:
+                    v = 1.0 + rng.random() * 1e-6
+                else:
+                    v = rng.random() * 100.0
+                sketch.observe(v)
+                s = sketch.summary()
+                assert s["p50"] <= s["p95"] <= s["p99"], (seed, i)
+                assert sketch.min <= s["p50"] and s["p99"] <= sketch.max, (seed, i)
+
+    def test_monotone_ramp_stays_ordered(self):
+        from repro.sim.monitor import QuantileSketch
+
+        sketch = QuantileSketch("ramp")
+        for i in range(500):
+            sketch.observe(float(i))
+            s = sketch.summary()
+            assert s["p50"] <= s["p95"] <= s["p99"]
+            assert 0.0 <= s["p50"] and s["p99"] <= float(i)
+
+    def test_exact_to_marker_transition_at_count_five(self):
+        from repro.sim.monitor import P2Quantile, QuantileSketch
+
+        values = [5.0, 1.0, 4.0, 2.0, 3.0]
+        est = P2Quantile(0.5)
+        for v in values:
+            est.observe(v)
+        # count == 5: still the exact path over the sorted buffer.
+        assert est.count == 5
+        assert est.value() == 3.0
+        # count == 6: first marker-path update; the estimate must stay
+        # inside the observed range and near the true median.
+        est.observe(3.5)
+        assert est.count == 6
+        assert 1.0 <= est.value() <= 5.0
+        assert abs(est.value() - 3.25) < 1.5
+        # The sketch-level read stays ordered across the transition.
+        sketch = QuantileSketch("transition")
+        for v in values:
+            sketch.observe(v)
+            s = sketch.summary()
+            assert s["p50"] <= s["p95"] <= s["p99"]
+        sketch.observe(3.5)
+        s = sketch.summary()
+        assert s["p50"] <= s["p95"] <= s["p99"]
+
+    def test_all_duplicates_collapse_to_the_value(self):
+        from repro.sim.monitor import QuantileSketch
+
+        sketch = QuantileSketch("dup")
+        for _ in range(1000):
+            sketch.observe(7.5)
+        s = sketch.summary()
+        assert s["p50"] == s["p95"] == s["p99"] == 7.5
+        assert s["min"] == s["max"] == 7.5

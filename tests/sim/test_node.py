@@ -169,3 +169,70 @@ class TestServerFailure:
             assert exc.node_name == "cpf-7"
         else:
             pytest.fail("expected NodeFailed")
+
+
+class TestServerReserve:
+    """Express-reservation path used by the batched cohort lane."""
+
+    def test_reserve_idle_returns_completion_time(self, sim):
+        server = Server(sim)
+        end = server.reserve(0.25)
+        assert end == 0.25
+        assert server._reserved_until == 0.25
+        assert server.jobs_done == 1
+        assert server.busy_time == 0.25
+
+    def test_reserve_chains_behind_reservation(self, sim):
+        server = Server(sim)
+        first = server.reserve(0.25)
+        second = server.reserve(0.1)
+        assert second == first + 0.1
+
+    def test_stale_reservation_expires(self, sim):
+        server = Server(sim)
+        server.reserve(0.25)
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert server.reserve(0.1) == sim.now + 0.1
+
+    def test_reserve_at_future_instant(self, sim):
+        # Booking "as of" a future quiet instant must equal the booking a
+        # caller would make after the clock actually reached it.
+        server = Server(sim)
+        end = server.reserve(0.2, at=1.5)
+        assert end == 1.5 + 0.2
+        assert server._reserved_until == end
+        # a later at= booking chains behind it, not behind `at`
+        assert server.reserve(0.1, at=1.6) == end + 0.1
+
+    def test_submit_behind_reservation_routes_analytically(self, sim):
+        # A queued job arriving while an express chain holds the server
+        # completes exactly when a worker would have started it: at the
+        # end of the chain.
+        server = Server(sim, cores=1)
+        chain_end = server.reserve(0.5)
+        done = server.submit(0.25, value="queued")
+        sim.run()
+        assert done.value == "queued"
+        assert sim.now == chain_end + 0.25
+        assert server.jobs_done == 2
+
+    def test_submit_behind_reservation_is_fifo(self, sim):
+        server = Server(sim, cores=1)
+        server.reserve(0.5)
+        order = []
+        server.submit(0.25, value="a", callback=lambda v: order.append((sim.now, v)))
+        server.submit(0.125, value="b", callback=lambda v: order.append((sim.now, v)))
+        sim.run()
+        assert order == [(0.75, "a"), (0.875, "b")]
+
+    def test_fail_drops_analytic_jobs_and_reservation(self, sim):
+        server = Server(sim, cores=1)
+        server.reserve(0.5)
+        done = server.submit(0.25)
+        sim.schedule(0.1, server.fail)
+        sim.run()
+        assert not done.ok
+        assert server.jobs_dropped == 1
+        assert server._reserved_until == 0.0
+        assert server._analytic == []
