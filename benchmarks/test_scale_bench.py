@@ -46,6 +46,17 @@ def _run(mode):
     )
 
 
+def _run_sharded():
+    # inline backend: the epoch loop and the merge run in this process,
+    # so the row times the sharding machinery itself (partition, ghost
+    # topologies, migration records, deterministic merge) independent of
+    # how many cores the CI machine happens to have.
+    return run_scenario(
+        "steady-city", n_ue=N_UE, duration_s=DURATION_S, seed=1,
+        mode="batched", shards=2, shard_backend="inline",
+    )
+
+
 def test_scale_steady_city_cohort(benchmark):
     result = benchmark.pedantic(_run, args=("cohort",), rounds=3, iterations=1)
     assert result.violations == 0
@@ -55,6 +66,13 @@ def test_scale_steady_city_batched(benchmark):
     result = benchmark.pedantic(_run, args=("batched",), rounds=5, iterations=1)
     assert result.violations == 0
     assert result.lane["gate_misses"] == 0
+
+
+def test_scale_steady_city_sharded(benchmark):
+    result = benchmark.pedantic(_run_sharded, rounds=3, iterations=1)
+    assert result.violations == 0
+    assert result.perf["backend"] == "inline"
+    assert len(result.shards) == 2
 
 
 def test_scale_batched_speedup_witness():
@@ -74,6 +92,8 @@ def test_scale_batched_speedup_witness():
     for d in (dict_c, dict_b):
         d.pop("mode")
         d.pop("lane", None)
+        d.pop("perf", None)
+        d.pop("shards", None)
     assert dict_c == dict_b, "batched diverged from cohort"
     speedup = min(cohort_s) / min(batched_s)
     print(

@@ -424,6 +424,20 @@ def main(argv: List[str] = None) -> int:
         "same results faster; default: %(default)s)",
     )
     scale_parser.add_argument(
+        "--shards", default="1", metavar="N|auto",
+        help="partition the city by level-2 region across N worker "
+        "processes (auto = one per core; default: %(default)s). The "
+        "merged run is deterministic for a fixed shard count.",
+    )
+    scale_parser.add_argument(
+        "--shard-backend", choices=["auto", "inline", "process"],
+        default="auto",
+        help="shard execution vehicle: process = one worker per shard, "
+        "inline = same engines serially in-process (bit-identical "
+        "results; the CI witness path), auto = processes when multiple "
+        "cores are available (default: %(default)s)",
+    )
+    scale_parser.add_argument(
         "--obs", nargs="?", const="metrics", default=None,
         choices=["metrics", "trace"],
         help="install observability (bare --obs = bounded metrics mode)",
@@ -576,8 +590,45 @@ def _run_calibrate(args) -> int:
 
 def _run_scale(args) -> int:
     import json as json_mod
+    import sys
 
     from .scale import ScaleResult, run_replicates, run_scenario
+
+    if args.shards == "auto":
+        shards = 0  # run_sharded resolves to one per core
+    else:
+        try:
+            shards = int(args.shards)
+        except ValueError:
+            print(
+                "error: --shards takes an integer or 'auto', got %r"
+                % args.shards, file=sys.stderr,
+            )
+            return 2
+    if shards != 1:
+        # reject combinations the sharded coordinator cannot honour,
+        # loudly, before any simulation work starts
+        if args.seeds:
+            print(
+                "error: --shards and --seeds are incompatible (the "
+                "replicate sweep parallelises over seeds; run one seed "
+                "per invocation when sharding)", file=sys.stderr,
+            )
+            return 2
+        if args.mode == "individual":
+            print(
+                "error: --shards requires --mode cohort or batched "
+                "(the individual conformance driver is single-process "
+                "by design)", file=sys.stderr,
+            )
+            return 2
+        if args.obs == "trace":
+            print(
+                "error: --obs trace is incompatible with --shards "
+                "(span retention is per-process); use --obs metrics, "
+                "whose snapshots merge exactly", file=sys.stderr,
+            )
+            return 2
 
     if args.seeds:
         seeds = [int(s) for s in args.seeds.split(",") if s]
@@ -616,21 +667,30 @@ def _run_scale(args) -> int:
         from .obs import Observability
 
         obs = Observability(args.obs)
-    result = run_scenario(
-        args.scenario,
-        n_ue=args.n_ue,
-        duration_s=args.duration,
-        seed=args.seed,
-        mode=args.mode,
-        obs=obs,
-        verbose_trace=args.verbose_trace,
-    )
+    try:
+        result = run_scenario(
+            args.scenario,
+            n_ue=args.n_ue,
+            duration_s=args.duration,
+            seed=args.seed,
+            mode=args.mode,
+            obs=obs,
+            verbose_trace=args.verbose_trace,
+            shards=shards,
+            shard_backend=args.shard_backend,
+        )
+    except ValueError as err:
+        # e.g. more shards than level-2 regions
+        print("error: %s" % err, file=sys.stderr)
+        return 2
     if args.json:
         print(json_mod.dumps(result.to_dict(), indent=2, sort_keys=True))
     else:
         print(result.format_report())
-    if obs is not None and obs.metrics is not None:
+    snapshot = getattr(result, "obs_snapshot", None)
+    if snapshot is None and obs is not None and obs.metrics is not None:
         snapshot = obs.snapshot()
+    if snapshot is not None:
         counters = (snapshot.get("metrics") or {}).get("counters", [])
         hop_messages = sum(
             c["value"] for c in counters if c["name"] == "hop_messages"
@@ -644,6 +704,7 @@ def _run_scale(args) -> int:
                 args.obs,
             )
         )
+    # the exit code is the merged auditor verdict across every shard
     return 0 if result.violations == 0 else 1
 
 

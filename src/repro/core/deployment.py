@@ -327,6 +327,10 @@ class Deployment:
         self._clocks[ue_id] = value
         return value
 
+    def clock_of(self, ue_id: str) -> int:
+        """Latest RYW clock issued to ``ue_id`` (0 if it never wrote)."""
+        return self._clocks.get(ue_id, 0)
+
     def m_tmsi_of(self, ue_id: str) -> int:
         return (hash(ue_id) & 0xFFFFFFFF) or 1
 
@@ -580,6 +584,42 @@ class Deployment:
             )
         self.auditor.record_write_completion(ue_id, entry.state.version)
         return entry.state.version
+
+    def install_migrated(
+        self, ue_id: str, bs_name: str, version: int, carried_clock: int
+    ) -> int:
+        """Adopt a UE whose state was built in another shard's deployment.
+
+        The shard runtime hands over (version, sync clock) when a full
+        cross-level-2 handover moves a UE to a region another worker
+        owns; this installs equivalent attached state here without
+        re-running the attach — the carried write version is preserved so
+        the RYW auditor's reader floor survives the process boundary.
+        Raises :class:`LookupError` if the destination region has no
+        alive primary (the UE then re-enters detached, exactly like an
+        abort).  No ``record_write_completion``: the write was already
+        counted by the shard that executed the handover.
+        """
+        self.drop_placement(ue_id)
+        region = self.bss[bs_name].region
+        # Seed the logical clock so the fresh snapshot outranks any stale
+        # copy a previous visit left behind (install_snapshot keeps the
+        # newer clock), then take the next tick as the sync point.
+        if carried_clock > self._clocks.get(ue_id, 0):
+            self._clocks[ue_id] = carried_clock
+        placement = self.ensure_placement(ue_id, region)
+        clock = self.next_clock(ue_id)
+        primary = self.cpfs[placement.primary]
+        entry = primary.store.create(ue_id, self.m_tmsi_of(ue_id), is_primary=True)
+        entry.state.attached = True
+        entry.state.active = False
+        entry.state.version = version
+        entry.synced_clock = clock
+        for backup_name in placement.backups:
+            self.cpfs[backup_name].store.install_snapshot(
+                ue_id, entry.state, clock
+            )
+        return version
 
     def bootstrap_ue(self, ue_id: str, bs_name: str) -> UE:
         """Create a UE already attached, with state replicated (no events).

@@ -37,11 +37,14 @@ from .harness import PCTPoint, RunSpec, run_pct_point
 __all__ = [
     "SweepJob",
     "SweepReport",
+    "WorkerHandle",
+    "WorkerSpawnError",
     "default_jobs",
     "expand_grid",
     "run_jobs",
     "run_sweep",
     "run_tasks",
+    "spawn_workers",
 ]
 
 
@@ -158,6 +161,73 @@ def _run_pool(
         else:
             results[i] = fn(jobs_list[i])
     return results
+
+
+class WorkerSpawnError(RuntimeError):
+    """Worker processes could not be started on this platform.
+
+    Raised by :func:`spawn_workers` so callers with an in-process
+    equivalent (the shard coordinator) can fall back instead of failing
+    the run — the same degradation contract as :func:`_run_pool`.
+    """
+
+
+class WorkerHandle:
+    """One long-lived worker process plus its duplex message pipe.
+
+    One-shot pool tasks (:func:`run_tasks`) re-ship their whole input per
+    call; a *shard* worker instead holds a simulator for the entire run
+    and exchanges small epoch messages, which is what the pipe is for.
+    """
+
+    def __init__(self, process, conn):
+        self.process = process
+        self.conn = conn
+
+    def send(self, msg) -> None:
+        self.conn.send(msg)
+
+    def recv(self):
+        """Next message from the worker; raises EOFError if it died."""
+        return self.conn.recv()
+
+    def close(self, timeout: float = 5.0) -> None:
+        """Drop the pipe and reap the process (terminate if wedged)."""
+        try:
+            self.conn.close()
+        except OSError:  # pragma: no cover - already torn down
+            pass
+        self.process.join(timeout)
+        if self.process.is_alive():  # pragma: no cover - wedged worker
+            self.process.terminate()
+            self.process.join(timeout)
+
+
+def spawn_workers(target, args_list) -> List[WorkerHandle]:
+    """Start one long-lived ``target`` process per args tuple.
+
+    ``target`` must be a top-level callable whose first parameter is the
+    worker end of a duplex pipe; the remaining parameters come from the
+    args tuple.  Either every worker starts or none does: a platform
+    refusal (sandboxes without fork/semaphores) tears down any partial
+    set and raises :class:`WorkerSpawnError`.
+    """
+    handles: List[WorkerHandle] = []
+    try:
+        ctx = _pool_context()
+        for args in args_list:
+            parent_conn, child_conn = ctx.Pipe(duplex=True)
+            proc = ctx.Process(
+                target=target, args=(child_conn,) + tuple(args), daemon=True
+            )
+            proc.start()
+            child_conn.close()
+            handles.append(WorkerHandle(proc, parent_conn))
+    except (OSError, PermissionError, ImportError) as err:
+        for handle in handles:
+            handle.close(timeout=1.0)
+        raise WorkerSpawnError("%s: %s" % (type(err).__name__, err))
+    return handles
 
 
 def run_tasks(

@@ -18,7 +18,7 @@ import hashlib
 from dataclasses import dataclass
 from typing import Iterator, List, Tuple
 
-__all__ = ["TraceRecord", "EventTrace"]
+__all__ = ["TraceRecord", "EventTrace", "merge_traces"]
 
 
 def _canonical(value: object) -> str:
@@ -83,3 +83,30 @@ class EventTrace:
         for record in self.records:
             counts[record.kind] = counts.get(record.kind, 0) + 1
         return counts
+
+
+def merge_traces(streams, labels=None) -> EventTrace:
+    """Merge per-shard traces into one deterministic global trace.
+
+    ``streams`` is a sequence of :class:`EventTrace` instances (or bare
+    record lists, as shipped back from shard workers).  Records are
+    ordered by ``(time, stream index, arrival sequence)`` — time first,
+    then the fixed shard order, then each shard's own deterministic
+    append order — so the merged digest depends only on the per-shard
+    streams, never on OS scheduling.  Every record gains a ``shard``
+    detail key (the stream's label, default its index), which keeps the
+    merged trace attributable and distinct from a single-process trace.
+    """
+    rows = []
+    for idx, stream in enumerate(streams):
+        label = labels[idx] if labels is not None else idx
+        records = getattr(stream, "records", stream)
+        for seq, record in enumerate(records):
+            rows.append((record.time, idx, seq, record, label))
+    rows.sort(key=lambda row: (row[0], row[1], row[2]))
+    merged = EventTrace()
+    append = merged.records.append
+    for _, _, _, record, label in rows:
+        detail = tuple(sorted(record.detail + (("shard", label),)))
+        append(TraceRecord(record.time, record.kind, detail))
+    return merged

@@ -11,6 +11,7 @@ percentile sketches.  Entry point: ``python -m repro scale <scenario>``.
 from .cohort import CohortDriver
 from .engine import ScaleResult, run_replicates, run_scenario
 from .scenarios import SCENARIOS, ScenarioSpec, get_scenario
+from .shard import ShardMap, run_sharded, shard_lookahead
 from .topology import CityTopology, build_city
 
 __all__ = [
@@ -23,4 +24,7 @@ __all__ = [
     "ScaleResult",
     "run_scenario",
     "run_replicates",
+    "ShardMap",
+    "run_sharded",
+    "shard_lookahead",
 ]

@@ -31,6 +31,8 @@ bit-identical to N persistent UE objects.
 from __future__ import annotations
 
 import heapq
+import sys
+import time
 from dataclasses import asdict, dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
@@ -84,6 +86,18 @@ def _tag(times, idx: int):
         yield (t, idx)
 
 
+def peak_rss_kb() -> float:
+    """Peak resident set size of this process in KiB (0.0 if unknown)."""
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX interpreter
+        return 0.0
+    rss = float(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+    if sys.platform == "darwin":  # pragma: no cover - ru_maxrss is bytes there
+        rss /= 1024.0
+    return rss
+
+
 def _bounded_renewal(dist, duration_s: float, rng):
     """Renewal arrival times of ``dist`` truncated to ``[0, duration)``."""
     return modulated_arrivals(dist.sample, duration_s, rng)
@@ -122,6 +136,15 @@ class ScaleResult:
     #: compare=False: the lane is an execution strategy, not a result —
     #: cohort-vs-batched conformance compares everything else.
     lane: Dict[str, int] = field(default_factory=dict, compare=False)
+    #: shard count the run was partitioned into (1 = single process).
+    n_shards: int = 1
+    #: measured execution cost — total wall-clock seconds and peak RSS
+    #: (and, sharded, the critical-path shard wall).  compare=False:
+    #: wall-clock is machine-dependent, never part of the result contract.
+    perf: Dict[str, float] = field(default_factory=dict, compare=False)
+    #: per-shard breakdown (owned parents, local UEs, migrations, wall,
+    #: RSS, violations sample) — empty for single-process runs.
+    shards: List[Dict[str, Any]] = field(default_factory=list, compare=False)
 
     @property
     def ok(self) -> bool:
@@ -135,9 +158,13 @@ class ScaleResult:
         return cls(**data)
 
     def format_report(self) -> str:
+        head = "scenario %s  mode=%s  n_ue=%d  duration=%.3fs  seed=%d" % (
+            self.scenario, self.mode, self.n_ue, self.duration_s, self.seed,
+        )
+        if self.n_shards > 1:
+            head += "  shards=%d" % self.n_shards
         lines = [
-            "scenario %s  mode=%s  n_ue=%d  duration=%.3fs  seed=%d"
-            % (self.scenario, self.mode, self.n_ue, self.duration_s, self.seed),
+            head,
             "consistency: serves=%d writes=%d violations=%d"
             % (self.serves, self.writes, self.violations),
             "procedures: completed=%d aborted=%d recovered=%d reattached=%d"
@@ -145,6 +172,32 @@ class ScaleResult:
             "regions at end: %d   trace: %d events, digest %s"
             % (self.regions_final, self.trace_events, self.digest),
         ]
+        if self.perf:
+            perf = "perf: wall=%.3fs peak_rss=%.1fMB" % (
+                self.perf.get("wall_s", 0.0),
+                self.perf.get("peak_rss_kb", 0.0) / 1024.0,
+            )
+            if "max_shard_wall_s" in self.perf:
+                perf += "  max_shard_wall=%.3fs total_rss=%.1fMB" % (
+                    self.perf["max_shard_wall_s"],
+                    self.perf.get("total_rss_kb", 0.0) / 1024.0,
+                )
+            lines.append(perf)
+        for shard in self.shards:
+            lines.append(
+                "  shard %d: parents=%s n_local=%d migrations=%d/%d "
+                "wall=%.3fs rss=%.1fMB violations=%d"
+                % (
+                    shard.get("shard", 0),
+                    ",".join(shard.get("parents", ())),
+                    shard.get("n_local", 0),
+                    shard.get("migrations_out", 0),
+                    shard.get("migrations_in", 0),
+                    shard.get("wall_s", 0.0),
+                    shard.get("rss_kb", 0.0) / 1024.0,
+                    shard.get("violations", 0),
+                )
+            )
         if self.counters:
             lines.append(
                 "engine: "
@@ -245,6 +298,7 @@ class _Engine:
     ):
         if mode not in ("cohort", "individual", "batched"):
             raise ValueError("mode must be 'cohort', 'individual', or 'batched'")
+        self._wall0 = time.perf_counter()
         self.spec = spec
         self.mode = mode
         self.duration = spec.duration_s
@@ -284,18 +338,24 @@ class _Engine:
         self.injector = FaultInjector(self.dep, plan, trace=self.trace)
 
         self.mobility = _mobility_for(spec, self.topo)
+        bs_names = [b for r in self.topo.regions for b in r.bss]
+        self.driver = self._make_driver(mode, bs_names)
+        self.counters: Dict[str, int] = {}
+        self.sketches: Dict[Tuple[str, str], QuantileSketch] = {}
+        self._sketch_spill = 0
+        self.dep.outcome_sink = self._observe_outcome
+
+    def _make_driver(self, mode: str, bs_names: List[str]):
+        """Driver factory; the shard engine substitutes grow-able drivers."""
         driver_cls = {
             "cohort": CohortDriver,
             "individual": IndividualDriver,
             "batched": BatchedDriver,
         }[mode]
-        bs_names = [b for r in self.topo.regions for b in r.bss]
-        self.driver = driver_cls(self.dep, bs_names, spec.n_ue)
+        driver = driver_cls(self.dep, bs_names, self.spec.n_ue)
         if mode == "batched":
-            self.driver.setup_lane(self)
-        self.counters: Dict[str, int] = {}
-        self.sketches: Dict[Tuple[str, str], QuantileSketch] = {}
-        self.dep.outcome_sink = self._observe_outcome
+            driver.setup_lane(self)
+        return driver
 
     # -- bounded-memory measurement ---------------------------------------
 
@@ -308,7 +368,7 @@ class _Engine:
         sketch = self.sketches.get(key)
         if sketch is None:
             sketch = self.sketches[key] = QuantileSketch(
-                "%s/%s" % key, qs=(0.50, 0.95, 0.99)
+                "%s/%s" % key, qs=(0.50, 0.95, 0.99), spill=self._sketch_spill
             )
         sketch.observe(outcome.pct)
 
@@ -388,8 +448,12 @@ class _Engine:
 
     # -- the merged aggregated-Poisson arrival driver ----------------------
 
+    def _population_n(self) -> int:
+        """Population driving the aggregate arrival rates (local, sharded)."""
+        return self.spec.n_ue
+
     def _traffic(self):
-        spec, sim, n = self.spec, self.sim, self.spec.n_ue
+        spec, sim, n = self.spec, self.sim, self._population_n()
         svc_rng = self.rngs.stream("scale.svc")
         move_rng = self.rngs.stream("scale.move")
         tau_rng = self.rngs.stream("scale.tau")
@@ -446,6 +510,10 @@ class _Engine:
             else:
                 self._arrival_tau(pick_rng)
                 t_tau = t + draw(tau_rng, tau_rate)
+
+    def _class_count(self, lo: int, hi: int) -> int:
+        """How many of the UEs in global slice [lo, hi) this engine drives."""
+        return hi - lo
 
     def _pick_idle(
         self, pick_rng, lo: int = 0, hi: Optional[int] = None
@@ -531,7 +599,7 @@ class _Engine:
         streams = []
         for cls in model.classes:
             lo, hi = ranges[cls.name]
-            class_n = hi - lo
+            class_n = self._class_count(lo, hi)
             if class_n <= 0:
                 continue
             pick_rng = self.rngs.stream("traffic.pick." + cls.name)
@@ -562,7 +630,9 @@ class _Engine:
         for storm in model.storms:
             lo, hi = ranges[storm.device_class]
             rng = self.rngs.stream("traffic.storm." + storm.name)
-            times = iter(storm_times(storm, hi - lo, self.duration, rng))
+            times = iter(
+                storm_times(storm, self._class_count(lo, hi), self.duration, rng)
+            )
             pick_rng = self.rngs.stream("traffic.pick." + storm.device_class)
             streams.append(
                 (times, self._handler_storm(storm, pick_rng, lo, hi))
@@ -691,15 +761,18 @@ class _Engine:
         self._count("regions_removed")
         yield from self._rebalance()
 
+    def _evacuees(self, tile: str) -> List[int]:
+        return [
+            i
+            for i in range(self.driver.n)
+            if self.driver.attached[i]
+            and self.driver.bs_of(i).split("-")[1] == tile
+        ]
+
     def _evacuate(self, tile: str, exits: List[str]):
         """Re-home every UE served in ``tile`` via real handovers."""
         for attempt in range(3):
-            evacuees = [
-                i
-                for i in range(self.driver.n)
-                if self.driver.attached[i]
-                and self.driver.bs_of(i).split("-")[1] == tile
-            ]
+            evacuees = self._evacuees(tile)
             if not evacuees:
                 return
             window = self.spec.rebalance_window_s
@@ -712,12 +785,7 @@ class _Engine:
             ]
             for p in procs:
                 yield p
-        leftovers = [
-            i
-            for i in range(self.driver.n)
-            if self.driver.attached[i]
-            and self.driver.bs_of(i).split("-")[1] == tile
-        ]
+        leftovers = self._evacuees(tile)
         if leftovers:  # pragma: no cover - three passes always drain
             self._count("evacuation_incomplete", len(leftovers))
 
@@ -776,11 +844,17 @@ class _Engine:
         for p in procs:
             yield p
 
+    def _slot_for(self, ue_id: str) -> Optional[int]:
+        """Driver slot of a cohort UE id (None if not driven here)."""
+        return int(ue_id.split("-")[-1])
+
     def _replace_one(self, ue_id: str, delay: float):
         try:
             if delay > 0.0:
                 yield self.sim.timeout(delay)
-            i = int(ue_id.split("-")[-1])
+            i = self._slot_for(ue_id)
+            if i is None:
+                return
             for _ in range(_BUSY_TRIES):
                 if not self.driver.busy[i]:
                     break
@@ -824,7 +898,10 @@ class _Engine:
 
     def _copy_state(self, ue_id: str, placement, primary: str, backups: List[str]):
         """Repair-fetch up-to-date state onto every new holder."""
-        need_version = self.driver.version[int(ue_id.split("-")[-1])]
+        slot = self._slot_for(ue_id)
+        if slot is None:
+            return False
+        need_version = self.driver.version[slot]
         sources = [placement.primary] + list(placement.backups)
         for target in [primary] + list(backups):
             cpf = self.dep.cpfs.get(target)
@@ -856,7 +933,8 @@ class _Engine:
 
     # -- run ---------------------------------------------------------------
 
-    def run(self) -> ScaleResult:
+    def prepare(self) -> None:
+        """Install population, faults and arrival processes (no sim yet)."""
         self._bootstrap_population()
         self.injector.install()
         traffic = (
@@ -867,7 +945,14 @@ class _Engine:
         self.sim.process(traffic, name="scale.traffic")
         if self.spec.churn_events:
             self.sim.process(self._churn(), name="scale.churn")
+
+    def run(self) -> ScaleResult:
+        self.prepare()
         end = self.sim.run()
+        return self.finish(end)
+
+    def finish(self, end: float) -> ScaleResult:
+        """Flush the lane trace and assemble the result after the sim ran."""
         flush = getattr(self.driver, "flush_trace", None)
         if flush is not None:
             flush()
@@ -905,6 +990,10 @@ class _Engine:
                 if hasattr(self.driver, "lane_stats")
                 else {}
             ),
+            perf={
+                "wall_s": time.perf_counter() - self._wall0,
+                "peak_rss_kb": peak_rss_kb(),
+            },
         )
 
 
@@ -919,10 +1008,29 @@ def run_scenario(
     mode: str = "cohort",
     obs=None,
     verbose_trace: bool = False,
+    shards: int = 1,
+    shard_backend: str = "auto",
 ) -> ScaleResult:
-    """Run one scenario (by name or :class:`ScenarioSpec`) to completion."""
+    """Run one scenario (by name or :class:`ScenarioSpec`) to completion.
+
+    ``shards > 1`` partitions the city by level-2 parent across that
+    many shard engines (see :mod:`repro.scale.shard`) and merges the
+    results deterministically; ``shards=1`` is exactly the single-process
+    path, bit for bit.
+    """
     spec = get_scenario(scenario) if isinstance(scenario, str) else scenario
     spec = spec.with_overrides(n_ue=n_ue, duration_s=duration_s, seed=seed)
+    if shards != 1:
+        from .shard import run_sharded
+
+        return run_sharded(
+            spec,
+            mode=mode,
+            shards=shards,
+            backend=shard_backend,
+            obs=obs,
+            verbose_trace=verbose_trace,
+        )
     return _Engine(spec, mode=mode, obs=obs, verbose_trace=verbose_trace).run()
 
 

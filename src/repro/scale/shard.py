@@ -1,0 +1,1149 @@
+"""Multi-process sharded city: one simulator kernel per level-2 region group.
+
+The single-process harness tops out around 100k UEs on one core.  This
+module partitions the city **by level-2 (CTA) parent** across shard
+engines — each shard runs its own :class:`~repro.sim.core.Simulator`
+with the unchanged cohort / batched-lane drivers over the *full* ghost
+topology, but drives traffic only for the UEs homed in its own level-2
+parents.  The level-2 parent is the natural shard unit because the
+topology makes it a consistency boundary:
+
+* Fast Handover (§4.3) requires a shared level-2 parent, so it never
+  crosses shards;
+* geo-replication at ``georep_level=2`` keeps every checkpoint/repair
+  leg inside one parent, so replica traffic never crosses shards;
+* only the **full handover** moves a UE between parents — that one
+  procedure is the entire cross-shard protocol surface.
+
+A full cross-parent handover executes *entirely inside the source
+shard* against its ghost copy of the destination region (every node
+exists in every shard; UE state lives only in the owning shard's
+deployment).  On completion the UE is torn down locally and a small
+migration record — ``(gid, version, runs, clock, serving bs, t)`` — is
+carried over the inter-process channel and installed in the destination
+shard at ``t + Δ`` via :meth:`~repro.core.deployment.Deployment.install_migrated`,
+preserving the RYW reader floor across the process boundary.
+
+**Conservative lookahead.** Δ is the minimum cross-shard notification
+delay (one far inter-CPF hop, :func:`shard_lookahead`); link jitter
+only ever *adds* latency, so Δ is a true lower bound.  All shards
+advance in lockstep epochs of width Δ; a record completed during epoch
+``k`` (``t ∈ ((k-1)Δ, kΔ]``) arrives at ``t + Δ > kΔ`` — never in the
+destination's past — so each shard can safely simulate a whole epoch
+without hearing from the others.  The run continues past the traffic
+horizon until every shard's queues drain and no record is in flight.
+
+**Determinism contract.** For a *fixed shard count*, the merged run is
+bit-deterministic: each shard is a pure function of (spec, shard index)
+— per-shard RNG registries are forked as ``shard:<k>`` — record routing
+and install order are fixed by (shard order, emission order), and the
+merged EventTrace orders records by ``(time, shard, seq)``
+(:func:`~repro.faults.trace.merge_traces`).  The serial inline backend
+and the multi-process backend run the identical engine call sequence,
+so they produce identical digests — which is how CI pins the witness on
+single-core runners.  A sharded trajectory is *not* identical to the
+unsharded one (ghost regions do not see other shards' load);
+``--shards 1`` bypasses all of this and is bit-identical to today.
+
+Fault plans are partitioned so region-attributable ops (``*_cpf`` /
+``*_cta``) are *owned* (counted + traced) by the shard owning the
+target's parent and silently mirrored everywhere else — node state
+flips identically in every ghost topology.  Ring churn works the same
+way: every shard applies the ring change (placement rebalance is
+per-shard work); only the owner runs evacuation and counts the event.
+"""
+
+from __future__ import annotations
+
+import time
+from array import array
+from bisect import bisect_right
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..faults.injector import region_of
+from ..faults.trace import merge_traces
+from ..sim.monitor import QuantileSketch
+from ..sim.rng import RngRegistry
+from ..experiments.parallel import (
+    WorkerSpawnError,
+    default_jobs,
+    spawn_workers,
+)
+from ..faults.runner import config_from_name
+from .cohort import BatchedDriver, CohortDriver
+from .engine import (
+    ScaleResult,
+    _Engine,
+    _mobility_for,
+    peak_rss_kb,
+)
+from .scenarios import ScenarioSpec, get_scenario
+from .topology import build_city, region_for_tile, tile_adjacency
+
+__all__ = [
+    "ShardMap",
+    "ShardEngine",
+    "city_parents",
+    "partition_population",
+    "run_sharded",
+    "shard_lookahead",
+]
+
+#: raw-sample spill per (region, procedure) sketch in sharded runs:
+#: lightly-loaded cells merge exactly; busy cells use the P² combine.
+_SHARD_SKETCH_SPILL = 64
+
+#: safety valve: epochs allowed past the traffic horizon before the
+#: coordinator declares the run wedged (busy-polls and in-flight
+#: procedures drain within a handful of epochs in practice).
+_DRAIN_EPOCHS_MAX = 100_000
+
+#: per-shard auditor violation samples carried into the merged result.
+_VIOLATION_SAMPLES = 5
+
+#: wire size of one migration record on the inter-shard channel
+#: (gid + version + runs + clock + completion time + serving BS name).
+_MIGRATION_WIRE_BYTES = 64
+
+
+# ------------------------------------------------------------------ partition
+
+
+class ShardMap:
+    """Deterministic ownership: contiguous level-2 parent chunks.
+
+    ``parents`` (sorted) is split into ``shards`` contiguous chunks —
+    front-loaded remainder — so geohash band contiguity keeps adjacent
+    parents (where cross-parent handovers concentrate) co-sharded when
+    possible.  Parents churned in *after* the split (the spare tile
+    under a fresh parent) are assigned by bisecting into the initial
+    chunk starts: a pure function of the name, identical on every shard.
+    """
+
+    def __init__(self, parents: List[str], shards: int):
+        parents = sorted(set(parents))
+        if shards < 1:
+            raise ValueError("shards must be >= 1, got %d" % shards)
+        if shards > len(parents):
+            raise ValueError(
+                "shards=%d exceeds the city's %d level-2 regions — the "
+                "level-2 parent is the shard unit (grow l2_regions or "
+                "lower --shards)" % (shards, len(parents))
+            )
+        self.parents = parents
+        self.shards = shards
+        base, extra = divmod(len(parents), shards)
+        self._chunks: List[List[str]] = []
+        self._owner: Dict[str, int] = {}
+        start = 0
+        for k in range(shards):
+            size = base + (1 if k < extra else 0)
+            chunk = parents[start:start + size]
+            self._chunks.append(chunk)
+            for parent in chunk:
+                self._owner[parent] = k
+            start += size
+        self._starts = [chunk[0] for chunk in self._chunks]
+
+    def owner_of_parent(self, parent: str) -> int:
+        owner = self._owner.get(parent)
+        if owner is None:
+            owner = max(0, bisect_right(self._starts, parent) - 1)
+            self._owner[parent] = owner
+        return owner
+
+    def owner_of_tile(self, tile: str) -> int:
+        return self.owner_of_parent(tile[:-1])
+
+    def owned_parents(self, shard: int) -> List[str]:
+        return list(self._chunks[shard])
+
+
+def city_parents(spec: ScenarioSpec) -> List[str]:
+    """Sorted level-2 parents of the spec's city (the shardable units)."""
+    topo = build_city(
+        l2_regions=spec.l2_regions,
+        l1_per_l2=spec.l1_per_l2,
+        cpfs_per_region=spec.cpfs_per_region,
+        bss_per_region=spec.bss_per_region,
+        precision=spec.precision,
+    )
+    return sorted({t[:-1] for t in topo.tiles})
+
+
+def shard_lookahead(spec: ScenarioSpec) -> float:
+    """Conservative lookahead Δ: the minimum cross-shard link delay.
+
+    Cross-shard context transfer rides the far inter-CPF class (the
+    level-3 ring); jitter only adds on top of the base latency, so the
+    base is a true minimum.  Degenerate configs (zero latency) fall
+    back to epoch-synchronised windows of duration/64.
+    """
+    base = float(config_from_name(spec.config).latency.cpf_cpf_far)
+    if base <= 0.0:
+        return spec.duration_s / 64.0
+    return base
+
+
+def partition_population(
+    spec: ScenarioSpec, shard_map: ShardMap
+) -> Tuple[List[str], List[Tuple[array, array]]]:
+    """Home every UE, replaying the global placement draw sequence once.
+
+    Runs the generic ``scale.place`` loop (initial tile + BS pick per
+    UE) exactly as the single-process engine would, then routes each
+    ``(gid, bs)`` to the owner of its tile's parent.  Returns the BS
+    name table plus per-shard ``(gid array, bs-name-index array)`` —
+    compact enough to ship 1M homes over a pipe.
+    """
+    topo = build_city(
+        l2_regions=spec.l2_regions,
+        l1_per_l2=spec.l1_per_l2,
+        cpfs_per_region=spec.cpfs_per_region,
+        bss_per_region=spec.bss_per_region,
+        precision=spec.precision,
+    )
+    mobility = _mobility_for(spec, topo)
+    rng = RngRegistry(spec.seed).stream("scale.place")
+    bss = spec.bss_per_region
+    initial_tile = mobility.initial_tile
+    randrange = rng.randrange
+    bs_names: List[str] = []
+    name_idx: Dict[Tuple[str, int], int] = {}
+    owner_cache: Dict[str, int] = {}
+    gids = [array("l") for _ in range(shard_map.shards)]
+    bsidx = [array("l") for _ in range(shard_map.shards)]
+    for gid in range(spec.n_ue):
+        tile = initial_tile(rng)
+        b = randrange(bss)
+        key = (tile, b)
+        idx = name_idx.get(key)
+        if idx is None:
+            idx = name_idx[key] = len(bs_names)
+            bs_names.append("bs-%s-%d" % key)
+        owner = owner_cache.get(tile)
+        if owner is None:
+            owner = owner_cache[tile] = shard_map.owner_of_tile(tile)
+        gids[owner].append(gid)
+        bsidx[owner].append(idx)
+    return bs_names, list(zip(gids, bsidx))
+
+
+# ------------------------------------------------------------------ drivers
+
+
+class _ShardSlots:
+    """Mixin making a cohort driver grow-able and globally addressed.
+
+    Shard drivers start empty and add one slot per locally-homed UE (or
+    immigrant), so per-shard memory is O(local population), not O(n_ue)
+    × shards.  ``ids[i]`` is the UE's *global* id — ``ue_id(i)`` embeds
+    it, so a UE keeps one identity (auditor history, placements, trace)
+    across every shard it visits.  ``gone[i]`` marks a slot whose UE
+    emigrated: state was torn down here and arrivals must skip it.
+    """
+
+    def init_shard(self, engine) -> None:
+        self.engine = engine
+        self.ids = array("l")
+        self.slot_of: Dict[int, int] = {}
+        self.gone = bytearray()
+
+    def ue_id(self, i: int) -> str:
+        return "%s-%07d" % (self.prefix, self.ids[i])
+
+    def add_slot(self, gid: int) -> int:
+        i = self.slot_of.get(gid)
+        if i is not None:
+            return i
+        i = self.n
+        self.n += 1
+        self.ids.append(gid)
+        self.slot_of[gid] = i
+        self.attached.append(0)
+        self.busy.append(0)
+        self.version.append(0)
+        self.bs_idx.append(0)
+        self.runs.append(0)
+        self.gone.append(0)
+        return i
+
+    def run_procedure(self, i, proc, target_bs=None):
+        yield from super().run_procedure(i, proc, target_bs)
+        # a completed full handover may have crossed the shard boundary
+        self.engine._after_procedure(i)
+
+
+class ShardCohortDriver(_ShardSlots, CohortDriver):
+    def __init__(self, dep, bs_names: List[str], engine):
+        CohortDriver.__init__(self, dep, bs_names, 0)
+        self.init_shard(engine)
+
+
+class ShardBatchedDriver(_ShardSlots, BatchedDriver):
+    def __init__(self, dep, bs_names: List[str], engine):
+        BatchedDriver.__init__(self, dep, bs_names, 0)
+        self.init_shard(engine)
+
+    def add_slot(self, gid: int) -> int:
+        new = gid not in self.slot_of
+        i = super().add_slot(gid)
+        if new:
+            self._booted.append(0)
+        return i
+
+    def bootstrap(self, i: int, bs_name: str) -> None:
+        if self._lazy:
+            # per-slot version of BatchedDriver.setup_lane's wholesale
+            # prefill: the slot array grows one UE at a time here
+            self.version[i] = 1
+            self.attached[i] = 1
+            self.bs_idx[i] = self.bs_index(bs_name)
+            self.dep.auditor.writes += 1
+        else:
+            CohortDriver.bootstrap(self, i, bs_name)
+            self._booted[i] = 1
+
+    def placement_sink(self):
+        # the shard engine installs its precomputed population itself
+        return None
+
+
+# ------------------------------------------------------------------ engine
+
+
+class ShardEngine(_Engine):
+    """One shard's engine: full ghost topology, local traffic only."""
+
+    def __init__(
+        self,
+        spec: ScenarioSpec,
+        mode: str,
+        shard_idx: int,
+        shards: int,
+        population: Tuple[array, array],
+        bs_name_list: List[str],
+        delta: float,
+        obs=None,
+        verbose_trace: bool = False,
+    ):
+        if mode not in ("cohort", "batched"):
+            raise ValueError(
+                "sharded runs support modes 'cohort' and 'batched', got %r"
+                % (mode,)
+            )
+        self.shard_idx = shard_idx
+        self.n_shards = shards
+        self._pop_gids, self._pop_bsidx = population
+        self._pop_bs_names = bs_name_list
+        self.delta = delta
+        self._obs = obs
+        super().__init__(spec, mode=mode, obs=obs, verbose_trace=verbose_trace)
+        self.shard_map = ShardMap(
+            sorted({t[:-1] for t in self.topo.tiles}), shards
+        )
+        # Per-shard traffic streams: an independent fork per shard index.
+        # The deployment already took its rng fork from the *global*
+        # registry above, so ghost topologies stay identical everywhere.
+        self.rngs = RngRegistry(spec.seed).fork("shard:%d" % shard_idx)
+        self._sketch_spill = _SHARD_SKETCH_SPILL
+        self._buckets: Dict[Tuple[int, Optional[int]], List[int]] = {}
+        self._outbox: List[tuple] = []
+        self._owner_cache: Dict[str, int] = {}
+        # Partition the fault plan *after* driver construction: lane
+        # eligibility and hazard windows must see the full event list.
+        plan = self.injector.plan
+        owned: List = []
+        mirrored: List = []
+        for event in plan.events:
+            if event.op.endswith("_cpf") or event.op.endswith("_cta"):
+                target_region = region_of(event.target) or ""
+                owner = self.shard_map.owner_of_tile(target_region)
+            else:
+                owner = 0  # link-level ops: shard 0 owns the trace record
+            (owned if owner == shard_idx else mirrored).append(event)
+        plan.events = owned
+        self._mirror_events = mirrored
+
+    # -- wiring ------------------------------------------------------------
+
+    def _make_driver(self, mode: str, bs_names: List[str]):
+        if mode == "cohort":
+            return ShardCohortDriver(self.dep, bs_names, self)
+        driver = ShardBatchedDriver(self.dep, bs_names, self)
+        driver.setup_lane(self)
+        return driver
+
+    def prepare(self) -> None:
+        super().prepare()
+        for event in self._mirror_events:
+            self.sim.schedule(
+                max(0.0, event.at - self.sim.now), self._mirror_fire, event
+            )
+        self._wrap_hop()
+
+    def _mirror_fire(self, event) -> None:
+        """Apply a foreign-owned fault op silently (no counters/trace).
+
+        Node state must flip identically in every ghost topology; the
+        owning shard alone records and counts the op, so merged
+        fault_counters and the merged trace see it exactly once.
+        """
+        handler = getattr(self.injector, "_op_" + event.op, None)
+        if handler is not None:
+            handler(event)
+
+    def _wrap_hop(self) -> None:
+        """Count hops whose endpoints' parents live in different shards.
+
+        The ghost execution carries what a distributed deployment would
+        ship over the inter-shard channel (cross-parent handover and
+        repair legs); the wrapper makes that channel load observable.
+        """
+        inner = self.dep.hop
+        owner_of = self._owner_of_parent
+        counters = self.counters
+
+        def hop(hop_class, nbytes, src=None, dst=None, parent=None):
+            if src is not None and dst is not None:
+                rs, rd = region_of(src), region_of(dst)
+                if (
+                    rs is not None
+                    and rd is not None
+                    and rs[:-1] != rd[:-1]
+                    and owner_of(rs[:-1]) != owner_of(rd[:-1])
+                ):
+                    counters["channel_messages"] = (
+                        counters.get("channel_messages", 0) + 1
+                    )
+                    counters["channel_bytes"] = (
+                        counters.get("channel_bytes", 0) + nbytes
+                    )
+            return inner(hop_class, nbytes, src, dst, parent)
+
+        self.dep.hop = hop
+
+    def _owner_of_parent(self, parent: str) -> int:
+        owner = self._owner_cache.get(parent)
+        if owner is None:
+            owner = self._owner_cache[parent] = self.shard_map.owner_of_parent(
+                parent
+            )
+        return owner
+
+    def _owns_tile(self, tile: str) -> bool:
+        return self._owner_of_parent(tile[:-1]) == self.shard_idx
+
+    # -- population --------------------------------------------------------
+
+    def _bootstrap_population(self) -> None:
+        driver = self.driver
+        names = self._pop_bs_names
+        bsidx = self._pop_bsidx
+        gids = self._pop_gids
+        if getattr(driver, "_lazy", False) and driver.n == 0:
+            # bulk equivalent of add_slot + lazy bootstrap per UE —
+            # pure array/dict fills (no RNG, no events, no trace), so
+            # the slot state is bit-identical to the loop below at a
+            # fraction of the cost; this is the shard-side analogue of
+            # BatchedDriver.setup_lane's wholesale prefill
+            n = len(gids)
+            bsmap = [driver.bs_index(nm) for nm in names]
+            driver.ids = array("l", gids)
+            driver.slot_of = {g: k for k, g in enumerate(gids)}
+            driver.attached = bytearray(b"\x01") * n
+            driver.busy = bytearray(n)
+            driver.version = array("q", [1]) * n
+            if bsmap == list(range(len(names))):
+                driver.bs_idx = array("l", bsidx)
+            else:
+                driver.bs_idx = array("l", map(bsmap.__getitem__, bsidx))
+            driver.runs = array("l", [0]) * n
+            driver.gone = bytearray(n)
+            driver._booted = bytearray(n)
+            driver.n = n
+            driver.dep.auditor.writes += n
+            return
+        add_slot = driver.add_slot
+        bootstrap = driver.bootstrap
+        for k, gid in enumerate(gids):
+            bootstrap(add_slot(gid), names[bsidx[k]])
+
+    def _population_n(self) -> int:
+        return self.driver.n
+
+    def _bucket(self, lo: int, hi: Optional[int]) -> List[int]:
+        bucket = self._buckets.get((lo, hi))
+        if bucket is None:
+            ids = self.driver.ids
+            if hi is None:
+                bucket = list(range(len(ids)))
+            else:
+                bucket = [i for i, g in enumerate(ids) if lo <= g < hi]
+            self._buckets[(lo, hi)] = bucket
+        return bucket
+
+    def _class_count(self, lo: int, hi: int) -> int:
+        return len(self._bucket(lo, hi))
+
+    def _pick_idle(self, pick_rng, lo: int = 0, hi: Optional[int] = None):
+        bucket = self._bucket(lo, hi)
+        if not bucket:
+            self._count("arrivals_no_local")
+            return None
+        i = bucket[pick_rng.randrange(len(bucket))]
+        driver = self.driver
+        if driver.gone[i]:
+            self._count("arrivals_skipped_remote")
+            return None
+        if driver.busy[i]:
+            self._count("arrivals_skipped_busy")
+            return None
+        return i
+
+    def _slot_for(self, ue_id: str) -> Optional[int]:
+        return self.driver.slot_of.get(int(ue_id.split("-")[-1]))
+
+    def _evacuees(self, tile: str) -> List[int]:
+        driver = self.driver
+        gone = driver.gone
+        return [
+            i
+            for i in range(driver.n)
+            if driver.attached[i]
+            and not gone[i]
+            and driver.bs_of(i).split("-")[1] == tile
+        ]
+
+    # -- churn mirroring ---------------------------------------------------
+
+    def _churn_add(self, tile: str):
+        if self._owns_tile(tile):
+            yield from super()._churn_add(tile)
+            return
+        if tile in self.dep.region_map.regions:
+            return
+        # mirror: same ring change, no ownership counters/evacuation —
+        # but re-placement of *local* UEs is this shard's own work
+        self.dep.add_region(
+            region_for_tile(
+                tile, self.spec.cpfs_per_region, self.spec.bss_per_region
+            )
+        )
+        self._refresh_mobility()
+        yield from self._rebalance()
+
+    def _churn_remove(self, tile: str):
+        if self._owns_tile(tile):
+            yield from super()._churn_remove(tile)
+            return
+        if tile not in self.dep.region_map.regions:
+            return
+        remaining = [t for t in self.dep.region_map.regions if t != tile]
+        self.mobility.set_adjacency(tile_adjacency(remaining))
+        # no local UEs live under a foreign parent (in-flight immigrants
+        # land under owned parents), so there is nothing to evacuate;
+        # drop any placement defensively and retire the ghost region
+        for ue_id, placement in list(self.dep.placements_items()):
+            if placement.region == tile:
+                self.dep.drop_placement(ue_id)
+        self.dep.retire_region(tile)
+        yield from self._rebalance()
+
+    # -- migration protocol ------------------------------------------------
+
+    def _after_procedure(self, i: int) -> None:
+        """Emigrate UE ``i`` if its procedure left it under a foreign parent."""
+        driver = self.driver
+        if driver.gone[i] or not driver.attached[i]:
+            return
+        bs_name = driver.bs_of(i)
+        parent = bs_name.split("-")[1][:-1]
+        if self._owner_of_parent(parent) == self.shard_idx:
+            return
+        gid = driver.ids[i]
+        ue_id = driver.ue_id(i)
+        now = self.sim.now
+        self._outbox.append(
+            (
+                self._owner_of_parent(parent),
+                gid,
+                driver.version[i],
+                driver.runs[i],
+                self.dep.clock_of(ue_id),
+                bs_name,
+                now,
+            )
+        )
+        driver.gone[i] = 1
+        driver.attached[i] = 0
+        self.dep.drop_placement(ue_id)
+        self._count("migrations_out")
+        self._count("channel_messages")
+        self._count("channel_bytes", _MIGRATION_WIRE_BYTES)
+        self.trace.record(
+            now,
+            "shard_migrate_out",
+            ue=ue_id,
+            to=self._owner_of_parent(parent),
+            bs=bs_name,
+            version=driver.version[i],
+        )
+
+    def deliver(self, records: List[tuple]) -> None:
+        """Schedule immigrant installs at their conservative arrival times."""
+        for rec in records:
+            self.sim.schedule_at(rec[6] + self.delta, self._install, rec)
+
+    def _install(self, rec: tuple) -> None:
+        _dst, gid, version, runs, clock, bs_name, _t = rec
+        driver = self.driver
+        new = gid not in driver.slot_of
+        i = driver.add_slot(gid)
+        driver.gone[i] = 0
+        driver.busy[i] = 0
+        driver.runs[i] = runs
+        driver.version[i] = version
+        driver.bs_idx[i] = driver.bs_index(bs_name)
+        booted = getattr(driver, "_booted", None)
+        if booted is not None:
+            booted[i] = 1  # state arrives installed; never lazy-boot it
+        ue_id = driver.ue_id(i)
+        self._count("migrations_in")
+        try:
+            self.dep.install_migrated(ue_id, bs_name, version, clock)
+        except LookupError:
+            # destination region dark at arrival: the UE re-enters
+            # detached, exactly like a procedure abort mid-recovery
+            driver.attached[i] = 0
+            self._count("migrations_in_detached")
+        else:
+            driver.attached[i] = 1
+        self.trace.record(
+            self.sim.now,
+            "shard_migrate_in",
+            ue=ue_id,
+            bs=bs_name,
+            version=version,
+        )
+        if new:
+            for (lo, hi), bucket in self._buckets.items():
+                if hi is None or lo <= gid < hi:
+                    bucket.append(i)
+
+    # -- epoch stepping ----------------------------------------------------
+
+    def advance(self, until: float) -> None:
+        self.sim.run(until=until)
+
+    def pending(self) -> bool:
+        return bool(self.sim._heap or self.sim._immediate)
+
+    def next_event_s(self) -> float:
+        """Earliest instant this shard could execute (hence emit) anything.
+
+        ``run(until)`` drains the immediate queue before returning, so
+        after an epoch step the answer is simply the heap head (or +inf
+        when drained).  The coordinator uses the minimum across shards
+        to fast-forward over event-free epochs — see ``_epoch_loop``.
+        """
+        if self.sim._immediate:
+            return self.sim.now
+        heap = self.sim._heap
+        return heap[0][0] if heap else float("inf")
+
+    def take_outbox(self) -> List[tuple]:
+        out = self._outbox
+        self._outbox = []
+        return out
+
+    def owned_region_count(self) -> int:
+        return sum(
+            1 for t in self.dep.region_map.regions if self._owns_tile(t)
+        )
+
+    def finish_payload(self) -> Dict[str, Any]:
+        """Everything the coordinator needs to merge this shard's run."""
+        result = self.finish(self.sim.now)
+        auditor = self.dep.auditor
+        samples = [
+            {
+                "time": v.time,
+                "ue": v.ue_id,
+                "cpf": v.cpf_name,
+                "reader_version": v.reader_version,
+                "served_version": v.served_version,
+                "span": v.span_id,
+            }
+            for v in auditor.violations[:_VIOLATION_SAMPLES]
+        ]
+        return {
+            "result": result,
+            "records": list(self.trace.records),
+            "sketches": dict(self.sketches),
+            "owned_regions": self.owned_region_count(),
+            "parents": self.shard_map.owned_parents(self.shard_idx),
+            "violations_sample": samples,
+            "n_local": len(self._pop_gids),
+            "end": self.sim.now,
+            "obs": self._obs.snapshot() if self._obs is not None else None,
+        }
+
+
+# ------------------------------------------------------------------ backends
+
+
+def _host_step(engine: ShardEngine, until: float, inbox: List[tuple]):
+    engine.deliver(inbox)
+    engine.advance(until)
+    return engine.take_outbox(), engine.pending(), engine.next_event_s()
+
+
+class _InlineHost:
+    """Serial in-process shard: the worker protocol without the worker.
+
+    Runs the identical engine call sequence as a process worker, so an
+    inline run's merged digest is bit-identical to a multi-process one —
+    the determinism witness holds on single-core machines.
+    """
+
+    def __init__(self, make_engine):
+        self._make_engine = make_engine
+        self.engine: Optional[ShardEngine] = None
+        self.wall = 0.0
+        self.cpu = 0.0
+        self._last = None
+
+    def start(self) -> None:
+        t0, c0 = time.perf_counter(), time.process_time()
+        self.engine = self._make_engine()
+        self.engine.prepare()
+        self.wall += time.perf_counter() - t0
+        self.cpu += time.process_time() - c0
+
+    def step_send(self, until: float, inbox: List[tuple]) -> None:
+        t0, c0 = time.perf_counter(), time.process_time()
+        self._last = _host_step(self.engine, until, inbox)
+        self.wall += time.perf_counter() - t0
+        self.cpu += time.process_time() - c0
+
+    def step_recv(self):
+        return self._last
+
+    def finish(self) -> Dict[str, Any]:
+        t0, c0 = time.perf_counter(), time.process_time()
+        payload = self.engine.finish_payload()
+        self.wall += time.perf_counter() - t0
+        self.cpu += time.process_time() - c0
+        payload["wall_s"] = self.wall
+        payload["cpu_s"] = self.cpu
+        # inline shards share the coordinator process; per-shard RSS is
+        # not separable, so report the engine's own process peak
+        payload["rss_kb"] = peak_rss_kb()
+        return payload
+
+    def close(self) -> None:
+        pass
+
+
+class _ProcessHost:
+    """Coordinator-side proxy for one long-lived shard worker process."""
+
+    def __init__(self, handle):
+        self.handle = handle
+
+    def start(self) -> None:
+        pass  # prepared during spawn handshake
+
+    def step_send(self, until: float, inbox: List[tuple]) -> None:
+        self.handle.send(("step", until, inbox))
+
+    def step_recv(self):
+        msg = self._recv()
+        return msg[1], msg[2], msg[3]
+
+    def finish(self) -> Dict[str, Any]:
+        self.handle.send(("finish",))
+        return self._recv()[1]
+
+    def _recv(self):
+        try:
+            msg = self.handle.recv()
+        except EOFError:
+            raise RuntimeError("shard worker died mid-run")
+        if msg[0] == "error":
+            raise RuntimeError("shard worker failed: %s" % (msg[1],))
+        return msg
+
+    def close(self) -> None:
+        self.handle.close()
+
+
+def _shard_worker(
+    conn,
+    spec,
+    mode,
+    shard_idx,
+    shards,
+    verbose_trace,
+    obs_mode,
+    bs_names,
+    gids,
+    bsidx,
+    delta,
+):
+    """Long-lived worker: build one shard engine, serve epoch messages."""
+    try:
+        obs = None
+        if obs_mode:
+            from ..obs import Observability
+
+            obs = Observability(obs_mode)
+        engine = ShardEngine(
+            spec,
+            mode=mode,
+            shard_idx=shard_idx,
+            shards=shards,
+            population=(gids, bsidx),
+            bs_name_list=bs_names,
+            delta=delta,
+            obs=obs,
+            verbose_trace=verbose_trace,
+        )
+        wall, cpu = time.perf_counter(), time.process_time()
+        engine.prepare()
+        wall = time.perf_counter() - wall
+        cpu = time.process_time() - cpu
+        conn.send(("ready",))
+        while True:
+            msg = conn.recv()
+            if msg[0] == "step":
+                t0, c0 = time.perf_counter(), time.process_time()
+                out, busy, nxt = _host_step(engine, msg[1], msg[2])
+                wall += time.perf_counter() - t0
+                cpu += time.process_time() - c0
+                conn.send(("stepped", out, busy, nxt))
+            elif msg[0] == "finish":
+                t0, c0 = time.perf_counter(), time.process_time()
+                payload = engine.finish_payload()
+                wall += time.perf_counter() - t0
+                cpu += time.process_time() - c0
+                payload["wall_s"] = wall
+                payload["cpu_s"] = cpu
+                payload["rss_kb"] = peak_rss_kb()
+                conn.send(("done", payload))
+                conn.close()
+                return
+            else:
+                raise ValueError("unknown shard message %r" % (msg[0],))
+    except BaseException as err:  # pragma: no cover - ferried to coordinator
+        try:
+            conn.send(("error", "%s: %s" % (type(err).__name__, err)))
+        except Exception:
+            pass
+
+
+# ------------------------------------------------------------------ merge
+
+
+def _merge_sketch_tables(payloads) -> Dict[str, Dict[str, Dict[str, Optional[float]]]]:
+    keys = sorted({key for p in payloads for key in p["sketches"]})
+    region_pct_ms: Dict[str, Dict[str, Dict[str, Optional[float]]]] = {}
+    for key in keys:
+        merged = QuantileSketch.merge(
+            [p["sketches"].get(key) for p in payloads], name="%s/%s" % key
+        )
+        summary = merged.summary()
+        out: Dict[str, Optional[float]] = {"count": summary.get("count", 0.0)}
+        for k, v in summary.items():
+            if k != "count":
+                out[k] = None if v is None else v * 1e3
+        region, proc = key
+        region_pct_ms.setdefault(region, {})[proc] = out
+    return region_pct_ms
+
+
+def _merge_payloads(
+    spec: ScenarioSpec,
+    mode: str,
+    shards: int,
+    payloads: List[Dict[str, Any]],
+    delta: float,
+    epochs: int,
+    backend: str,
+    wall0: float,
+) -> ScaleResult:
+    results: List[ScaleResult] = [p["result"] for p in payloads]
+    counters: Dict[str, int] = {}
+    fault_counters: Dict[str, int] = {}
+    lane: Dict[str, int] = {}
+    for r in results:
+        for k, v in r.counters.items():
+            counters[k] = counters.get(k, 0) + v
+        for k, v in r.fault_counters.items():
+            fault_counters[k] = fault_counters.get(k, 0) + v
+        for k, v in r.lane.items():
+            if k in ("enabled", "lazy_bootstrap"):
+                lane[k] = max(lane.get(k, 0), v)
+            else:
+                lane[k] = lane.get(k, 0) + v
+    merged_trace = merge_traces([p["records"] for p in payloads])
+    shard_rows = [
+        {
+            "shard": k,
+            "parents": list(p["parents"]),
+            "n_local": p["n_local"],
+            "migrations_out": r.counters.get("migrations_out", 0),
+            "migrations_in": r.counters.get("migrations_in", 0),
+            "wall_s": p["wall_s"],
+            "cpu_s": p["cpu_s"],
+            "rss_kb": p["rss_kb"],
+            "violations": r.violations,
+            "violations_sample": p["violations_sample"],
+        }
+        for k, (p, r) in enumerate(zip(payloads, results))
+    ]
+    perf: Dict[str, Any] = {
+        "wall_s": time.perf_counter() - wall0,
+        "peak_rss_kb": peak_rss_kb(),
+        "total_rss_kb": sum(p["rss_kb"] for p in payloads),
+        # on a single-CPU host the workers time-slice, so a worker's
+        # *elapsed* wall includes time spent descheduled while its
+        # siblings ran; max_shard_cpu_s is the honest critical path —
+        # what the slowest shard would take given a core of its own
+        "max_shard_wall_s": max(p["wall_s"] for p in payloads),
+        "max_shard_cpu_s": max(p["cpu_s"] for p in payloads),
+        "lookahead_s": delta,
+        "epochs": epochs,
+        "backend": backend,
+    }
+    return ScaleResult(
+        scenario=spec.name,
+        mode=mode,
+        n_ue=spec.n_ue,
+        duration_s=spec.duration_s,
+        seed=spec.seed,
+        end_time_s=max(p["end"] for p in payloads),
+        regions_final=sum(p["owned_regions"] for p in payloads),
+        serves=sum(r.serves for r in results),
+        writes=sum(r.writes for r in results),
+        violations=sum(r.violations for r in results),
+        completed=sum(r.completed for r in results),
+        aborted=sum(r.aborted for r in results),
+        recovered=sum(r.recovered for r in results),
+        reattached=sum(r.reattached for r in results),
+        counters=counters,
+        fault_counters=fault_counters,
+        region_pct_ms=_merge_sketch_tables(payloads),
+        digest=merged_trace.digest(),
+        trace_events=len(merged_trace),
+        lane=lane,
+        n_shards=shards,
+        perf=perf,
+        shards=shard_rows,
+    )
+
+
+# ------------------------------------------------------------------ coordinator
+
+
+def _epoch_loop(hosts, duration: float, delta: float) -> int:
+    """Advance all shards in lockstep Δ epochs until fully drained.
+
+    Event-free epochs are fast-forwarded: when the earliest thing any
+    shard could execute — minimum heap head across shards, or the
+    arrival instant of a record in flight — is ``nxt``, no shard can
+    *emit* before ``nxt``, so no record can *arrive* before
+    ``nxt + Δ``, and every epoch boundary strictly below ``nxt + Δ``
+    is both event-free and message-free.  Skipping them executes the
+    identical event sequence as strict lockstep (the boundary stays on
+    the same repeated-addition Δ grid, and strictly below the earliest
+    arrival so ``run(until)``'s inclusive boundary can never pull a
+    same-instant event ahead of an install).  This matters because
+    drain tails run tens of simulated seconds past the traffic horizon
+    at Δ ≈ 1.5 ms — tens of thousands of empty round trips without it.
+    """
+    for host in hosts:
+        host.start()
+    inboxes: List[List[tuple]] = [[] for _ in hosts]
+    t = 0.0
+    epochs = 0
+    max_epochs = int(duration / delta) + _DRAIN_EPOCHS_MAX
+    while True:
+        epochs += 1
+        if epochs > max_epochs:
+            raise RuntimeError(
+                "sharded run failed to drain after %d epochs" % epochs
+            )
+        t += delta
+        # send every step first: process workers advance concurrently
+        for host, inbox in zip(hosts, inboxes):
+            host.step_send(t, inbox)
+        inboxes = [[] for _ in hosts]
+        busy = False
+        nxt = float("inf")
+        for host in hosts:
+            outbox, pending, head = host.step_recv()
+            busy = busy or pending
+            if head < nxt:
+                nxt = head
+            for rec in outbox:
+                inboxes[rec[0]].append(rec)
+                arrival = rec[6] + delta
+                if arrival < nxt:
+                    nxt = arrival
+        if t >= duration and not busy and not any(inboxes):
+            return epochs
+        # fast-forward: leave t at the last boundary whose *successor*
+        # (the next epoch's until, assigned at the top of the loop) is
+        # still strictly below the earliest possible arrival
+        if nxt == float("inf"):
+            while t + delta < duration:
+                t += delta
+        else:
+            limit = nxt + delta
+            step = t + delta
+            while step + delta < limit:
+                t = step
+                step = t + delta
+
+
+def run_sharded(
+    scenario,
+    n_ue: Optional[int] = None,
+    duration_s: Optional[float] = None,
+    seed: Optional[int] = None,
+    mode: str = "cohort",
+    shards: int = 2,
+    backend: str = "auto",
+    obs=None,
+    verbose_trace: bool = False,
+) -> ScaleResult:
+    """Run one scenario partitioned across ``shards`` shard engines.
+
+    ``shards=0`` means one per core (:func:`default_jobs`); ``shards=1``
+    is exactly the single-process engine.  ``backend`` selects the
+    execution vehicle: ``"process"`` forks one long-lived worker per
+    shard, ``"inline"`` runs the same engines round-robin in-process
+    (bit-identical results — the CI witness path), and ``"auto"`` picks
+    processes when more than one core is available.
+    """
+    spec = get_scenario(scenario) if isinstance(scenario, str) else scenario
+    spec = spec.with_overrides(n_ue=n_ue, duration_s=duration_s, seed=seed)
+    if backend not in ("auto", "inline", "process"):
+        raise ValueError("backend must be auto/inline/process, got %r" % backend)
+    if shards == 0:
+        shards = default_jobs()
+    if shards < 0:
+        raise ValueError("shards must be >= 0, got %d" % shards)
+    if shards == 1:
+        return _Engine(spec, mode=mode, obs=obs, verbose_trace=verbose_trace).run()
+    if mode not in ("cohort", "batched"):
+        raise ValueError(
+            "sharded runs support modes 'cohort' and 'batched', got %r" % (mode,)
+        )
+    if obs is not None and getattr(obs, "mode", None) == "trace":
+        raise ValueError(
+            "--obs trace is incompatible with --shards > 1 (span retention "
+            "is per-process); use --obs metrics, whose snapshots merge"
+        )
+    wall0 = time.perf_counter()
+    parents = city_parents(spec)
+    shard_map = ShardMap(parents, shards)  # validates shards <= len(parents)
+    bs_names, populations = partition_population(spec, shard_map)
+    delta = shard_lookahead(spec)
+    obs_mode = getattr(obs, "mode", None) if obs is not None else None
+
+    hosts = None
+    backend_used = "inline"
+    if backend == "process" or (backend == "auto" and default_jobs() > 1):
+        worker_args = [
+            (
+                spec,
+                mode,
+                k,
+                shards,
+                verbose_trace,
+                obs_mode,
+                bs_names,
+                populations[k][0],
+                populations[k][1],
+                delta,
+            )
+            for k in range(shards)
+        ]
+        try:
+            handles = spawn_workers(_shard_worker, worker_args)
+        except WorkerSpawnError:
+            if backend == "process":
+                raise
+            handles = None
+        if handles is not None:
+            hosts = []
+            try:
+                for handle in handles:
+                    msg = handle.recv()
+                    if msg[0] == "error":
+                        raise RuntimeError(
+                            "shard worker failed during startup: %s" % (msg[1],)
+                        )
+                    hosts.append(_ProcessHost(handle))
+                backend_used = "process"
+            except EOFError:
+                # the platform forked but killed the children: fall back
+                for handle in handles:
+                    handle.close(timeout=1.0)
+                hosts = None
+                if backend == "process":
+                    raise WorkerSpawnError("shard workers died during startup")
+    if hosts is None:
+        # one Observability *per shard*, exactly like the process
+        # backend, so lane eligibility (and hence the digest) cannot
+        # depend on which backend ran
+        def _shard_obs():
+            if obs_mode is None:
+                return None
+            from ..obs import Observability
+
+            return Observability(obs_mode)
+
+        def _maker(k):
+            return lambda: ShardEngine(
+                spec,
+                mode=mode,
+                shard_idx=k,
+                shards=shards,
+                population=populations[k],
+                bs_name_list=bs_names,
+                delta=delta,
+                obs=_shard_obs(),
+                verbose_trace=verbose_trace,
+            )
+
+        hosts = [_InlineHost(_maker(k)) for k in range(shards)]
+
+    try:
+        epochs = _epoch_loop(hosts, spec.duration_s, delta)
+        payloads = [host.finish() for host in hosts]
+    finally:
+        for host in hosts:
+            host.close()
+
+    result = _merge_payloads(
+        spec, mode, shards, payloads, delta, epochs, backend_used, wall0
+    )
+    snapshots = [p["obs"] for p in payloads if p["obs"] is not None]
+    if snapshots:
+        from ..obs.metrics import merge_snapshots
+
+        metrics = [s.get("metrics") for s in snapshots]
+        result.obs_snapshot = {
+            "mode": obs_mode,
+            "shards": len(snapshots),
+            "spans_started": sum(s.get("spans_started", 0) for s in snapshots),
+            "spans_finished": sum(
+                s.get("spans_finished", 0) for s in snapshots
+            ),
+            "metrics": merge_snapshots([m for m in metrics if m is not None]),
+        }
+    return result

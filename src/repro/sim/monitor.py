@@ -204,6 +204,104 @@ class P2Quantile:
             return percentile(heights, self.q * 100.0)
         return heights[2]
 
+    def atoms(self) -> List[Tuple[float, float]]:
+        """The estimator's state as weighted sample atoms, for merging.
+
+        While the sample still fits in the marker buffer the atoms are
+        the exact observations (weight 1 each).  Afterwards each of the
+        five markers stands for the slice of the sorted stream it has
+        absorbed; splitting each inter-marker gap evenly between its two
+        endpoints gives marker ``i`` the weight
+        ``(pos[i+1] - pos[i-1]) / 2`` (the extremes keep their own
+        half-gap plus the sample they pin), which telescopes to exactly
+        ``count``.  A weighted percentile over the atoms of several
+        estimators is the deterministic cross-shard combine rule.
+        """
+        heights = self._heights
+        if not heights:
+            return []
+        if len(heights) < 5 or self.count <= 5:
+            return [(float(h), 1.0) for h in heights]
+        pos = self._positions
+        weights = (
+            (pos[1] - pos[0]) / 2.0 + 0.5,
+            (pos[2] - pos[0]) / 2.0,
+            (pos[3] - pos[1]) / 2.0,
+            (pos[4] - pos[2]) / 2.0,
+            (pos[4] - pos[3]) / 2.0 + 0.5,
+        )
+        return [(float(heights[i]), weights[i]) for i in range(5)]
+
+
+def _weighted_percentile(
+    atoms: Iterable[Tuple[float, float]], q: float
+) -> Optional[float]:
+    """Percentile ``q`` in (0,1) of weighted sample atoms.
+
+    Midpoint-cumulative rule: atom ``i`` sits at cumulative mass
+    ``(sum of weights before it) + w_i / 2``; the estimate linearly
+    interpolates between neighbouring atoms and clamps to the extreme
+    atom values outside their midpoints.  With unit weights and
+    ``n`` values this lands within half a rank of the exact
+    linear-interpolation percentile.  Pure float arithmetic over a
+    sorted list — deterministic for a fixed multiset of atoms.
+    """
+    ordered = sorted((float(v), float(w)) for v, w in atoms if w > 0.0)
+    if not ordered:
+        return None
+    total = sum(w for _, w in ordered)
+    target = q * total
+    points: List[Tuple[float, float]] = []
+    cum = 0.0
+    for v, w in ordered:
+        points.append((cum + w / 2.0, v))
+        cum += w
+    if target <= points[0][0]:
+        return points[0][1]
+    if target >= points[-1][0]:
+        return points[-1][1]
+    for j in range(1, len(points)):
+        c1, v1 = points[j]
+        if target <= c1:
+            c0, v0 = points[j - 1]
+            if c1 <= c0:
+                return v1
+            frac = (target - c0) / (c1 - c0)
+            return v0 + (v1 - v0) * frac
+    return points[-1][1]
+
+
+class _FrozenQuantile:
+    """Read-only stand-in estimator inside a merged sketch.
+
+    Holds the combined estimate for one quantile.  A merged sketch in
+    the mixture regime has no stream to keep observing, so ``observe``
+    refuses loudly instead of silently degrading the estimate.
+    """
+
+    __slots__ = ("q", "_value", "count")
+
+    def __init__(self, q: float, value: Optional[float], count: int):
+        self.q = q
+        self._value = value
+        self.count = count
+
+    def value(self) -> Optional[float]:
+        return self._value
+
+    def observe(self, value: float) -> None:
+        raise TypeError(
+            "merged QuantileSketch is read-only (mixture regime); "
+            "merge again instead of observing"
+        )
+
+    def atoms(self) -> List[Tuple[float, float]]:
+        # Re-merging a merged sketch: the whole mass collapses onto the
+        # estimate.  Coarse, but deterministic and mass-preserving.
+        if self._value is None:
+            return []
+        return [(self._value, float(self.count))]
+
 
 class QuantileSketch:
     """Bounded-memory replacement for :class:`Tally` at population scale.
@@ -212,30 +310,50 @@ class QuantileSketch:
     approximately (one :class:`P2Quantile` each).  Memory is O(1) per
     sketch regardless of how many observations stream through, so a
     100k-UE scenario can keep one per (region, procedure) pair.
+
+    ``spill`` bounds an optional raw-sample buffer: while the stream
+    fits (``count <= spill``) the raw values are retained in arrival
+    order and quantile reads are exact; the first observation past the
+    bound drops the buffer and reads fall back to the P² estimators
+    (which are eagerly fed from the start, so the fallback loses
+    nothing).  Sharded runs use a small spill so cross-shard merges of
+    lightly-loaded (region, procedure) cells stay exact.
     """
 
-    __slots__ = ("name", "count", "_sum", "_min", "_max", "_quantiles")
+    __slots__ = ("name", "count", "_sum", "_min", "_max", "_quantiles", "spill", "_raw")
 
     DEFAULT_QS = (0.50, 0.95, 0.99)
 
-    def __init__(self, name: str = "", qs: Iterable[float] = DEFAULT_QS):
+    def __init__(
+        self, name: str = "", qs: Iterable[float] = DEFAULT_QS, spill: int = 0
+    ):
         self.name = name
         self.count = 0
         self._sum = 0.0
         self._min = math.inf
         self._max = -math.inf
         self._quantiles = {q: P2Quantile(q) for q in qs}
+        self.spill = int(spill)
+        self._raw: Optional[List[float]] = [] if self.spill > 0 else None
 
     def observe(self, value: float) -> None:
         value = float(value)
+        # feed the estimators first: a frozen (merged-mixture) sketch
+        # rejects the observation before any scalar is touched
+        for est in self._quantiles.values():
+            est.observe(value)
         self.count += 1
         self._sum += value
         if value < self._min:
             self._min = value
         if value > self._max:
             self._max = value
-        for est in self._quantiles.values():
-            est.observe(value)
+        raw = self._raw
+        if raw is not None:
+            if self.count <= self.spill:
+                raw.append(value)
+            else:
+                self._raw = None  # overflow: sketch-only from here on
 
     @property
     def mean(self) -> Optional[float]:
@@ -269,6 +387,9 @@ class QuantileSketch:
                 "sketch %r does not track q=%r (has: %s)"
                 % (self.name, q, sorted(self._quantiles))
             )
+        if self._raw is not None:
+            # Spill regime: the raw sample still fits — read it exactly.
+            return percentile(sorted(self._raw), q * 100.0, default=None)
         value = est.value()
         if value is None:
             return None
@@ -289,6 +410,11 @@ class QuantileSketch:
             out["mean"] = self.mean
             out["min"] = self._min
             out["max"] = self._max
+            if self._raw is not None:
+                ordered = sorted(self._raw)
+                for q in sorted(self._quantiles):
+                    out["p%g" % (q * 100.0)] = percentile(ordered, q * 100.0)
+                return out
             floor = -math.inf
             for q, est in sorted(self._quantiles.items()):
                 value = est.value()
@@ -298,6 +424,58 @@ class QuantileSketch:
                         value = floor
                     floor = value
                 out["p%g" % (q * 100.0)] = value
+        return out
+
+    @classmethod
+    def merge(cls, sketches: Iterable["QuantileSketch"], name: str = "") -> "QuantileSketch":
+        """Deterministically combine sketches of the same tracked quantiles.
+
+        count/sum/min/max merge exactly.  If **every** input still holds
+        its raw spill buffer, the merge is exact: the concatenated raw
+        values are replayed (sorted, for input-order independence) into
+        a fresh sketch whose spill bound covers the merged sample, so
+        hierarchical merges stay exact too.  Otherwise the merge is a
+        mixture combine: per tracked quantile, each input contributes
+        its weighted sample atoms (raw values at weight 1, or the five
+        P² marker atoms) and the estimate is their weighted percentile,
+        clamped into the exact [min, max].  The mixture result is
+        read-only — its estimators cannot absorb new observations.
+        """
+        inputs = [s for s in sketches if s is not None]
+        if not inputs:
+            return cls(name)
+        qs = sorted(inputs[0]._quantiles)
+        for s in inputs[1:]:
+            if sorted(s._quantiles) != qs:
+                raise ValueError(
+                    "cannot merge sketches tracking different quantiles: %s vs %s"
+                    % (qs, sorted(s._quantiles))
+                )
+        total = sum(s.count for s in inputs)
+        if all(s._raw is not None for s in inputs):
+            spill = max([total] + [s.spill for s in inputs])
+            merged = cls(name, qs=qs, spill=spill)
+            for value in sorted(v for s in inputs for v in s._raw):
+                merged.observe(value)
+            return merged
+        out = cls(name, qs=qs)
+        out.count = total
+        out._sum = sum(s._sum for s in inputs)
+        live = [s for s in inputs if s.count]
+        if live:
+            out._min = min(s._min for s in live)
+            out._max = max(s._max for s in live)
+        for q in qs:
+            atoms: List[Tuple[float, float]] = []
+            for s in live:
+                if s._raw is not None:
+                    atoms.extend((float(v), 1.0) for v in s._raw)
+                else:
+                    atoms.extend(s._quantiles[q].atoms())
+            estimate = _weighted_percentile(atoms, q)
+            if estimate is not None:
+                estimate = min(max(estimate, out._min), out._max)
+            out._quantiles[q] = _FrozenQuantile(q, estimate, total)
         return out
 
 

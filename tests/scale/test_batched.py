@@ -40,10 +40,13 @@ def run(scenario, seed, mode, n_ue=N, duration_s=2.0, audit_history=None):
 
 
 def stripped(result):
-    """Full result dict minus the fields that *name* the driver."""
+    """Full result dict minus the fields that *name* the driver
+    (and the measured-cost fields, which are machine noise)."""
     d = result.to_dict()
     d.pop("mode")
     d.pop("lane", None)
+    d.pop("perf", None)
+    d.pop("shards", None)
     return d
 
 

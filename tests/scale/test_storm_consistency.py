@@ -132,7 +132,7 @@ def test_storm_runs_are_reproducible(spec):
     a = run_scenario(spec, verbose_trace=True)
     b = run_scenario(spec, verbose_trace=True)
     assert a.digest == b.digest
-    assert a.to_dict() == b.to_dict()
+    assert a == b  # dataclass eq skips the measured-cost fields (perf)
 
 
 # -------------------------------------------------------- pinned corpus

@@ -179,3 +179,62 @@ class TestScale:
     def test_unknown_scenario_rejected(self):
         with pytest.raises(SystemExit):
             main(["scale", "not-a-city"])
+
+
+class TestScaleSharded:
+    ARGS = [
+        "scale", "steady-city", "--n-ue", "200", "--duration", "0.5",
+        "--shards", "2", "--shard-backend", "inline",
+    ]
+
+    def test_sharded_run_reports(self, capsys):
+        assert main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "shards=2" in out
+        assert "violations=0" in out
+        assert "shard 0:" in out and "shard 1:" in out
+
+    def test_sharded_json_carries_perf_and_shards(self, capsys):
+        import json
+
+        assert main(self.ARGS + ["--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["n_shards"] == 2
+        assert len(data["shards"]) == 2
+        assert data["perf"]["backend"] == "inline"
+        assert data["perf"]["lookahead_s"] > 0
+
+    def test_shards_one_matches_unsharded_digest(self, capsys):
+        base = [
+            "scale", "steady-city", "--n-ue", "150", "--duration", "0.4",
+            "--verbose-trace", "--json",
+        ]
+        import json
+
+        assert main(base) == 0
+        plain = json.loads(capsys.readouterr().out)
+        assert main(base + ["--shards", "1"]) == 0
+        sharded = json.loads(capsys.readouterr().out)
+        assert plain["digest"] == sharded["digest"]
+
+    def test_sharded_obs_metrics_merges(self, capsys):
+        assert main(self.ARGS + ["--obs"]) == 0
+        out = capsys.readouterr().out
+        assert "obs: spans=" in out and "mode=metrics" in out
+
+    def test_too_many_shards_rejected(self, capsys):
+        argv = list(self.ARGS)
+        argv[argv.index("--shards") + 1] = "99"
+        assert main(argv) == 2
+        err = capsys.readouterr().err
+        assert "level-2 regions" in err
+
+    def test_incompatible_combos_rejected(self, capsys):
+        assert main(self.ARGS + ["--mode", "individual"]) == 2
+        assert "individual" in capsys.readouterr().err
+        assert main(self.ARGS + ["--obs", "trace"]) == 2
+        assert "--obs trace" in capsys.readouterr().err
+        assert main(self.ARGS + ["--seeds", "1,2"]) == 2
+        assert "--seeds" in capsys.readouterr().err
+        assert main(self.ARGS[:-2] + ["--shards", "bogus"]) == 2
+        assert "integer or 'auto'" in capsys.readouterr().err
