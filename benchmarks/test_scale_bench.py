@@ -34,6 +34,7 @@ import pytest
 
 pytest.importorskip("pytest_benchmark")
 
+from repro.obs import Observability
 from repro.scale.engine import run_scenario
 
 N_UE = 20_000
@@ -73,6 +74,27 @@ def test_scale_steady_city_sharded(benchmark):
     assert result.violations == 0
     assert result.perf["backend"] == "inline"
     assert len(result.shards) == 2
+
+
+def _run_sharded_obs():
+    # same inline 2-shard run with full tracing installed per shard:
+    # spans + bounded retention + span-table export at merge + stitch
+    # inputs.  The delta over test_scale_steady_city_sharded is the
+    # whole sharded-obs machinery, guarded so instrumentation creep on
+    # the traced path shows up in CI.
+    return run_scenario(
+        "steady-city", n_ue=N_UE, duration_s=DURATION_S, seed=1,
+        mode="batched", shards=2, shard_backend="inline",
+        obs=Observability("trace"),
+    )
+
+
+def test_scale_steady_city_sharded_obs(benchmark):
+    result = benchmark.pedantic(_run_sharded_obs, rounds=3, iterations=1)
+    assert result.violations == 0
+    assert result.obs_snapshot["spans_finished"] > 0
+    assert result.obs_snapshot["retention"]["limit"] > 0
+    assert len(result.obs_shards) == 2
 
 
 def test_scale_batched_speedup_witness():

@@ -440,7 +440,32 @@ def main(argv: List[str] = None) -> int:
     scale_parser.add_argument(
         "--obs", nargs="?", const="metrics", default=None,
         choices=["metrics", "trace"],
-        help="install observability (bare --obs = bounded metrics mode)",
+        help="install observability (bare --obs = bounded metrics mode; "
+        "trace mode on sharded runs stitches one Chrome/Perfetto trace "
+        "with per-shard process tracks and cross-shard flow events)",
+    )
+    scale_parser.add_argument(
+        "--obs-stream", default=None, metavar="FILE|-",
+        help="write the epoch-aligned NDJSON heartbeat stream here "
+        "('-' = stdout); heartbeats piggyback on the lockstep epoch "
+        "messages of sharded runs — zero extra round trips",
+    )
+    scale_parser.add_argument(
+        "--span-keep", type=int, default=None, metavar="K",
+        help="bounded span retention for --obs trace: keep the slowest "
+        "K roots per procedure plus every fault/recovery/migration "
+        "tree (default: unbounded single-process, 32 sharded)",
+    )
+    scale_parser.add_argument(
+        "--trace-out", default=None, metavar="FILE",
+        help="Chrome/Perfetto trace output path for --obs trace "
+        "(default: scale-<scenario>.trace.json)",
+    )
+    scale_parser.add_argument(
+        "--ledger", default=None, metavar="FILE",
+        help="write the structured end-of-run ledger (JSON, schema "
+        "repro.run_ledger/v1: config + code fingerprints, per-shard "
+        "perf/health, latency quantiles, auditor verdict)",
     )
     scale_parser.add_argument(
         "--verbose-trace", action="store_true",
@@ -622,13 +647,13 @@ def _run_scale(args) -> int:
                 "by design)", file=sys.stderr,
             )
             return 2
-        if args.obs == "trace":
-            print(
-                "error: --obs trace is incompatible with --shards "
-                "(span retention is per-process); use --obs metrics, "
-                "whose snapshots merge exactly", file=sys.stderr,
-            )
-            return 2
+    if args.seeds and (args.obs_stream or args.ledger or args.trace_out):
+        print(
+            "error: --obs-stream/--ledger/--trace-out describe one run; "
+            "they are incompatible with the --seeds replicate sweep",
+            file=sys.stderr,
+        )
+        return 2
 
     if args.seeds:
         seeds = [int(s) for s in args.seeds.split(",") if s]
@@ -666,7 +691,12 @@ def _run_scale(args) -> int:
     if args.obs is not None:
         from .obs import Observability
 
-        obs = Observability(args.obs)
+        obs = Observability(args.obs, span_keep=args.span_keep)
+    stream = closer = None
+    if args.obs_stream:
+        from .obs.stream import open_stream
+
+        stream, closer = open_stream(args.obs_stream)
     try:
         result = run_scenario(
             args.scenario,
@@ -675,6 +705,7 @@ def _run_scale(args) -> int:
             seed=args.seed,
             mode=args.mode,
             obs=obs,
+            stream=stream,
             verbose_trace=args.verbose_trace,
             shards=shards,
             shard_backend=args.shard_backend,
@@ -683,6 +714,41 @@ def _run_scale(args) -> int:
         # e.g. more shards than level-2 regions
         print("error: %s" % err, file=sys.stderr)
         return 2
+    finally:
+        if closer is not None:
+            closer.close()
+
+    trace_path = None
+    flow_events = None
+    if args.obs == "trace":
+        from .obs.export import (
+            chrome_trace_events,
+            stitch_chrome_trace,
+            validate_chrome_trace,
+        )
+
+        trace_path = args.trace_out or "scale-%s.trace.json" % args.scenario
+        obs_shards = getattr(result, "obs_shards", None)
+        if obs_shards is not None:
+            data = stitch_chrome_trace(obs_shards)
+            flow_events = data["metadata"]["flow_events"]
+        else:
+            data = chrome_trace_events(obs.tracer)
+        validate_chrome_trace(data)
+        with open(trace_path, "w") as fp:
+            json_mod.dump(data, fp)
+            fp.write("\n")
+    if args.ledger:
+        from .obs.ledger import write_run_ledger
+
+        write_run_ledger(
+            args.ledger,
+            result,
+            argv=sys.argv[1:],
+            stream_path=args.obs_stream,
+            trace_path=trace_path,
+        )
+
     if args.json:
         print(json_mod.dumps(result.to_dict(), indent=2, sort_keys=True))
     else:
@@ -704,6 +770,15 @@ def _run_scale(args) -> int:
                 args.obs,
             )
         )
+    if trace_path is not None:
+        line = "trace: wrote %s" % trace_path
+        if flow_events is not None:
+            line += " (%d shard tracks, %d cross-shard flow events)" % (
+                result.n_shards, flow_events,
+            )
+        print(line)
+    if args.ledger:
+        print("ledger: wrote %s" % args.ledger)
     # the exit code is the merged auditor verdict across every shard
     return 0 if result.violations == 0 else 1
 

@@ -32,26 +32,29 @@ bit for bit (see :mod:`repro.obs.tracer`).
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Tuple
 
 from .metrics import (
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
+    label_snapshot,
     merge_snapshots,
     summarize_histogram,
 )
-from .tracer import Span, Tracer
+from .tracer import Span, SpanRetention, Tracer, span_rows
 
 __all__ = [
     "Observability",
     "Tracer",
     "Span",
+    "SpanRetention",
     "MetricsRegistry",
     "Counter",
     "Gauge",
     "Histogram",
+    "label_snapshot",
     "merge_snapshots",
     "summarize_histogram",
 ]
@@ -63,13 +66,25 @@ MODES = ("metrics", "trace")
 class Observability:
     """Tracer + metrics registry bound to one deployment run."""
 
-    def __init__(self, mode: str = "trace"):
+    def __init__(self, mode: str = "trace", span_keep: Optional[int] = None):
         if mode not in MODES:
             raise ValueError("obs mode must be one of %r, got %r" % (MODES, mode))
         self.mode = mode
+        #: bounded span retention (trace mode): keep the slowest-K roots
+        #: per procedure plus every fault/recovery/migration tree.
+        #: None = retain everything (figure-scale runs).
+        self.span_keep = span_keep
         self.tracer: Optional[Tracer] = None
         self.metrics: Optional[MetricsRegistry] = None
         self._dep = None
+        #: (span_id, ue) of the most recently finished root span — the
+        #: shard engine reads it synchronously after a procedure returns
+        #: to anchor cross-shard migration flow events.
+        self.last_root: Optional[Tuple[int, str]] = None
+        #: cross-shard migration flow tables (trace mode, sharded runs):
+        #: matched by link id at stitch time.
+        self.flows_out: List[dict] = []
+        self.flows_in: List[dict] = []
 
     def install(self, dep) -> "Observability":
         """Bind to a deployment's sim clock and set ``dep.obs``.
@@ -80,11 +95,15 @@ class Observability:
         if self._dep is not None:
             raise RuntimeError("Observability is already installed on a deployment")
         sim_now = lambda: dep.sim.now  # noqa: E731 — tiny clock closure
+        retention = None
+        if self.mode == "trace" and self.span_keep:
+            retention = SpanRetention(self.span_keep)
         self.tracer = Tracer(
             sim_now,
             retain=(self.mode == "trace"),
             on_root_finish=self._fold_root,
             on_offpath_finish=self._fold_offpath,
+            retention=retention,
         )
         self.metrics = MetricsRegistry(sim_now)
         self._dep = dep
@@ -107,8 +126,35 @@ class Observability:
         )
         self.tracer.end_on(span, event)
 
+    def note_migration_out(
+        self, link: str, span_id: Optional[int], t: float, ue: str, dst: int
+    ) -> None:
+        """A UE emigrated: anchor the flow start on its last root span.
+
+        Called by the shard engine on the *obs channel only* — the link
+        id never enters the sim-side migration record, so the sharded
+        digest is identical with or without tracing installed.
+        """
+        if span_id is not None and self.tracer.retention is not None:
+            # the anchor must survive bounded retention or the stitched
+            # flow event loses its source track; resurrects a root that
+            # slowest-K admission just rejected
+            self.tracer.pin(span_id)
+        self.flows_out.append(
+            {"link": link, "span": span_id, "t": t, "ue": ue, "dst": dst}
+        )
+
+    def note_migration_in(
+        self, link: Optional[str], span_id: int, t: float, ue: str
+    ) -> None:
+        if link is None:
+            return  # source shard ran without tracing; nothing to stitch
+        self.flows_in.append({"link": link, "span": span_id, "t": t, "ue": ue})
+
     def _fold_root(self, root: Span, phases: Dict[str, float]) -> None:
         """A procedure root closed: record its per-phase decomposition."""
+        if self.tracer.retain:
+            self.last_root = (root.span_id, str(root.attrs.get("ue", "")))
         proc = str(root.attrs.get("proc", root.name))
         metrics = self.metrics
         metrics.histogram("proc_total_s", proc=proc).observe(root.duration)
@@ -131,11 +177,24 @@ class Observability:
 
     # -- results ---------------------------------------------------------------
 
-    def snapshot(self) -> Dict[str, object]:
-        """JSON-able state: metric dump + span accounting.  Mid-run safe."""
-        return {
+    def snapshot(self, include_spans: bool = False) -> Dict[str, object]:
+        """JSON-able state: metric dump + span accounting.  Mid-run safe.
+
+        ``include_spans=True`` (trace mode) additionally exports the
+        retained span table and the migration flow tables — the wire
+        form shard workers ship to the coordinator for stitching.
+        """
+        snap: Dict[str, object] = {
             "mode": self.mode,
             "spans_started": self.tracer.started if self.tracer else 0,
             "spans_finished": self.tracer.finished if self.tracer else 0,
             "metrics": self.metrics.snapshot() if self.metrics else None,
         }
+        tracer = self.tracer
+        if tracer is not None and tracer.retention is not None:
+            snap["retention"] = tracer.retention.stats()
+        if include_spans and tracer is not None and tracer.retain:
+            snap["spans"] = span_rows(tracer.spans)
+            snap["flows_out"] = list(self.flows_out)
+            snap["flows_in"] = list(self.flows_in)
+        return snap

@@ -9,6 +9,11 @@ and ``"X"`` complete events with a duration.  We map:
   UI draws each procedure as its own track with nested child slices;
 * ``args`` = the span's attrs plus its ids, so a violation's
   ``trace_id``/``span_id`` can be searched in the UI.
+
+Sharded runs use :func:`stitch_chrome_trace` instead: one pid per
+shard (pid = shard + 1) and ``"s"``/``"f"`` flow events linking each
+emigrating procedure's span to the destination shard's
+``shard.install_migrated`` continuation.
 """
 
 from __future__ import annotations
@@ -16,10 +21,11 @@ from __future__ import annotations
 import json
 from typing import Dict, List, Optional, Sequence
 
-from .tracer import Span, Tracer
+from .tracer import Span, Tracer, spans_from_rows
 
 __all__ = [
     "chrome_trace_events",
+    "stitch_chrome_trace",
     "write_chrome_trace",
     "validate_chrome_trace",
     "timeline_summary",
@@ -34,20 +40,14 @@ def _spans_of(tracer_or_spans) -> List[Span]:
     return list(tracer_or_spans)
 
 
-def chrome_trace_events(
-    tracer_or_spans, process_name: str = "repro-sim"
-) -> Dict[str, object]:
-    """Spans -> a ``{"traceEvents": [...]}`` dict (Perfetto-loadable)."""
-    spans = _spans_of(tracer_or_spans)
-    events: List[Dict[str, object]] = [
-        {
-            "name": "process_name",
-            "ph": "M",
-            "pid": _PID,
-            "tid": 0,
-            "args": {"name": process_name},
-        }
-    ]
+def _append_span_events(
+    events: List[Dict[str, object]], spans: Sequence[Span], pid: int
+) -> Dict[int, int]:
+    """Emit metadata + ``"X"`` events for ``spans`` under ``pid``.
+
+    Returns the root-id -> tid map so callers (the stitcher) can anchor
+    flow events on a specific span's track.
+    """
     tids: Dict[int, int] = {}
     for span in spans:
         tid = tids.get(span.root_id)
@@ -58,7 +58,7 @@ def chrome_trace_events(
                 {
                     "name": "thread_name",
                     "ph": "M",
-                    "pid": _PID,
+                    "pid": pid,
                     "tid": tid,
                     "args": {
                         "name": ("%s #%d %s" % (
@@ -83,12 +83,117 @@ def chrome_trace_events(
                 "ph": "X",
                 "ts": span.start * 1e6,
                 "dur": 0.0 if unfinished else max(0.0, span.duration) * 1e6,
-                "pid": _PID,
+                "pid": pid,
                 "tid": tid,
                 "args": args,
             }
         )
+    return tids
+
+
+def chrome_trace_events(
+    tracer_or_spans, process_name: str = "repro-sim"
+) -> Dict[str, object]:
+    """Spans -> a ``{"traceEvents": [...]}`` dict (Perfetto-loadable)."""
+    spans = _spans_of(tracer_or_spans)
+    events: List[Dict[str, object]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": _PID,
+            "tid": 0,
+            "args": {"name": process_name},
+        }
+    ]
+    _append_span_events(events, spans, _PID)
     return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def stitch_chrome_trace(
+    shard_snapshots: Sequence[Dict[str, object]],
+    process_name: str = "repro-sim",
+) -> Dict[str, object]:
+    """Per-shard obs snapshots -> one multi-process Chrome trace.
+
+    Input is the ``obs`` entry of each shard's finish payload *in shard
+    order*: span tables (``spans`` rows) plus the migration flow tables
+    (``flows_out`` / ``flows_in``).  Shard ``k`` becomes pid ``k+1``
+    with its own ``process_name`` metadata, so the Perfetto UI shows
+    one process track group per shard.
+
+    Cross-shard migrations become flow events: the emigrating
+    procedure's root span (recorded by the source shard at emission
+    time) links to the destination shard's ``shard.install_migrated``
+    continuation span, matched by the trace-link id that rode on the
+    obs channel next to the migration record.  Flow ids are assigned
+    deterministically over the sorted link ids.
+    """
+    events: List[Dict[str, object]] = []
+    span_tid: Dict[tuple, int] = {}  # (shard, span_id) -> tid
+    flows_out: Dict[str, tuple] = {}  # link -> (shard, row)
+    flows_in: Dict[str, tuple] = {}
+    for k, snap in enumerate(shard_snapshots):
+        pid = k + 1
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": "%s shard %d" % (process_name, k)},
+            }
+        )
+        if not snap:
+            continue
+        spans = spans_from_rows(snap.get("spans", ()))
+        tids = _append_span_events(events, spans, pid)
+        for span in spans:
+            span_tid[(k, span.span_id)] = tids[span.root_id]
+        for row in snap.get("flows_out", ()):
+            flows_out[row["link"]] = (k, row)
+        for row in snap.get("flows_in", ()):
+            flows_in[row["link"]] = (k, row)
+    flow_id = 0
+    stitched = 0
+    for link in sorted(set(flows_out) & set(flows_in)):
+        src_shard, src = flows_out[link]
+        dst_shard, dst = flows_in[link]
+        src_tid = span_tid.get((src_shard, src.get("span")))
+        dst_tid = span_tid.get((dst_shard, dst.get("span")))
+        if src_tid is None or dst_tid is None:
+            continue  # the anchoring span fell to bounded retention
+        flow_id += 1
+        stitched += 1
+        common = {"name": "shard.migrate", "cat": "flow", "id": flow_id}
+        events.append(
+            dict(
+                common,
+                ph="s",
+                pid=src_shard + 1,
+                tid=src_tid,
+                ts=src["t"] * 1e6,
+                args={"ue": src.get("ue", ""), "link": link},
+            )
+        )
+        events.append(
+            dict(
+                common,
+                ph="f",
+                bp="e",
+                pid=dst_shard + 1,
+                tid=dst_tid,
+                ts=dst["t"] * 1e6,
+                args={"ue": dst.get("ue", ""), "link": link},
+            )
+        )
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "metadata": {
+            "shards": len(shard_snapshots),
+            "flow_events": stitched,
+        },
+    }
 
 
 def write_chrome_trace(
@@ -121,7 +226,7 @@ def validate_chrome_trace(data: Dict[str, object]) -> int:
             raise ValueError(where + " is not an object")
         if not isinstance(ev.get("name"), str) or not ev["name"]:
             raise ValueError(where + " has no name")
-        if ev.get("ph") not in ("X", "B", "E", "M", "i", "C"):
+        if ev.get("ph") not in ("X", "B", "E", "M", "i", "C", "s", "t", "f"):
             raise ValueError(where + " has unknown phase %r" % (ev.get("ph"),))
         if not isinstance(ev.get("pid"), int) or not isinstance(ev.get("tid"), int):
             raise ValueError(where + " pid/tid must be ints")
@@ -131,6 +236,13 @@ def validate_chrome_trace(data: Dict[str, object]) -> int:
                 raise ValueError(where + " X event needs numeric ts/dur")
             if dur < 0:
                 raise ValueError(where + " has negative duration")
+        elif ev["ph"] in ("s", "t", "f"):
+            # flow events: Perfetto's importer needs a numeric ts and a
+            # binding id shared by the start/finish pair
+            if not isinstance(ev.get("ts"), (int, float)):
+                raise ValueError(where + " flow event needs numeric ts")
+            if "id" not in ev:
+                raise ValueError(where + " flow event needs an id")
     return len(events)
 
 

@@ -28,6 +28,7 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "label_snapshot",
     "merge_snapshots",
     "summarize_histogram",
 ]
@@ -160,8 +161,69 @@ class MetricsRegistry:
         }
 
 
+    def compact_snapshot(self) -> Dict[str, list]:
+        """Snapshot without raw histogram samples — piggyback-sized.
+
+        Counters and gauges are exact; histograms carry only their
+        count and running mean.  This is what shard workers attach to
+        lockstep epoch replies (the heartbeat channel): a few hundred
+        bytes instead of every raw sample.  :func:`merge_snapshots`
+        folds these rows too (counts sum; the ``values`` list is simply
+        absent, so merged percentiles are not available — by design,
+        the end-of-run snapshot still carries the full samples).
+        """
+        snap = {
+            "counters": [
+                {"name": c.name, "labels": c.labels, "value": c.value}
+                for _k, c in sorted(self._counters.items())
+            ],
+            "gauges": [
+                {
+                    "name": g.name,
+                    "labels": g.labels,
+                    "last": g.value,
+                    "max": g.max_value,
+                    "time_average": g.time_average(),
+                }
+                for _k, g in sorted(self._gauges.items())
+            ],
+            "histograms": [],
+        }
+        for _k, h in sorted(self._histograms.items()):
+            n = h.count
+            row = {"name": h.name, "labels": h.labels, "count": n}
+            if n:
+                row["mean"] = sum(h.values) / n
+            snap["histograms"].append(row)
+        return snap
+
+
 def _merge_key(row: Dict) -> _LabelKey:
     return _label_key(row["name"], row["labels"])
+
+
+def label_snapshot(snap: Optional[Dict], **labels) -> Optional[Dict]:
+    """Copy of ``snap`` with extra labels stamped on every metric row.
+
+    The sharded coordinator uses it to attach ``shard=<k>`` at merge
+    time, so per-shard breakdowns survive :func:`merge_snapshots`
+    instead of silently folding into one global row.  ``None`` passes
+    through (a shard run without obs).
+    """
+    if not snap:
+        return snap
+    extra = {k: str(v) for k, v in labels.items()}
+    out: Dict[str, list] = {}
+    for section in ("counters", "gauges", "histograms"):
+        rows = []
+        for row in snap.get(section, ()):
+            row = dict(row)
+            merged = dict(row["labels"])
+            merged.update(extra)
+            row["labels"] = merged
+            rows.append(row)
+        out[section] = rows
+    return out
 
 
 def merge_snapshots(snapshots: Sequence[Optional[Dict]]) -> Dict[str, list]:
@@ -172,11 +234,19 @@ def merge_snapshots(snapshots: Sequence[Optional[Dict]]) -> Dict[str, list]:
     seen, and the mean of per-source time-averages (sources don't carry
     enough to time-weight across runs — documented approximation).
     ``None`` entries (points run without obs) are skipped.
+
+    Rows from :meth:`MetricsRegistry.compact_snapshot` (no ``values``
+    list) merge too: counts sum, and the merged row carries a
+    count-weighted ``mean`` instead of raw samples.  A merged histogram
+    keeps its ``values`` only when *every* contributing row had them —
+    percentiles of a partially-sampled merge would silently lie.
     """
     counters: Dict[_LabelKey, Dict] = {}
     gauges: Dict[_LabelKey, Dict] = {}
     histograms: Dict[_LabelKey, Dict] = {}
     gauge_sources: Dict[_LabelKey, List[float]] = {}
+    hist_sums: Dict[_LabelKey, float] = {}
+    hist_exact: Dict[_LabelKey, bool] = {}
     for snap in snapshots:
         if not snap:
             continue
@@ -199,17 +269,33 @@ def merge_snapshots(snapshots: Sequence[Optional[Dict]]) -> Dict[str, list]:
                 gauge_sources[key].append(row["time_average"])
         for row in snap.get("histograms", ()):
             key = _merge_key(row)
+            vals = row.get("values")
+            row_sum = (
+                sum(vals) if vals is not None
+                else row.get("mean", 0.0) * row["count"]
+            )
             out = histograms.get(key)
             if out is None:
-                histograms[key] = {
+                out = histograms[key] = {
                     "name": row["name"],
                     "labels": row["labels"],
                     "count": row["count"],
-                    "values": list(row["values"]),
+                    "values": [] if vals is None else list(vals),
                 }
+                hist_exact[key] = vals is not None
+                hist_sums[key] = row_sum
             else:
                 out["count"] += row["count"]
-                out["values"].extend(row["values"])
+                if vals is not None:
+                    out["values"].extend(vals)
+                else:
+                    hist_exact[key] = False
+                hist_sums[key] += row_sum
+    for key, out in histograms.items():
+        if not hist_exact[key]:
+            out.pop("values", None)
+            if out["count"]:
+                out["mean"] = hist_sums[key] / out["count"]
     for key, averages in gauge_sources.items():
         gauges[key]["time_average"] = sum(averages) / len(averages)
     return {

@@ -1,0 +1,160 @@
+"""Epoch-aligned live telemetry: the NDJSON heartbeat stream.
+
+A multi-second sharded run used to emit *nothing* until the final
+merge.  :class:`HeartbeatStream` is the coordinator-side sink for the
+health rows shard workers piggyback on the lockstep epoch replies
+(zero extra round trips — see ``repro.scale.shard._epoch_loop``): it
+folds them into one heartbeat row per progress mark, writes the row as
+one NDJSON line (``--obs-stream FILE|-``), and mirrors a human
+progress line to stderr.
+
+This stream is the feed the planned ``repro.orch`` closed-loop
+controller (ROADMAP item 1) will consume: real cores drive scaling
+decisions from continuously observed control-plane load, so the wire
+format is machine-first — one JSON object per line, ``type`` tagged
+(``heartbeat`` rows during the run, one ``summary`` row at the end).
+
+Determinism: heartbeat *cadence* is a pure function of the run (epochs
+are deterministic, marks are progress-fraction buckets), and every
+simulation-derived field is bit-stable across runs.  Wall-clock fields
+(``wall_s``, ``lag_s``, ``imbalance``) are measurement, not contract —
+the golden test compares everything else.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..sim.monitor import imbalance
+from .metrics import label_snapshot, merge_snapshots
+
+__all__ = ["HeartbeatStream", "open_stream"]
+
+#: heartbeat rows per run (progress-fraction buckets, not wall timers,
+#: so the cadence is deterministic and machine-independent).
+DEFAULT_MARKS = 16
+
+#: epochs between heartbeats while draining past the traffic horizon.
+DRAIN_EVERY = 512
+
+
+class HeartbeatStream:
+    """NDJSON sink for epoch-aligned shard health rows.
+
+    ``fp`` is any text file object (stdout for ``--obs-stream -``);
+    ``progress`` mirrors a one-line human summary per heartbeat
+    (stderr by default; None silences it).
+    """
+
+    #: drain-phase cadence (epochs between heartbeats) — read by the
+    #: shard coordinator so the loop needs no import of this module.
+    drain_every = DRAIN_EVERY
+
+    def __init__(self, fp, progress=None, marks: int = DEFAULT_MARKS):
+        self._fp = fp
+        self._progress = progress
+        self.marks = max(1, int(marks))
+        self.rows = 0
+
+    # -- raw emission -------------------------------------------------------
+
+    def emit(self, row: Dict[str, Any]) -> None:
+        self._fp.write(json.dumps(row, sort_keys=True) + "\n")
+        self._fp.flush()
+        self.rows += 1
+
+    # -- folded rows --------------------------------------------------------
+
+    def heartbeat(
+        self,
+        epoch: int,
+        t: float,
+        duration: float,
+        healths: Sequence[Dict[str, Any]],
+    ) -> None:
+        """Fold per-shard health rows into one heartbeat line."""
+        sim_t = min(t, duration)
+        walls = [h.get("wall_s", 0.0) for h in healths]
+        metrics = merge_snapshots(
+            [
+                label_snapshot(h.get("metrics"), shard=h.get("shard", k))
+                for k, h in enumerate(healths)
+            ]
+        ) if any(h.get("metrics") for h in healths) else None
+        row: Dict[str, Any] = {
+            "type": "heartbeat",
+            "epoch": epoch,
+            "t": sim_t,
+            "progress": (sim_t / duration) if duration > 0 else 1.0,
+            "draining": t > duration,
+            "events": sum(h.get("events", 0) for h in healths),
+            "heap": sum(h.get("heap", 0) for h in healths),
+            "completed": sum(h.get("completed", 0) for h in healths),
+            "migrations_out": sum(h.get("migrations_out", 0) for h in healths),
+            "migrations_in": sum(h.get("migrations_in", 0) for h in healths),
+            "serves": sum(h.get("serves", 0) for h in healths),
+            "writes": sum(h.get("writes", 0) for h in healths),
+            "violations": sum(h.get("violations", 0) for h in healths),
+            "wall_s": max(walls) if walls else 0.0,
+            "lag_s": (max(walls) - min(walls)) if walls else 0.0,
+            "imbalance": imbalance(walls),
+            # scalar per-shard rows only: the labeled metrics already
+            # appear once, merged, under "metrics" — repeating them per
+            # shard would double every heartbeat's size
+            "shards": [
+                {k: v for k, v in h.items() if k != "metrics"}
+                for h in healths
+            ],
+        }
+        if metrics is not None:
+            row["metrics"] = metrics
+        self.emit(row)
+        if self._progress is not None:
+            self._progress.write(
+                "[obs-stream] t=%.3f/%.3fs%s epoch=%d completed=%d "
+                "migrations=%d/%d violations=%d imbalance=%.2f\n"
+                % (
+                    sim_t,
+                    duration,
+                    " (drain)" if t > duration else "",
+                    epoch,
+                    row["completed"],
+                    row["migrations_out"],
+                    row["migrations_in"],
+                    row["violations"],
+                    row["imbalance"],
+                )
+            )
+            self._progress.flush()
+
+    def summary(self, result) -> None:
+        """Final row: the merged :class:`ScaleResult` verdict."""
+        self.emit(
+            {
+                "type": "summary",
+                "scenario": result.scenario,
+                "mode": result.mode,
+                "n_ue": result.n_ue,
+                "n_shards": result.n_shards,
+                "duration_s": result.duration_s,
+                "end_time_s": result.end_time_s,
+                "completed": result.completed,
+                "serves": result.serves,
+                "writes": result.writes,
+                "violations": result.violations,
+                "ok": result.violations == 0,
+                "digest": result.digest,
+                "epochs": result.perf.get("epochs", 0),
+                "wall_s": result.perf.get("wall_s", 0.0),
+            }
+        )
+
+
+def open_stream(path: str, marks: int = DEFAULT_MARKS):
+    """``--obs-stream`` helper: '-' means stdout; returns (stream, closer)."""
+    if path == "-":
+        return HeartbeatStream(sys.stdout, progress=sys.stderr, marks=marks), None
+    fp = open(path, "w")
+    return HeartbeatStream(fp, progress=sys.stderr, marks=marks), fp

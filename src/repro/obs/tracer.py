@@ -27,10 +27,11 @@ one UE's hops to whichever procedure yielded last.
 
 from __future__ import annotations
 
+import heapq
 from contextlib import contextmanager
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
-__all__ = ["Span", "Tracer"]
+__all__ = ["Span", "SpanRetention", "Tracer", "span_rows", "spans_from_rows"]
 
 
 class Span:
@@ -68,6 +69,105 @@ class Span:
             self.start, self.duration, self.status,
         )
 
+    def to_row(self) -> dict:
+        """JSON-able wire form — what shard workers ship at merge time."""
+        return {
+            "id": self.span_id,
+            "parent": self.parent_id,
+            "root": self.root_id,
+            "name": self.name,
+            "phase": self.phase,
+            "start": self.start,
+            "end": self.end,
+            "status": self.status,
+            "attrs": dict(self.attrs),
+        }
+
+    @classmethod
+    def from_row(cls, row: dict) -> "Span":
+        span = cls(
+            row["id"], row["parent"], row["root"], row["name"],
+            row["phase"], row["start"], dict(row.get("attrs", ())),
+        )
+        span.end = row.get("end")
+        span.status = row.get("status", "open")
+        return span
+
+
+def span_rows(spans: Iterable[Span]) -> List[dict]:
+    return [s.to_row() for s in spans]
+
+
+def spans_from_rows(rows: Iterable[dict]) -> List[Span]:
+    return [Span.from_row(r) for r in rows]
+
+
+class SpanRetention:
+    """Bounded span retention for traced scale runs.
+
+    Keeps the slowest ``slowest_k`` root trees per procedure plus
+    *every* tree touching a fault, recovery, or migration (those are
+    the runs worth a post-mortem), so ``--obs trace`` stays memory-safe
+    at 100k+ UEs: retained spans are O(procedures-kinds x K + faults),
+    not O(total procedures).
+
+    The policy only sees *closed* roots — the tracer buffers each open
+    root's tree and asks :meth:`admit` at root finish.  The slowest-K
+    heap is a per-procedure min-heap of ``(duration, root_id)``; ties
+    break on root id, so retention is deterministic.
+    """
+
+    #: span statuses of a clean run; anything else in a tree (error,
+    #: failed, replica_down, reattach_required, ...) marks it
+    #: fault-touched and exempts the tree from the slowest-K budget.
+    #: Phases are deliberately NOT inspected: "migrate"/"recovery"
+    #: phases appear in every ordinary full handover's context-transfer
+    #: legs, so a phase rule would retain nearly all steady traffic.
+    OK_STATUSES = frozenset(("ok", "completed", "acked"))
+
+    def __init__(self, slowest_k: int = 32):
+        if slowest_k < 1:
+            raise ValueError("slowest_k must be >= 1, got %d" % slowest_k)
+        self.slowest_k = slowest_k
+        self.roots_kept = 0
+        self.roots_dropped = 0
+        self._heaps: Dict[str, List[Tuple[float, int]]] = {}
+
+    def always_keep(self, root: Span, tree: List[Span]) -> bool:
+        if not root.name.startswith("proc."):
+            return True  # non-procedure roots (shard installs, ...) are rare
+        attrs = root.attrs
+        if attrs.get("recovered") or attrs.get("reattached"):
+            return True
+        ok = self.OK_STATUSES
+        # still-open spans (off-path checkpoint legs in flight at root
+        # close) are undecided, not fault-touched — a later error on a
+        # dropped tree is an accepted miss of the bounded policy
+        return any(s.end is not None and s.status not in ok for s in tree)
+
+    def admit(self, proc: str, duration: float, root_id: int):
+        """Slowest-K admission for a clean root.
+
+        Returns ``(keep, evicted_root_id)``: whether to keep this root,
+        and which previously-kept root to drop to make room (or None).
+        """
+        heap = self._heaps.setdefault(proc, [])
+        item = (duration, root_id)
+        if len(heap) < self.slowest_k:
+            heapq.heappush(heap, item)
+            return True, None
+        if item <= heap[0]:
+            return False, None
+        evicted = heapq.heapreplace(heap, item)
+        return True, evicted[1]
+
+    def stats(self) -> dict:
+        return {
+            "limit": self.slowest_k,
+            "roots_kept": self.roots_kept,
+            "roots_dropped": self.roots_dropped,
+        }
+
 
 class Tracer:
     """Allocates, finishes, and (optionally) retains spans.
@@ -85,10 +185,11 @@ class Tracer:
         retain: bool = True,
         on_root_finish: Optional[Callable[[Span, Dict[str, float]], None]] = None,
         on_offpath_finish: Optional[Callable[[Span], None]] = None,
+        retention: Optional[SpanRetention] = None,
     ):
         self._now = sim_now
         self.retain = retain
-        self.spans: List[Span] = []
+        self._spans: List[Span] = []
         self.started = 0
         self.finished = 0
         self._next_id = 1
@@ -96,6 +197,38 @@ class Tracer:
         self._open_roots: Dict[int, Dict[str, float]] = {}
         self._on_root_finish = on_root_finish
         self._on_offpath_finish = on_offpath_finish
+        #: bounded-retention policy; None = keep every span (legacy path).
+        self.retention = retention if retain else None
+        # under retention, spans buffer per open root and move to _kept
+        # (or are dropped) when the root closes and the policy decides.
+        self._trees: Dict[int, List[Span]] = {}
+        self._kept: Dict[int, List[Span]] = {}
+        #: the most recently dropped root's tree, held one decision long
+        #: so a caller learning *after* the fact that the root matters
+        #: (it anchored a cross-shard migration) can rescue it via
+        #: :meth:`pin` — the shard engine only discovers emigration
+        #: synchronously after the root finishes.
+        self._limbo: Optional[Tuple[int, List[Span]]] = None
+        #: root ids exempt from slowest-K eviction (migration anchors).
+        self._pinned: set = set()
+
+    @property
+    def spans(self) -> List[Span]:
+        """Every retained span, in span-id order.
+
+        Without a retention policy this is the live append list (zero
+        cost).  With one, it materialises kept trees plus still-open
+        trees — export-time use only, not a hot path.
+        """
+        if self.retention is None:
+            return self._spans
+        out: List[Span] = []
+        for tree in self._kept.values():
+            out.extend(tree)
+        for tree in self._trees.values():
+            out.extend(tree)
+        out.sort(key=lambda s: s.span_id)
+        return out
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -115,8 +248,27 @@ class Tracer:
                         phase or name.split(".", 1)[0], self._now(), attrs)
             self._open_roots[span_id] = {}
         if self.retain:
-            self.spans.append(span)
+            if self.retention is None:
+                self._spans.append(span)
+            else:
+                self._buffer(span)
         return span
+
+    def _buffer(self, span: Span) -> None:
+        """Retention path: park the span with its root's tree."""
+        if span.parent_id is None:
+            self._trees[span.span_id] = [span]
+            return
+        tree = self._trees.get(span.root_id)
+        if tree is not None:
+            tree.append(span)
+            return
+        kept = self._kept.get(span.root_id)
+        if kept is not None:
+            # late off-path work (checkpoint ship after the root closed)
+            # under a kept root: the tree grows, it was already admitted
+            kept.append(span)
+        # else: the root was dropped — so is its late work
 
     def finish(
         self, span: Span, status: str = "ok",
@@ -139,6 +291,8 @@ class Tracer:
             folds = self._open_roots.pop(span.root_id, {})
             if self._on_root_finish is not None:
                 self._on_root_finish(span, folds)
+            if self.retention is not None:
+                self._decide_root(span)
             return span
         acc = self._open_roots.get(span.root_id)
         if acc is not None:
@@ -182,6 +336,56 @@ class Tracer:
             lambda ev: self.finish(span, status="ok" if ev.ok else "error")
         )
         return event
+
+    def _decide_root(self, root: Span) -> None:
+        """A root closed under retention: keep its tree or drop it."""
+        tree = self._trees.pop(root.span_id, None)
+        if tree is None:  # pragma: no cover - defensive (double finish)
+            return
+        policy = self.retention
+        if policy.always_keep(root, tree):
+            self._kept[root.span_id] = tree
+            policy.roots_kept += 1
+            return
+        proc = str(root.attrs.get("proc", root.name))
+        keep, evicted = policy.admit(proc, root.duration, root.span_id)
+        if not keep:
+            # hold in limbo one decision long: pin() may resurrect it
+            self._limbo = (root.span_id, tree)
+            policy.roots_dropped += 1
+            return
+        self._kept[root.span_id] = tree
+        policy.roots_kept += 1
+        if evicted is not None and evicted not in self._pinned:
+            self._kept.pop(evicted, None)
+            policy.roots_kept -= 1
+            policy.roots_dropped += 1
+
+    def pin(self, root_id: int) -> bool:
+        """Exempt a kept (or just-dropped) root tree from eviction.
+
+        The cross-shard migration anchor: the shard engine learns a
+        procedure emigrated its UE only after the root span finished —
+        and possibly after slowest-K admission already rejected it.  A
+        pinned root survives in ``_kept`` regardless of later
+        evictions; a root sitting in limbo (the immediately preceding
+        drop decision) is resurrected.  Returns whether the tree is
+        retained.
+        """
+        if root_id in self._kept:
+            self._pinned.add(root_id)
+            return True
+        limbo = self._limbo
+        if limbo is not None and limbo[0] == root_id:
+            self._kept[root_id] = limbo[1]
+            self._pinned.add(root_id)
+            self._limbo = None
+            policy = self.retention
+            if policy is not None:
+                policy.roots_kept += 1
+                policy.roots_dropped -= 1
+            return True
+        return False
 
     # -- queries --------------------------------------------------------------
 

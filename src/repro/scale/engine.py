@@ -143,8 +143,13 @@ class ScaleResult:
     #: wall-clock is machine-dependent, never part of the result contract.
     perf: Dict[str, float] = field(default_factory=dict, compare=False)
     #: per-shard breakdown (owned parents, local UEs, migrations, wall,
-    #: RSS, violations sample) — empty for single-process runs.
+    #: RSS, violations sample, final health row) — empty for
+    #: single-process runs.
     shards: List[Dict[str, Any]] = field(default_factory=list, compare=False)
+    #: path of the run ledger written for this run ("" = none) — see
+    #: :mod:`repro.obs.ledger`.  compare=False: an artifact pointer,
+    #: not part of the simulated result.
+    ledger_path: str = field(default="", compare=False)
 
     @property
     def ok(self) -> bool:
@@ -184,7 +189,7 @@ class ScaleResult:
                 )
             lines.append(perf)
         for shard in self.shards:
-            lines.append(
+            line = (
                 "  shard %d: parents=%s n_local=%d migrations=%d/%d "
                 "wall=%.3fs rss=%.1fMB violations=%d"
                 % (
@@ -198,6 +203,15 @@ class ScaleResult:
                     shard.get("violations", 0),
                 )
             )
+            health = shard.get("health")
+            if health:
+                line += " events=%d completed=%d" % (
+                    health.get("events", 0),
+                    health.get("completed", 0),
+                )
+            lines.append(line)
+        if self.ledger_path:
+            lines.append("ledger: %s" % self.ledger_path)
         if self.counters:
             lines.append(
                 "engine: "
@@ -1007,6 +1021,7 @@ def run_scenario(
     seed: Optional[int] = None,
     mode: str = "cohort",
     obs=None,
+    stream=None,
     verbose_trace: bool = False,
     shards: int = 1,
     shard_backend: str = "auto",
@@ -1016,7 +1031,10 @@ def run_scenario(
     ``shards > 1`` partitions the city by level-2 parent across that
     many shard engines (see :mod:`repro.scale.shard`) and merges the
     results deterministically; ``shards=1`` is exactly the single-process
-    path, bit for bit.
+    path, bit for bit.  ``stream`` (a
+    :class:`~repro.obs.stream.HeartbeatStream`) enables the
+    epoch-aligned NDJSON heartbeat feed on sharded runs; single-process
+    runs emit only the final summary row.
     """
     spec = get_scenario(scenario) if isinstance(scenario, str) else scenario
     spec = spec.with_overrides(n_ue=n_ue, duration_s=duration_s, seed=seed)
@@ -1029,9 +1047,13 @@ def run_scenario(
             shards=shards,
             backend=shard_backend,
             obs=obs,
+            stream=stream,
             verbose_trace=verbose_trace,
         )
-    return _Engine(spec, mode=mode, obs=obs, verbose_trace=verbose_trace).run()
+    result = _Engine(spec, mode=mode, obs=obs, verbose_trace=verbose_trace).run()
+    if stream is not None:
+        stream.summary(result)
+    return result
 
 
 def _replicate_task(task: Tuple[ScenarioSpec, str]) -> ScaleResult:

@@ -24,6 +24,20 @@ carried over the inter-process channel and installed in the destination
 shard at ``t + Δ`` via :meth:`~repro.core.deployment.Deployment.install_migrated`,
 preserving the RYW reader floor across the process boundary.
 
+**Observability channel.** When tracing is installed, a trace-link id
+rides *alongside* the migration record as an extra trailing element —
+the obs channel.  Sim-side consumers index only the first seven
+fields, the EventTrace records never include the link, and the link
+allocator draws no randomness, so the merged digest is bit-identical
+with or without tracing (the sharded obs witness pins this).  At merge
+time each shard exports its bounded-retention span table plus the
+flow tables keyed by link id, and the coordinator stitches one
+Chrome/Perfetto trace with one process per shard and flow events
+joining each emigrating procedure to its ``shard.install_migrated``
+continuation.  Shards also piggyback compact health rows on the
+lockstep epoch replies (zero extra round trips), which the coordinator
+folds into the ``--obs-stream`` NDJSON heartbeat feed.
+
 **Conservative lookahead.** Δ is the minimum cross-shard notification
 delay (one far inter-CPF hop, :func:`shard_lookahead`); link jitter
 only ever *adds* latency, so Δ is a true lower bound.  All shards
@@ -103,7 +117,13 @@ _VIOLATION_SAMPLES = 5
 
 #: wire size of one migration record on the inter-shard channel
 #: (gid + version + runs + clock + completion time + serving BS name).
+#: The trace-link id is *not* counted: it rides the obs channel, which
+#: a real deployment would ship out of band of the control plane.
 _MIGRATION_WIRE_BYTES = 64
+
+#: default bounded span retention (slowest-K roots per procedure) for
+#: traced sharded runs when the caller doesn't pick a --span-keep.
+_DEFAULT_SPAN_KEEP = 32
 
 
 # ------------------------------------------------------------------ partition
@@ -350,6 +370,8 @@ class ShardEngine(_Engine):
         self._buckets: Dict[Tuple[int, Optional[int]], List[int]] = {}
         self._outbox: List[tuple] = []
         self._owner_cache: Dict[str, int] = {}
+        #: deterministic trace-link allocator for migration flow events.
+        self._next_link = 0
         # Partition the fault plan *after* driver construction: lane
         # eligibility and hazard windows must see the full event list.
         plan = self.injector.plan
@@ -564,17 +586,29 @@ class ShardEngine(_Engine):
         gid = driver.ids[i]
         ue_id = driver.ue_id(i)
         now = self.sim.now
-        self._outbox.append(
-            (
-                self._owner_of_parent(parent),
-                gid,
-                driver.version[i],
-                driver.runs[i],
-                self.dep.clock_of(ue_id),
-                bs_name,
-                now,
-            )
+        rec = (
+            self._owner_of_parent(parent),
+            gid,
+            driver.version[i],
+            driver.runs[i],
+            self.dep.clock_of(ue_id),
+            bs_name,
+            now,
         )
+        obs = self._obs
+        if obs is not None and obs.mode == "trace":
+            # obs channel: a trace-link id rides past the sim record's
+            # seven fields.  Sim consumers index [:7] only; the trace
+            # records below never mention it — digest-transparent.
+            link = "m%d:%d" % (self.shard_idx, self._next_link)
+            self._next_link += 1
+            last = obs.last_root
+            span_id = (
+                last[0] if last is not None and last[1] == ue_id else None
+            )
+            obs.note_migration_out(link, span_id, now, ue_id, rec[0])
+            rec = rec + (link,)
+        self._outbox.append(rec)
         driver.gone[i] = 1
         driver.attached[i] = 0
         self.dep.drop_placement(ue_id)
@@ -596,7 +630,10 @@ class ShardEngine(_Engine):
             self.sim.schedule_at(rec[6] + self.delta, self._install, rec)
 
     def _install(self, rec: tuple) -> None:
-        _dst, gid, version, runs, clock, bs_name, _t = rec
+        # indexed access: the record may carry a trailing obs-channel
+        # trace-link id past the seven sim fields
+        _dst, gid, version, runs, clock, bs_name, _t = rec[:7]
+        link = rec[7] if len(rec) > 7 else None
         driver = self.driver
         new = gid not in driver.slot_of
         i = driver.add_slot(gid)
@@ -619,6 +656,22 @@ class ShardEngine(_Engine):
             self._count("migrations_in_detached")
         else:
             driver.attached[i] = 1
+        obs = self._obs
+        if obs is not None and obs.mode == "trace":
+            # zero-duration continuation span: the destination-side
+            # anchor the stitched flow event lands on.  begin/finish
+            # touch only tracer state — schedule-transparent.
+            span = obs.tracer.begin(
+                "shard.install_migrated",
+                phase="migrate",
+                ue=ue_id,
+                bs=bs_name,
+                version=version,
+            )
+            obs.tracer.finish(
+                span, status="ok" if driver.attached[i] else "detached"
+            )
+            obs.note_migration_in(link, span.span_id, self.sim.now, ue_id)
         self.trace.record(
             self.sim.now,
             "shard_migrate_in",
@@ -662,6 +715,32 @@ class ShardEngine(_Engine):
             1 for t in self.dep.region_map.regions if self._owns_tile(t)
         )
 
+    def health_row(self) -> Dict[str, Any]:
+        """Compact piggyback payload for the epoch-aligned heartbeat.
+
+        Read-only over sim/auditor/driver state — requesting health
+        never perturbs the schedule, so heartbeat-on and heartbeat-off
+        runs are bit-identical (pinned by the sharded obs witness).
+        """
+        sim = self.sim
+        auditor = self.dep.auditor
+        counters = self.counters
+        row: Dict[str, Any] = {
+            "shard": self.shard_idx,
+            "t": sim.now,
+            "events": sim._seq,
+            "heap": len(sim._heap),
+            "completed": self.driver.completed,
+            "migrations_out": counters.get("migrations_out", 0),
+            "migrations_in": counters.get("migrations_in", 0),
+            "serves": auditor.serves,
+            "writes": auditor.writes,
+            "violations": len(auditor.violations),
+        }
+        if self._obs is not None and self._obs.metrics is not None:
+            row["metrics"] = self._obs.metrics.compact_snapshot()
+        return row
+
     def finish_payload(self) -> Dict[str, Any]:
         """Everything the coordinator needs to merge this shard's run."""
         result = self.finish(self.sim.now)
@@ -686,17 +765,28 @@ class ShardEngine(_Engine):
             "violations_sample": samples,
             "n_local": len(self._pop_gids),
             "end": self.sim.now,
-            "obs": self._obs.snapshot() if self._obs is not None else None,
+            "health": self.health_row(),
+            "obs": (
+                self._obs.snapshot(include_spans=True)
+                if self._obs is not None
+                else None
+            ),
         }
 
 
 # ------------------------------------------------------------------ backends
 
 
-def _host_step(engine: ShardEngine, until: float, inbox: List[tuple]):
+def _host_step(
+    engine: ShardEngine,
+    until: float,
+    inbox: List[tuple],
+    want_health: bool = False,
+):
     engine.deliver(inbox)
     engine.advance(until)
-    return engine.take_outbox(), engine.pending(), engine.next_event_s()
+    health = engine.health_row() if want_health else None
+    return engine.take_outbox(), engine.pending(), engine.next_event_s(), health
 
 
 class _InlineHost:
@@ -721,11 +811,18 @@ class _InlineHost:
         self.wall += time.perf_counter() - t0
         self.cpu += time.process_time() - c0
 
-    def step_send(self, until: float, inbox: List[tuple]) -> None:
+    def step_send(
+        self, until: float, inbox: List[tuple], want_health: bool = False
+    ) -> None:
         t0, c0 = time.perf_counter(), time.process_time()
-        self._last = _host_step(self.engine, until, inbox)
+        out, busy, nxt, health = _host_step(
+            self.engine, until, inbox, want_health
+        )
         self.wall += time.perf_counter() - t0
         self.cpu += time.process_time() - c0
+        if health is not None:
+            health["wall_s"] = self.wall
+        self._last = (out, busy, nxt, health)
 
     def step_recv(self):
         return self._last
@@ -755,12 +852,14 @@ class _ProcessHost:
     def start(self) -> None:
         pass  # prepared during spawn handshake
 
-    def step_send(self, until: float, inbox: List[tuple]) -> None:
-        self.handle.send(("step", until, inbox))
+    def step_send(
+        self, until: float, inbox: List[tuple], want_health: bool = False
+    ) -> None:
+        self.handle.send(("step", until, inbox, want_health))
 
     def step_recv(self):
         msg = self._recv()
-        return msg[1], msg[2], msg[3]
+        return msg[1], msg[2], msg[3], (msg[4] if len(msg) > 4 else None)
 
     def finish(self) -> Dict[str, Any]:
         self.handle.send(("finish",))
@@ -787,6 +886,7 @@ def _shard_worker(
     shards,
     verbose_trace,
     obs_mode,
+    span_keep,
     bs_names,
     gids,
     bsidx,
@@ -798,7 +898,7 @@ def _shard_worker(
         if obs_mode:
             from ..obs import Observability
 
-            obs = Observability(obs_mode)
+            obs = Observability(obs_mode, span_keep=span_keep)
         engine = ShardEngine(
             spec,
             mode=mode,
@@ -818,11 +918,16 @@ def _shard_worker(
         while True:
             msg = conn.recv()
             if msg[0] == "step":
+                want = msg[3] if len(msg) > 3 else False
                 t0, c0 = time.perf_counter(), time.process_time()
-                out, busy, nxt = _host_step(engine, msg[1], msg[2])
+                out, busy, nxt, health = _host_step(
+                    engine, msg[1], msg[2], want
+                )
                 wall += time.perf_counter() - t0
                 cpu += time.process_time() - c0
-                conn.send(("stepped", out, busy, nxt))
+                if health is not None:
+                    health["wall_s"] = wall
+                conn.send(("stepped", out, busy, nxt, health))
             elif msg[0] == "finish":
                 t0, c0 = time.perf_counter(), time.process_time()
                 payload = engine.finish_payload()
@@ -900,6 +1005,7 @@ def _merge_payloads(
             "rss_kb": p["rss_kb"],
             "violations": r.violations,
             "violations_sample": p["violations_sample"],
+            "health": p.get("health"),
         }
         for k, (p, r) in enumerate(zip(payloads, results))
     ]
@@ -947,7 +1053,7 @@ def _merge_payloads(
 # ------------------------------------------------------------------ coordinator
 
 
-def _epoch_loop(hosts, duration: float, delta: float) -> int:
+def _epoch_loop(hosts, duration: float, delta: float, stream=None) -> int:
     """Advance all shards in lockstep Δ epochs until fully drained.
 
     Event-free epochs are fast-forwarded: when the earliest thing any
@@ -962,12 +1068,22 @@ def _epoch_loop(hosts, duration: float, delta: float) -> int:
     same-instant event ahead of an install).  This matters because
     drain tails run tens of simulated seconds past the traffic horizon
     at Δ ≈ 1.5 ms — tens of thousands of empty round trips without it.
+
+    ``stream`` (a :class:`~repro.obs.stream.HeartbeatStream`) turns on
+    epoch-aligned live telemetry: at deterministic progress marks the
+    step message asks every shard for a compact health row — riding the
+    existing epoch round trip, zero extra messages — and the folded row
+    goes out as one NDJSON heartbeat.  Cadence is a pure function of
+    the run (progress-fraction buckets while traffic flows, every
+    ``stream.drain_every`` epochs while draining), never wall clocks.
     """
     for host in hosts:
         host.start()
     inboxes: List[List[tuple]] = [[] for _ in hosts]
     t = 0.0
     epochs = 0
+    last_mark = 0
+    last_beat = 0
     max_epochs = int(duration / delta) + _DRAIN_EPOCHS_MAX
     while True:
         epochs += 1
@@ -976,15 +1092,34 @@ def _epoch_loop(hosts, duration: float, delta: float) -> int:
                 "sharded run failed to drain after %d epochs" % epochs
             )
         t += delta
+        want = False
+        if stream is not None:
+            if t < duration:
+                mark = int((t / duration) * stream.marks)
+                want = mark > last_mark
+                if want:
+                    last_mark = mark
+            else:
+                # draining: one beat at the horizon crossing, then a
+                # low-rate pulse so multi-second tails stay visible
+                want = (
+                    last_mark < stream.marks
+                    or epochs - last_beat >= stream.drain_every
+                )
+                if want:
+                    last_mark = stream.marks
         # send every step first: process workers advance concurrently
         for host, inbox in zip(hosts, inboxes):
-            host.step_send(t, inbox)
+            host.step_send(t, inbox, want)
         inboxes = [[] for _ in hosts]
         busy = False
         nxt = float("inf")
+        healths: List[Dict[str, Any]] = []
         for host in hosts:
-            outbox, pending, head = host.step_recv()
+            outbox, pending, head, health = host.step_recv()
             busy = busy or pending
+            if health is not None:
+                healths.append(health)
             if head < nxt:
                 nxt = head
             for rec in outbox:
@@ -992,6 +1127,9 @@ def _epoch_loop(hosts, duration: float, delta: float) -> int:
                 arrival = rec[6] + delta
                 if arrival < nxt:
                     nxt = arrival
+        if want and healths:
+            last_beat = epochs
+            stream.heartbeat(epochs, t, duration, healths)
         if t >= duration and not busy and not any(inboxes):
             return epochs
         # fast-forward: leave t at the last boundary whose *successor*
@@ -1017,6 +1155,7 @@ def run_sharded(
     shards: int = 2,
     backend: str = "auto",
     obs=None,
+    stream=None,
     verbose_trace: bool = False,
 ) -> ScaleResult:
     """Run one scenario partitioned across ``shards`` shard engines.
@@ -1027,6 +1166,15 @@ def run_sharded(
     shard, ``"inline"`` runs the same engines round-robin in-process
     (bit-identical results — the CI witness path), and ``"auto"`` picks
     processes when more than one core is available.
+
+    ``obs`` (an :class:`~repro.obs.Observability` *template* — each
+    shard builds its own instance from its mode/span_keep) enables
+    per-shard tracing or metrics; trace mode runs under bounded span
+    retention (``obs.span_keep``, default ``_DEFAULT_SPAN_KEEP``) and
+    attaches the per-shard snapshots as ``result.obs_shards`` for
+    :func:`~repro.obs.export.stitch_chrome_trace`.  ``stream`` (a
+    :class:`~repro.obs.stream.HeartbeatStream`) turns on the
+    epoch-aligned NDJSON heartbeat feed.
     """
     spec = get_scenario(scenario) if isinstance(scenario, str) else scenario
     spec = spec.with_overrides(n_ue=n_ue, duration_s=duration_s, seed=seed)
@@ -1037,15 +1185,15 @@ def run_sharded(
     if shards < 0:
         raise ValueError("shards must be >= 0, got %d" % shards)
     if shards == 1:
-        return _Engine(spec, mode=mode, obs=obs, verbose_trace=verbose_trace).run()
+        result = _Engine(
+            spec, mode=mode, obs=obs, verbose_trace=verbose_trace
+        ).run()
+        if stream is not None:
+            stream.summary(result)
+        return result
     if mode not in ("cohort", "batched"):
         raise ValueError(
             "sharded runs support modes 'cohort' and 'batched', got %r" % (mode,)
-        )
-    if obs is not None and getattr(obs, "mode", None) == "trace":
-        raise ValueError(
-            "--obs trace is incompatible with --shards > 1 (span retention "
-            "is per-process); use --obs metrics, whose snapshots merge"
         )
     wall0 = time.perf_counter()
     parents = city_parents(spec)
@@ -1053,6 +1201,12 @@ def run_sharded(
     bs_names, populations = partition_population(spec, shard_map)
     delta = shard_lookahead(spec)
     obs_mode = getattr(obs, "mode", None) if obs is not None else None
+    span_keep = getattr(obs, "span_keep", None) if obs is not None else None
+    if obs_mode == "trace" and span_keep is None:
+        # sharded traces default to bounded retention: each shard keeps
+        # the slowest-K roots per procedure plus every fault/recovery/
+        # migration tree, so the merge payload stays pipe-sized
+        span_keep = _DEFAULT_SPAN_KEEP
 
     hosts = None
     backend_used = "inline"
@@ -1065,6 +1219,7 @@ def run_sharded(
                 shards,
                 verbose_trace,
                 obs_mode,
+                span_keep,
                 bs_names,
                 populations[k][0],
                 populations[k][1],
@@ -1105,7 +1260,7 @@ def run_sharded(
                 return None
             from ..obs import Observability
 
-            return Observability(obs_mode)
+            return Observability(obs_mode, span_keep=span_keep)
 
         def _maker(k):
             return lambda: ShardEngine(
@@ -1123,7 +1278,7 @@ def run_sharded(
         hosts = [_InlineHost(_maker(k)) for k in range(shards)]
 
     try:
-        epochs = _epoch_loop(hosts, spec.duration_s, delta)
+        epochs = _epoch_loop(hosts, spec.duration_s, delta, stream=stream)
         payloads = [host.finish() for host in hosts]
     finally:
         for host in hosts:
@@ -1134,10 +1289,13 @@ def run_sharded(
     )
     snapshots = [p["obs"] for p in payloads if p["obs"] is not None]
     if snapshots:
-        from ..obs.metrics import merge_snapshots
+        from ..obs.metrics import label_snapshot, merge_snapshots
 
-        metrics = [s.get("metrics") for s in snapshots]
-        result.obs_snapshot = {
+        metrics = [
+            label_snapshot(s.get("metrics"), shard=k)
+            for k, s in enumerate(snapshots)
+        ]
+        summary: Dict[str, Any] = {
             "mode": obs_mode,
             "shards": len(snapshots),
             "spans_started": sum(s.get("spans_started", 0) for s in snapshots),
@@ -1146,4 +1304,21 @@ def run_sharded(
             ),
             "metrics": merge_snapshots([m for m in metrics if m is not None]),
         }
+        retentions = [s.get("retention") for s in snapshots]
+        if any(r is not None for r in retentions):
+            summary["retention"] = {
+                "limit": span_keep,
+                "roots_kept": sum(
+                    r.get("roots_kept", 0) for r in retentions if r
+                ),
+                "roots_dropped": sum(
+                    r.get("roots_dropped", 0) for r in retentions if r
+                ),
+            }
+        result.obs_snapshot = summary
+        #: per-shard wire snapshots (span tables + flow tables), in
+        #: shard order — the stitcher's input
+        result.obs_shards = snapshots
+    if stream is not None:
+        stream.summary(result)
     return result

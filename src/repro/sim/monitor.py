@@ -17,9 +17,28 @@ __all__ = [
     "TimeWeighted",
     "percentile",
     "summarize",
+    "imbalance",
     "P2Quantile",
     "QuantileSketch",
 ]
+
+
+def imbalance(values: Iterable[float]) -> float:
+    """Peak-to-mean ratio of a non-negative load vector.
+
+    1.0 means perfectly balanced; K means the busiest element carries K
+    times the average load (the classic load-imbalance factor).  Empty
+    or all-zero inputs report 1.0 — nothing is imbalanced about no
+    load.  Used by the sharded-run heartbeat stream to report how far
+    the slowest shard is ahead of its siblings.
+    """
+    vals = [float(v) for v in values]
+    if not vals:
+        return 1.0
+    mean = sum(vals) / len(vals)
+    if mean <= 0.0:
+        return 1.0
+    return max(vals) / mean
 
 
 _RAISE = object()  # sentinel: distinguish "no default" from default=None

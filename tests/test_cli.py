@@ -232,9 +232,21 @@ class TestScaleSharded:
     def test_incompatible_combos_rejected(self, capsys):
         assert main(self.ARGS + ["--mode", "individual"]) == 2
         assert "individual" in capsys.readouterr().err
-        assert main(self.ARGS + ["--obs", "trace"]) == 2
-        assert "--obs trace" in capsys.readouterr().err
         assert main(self.ARGS + ["--seeds", "1,2"]) == 2
         assert "--seeds" in capsys.readouterr().err
+        # per-run artifact flags make no sense across a seed sweep
+        assert main(
+            self.ARGS[:-4] + ["--seeds", "1,2", "--obs-stream", "-"]
+        ) == 2
+        assert "incompatible" in capsys.readouterr().err
         assert main(self.ARGS[:-2] + ["--shards", "bogus"]) == 2
         assert "integer or 'auto'" in capsys.readouterr().err
+
+    def test_sharded_obs_trace_stitches(self, capsys, tmp_path, monkeypatch):
+        # the PR 8 rejection is gone: sharded tracing stitches one trace
+        monkeypatch.chdir(tmp_path)  # default --trace-out lands in cwd
+        assert main(self.ARGS + ["--obs", "trace"]) == 0
+        out = capsys.readouterr().out
+        assert "mode=trace" in out
+        assert "trace: wrote scale-steady-city.trace.json" in out
+        assert (tmp_path / "scale-steady-city.trace.json").exists()
