@@ -1,0 +1,87 @@
+"""Controller overhead: an observing orchestrator must be ~free.
+
+The ``repro.orch`` determinism contract has a perf side to match the
+digest side: a non-mutating controller (a policy with ticks but no
+behaviours armed) reads health rows at every tick and decides nothing,
+and the witness suite pins that its digest equals the orch-off run's.
+This file prices the same claim — the tick loop, per-tick ``load``
+table construction, and controller bookkeeping must cost a few percent
+of the run, not a multiple.
+
+``test_scale_steady_city_orch_noop`` is *guarded* in
+``BENCH_baseline.json``: if the observation path creeps (say the load
+table starts walking every placement), CI fails.  The orch-off row is
+the denominator and stays unguarded (it duplicates the guarded batched
+row's workload in cohort mode at a smaller population).
+
+Run / refresh::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_orch_overhead.py \
+        --benchmark-json=/tmp/orch-bench.json
+    python benchmarks/compare_baseline.py /tmp/orch-bench.json \
+        BENCH_baseline.json --subset
+"""
+
+import dataclasses
+import time
+
+import pytest
+
+pytest.importorskip("pytest_benchmark")
+
+from repro.scale.engine import run_scenario
+from repro.scale.scenarios import get_scenario
+
+N_UE = 20_000
+DURATION_S = 2.0
+
+#: ticks but no behaviours: observe-only, the digest-neutral controller.
+_NOOP_POLICY = {"tick_s": 0.05}
+
+
+def _spec(policy):
+    spec = get_scenario("steady-city").with_overrides(
+        n_ue=N_UE, duration_s=DURATION_S, seed=1
+    )
+    return dataclasses.replace(spec, orch_policy=policy)
+
+
+def test_scale_steady_city_orch_off(benchmark):
+    result = benchmark.pedantic(
+        run_scenario, args=(_spec(None),), rounds=3, iterations=1
+    )
+    assert result.violations == 0
+
+
+def test_scale_steady_city_orch_noop(benchmark):
+    """GUARDED: 40 observe-only ticks on top of the same run."""
+    result = benchmark.pedantic(
+        run_scenario, args=(_spec(_NOOP_POLICY),), rounds=3, iterations=1
+    )
+    assert result.violations == 0
+    assert result.orch_summary["ticks"] == 39  # tick 40 lands past t=duration
+    assert result.orch_log == []
+
+
+def test_orch_noop_overhead_witness():
+    """Interleaved min-of-3 A/B: the observing controller must cost
+    under 15% wall-clock over the identical orch-off run — and produce
+    the identical digest, so the only thing being paid for is reading."""
+    off_s, noop_s = [], []
+    for _ in range(3):
+        t0 = time.perf_counter()
+        res_off = run_scenario(_spec(None))
+        off_s.append(time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        res_noop = run_scenario(_spec(_NOOP_POLICY))
+        noop_s.append(time.perf_counter() - t0)
+    assert res_noop.digest == res_off.digest, "observation perturbed the run"
+    overhead = min(noop_s) / min(off_s) - 1.0
+    print(
+        "\norch no-op overhead (n=%d, %ss sim): off min %.3fs, noop min "
+        "%.3fs -> %+.1f%%"
+        % (N_UE, DURATION_S, min(off_s), min(noop_s), 100 * overhead)
+    )
+    assert overhead < 0.15, (
+        "observing controller costs %.1f%% wall-clock" % (100 * overhead)
+    )

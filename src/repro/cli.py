@@ -16,6 +16,8 @@ Usage::
     python -m repro profile fig08 --top 20        # cProfile a figure run
     python -m repro obs fig07                     # traced run + breakdown
     python -m repro obs fig07 --timeline          # + slowest-procedure trees
+    python -m repro orch upgrade-under-commute-wave --shards 4
+    python -m repro orch autoscale-under-flash-crowd --compare-baseline
 
 Figure ids follow the paper's numbering (fig03, fig07-fig11, fig13-fig20).
 
@@ -388,6 +390,86 @@ def main(argv: List[str] = None) -> int:
         help="also print the slowest procedures' span trees",
     )
 
+    from .scale.scenarios import scenario_names
+
+    def add_scale_flags(p, seeds=True):
+        p.add_argument("scenario", choices=scenario_names())
+        p.add_argument(
+            "--n-ue", type=int, default=None, metavar="N",
+            help="population size (default: the scenario's, typically 20000)",
+        )
+        p.add_argument(
+            "--duration", type=float, default=None, metavar="SECONDS",
+            help="simulated duration (fault/churn phases scale with it)",
+        )
+        p.add_argument("--seed", type=int, default=None)
+        if seeds:
+            p.add_argument(
+                "--seeds", default=None, metavar="S1,S2",
+                help="replicate sweep over comma-separated seeds "
+                "(runs through the parallel runner + result cache)",
+            )
+        p.add_argument(
+            "--mode", choices=["cohort", "individual", "batched"],
+            default="cohort",
+            help="population model (individual = N persistent UE objects, "
+            "the conformance witness; batched = analytic steady-state lane, "
+            "same results faster; default: %(default)s)",
+        )
+        p.add_argument(
+            "--shards", default="1", metavar="N|auto",
+            help="partition the city by level-2 region across N worker "
+            "processes (auto = one per core; default: %(default)s). The "
+            "merged run is deterministic for a fixed shard count.",
+        )
+        p.add_argument(
+            "--shard-backend", choices=["auto", "inline", "process"],
+            default="auto",
+            help="shard execution vehicle: process = one worker per shard, "
+            "inline = same engines serially in-process (bit-identical "
+            "results; the CI witness path), auto = processes when multiple "
+            "cores are available (default: %(default)s)",
+        )
+        p.add_argument(
+            "--obs", nargs="?", const="metrics", default=None,
+            choices=["metrics", "trace"],
+            help="install observability (bare --obs = bounded metrics mode; "
+            "trace mode on sharded runs stitches one Chrome/Perfetto trace "
+            "with per-shard process tracks and cross-shard flow events)",
+        )
+        p.add_argument(
+            "--obs-stream", default=None, metavar="FILE|-",
+            help="write the epoch-aligned NDJSON heartbeat stream here "
+            "('-' = stdout); heartbeats piggyback on the lockstep epoch "
+            "messages of sharded runs — zero extra round trips",
+        )
+        p.add_argument(
+            "--span-keep", type=int, default=None, metavar="K",
+            help="bounded span retention for --obs trace: keep the slowest "
+            "K roots per procedure plus every fault/recovery/migration "
+            "tree (default: unbounded single-process, 32 sharded)",
+        )
+        p.add_argument(
+            "--trace-out", default=None, metavar="FILE",
+            help="Chrome/Perfetto trace output path for --obs trace "
+            "(default: scale-<scenario>.trace.json)",
+        )
+        p.add_argument(
+            "--ledger", default=None, metavar="FILE",
+            help="write the structured end-of-run ledger (JSON, schema "
+            "repro.run_ledger/v1: config + code fingerprints, per-shard "
+            "perf/health, latency quantiles, auditor verdict)",
+        )
+        p.add_argument(
+            "--verbose-trace", action="store_true",
+            help="record every message in the event trace (digest witness; "
+            "unbounded — small populations only)",
+        )
+        p.add_argument(
+            "--json", action="store_true", help="emit the result as JSON"
+        )
+        add_runner_flags(p)
+
     scale_parser = sub.add_parser(
         "scale",
         help="run a city-scale sharded deployment scenario",
@@ -400,82 +482,40 @@ def main(argv: List[str] = None) -> int:
             "storms iot-reattach-storm, paging-storm, midnight-tau-spike."
         ),
     )
-    from .scale.scenarios import scenario_names
+    add_scale_flags(scale_parser)
+    scale_parser.set_defaults(policy=None, compare_baseline=False)
 
-    scale_parser.add_argument("scenario", choices=scenario_names())
-    scale_parser.add_argument(
-        "--n-ue", type=int, default=None, metavar="N",
-        help="population size (default: the scenario's, typically 20000)",
+    orch_parser = sub.add_parser(
+        "orch",
+        help="run a scale scenario under the closed-loop controller",
+        description=(
+            "Run a city-scale scenario with the repro.orch closed-loop "
+            "controller driving day-2 operations off the epoch-aligned "
+            "heartbeat feed: CPF scale-out/scale-in on queue hysteresis, "
+            "rolling CPF upgrades (drain -> migrate state -> replace), and "
+            "auto-heal racing the paper's two-level recovery.  The policy "
+            "comes from --policy (JSON, inline or a file) or the "
+            "scenario's built-in one (upgrade-under-commute-wave, "
+            "autoscale-under-flash-crowd).  The exit code is still the "
+            "auditor verdict — orchestration never trades consistency "
+            "for capacity — and every run is bit-reproducible for a "
+            "fixed (policy, seed, shard count)."
+        ),
     )
-    scale_parser.add_argument(
-        "--duration", type=float, default=None, metavar="SECONDS",
-        help="simulated duration (fault/churn phases scale with it)",
+    add_scale_flags(orch_parser, seeds=False)
+    orch_parser.add_argument(
+        "--policy", default=None, metavar="FILE|JSON",
+        help="orchestration policy (repro.orch.OrchPolicy DSL): a JSON "
+        "object inline or a path to a JSON file; default: the "
+        "scenario's built-in policy",
     )
-    scale_parser.add_argument("--seed", type=int, default=None)
-    scale_parser.add_argument(
-        "--seeds", default=None, metavar="S1,S2",
-        help="replicate sweep over comma-separated seeds "
-        "(runs through the parallel runner + result cache)",
+    orch_parser.add_argument(
+        "--compare-baseline", action="store_true",
+        help="also run the identical scenario with the controller off "
+        "(fixed capacity) and record both worst-region attach p99s, "
+        "plus the verdict, under the ledger's orch.compare section",
     )
-    scale_parser.add_argument(
-        "--mode", choices=["cohort", "individual", "batched"], default="cohort",
-        help="population model (individual = N persistent UE objects, "
-        "the conformance witness; batched = analytic steady-state lane, "
-        "same results faster; default: %(default)s)",
-    )
-    scale_parser.add_argument(
-        "--shards", default="1", metavar="N|auto",
-        help="partition the city by level-2 region across N worker "
-        "processes (auto = one per core; default: %(default)s). The "
-        "merged run is deterministic for a fixed shard count.",
-    )
-    scale_parser.add_argument(
-        "--shard-backend", choices=["auto", "inline", "process"],
-        default="auto",
-        help="shard execution vehicle: process = one worker per shard, "
-        "inline = same engines serially in-process (bit-identical "
-        "results; the CI witness path), auto = processes when multiple "
-        "cores are available (default: %(default)s)",
-    )
-    scale_parser.add_argument(
-        "--obs", nargs="?", const="metrics", default=None,
-        choices=["metrics", "trace"],
-        help="install observability (bare --obs = bounded metrics mode; "
-        "trace mode on sharded runs stitches one Chrome/Perfetto trace "
-        "with per-shard process tracks and cross-shard flow events)",
-    )
-    scale_parser.add_argument(
-        "--obs-stream", default=None, metavar="FILE|-",
-        help="write the epoch-aligned NDJSON heartbeat stream here "
-        "('-' = stdout); heartbeats piggyback on the lockstep epoch "
-        "messages of sharded runs — zero extra round trips",
-    )
-    scale_parser.add_argument(
-        "--span-keep", type=int, default=None, metavar="K",
-        help="bounded span retention for --obs trace: keep the slowest "
-        "K roots per procedure plus every fault/recovery/migration "
-        "tree (default: unbounded single-process, 32 sharded)",
-    )
-    scale_parser.add_argument(
-        "--trace-out", default=None, metavar="FILE",
-        help="Chrome/Perfetto trace output path for --obs trace "
-        "(default: scale-<scenario>.trace.json)",
-    )
-    scale_parser.add_argument(
-        "--ledger", default=None, metavar="FILE",
-        help="write the structured end-of-run ledger (JSON, schema "
-        "repro.run_ledger/v1: config + code fingerprints, per-shard "
-        "perf/health, latency quantiles, auditor verdict)",
-    )
-    scale_parser.add_argument(
-        "--verbose-trace", action="store_true",
-        help="record every message in the event trace (digest witness; "
-        "unbounded — small populations only)",
-    )
-    scale_parser.add_argument(
-        "--json", action="store_true", help="emit the result as JSON"
-    )
-    add_runner_flags(scale_parser)
+    orch_parser.set_defaults(seeds=None)
 
     cal_parser = sub.add_parser(
         "calibrate",
@@ -584,6 +624,8 @@ def main(argv: List[str] = None) -> int:
         return _run_obs(args)
     if args.command == "scale":
         return _run_scale(args)
+    if args.command == "orch":
+        return _run_orch(args)
     if args.command == "calibrate":
         return _run_calibrate(args)
     parser.print_help()
@@ -611,6 +653,51 @@ def _run_calibrate(args) -> int:
     )
     print(report.format_report())
     return 0 if report.ok else 1
+
+
+def _run_orch(args) -> int:
+    """``python -m repro orch``: a scale run under the closed-loop
+    controller.  Resolves the policy (--policy JSON/file or the
+    scenario's built-in one), validates it eagerly for a readable
+    error, then delegates to the scale runner with the spec override —
+    the exit code stays the auditor verdict."""
+    import json as json_mod
+    import os
+    import sys
+    from dataclasses import replace as dc_replace
+
+    from .orch import OrchPolicy
+    from .scale.scenarios import get_scenario
+
+    spec = get_scenario(args.scenario)
+    policy_data = spec.orch_policy
+    if args.policy:
+        text = args.policy
+        if os.path.exists(text):
+            with open(text) as fp:
+                text = fp.read()
+        try:
+            policy_data = json_mod.loads(text)
+        except ValueError as err:
+            print(
+                "error: --policy is neither a file nor valid JSON: %s"
+                % err, file=sys.stderr,
+            )
+            return 2
+    if policy_data is None:
+        print(
+            "error: scenario %r has no built-in orchestration policy; "
+            "pass one with --policy (JSON object or file)"
+            % args.scenario, file=sys.stderr,
+        )
+        return 2
+    try:
+        OrchPolicy.from_dict(policy_data)
+    except (TypeError, ValueError) as err:
+        print("error: bad --policy: %s" % err, file=sys.stderr)
+        return 2
+    args._spec = dc_replace(spec, orch_policy=dict(policy_data))
+    return _run_scale(args)
 
 
 def _run_scale(args) -> int:
@@ -697,9 +784,12 @@ def _run_scale(args) -> int:
         from .obs.stream import open_stream
 
         stream, closer = open_stream(args.obs_stream)
+    scenario = getattr(args, "_spec", None)
+    if scenario is None:
+        scenario = args.scenario
     try:
         result = run_scenario(
-            args.scenario,
+            scenario,
             n_ue=args.n_ue,
             duration_s=args.duration,
             seed=args.seed,
@@ -717,6 +807,27 @@ def _run_scale(args) -> int:
     finally:
         if closer is not None:
             closer.close()
+
+    if args.compare_baseline:
+        # same scenario, controller off: the fixed-capacity control run
+        # whose worst-region attach p99 the orchestrated one must beat
+        from dataclasses import replace as dc_replace
+
+        from .orch import orch_compare
+        from .scale.scenarios import get_scenario
+
+        spec = getattr(args, "_spec", None) or get_scenario(args.scenario)
+        base_spec = dc_replace(spec, orch_policy=None)
+        baseline = run_scenario(
+            base_spec,
+            n_ue=args.n_ue,
+            duration_s=args.duration,
+            seed=args.seed,
+            mode=args.mode,
+            shards=shards,
+            shard_backend=args.shard_backend,
+        )
+        result.orch_compare = orch_compare(result, baseline)
 
     trace_path = None
     flow_events = None
@@ -750,9 +861,41 @@ def _run_scale(args) -> int:
         )
 
     if args.json:
-        print(json_mod.dumps(result.to_dict(), indent=2, sort_keys=True))
+        payload = result.to_dict()
+        for attr in ("orch_policy", "orch_log", "orch_summary",
+                     "orch_compare"):
+            value = getattr(result, attr, None)
+            if value is not None:
+                payload[attr] = value
+        print(json_mod.dumps(payload, indent=2, sort_keys=True))
     else:
         print(result.format_report())
+        orch_summary = getattr(result, "orch_summary", None)
+        if orch_summary is not None:
+            kinds = orch_summary.get("by_kind", {})
+            print(
+                "orch: ticks=%d actions=%d%s heartbeats=%d"
+                % (
+                    orch_summary.get("ticks", 0),
+                    orch_summary.get("actions", 0),
+                    " (%s)" % ", ".join(
+                        "%s=%d" % (k, v) for k, v in sorted(kinds.items())
+                    ) if kinds else "",
+                    orch_summary.get("heartbeats_seen", 0),
+                )
+            )
+        compare = getattr(result, "orch_compare", None)
+        if compare is not None:
+            print(
+                "orch-compare: attach p99 worst-region %.3fms orchestrated "
+                "vs %.3fms fixed-capacity -> %s (baseline violations=%d)"
+                % (
+                    compare["orch_attach_p99_ms"],
+                    compare["baseline_attach_p99_ms"],
+                    "improved" if compare["improved"] else "NOT improved",
+                    compare["baseline_violations"],
+                )
+            )
     snapshot = getattr(result, "obs_snapshot", None)
     if snapshot is None and obs is not None and obs.metrics is not None:
         snapshot = obs.snapshot()

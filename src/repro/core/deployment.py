@@ -210,6 +210,28 @@ class Deployment:
         for bs_name in region.bss:
             self.bss[bs_name] = BaseStation(self, bs_name, region.geohash)
 
+    def add_cpf(self, region_hash: str, cpf_name: str) -> None:
+        """Admit one CPF to an existing region mid-run (scale-out).
+
+        Rings first, then the live node, mirroring :meth:`add_region`.
+        Re-admitting a CPF whose node already exists (the rolling-upgrade
+        re-join after a drain) reuses the node object — its store was
+        emptied by the restart and refills through repair fetches.
+        """
+        self.region_map.add_cpf(region_hash, cpf_name)
+        if cpf_name not in self.cpfs:
+            self.cpfs[cpf_name] = CPF(self, cpf_name, region_hash)
+
+    def remove_cpf(self, region_hash: str, cpf_name: str) -> None:
+        """Ring one CPF out of its region (drain for scale-in / upgrade).
+
+        The node object stays registered and up — in-flight procedures
+        and repair fetches still reach it; the caller decommissions it
+        (``fail``) only after draining, as :meth:`retire_region` does
+        for whole regions.
+        """
+        self.region_map.remove_cpf(region_hash, cpf_name)
+
     def retire_region(self, region_hash: str) -> Region:
         """Remove a drained region from the rings and take its nodes down.
 

@@ -59,6 +59,11 @@ class FaultInjector:
         self.partition_drops = 0
         self.ops_applied = 0
         self.ops_skipped = 0
+        #: crash-detection hooks: ``fn(now, op, target)`` called after
+        #: every *applied* control op.  Listeners must be passive
+        #: observers (counters, detection latches) — scheduling sim work
+        #: from one would perturb runs that differ only in listeners.
+        self._listeners: list = []
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -145,6 +150,10 @@ class FaultInjector:
 
     # -- control operations ---------------------------------------------------
 
+    def add_listener(self, fn) -> None:
+        """Register a crash-detection hook (see ``_listeners``)."""
+        self._listeners.append(fn)
+
     def fire(self, op: FaultOp) -> None:
         """Apply one control op (timed event or scripted step) now."""
         handler = getattr(self, "_op_" + op.op, None)
@@ -156,6 +165,8 @@ class FaultInjector:
             return
         self.ops_applied += 1
         self.trace.record(self.sim.now, "op", op=op.op, target=op.target)
+        for fn in self._listeners:
+            fn(self.sim.now, op.op, op.target)
 
     # each _op_* returns False when skipped (e.g. last-alive guard)
 

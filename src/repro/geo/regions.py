@@ -52,6 +52,10 @@ class RegionMap:
         self._level2_rings: Dict[str, HashRing] = {}
         self._bs_region: Dict[str, str] = {}
         self._prefix_rings: Dict[str, HashRing] = {}
+        #: every CPF's home region, including CPFs currently ringed out
+        #: by a drain (scale-in / rolling upgrade): in-flight repair
+        #: fetches still need ``region_of_cpf`` to resolve the victim.
+        self._cpf_home: Dict[str, str] = {}
         for region in regions:
             self.add_region(region)
         if not self.regions:
@@ -81,6 +85,8 @@ class RegionMap:
         self._level1_rings[region.geohash] = HashRing(region.cpfs, self.vnodes)
         for bs in region.bss:
             self._bs_region[bs] = region.geohash
+        for cpf in region.cpfs:
+            self._cpf_home[cpf] = region.geohash
         ring2 = self._level2_rings.get(region.level2)
         if ring2 is None:
             self._level2_rings[region.level2] = HashRing(region.cpfs, self.vnodes)
@@ -106,10 +112,65 @@ class RegionMap:
         ring2 = self._level2_rings[region.level2]
         for cpf in region.cpfs:
             ring2.remove(cpf)
+            self._cpf_home.pop(cpf, None)
         if not len(ring2):
             del self._level2_rings[region.level2]
         self._prefix_rings.clear()
         return region
+
+    def add_cpf(self, region_hash: str, cpf_name: str) -> None:
+        """Admit one CPF to an existing region's rings (scale-out).
+
+        The single-node analogue of :meth:`add_region`: the CPF enters
+        the region's level-1 ring and the parent's level-2 ring, wider
+        prefix rings rebuild lazily, and — by consistent-hashing
+        monotonicity — only keys that now hash to the joiner move.
+        Callers re-place affected UEs via ``stale_placements``.
+        """
+        region = self.region(region_hash)
+        if cpf_name in region.cpfs:
+            raise ValueError(
+                "CPF %s already in region %s" % (cpf_name, region_hash)
+            )
+        home = self._cpf_home.get(cpf_name)
+        if home is not None and home != region_hash:
+            raise ValueError(
+                "CPF %s already homed in region %s" % (cpf_name, home)
+            )
+        region.cpfs.append(cpf_name)
+        self._level1_rings[region_hash].add(cpf_name)
+        self._level2_rings[region.level2].add(cpf_name)
+        self._cpf_home[cpf_name] = region_hash
+        self._prefix_rings.clear()
+
+    def remove_cpf(self, region_hash: str, cpf_name: str) -> None:
+        """Ring a CPF out of its region (drain for scale-in / upgrade).
+
+        Refuses to empty the region's level-1 ring or the parent's
+        level-2 ring — scale-in must never remove the last replica
+        target of a level-2 parent.  The CPF's home stays recorded so
+        in-flight repair fetches can still resolve it as a *source*
+        (``region_of_cpf``); re-adding the same name later is allowed.
+        """
+        region = self.region(region_hash)
+        if cpf_name not in region.cpfs:
+            raise KeyError(
+                "CPF %s not in region %s" % (cpf_name, region_hash)
+            )
+        if len(region.cpfs) <= 1:
+            raise ValueError(
+                "cannot remove the last CPF of region %s" % region_hash
+            )
+        ring2 = self._level2_rings[region.level2]
+        if len(ring2) <= 1:
+            raise ValueError(
+                "cannot remove the last CPF of level-2 parent %s"
+                % region.level2
+            )
+        region.cpfs.remove(cpf_name)
+        self._level1_rings[region_hash].remove(cpf_name)
+        ring2.remove(cpf_name)
+        self._prefix_rings.clear()
 
     # -- lookups -----------------------------------------------------------
 
@@ -126,6 +187,11 @@ class RegionMap:
             raise KeyError("BS %r not in any region" % bs)
 
     def region_of_cpf(self, cpf: str) -> Region:
+        home = self._cpf_home.get(cpf)
+        if home is not None:
+            region = self.regions.get(home)
+            if region is not None:
+                return region
         for region in self.regions.values():
             if cpf in region.cpfs:
                 return region

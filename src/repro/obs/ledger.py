@@ -98,6 +98,19 @@ def build_run_ledger(
     }
     if obs_summary is not None:
         ledger["obs"] = obs_summary
+    orch_policy = getattr(result, "orch_policy", None)
+    if orch_policy is not None:
+        ledger["orch"] = {
+            "policy": dict(orch_policy),
+            "summary": dict(getattr(result, "orch_summary", {}) or {}),
+            "actions": list(getattr(result, "orch_log", []) or []),
+        }
+        compare = getattr(result, "orch_compare", None)
+        if compare is not None:
+            # --compare-baseline: the fixed-capacity control run's
+            # verdict, recorded in the same ledger as the orchestrated
+            # run so the improvement claim is self-contained
+            ledger["orch"]["compare"] = dict(compare)
     if argv is not None:
         ledger["argv"] = list(argv)
     return ledger

@@ -43,7 +43,9 @@ DRAIN_EVERY = 512
 class HeartbeatStream:
     """NDJSON sink for epoch-aligned shard health rows.
 
-    ``fp`` is any text file object (stdout for ``--obs-stream -``);
+    ``fp`` is any text file object (stdout for ``--obs-stream -``), or
+    ``None`` for a subscriber-only stream — the programmatic feed the
+    ``repro.orch`` controller and tests consume without touching disk;
     ``progress`` mirrors a one-line human summary per heartbeat
     (stderr by default; None silences it).
     """
@@ -52,18 +54,35 @@ class HeartbeatStream:
     #: shard coordinator so the loop needs no import of this module.
     drain_every = DRAIN_EVERY
 
-    def __init__(self, fp, progress=None, marks: int = DEFAULT_MARKS):
+    def __init__(self, fp=None, progress=None, marks: int = DEFAULT_MARKS):
         self._fp = fp
         self._progress = progress
         self.marks = max(1, int(marks))
         self.rows = 0
+        self._subscribers: List[Any] = []
+
+    # -- programmatic consumers --------------------------------------------
+
+    def subscribe(self, fn):
+        """Register ``fn(row)`` for every emitted row; returns ``fn``.
+
+        Subscribers see the identical dict that goes out as NDJSON
+        (heartbeats and the final summary), in emission order.  They
+        must treat the row as read-only: the dict is shared between the
+        file sink and every subscriber.
+        """
+        self._subscribers.append(fn)
+        return fn
 
     # -- raw emission -------------------------------------------------------
 
     def emit(self, row: Dict[str, Any]) -> None:
-        self._fp.write(json.dumps(row, sort_keys=True) + "\n")
-        self._fp.flush()
+        if self._fp is not None:
+            self._fp.write(json.dumps(row, sort_keys=True) + "\n")
+            self._fp.flush()
         self.rows += 1
+        for fn in self._subscribers:
+            fn(row)
 
     # -- folded rows --------------------------------------------------------
 
@@ -102,9 +121,12 @@ class HeartbeatStream:
             "imbalance": imbalance(walls),
             # scalar per-shard rows only: the labeled metrics already
             # appear once, merged, under "metrics" — repeating them per
-            # shard would double every heartbeat's size
+            # shard would double every heartbeat's size.  The orch
+            # "load" table is likewise controller input, not wire
+            # payload: the controller reads the raw health rows at its
+            # tick, before they are folded into this heartbeat.
             "shards": [
-                {k: v for k, v in h.items() if k != "metrics"}
+                {k: v for k, v in h.items() if k not in ("metrics", "load")}
                 for h in healths
             ],
         }

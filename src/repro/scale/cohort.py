@@ -211,6 +211,9 @@ class BatchedDriver(CohortDriver):
             and not spec.fault_events
             and not spec.churn_events
             and cfg.heartbeat_interval_s == 0.0
+            # a mutating orchestration policy re-places state mid-run;
+            # lazy slots have no store entries to migrate
+            and not getattr(engine, "orch_mutating", False)
         )
         if self._lazy:
             # Every bootstrap() call would set these same values; fill
@@ -233,6 +236,9 @@ class BatchedDriver(CohortDriver):
             # fires, outliving any admission window — run such
             # scenarios fully discrete
             and not (spec.traffic_model and plan.events)
+            # controller actions (ring changes, drains, heals) can land
+            # inside any batch window; mutating policies stay discrete
+            and not getattr(engine, "orch_mutating", False)
             and all(
                 not link.bandwidth_bps and not link.jitter_frac
                 for link in dep.links.values()

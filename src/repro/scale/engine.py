@@ -303,12 +303,20 @@ def _expand_fault_events(
 class _Engine:
     """One scenario run's mutable state (drivers, churn, sinks)."""
 
+    #: shard identity for health rows; the shard engine overrides both.
+    shard_idx = 0
+    #: whether this engine hosts its own controller tick loop (True for
+    #: single-process runs; sharded runs tick at the coordinator and
+    #: ship actions inside step messages instead).
+    _local_controller = True
+
     def __init__(
         self,
         spec: ScenarioSpec,
         mode: str = "cohort",
         obs=None,
         verbose_trace: bool = False,
+        stream=None,
     ):
         if mode not in ("cohort", "individual", "batched"):
             raise ValueError("mode must be 'cohort', 'individual', or 'batched'")
@@ -351,6 +359,19 @@ class _Engine:
         )
         self.injector = FaultInjector(self.dep, plan, trace=self.trace)
 
+        # Orchestration state must exist before driver construction:
+        # the batched lane's eligibility check reads ``orch_mutating``.
+        self._obs = obs
+        self._stream = stream
+        self._controller = None
+        self.orch_policy = None
+        self.orch_mutating = False
+        if getattr(spec, "orch_policy", None):
+            from ..orch import OrchPolicy
+
+            self.orch_policy = OrchPolicy.from_dict(spec.orch_policy)
+            self.orch_mutating = self.orch_policy.mutating
+
         self.mobility = _mobility_for(spec, self.topo)
         bs_names = [b for r in self.topo.regions for b in r.bss]
         self.driver = self._make_driver(mode, bs_names)
@@ -388,6 +409,277 @@ class _Engine:
 
     def _count(self, name: str, delta: int = 1) -> None:
         self.counters[name] = self.counters.get(name, 0) + delta
+
+    # -- health / heartbeat feed -------------------------------------------
+
+    def _owns_region(self, tile: str) -> bool:
+        """Whether this engine owns ``tile`` (sharded engines override)."""
+        return True
+
+    def health_row(self) -> Dict[str, Any]:
+        """Compact piggyback payload for the epoch-aligned heartbeat.
+
+        Read-only over sim/auditor/driver state — requesting health
+        never perturbs the schedule, so heartbeat-on and heartbeat-off
+        runs are bit-identical (pinned by the sharded obs witness).
+        With an orchestration policy active the row also carries the
+        per-region ``load`` table the controller's decisions read.
+        """
+        sim = self.sim
+        auditor = self.dep.auditor
+        counters = self.counters
+        row: Dict[str, Any] = {
+            "shard": self.shard_idx,
+            "t": sim.now,
+            "events": sim._seq,
+            "heap": len(sim._heap),
+            "completed": self.driver.completed,
+            "migrations_out": counters.get("migrations_out", 0),
+            "migrations_in": counters.get("migrations_in", 0),
+            "serves": auditor.serves,
+            "writes": auditor.writes,
+            "violations": len(auditor.violations),
+        }
+        if self._obs is not None and self._obs.metrics is not None:
+            row["metrics"] = self._obs.metrics.compact_snapshot()
+        if self.orch_policy is not None:
+            row["load"] = self._load_table()
+        return row
+
+    def _load_table(self) -> Dict[str, Dict[str, Any]]:
+        """Per-owned-region CPF pool state: members, up count, queue depth.
+
+        ``q`` is the summed outstanding load (queued + in service) over
+        the region's *up* CPFs — the controller divides by ``up`` for
+        the per-CPF hysteresis signal; ``down`` lists dark members (the
+        auto-heal detection input).
+        """
+        table: Dict[str, Dict[str, Any]] = {}
+        regions = self.dep.region_map.regions
+        for tile in sorted(regions):
+            if not self._owns_region(tile):
+                continue
+            up = 0
+            q = 0
+            down: List[str] = []
+            members = regions[tile].cpfs
+            for name in members:
+                cpf = self.dep.cpfs.get(name)
+                if cpf is None:
+                    continue
+                if cpf.up:
+                    up += 1
+                    q += len(cpf.server.queue) + cpf.server.busy
+                else:
+                    down.append(name)
+            table[tile] = {
+                "members": list(members),
+                "up": up,
+                "q": q,
+                "down": down,
+            }
+        return table
+
+    # -- orchestration actions (repro.orch) --------------------------------
+    #
+    # Actions arrive from the controller — in-process (the ``_orch_loop``
+    # tick below) or via the shard coordinator's step messages — and are
+    # applied at epoch boundaries through the deployment's existing
+    # choke points (ring ops + the rebalance/repair path).  In sharded
+    # runs *every* shard applies every action (ring/node state must flip
+    # identically in every ghost topology, and re-placement of local UEs
+    # is per-shard work) but only the owner of the action's region
+    # counts and traces it — exactly the fault-mirroring rule.
+
+    def apply_actions(self, actions: List[Dict[str, Any]]) -> None:
+        for action in actions:
+            self.apply_action(action)
+
+    def apply_action(self, action: Dict[str, Any]) -> None:
+        kind = action["kind"]
+        owns = self._owns_region(action["region"])
+        if kind == "scale_out":
+            self._orch_scale_out(action, owns)
+        elif kind == "scale_in":
+            self.sim.process(
+                self._orch_scale_in(action, owns), name="orch.scale_in"
+            )
+        elif kind == "upgrade_begin":
+            self.sim.process(
+                self._orch_upgrade_begin(action, owns), name="orch.upgrade"
+            )
+        elif kind == "upgrade_replace":
+            self.sim.process(
+                self._orch_upgrade_replace(action, owns), name="orch.upgrade"
+            )
+        elif kind == "heal":
+            self._orch_heal(action, owns)
+        else:
+            raise ValueError("unknown orchestration action %r" % (kind,))
+
+    def _orch_trace(self, what: str, action: Dict[str, Any]) -> None:
+        self.trace.record(
+            self.sim.now,
+            "orch",
+            action=what,
+            region=action["region"],
+            cpf=action["cpf"],
+        )
+
+    def _orch_scale_out(self, action: Dict[str, Any], owns: bool) -> None:
+        region_hash, name = action["region"], action["cpf"]
+        region = self.dep.region_map.regions.get(region_hash)
+        if region is None or name in region.cpfs:
+            if owns:
+                self._count("orch_skipped")
+            return
+        self.dep.add_cpf(region_hash, name)
+        if owns:
+            self._count("orch_scale_out")
+            self._orch_trace("scale_out", action)
+        self.sim.process(self._rebalance(), name="orch.rebalance")
+
+    def _orch_scale_in(self, action: Dict[str, Any], owns: bool):
+        region_hash, name = action["region"], action["cpf"]
+        region = self.dep.region_map.regions.get(region_hash)
+        if region is None or name not in region.cpfs:
+            if owns:
+                self._count("orch_skipped")
+            return
+        try:
+            self.dep.remove_cpf(region_hash, name)
+        except ValueError:
+            # last CPF of the region or of its level-2 parent: the ring
+            # guards refuse, the controller's optimistic pick is dropped
+            if owns:
+                self._count("orch_skipped")
+            return
+        if owns:
+            self._count("orch_scale_in")
+            self._orch_trace("scale_in", action)
+        # drain: move every key the victim still holds, then decommission
+        yield from self._rebalance()
+        cpf = self.dep.cpfs.get(name)
+        if cpf is not None and cpf.up:
+            cpf.fail()
+            if owns:
+                self._count("orch_decommissioned")
+
+    def _orch_upgrade_begin(self, action: Dict[str, Any], owns: bool):
+        region_hash, name = action["region"], action["cpf"]
+        region = self.dep.region_map.regions.get(region_hash)
+        if region is None or name not in region.cpfs:
+            if owns:
+                self._count("orch_skipped")
+            return
+        try:
+            self.dep.remove_cpf(region_hash, name)
+        except ValueError:
+            # a lone replica cannot be drained away; the replace phase
+            # will restart it in place (brief outage, recovery path)
+            if owns:
+                self._count("orch_upgrade_undrained")
+            return
+        if owns:
+            self._count("orch_upgrade_drained")
+            self._orch_trace("upgrade_begin", action)
+        yield from self._rebalance()
+
+    def _orch_upgrade_replace(self, action: Dict[str, Any], owns: bool):
+        region_hash, name = action["region"], action["cpf"]
+        cpf = self.dep.cpfs.get(name)
+        if cpf is None:
+            if owns:
+                self._count("orch_skipped")
+            return
+        # restart on the new version: a real NF restart clears the
+        # store (CPF.fail does exactly that); repair fetches refill it
+        if cpf.up:
+            cpf.fail()
+        cpf.recover()
+        region = self.dep.region_map.regions.get(region_hash)
+        if region is not None and name not in region.cpfs:
+            self.dep.add_cpf(region_hash, name)
+        if owns:
+            self._count("orch_upgraded")
+            self._orch_trace("upgrade_replace", action)
+        yield from self._rebalance()
+
+    def _orch_heal(self, action: Dict[str, Any], owns: bool) -> None:
+        """Promote a crashed CPF's orphaned primaries; optionally restart it.
+
+        This is the controller racing the paper's reactive two-level
+        recovery: any UE whose next procedure would have paid the
+        on-demand §4.2.5 failover instead finds an up-to-date backup
+        already promoted.  Promotion is version-guarded — a backup below
+        the UE's RYW floor is never promoted, so consistency is never
+        traded for capacity.
+        """
+        name = action["cpf"]
+        cpf = self.dep.cpfs.get(name)
+        if cpf is None:
+            if owns:
+                self._count("orch_skipped")
+            return
+        promotions = 0
+        if not cpf.up:
+            for ue_id, placement in sorted(self.dep.placements_items()):
+                if placement.primary != name:
+                    continue
+                slot = self._slot_for(ue_id)
+                if slot is None or self.driver.busy[slot]:
+                    continue
+                need = self.driver.version[slot]
+                for backup in placement.backups:
+                    bcpf = self.dep.cpfs.get(backup)
+                    if bcpf is None or not bcpf.up:
+                        continue
+                    entry = bcpf.store.get(ue_id)
+                    if (
+                        entry is not None
+                        and entry.up_to_date
+                        and entry.state.version >= need
+                    ):
+                        self.dep.promote(ue_id, backup)
+                        promotions += 1
+                        break
+        if owns and promotions:
+            self._count("orch_heal_promotions", promotions)
+        if action.get("recover") and not cpf.up:
+            self.dep.recover_cpf(name)
+            if owns:
+                self._count("orch_healed")
+                self._orch_trace("heal", action)
+
+    def _on_fault_op(self, now: float, op: str, target: str) -> None:
+        """Injector listener: instant crash detection for the controller."""
+        if op.startswith("fail_"):
+            self._count("orch_crash_detected")
+
+    def _orch_loop(self):
+        """In-process controller ticks (single-process runs only).
+
+        Each tick reads the local health row, lets the controller
+        decide, applies the actions at the tick boundary, and — when a
+        heartbeat stream is attached — emits the same epoch-aligned
+        heartbeat row a sharded run would.
+        """
+        controller = self._controller
+        tick = controller.policy.tick_s
+        epoch = 0
+        next_tick = tick
+        while next_tick <= self.duration:
+            if next_tick > self.sim.now:
+                yield self.sim.timeout(next_tick - self.sim.now)
+            epoch += 1
+            healths = [self.health_row()]
+            actions = controller.observe(epoch, self.sim.now, healths)
+            self.apply_actions(actions)
+            if self._stream is not None:
+                self._stream.heartbeat(
+                    epoch, self.sim.now, self.duration, healths
+                )
+            next_tick += tick
 
     # -- population --------------------------------------------------------
 
@@ -959,11 +1251,27 @@ class _Engine:
         self.sim.process(traffic, name="scale.traffic")
         if self.spec.churn_events:
             self.sim.process(self._churn(), name="scale.churn")
+        if self.orch_policy is not None:
+            self.injector.add_listener(self._on_fault_op)
+            if self._local_controller:
+                from ..orch import Orchestrator
+
+                self._controller = Orchestrator(self.orch_policy, self.duration)
+                if self._stream is not None:
+                    self._controller.attach_stream(self._stream)
+                self.sim.process(self._orch_loop(), name="orch.tick")
 
     def run(self) -> ScaleResult:
         self.prepare()
         end = self.sim.run()
-        return self.finish(end)
+        result = self.finish(end)
+        if self._controller is not None:
+            # ad-hoc attrs, like result.obs_snapshot: the policy echo,
+            # the full action log (the golden witness), and tick stats
+            result.orch_policy = self._controller.policy.to_dict()
+            result.orch_log = list(self._controller.log)
+            result.orch_summary = self._controller.summary()
+        return result
 
     def finish(self, end: float) -> ScaleResult:
         """Flush the lane trace and assemble the result after the sim ran."""
@@ -1050,7 +1358,9 @@ def run_scenario(
             stream=stream,
             verbose_trace=verbose_trace,
         )
-    result = _Engine(spec, mode=mode, obs=obs, verbose_trace=verbose_trace).run()
+    result = _Engine(
+        spec, mode=mode, obs=obs, verbose_trace=verbose_trace, stream=stream
+    ).run()
     if stream is not None:
         stream.summary(result)
     return result

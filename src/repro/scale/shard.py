@@ -335,6 +335,10 @@ class ShardBatchedDriver(_ShardSlots, BatchedDriver):
 class ShardEngine(_Engine):
     """One shard's engine: full ghost topology, local traffic only."""
 
+    #: sharded runs tick at the coordinator (actions arrive in step
+    #: messages); the engine-side loop must stay dormant.
+    _local_controller = False
+
     def __init__(
         self,
         spec: ScenarioSpec,
@@ -455,6 +459,11 @@ class ShardEngine(_Engine):
 
     def _owns_tile(self, tile: str) -> bool:
         return self._owner_of_parent(tile[:-1]) == self.shard_idx
+
+    def _owns_region(self, tile: str) -> bool:
+        # orchestration-action ownership == tile ownership: counters and
+        # trace records for an applied action come from one shard only
+        return self._owns_tile(tile)
 
     # -- population --------------------------------------------------------
 
@@ -715,31 +724,8 @@ class ShardEngine(_Engine):
             1 for t in self.dep.region_map.regions if self._owns_tile(t)
         )
 
-    def health_row(self) -> Dict[str, Any]:
-        """Compact piggyback payload for the epoch-aligned heartbeat.
-
-        Read-only over sim/auditor/driver state — requesting health
-        never perturbs the schedule, so heartbeat-on and heartbeat-off
-        runs are bit-identical (pinned by the sharded obs witness).
-        """
-        sim = self.sim
-        auditor = self.dep.auditor
-        counters = self.counters
-        row: Dict[str, Any] = {
-            "shard": self.shard_idx,
-            "t": sim.now,
-            "events": sim._seq,
-            "heap": len(sim._heap),
-            "completed": self.driver.completed,
-            "migrations_out": counters.get("migrations_out", 0),
-            "migrations_in": counters.get("migrations_in", 0),
-            "serves": auditor.serves,
-            "writes": auditor.writes,
-            "violations": len(auditor.violations),
-        }
-        if self._obs is not None and self._obs.metrics is not None:
-            row["metrics"] = self._obs.metrics.compact_snapshot()
-        return row
+    # health_row lives on _Engine now (the single-process orchestrator
+    # reads the identical row); this class only overrides ownership.
 
     def finish_payload(self) -> Dict[str, Any]:
         """Everything the coordinator needs to merge this shard's run."""
@@ -782,7 +768,14 @@ def _host_step(
     until: float,
     inbox: List[tuple],
     want_health: bool = False,
+    actions: Optional[List[dict]] = None,
 ):
+    # orchestration actions apply at the epoch boundary, before this
+    # epoch's deliveries and advance — every shard sees the identical
+    # action list at the identical sim state, so ring/node mutations
+    # mirror deterministically
+    if actions:
+        engine.apply_actions(actions)
     engine.deliver(inbox)
     engine.advance(until)
     health = engine.health_row() if want_health else None
@@ -812,11 +805,15 @@ class _InlineHost:
         self.cpu += time.process_time() - c0
 
     def step_send(
-        self, until: float, inbox: List[tuple], want_health: bool = False
+        self,
+        until: float,
+        inbox: List[tuple],
+        want_health: bool = False,
+        actions: Optional[List[dict]] = None,
     ) -> None:
         t0, c0 = time.perf_counter(), time.process_time()
         out, busy, nxt, health = _host_step(
-            self.engine, until, inbox, want_health
+            self.engine, until, inbox, want_health, actions
         )
         self.wall += time.perf_counter() - t0
         self.cpu += time.process_time() - c0
@@ -853,9 +850,13 @@ class _ProcessHost:
         pass  # prepared during spawn handshake
 
     def step_send(
-        self, until: float, inbox: List[tuple], want_health: bool = False
+        self,
+        until: float,
+        inbox: List[tuple],
+        want_health: bool = False,
+        actions: Optional[List[dict]] = None,
     ) -> None:
-        self.handle.send(("step", until, inbox, want_health))
+        self.handle.send(("step", until, inbox, want_health, actions))
 
     def step_recv(self):
         msg = self._recv()
@@ -919,9 +920,10 @@ def _shard_worker(
             msg = conn.recv()
             if msg[0] == "step":
                 want = msg[3] if len(msg) > 3 else False
+                acts = msg[4] if len(msg) > 4 else None
                 t0, c0 = time.perf_counter(), time.process_time()
                 out, busy, nxt, health = _host_step(
-                    engine, msg[1], msg[2], want
+                    engine, msg[1], msg[2], want, acts
                 )
                 wall += time.perf_counter() - t0
                 cpu += time.process_time() - c0
@@ -1053,7 +1055,7 @@ def _merge_payloads(
 # ------------------------------------------------------------------ coordinator
 
 
-def _epoch_loop(hosts, duration: float, delta: float, stream=None) -> int:
+def _epoch_loop(hosts, duration: float, delta: float, stream=None, orch=None) -> int:
     """Advance all shards in lockstep Δ epochs until fully drained.
 
     Event-free epochs are fast-forwarded: when the earliest thing any
@@ -1076,6 +1078,16 @@ def _epoch_loop(hosts, duration: float, delta: float, stream=None) -> int:
     goes out as one NDJSON heartbeat.  Cadence is a pure function of
     the run (progress-fraction buckets while traffic flows, every
     ``stream.drain_every`` epochs while draining), never wall clocks.
+
+    ``orch`` (a :class:`~repro.orch.Orchestrator`) hosts the closed-loop
+    controller at the coordinator: at the first epoch boundary at or
+    past each ``tick_s`` multiple the step asks for health (the same
+    piggyback as heartbeats), the controller decides on the folded rows,
+    and the resulting actions ship *inside the next epoch's step
+    message* so every shard applies them at the identical boundary.
+    Fast-forward is clamped to the tick horizon — and suspended entirely
+    while actions are pending — so the controller's observation times
+    stay a pure function of (policy, run), never of heap contents.
     """
     for host in hosts:
         host.start()
@@ -1084,6 +1096,9 @@ def _epoch_loop(hosts, duration: float, delta: float, stream=None) -> int:
     epochs = 0
     last_mark = 0
     last_beat = 0
+    tick_s = orch.policy.tick_s if orch is not None else float("inf")
+    next_tick = tick_s
+    pending_actions: List[dict] = []
     max_epochs = int(duration / delta) + _DRAIN_EPOCHS_MAX
     while True:
         epochs += 1
@@ -1092,6 +1107,10 @@ def _epoch_loop(hosts, duration: float, delta: float, stream=None) -> int:
                 "sharded run failed to drain after %d epochs" % epochs
             )
         t += delta
+        tick = orch is not None and next_tick <= duration and t >= next_tick
+        if tick:
+            while next_tick <= t:
+                next_tick += tick_s
         want = False
         if stream is not None:
             if t < duration:
@@ -1110,7 +1129,8 @@ def _epoch_loop(hosts, duration: float, delta: float, stream=None) -> int:
                     last_mark = stream.marks
         # send every step first: process workers advance concurrently
         for host, inbox in zip(hosts, inboxes):
-            host.step_send(t, inbox, want)
+            host.step_send(t, inbox, want or tick, pending_actions)
+        pending_actions = []
         inboxes = [[] for _ in hosts]
         busy = False
         nxt = float("inf")
@@ -1130,18 +1150,38 @@ def _epoch_loop(hosts, duration: float, delta: float, stream=None) -> int:
         if want and healths:
             last_beat = epochs
             stream.heartbeat(epochs, t, duration, healths)
-        if t >= duration and not busy and not any(inboxes):
+        if tick:
+            pending_actions = orch.observe(epochs, t, healths)
+        if (
+            t >= duration
+            and not busy
+            and not any(inboxes)
+            and not pending_actions
+        ):
             return epochs
+        if pending_actions:
+            # actions must land at the very next boundary; skipping
+            # epochs here would apply them late (and could let a shard
+            # simulate past a window the actions inject events into)
+            continue
         # fast-forward: leave t at the last boundary whose *successor*
         # (the next epoch's until, assigned at the top of the loop) is
-        # still strictly below the earliest possible arrival
+        # still strictly below the earliest possible arrival — and, with
+        # a controller, strictly below the next tick, so the tick fires
+        # at the first grid boundary >= its schedule regardless of how
+        # empty the heaps are
+        horizon = (
+            next_tick if (orch is not None and next_tick <= duration) else None
+        )
         if nxt == float("inf"):
-            while t + delta < duration:
+            while t + delta < duration and (
+                horizon is None or t + delta < horizon
+            ):
                 t += delta
         else:
             limit = nxt + delta
             step = t + delta
-            while step + delta < limit:
+            while step + delta < limit and (horizon is None or step < horizon):
                 t = step
                 step = t + delta
 
@@ -1186,7 +1226,7 @@ def run_sharded(
         raise ValueError("shards must be >= 0, got %d" % shards)
     if shards == 1:
         result = _Engine(
-            spec, mode=mode, obs=obs, verbose_trace=verbose_trace
+            spec, mode=mode, obs=obs, verbose_trace=verbose_trace, stream=stream
         ).run()
         if stream is not None:
             stream.summary(result)
@@ -1200,6 +1240,15 @@ def run_sharded(
     shard_map = ShardMap(parents, shards)  # validates shards <= len(parents)
     bs_names, populations = partition_population(spec, shard_map)
     delta = shard_lookahead(spec)
+    orch = None
+    if getattr(spec, "orch_policy", None):
+        from ..orch import Orchestrator, OrchPolicy
+
+        orch = Orchestrator(
+            OrchPolicy.from_dict(spec.orch_policy), spec.duration_s
+        )
+        if stream is not None:
+            orch.attach_stream(stream)
     obs_mode = getattr(obs, "mode", None) if obs is not None else None
     span_keep = getattr(obs, "span_keep", None) if obs is not None else None
     if obs_mode == "trace" and span_keep is None:
@@ -1278,7 +1327,9 @@ def run_sharded(
         hosts = [_InlineHost(_maker(k)) for k in range(shards)]
 
     try:
-        epochs = _epoch_loop(hosts, spec.duration_s, delta, stream=stream)
+        epochs = _epoch_loop(
+            hosts, spec.duration_s, delta, stream=stream, orch=orch
+        )
         payloads = [host.finish() for host in hosts]
     finally:
         for host in hosts:
@@ -1319,6 +1370,10 @@ def run_sharded(
         #: per-shard wire snapshots (span tables + flow tables), in
         #: shard order — the stitcher's input
         result.obs_shards = snapshots
+    if orch is not None:
+        result.orch_policy = orch.policy.to_dict()
+        result.orch_log = list(orch.log)
+        result.orch_summary = orch.summary()
     if stream is not None:
         stream.summary(result)
     return result

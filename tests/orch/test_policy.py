@@ -1,0 +1,126 @@
+"""The --policy JSON DSL: round trips, validation, behaviour flags —
+plus the ledger's orchestrated-vs-baseline comparison record."""
+
+import pytest
+
+from repro.orch import OrchPolicy, orch_compare, worst_attach_p99
+
+
+class TestRoundTrip:
+    def test_defaults_round_trip(self):
+        policy = OrchPolicy()
+        assert OrchPolicy.from_dict(policy.to_dict()) == policy
+
+    def test_scenario_policies_round_trip(self):
+        from repro.scale.scenarios import SCENARIOS
+
+        seen = 0
+        for spec in SCENARIOS.values():
+            if spec.orch_policy is None:
+                continue
+            policy = OrchPolicy.from_dict(spec.orch_policy)
+            assert OrchPolicy.from_dict(policy.to_dict()) == policy
+            assert policy.mutating  # shipped scenarios actually act
+            seen += 1
+        assert seen >= 2  # upgrade + autoscale scenarios
+
+    def test_unknown_keys_rejected_by_name(self):
+        with pytest.raises(ValueError, match="scale_out_queus"):
+            OrchPolicy.from_dict({"scale_out_queus": 3.0})
+
+    def test_to_dict_is_plain_json(self):
+        import json
+
+        json.dumps(OrchPolicy(scale_out_queue=2.0).to_dict())
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            dict(tick_s=0.0),
+            dict(tick_s=-1.0),
+            dict(scale_out_ticks=0),
+            dict(scale_in_ticks=0),
+            dict(heal_after_ticks=0),
+            dict(cooldown_ticks=-1),
+            dict(min_cpfs=0),
+            dict(min_cpfs=3, max_cpfs=2),
+            dict(scale_out_queue=-0.5),
+            dict(upgrade_start_frac=1.5),
+            dict(upgrade_start_frac=-0.1),
+            dict(upgrade_drain_s=-0.1),
+            dict(upgrade_stagger_s=-0.1),
+        ],
+    )
+    def test_rejects(self, bad):
+        with pytest.raises(ValueError):
+            OrchPolicy(**bad)
+
+
+class TestBehaviourFlags:
+    def test_noop_policy_is_not_mutating(self):
+        policy = OrchPolicy(tick_s=0.05)
+        assert not policy.autoscale
+        assert not policy.upgrading
+        assert not policy.healing
+        assert not policy.mutating
+
+    def test_each_behaviour_flips_mutating(self):
+        assert OrchPolicy(scale_out_queue=4.0).autoscale
+        assert OrchPolicy(scale_in_queue=0.5).autoscale
+        assert OrchPolicy(upgrade_start_frac=0.5).upgrading
+        assert OrchPolicy(heal_after_ticks=2).healing
+        for policy in (
+            OrchPolicy(scale_out_queue=4.0),
+            OrchPolicy(upgrade_start_frac=0.5),
+            OrchPolicy(heal_after_ticks=2),
+        ):
+            assert policy.mutating
+
+
+class _FakeResult:
+    def __init__(self, region_pct_ms, violations=0, digest="d"):
+        self.region_pct_ms = region_pct_ms
+        self.violations = violations
+        self.digest = digest
+
+
+class TestCompare:
+    def _result(self, p99s, **kw):
+        return _FakeResult(
+            {
+                region: {"attach": {"count": 5, "p99": p99}}
+                for region, p99 in p99s.items()
+            },
+            **kw
+        )
+
+    def test_worst_region_wins(self):
+        res = self._result({"20": 3.0, "21": 9.5, "22": 1.0})
+        assert worst_attach_p99(res) == 9.5
+
+    def test_no_attaches_is_none(self):
+        assert worst_attach_p99(self._result({})) is None
+        assert worst_attach_p99(
+            _FakeResult({"20": {"service_request": {"p99": 4.0}}})
+        ) is None
+
+    def test_compare_improved(self):
+        record = orch_compare(
+            self._result({"20": 5.0}),
+            self._result({"20": 8.0}, digest="base"),
+        )
+        assert record["improved"]
+        assert record["orch_attach_p99_ms"] == 5.0
+        assert record["baseline_attach_p99_ms"] == 8.0
+        assert record["baseline_digest"] == "base"
+        assert record["baseline_violations"] == 0
+
+    def test_compare_not_improved_or_unmeasurable(self):
+        assert not orch_compare(
+            self._result({"20": 8.0}), self._result({"20": 8.0})
+        )["improved"]
+        assert not orch_compare(
+            self._result({}), self._result({"20": 8.0})
+        )["improved"]

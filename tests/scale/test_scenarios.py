@@ -53,8 +53,21 @@ class TestEveryScenario:
             assert res.completed > 0, name
             assert res.serves > 0 and res.writes > 0, name
             # non-verbose runs stay lean: the trace holds only applied
-            # fault ops, never per-message records
-            assert res.trace_events == res.fault_counters.get("ops_applied", 0)
+            # fault ops and orchestration actions, never per-message
+            # records
+            orch_traced = sum(
+                res.counters.get(key, 0)
+                for key in (
+                    "orch_scale_out",
+                    "orch_scale_in",
+                    "orch_upgrade_drained",
+                    "orch_upgraded",
+                    "orch_healed",
+                )
+            )
+            assert res.trace_events == (
+                res.fault_counters.get("ops_applied", 0) + orch_traced
+            )
             assert res.digest  # ... but still produce a digest
 
     def test_latency_sketches_cover_regions(self, results):
